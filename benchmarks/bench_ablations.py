@@ -1,0 +1,25 @@
+"""Ablations: in-place update and same-row grouping in isolation, plus
+bank-level parallelism scaling (the paper's future-work claim)."""
+
+from repro.experiments import run_ablations, run_bank_scaling
+
+
+def test_design_choice_ablations(benchmark, show):
+    result = benchmark.pedantic(lambda: run_ablations(ns=(1024, 4096), nb=6),
+                                rounds=1, iterations=1)
+    show(result.table())
+    claims = result.check_claims()
+    show("\n".join(f"[{'ok' if v else 'FAIL'}] {k}"
+                   for k, v in claims.items()))
+    assert all(claims.values())
+
+
+def test_bank_scaling(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_bank_scaling(n=1024, banks=(1, 2, 4, 8)),
+        rounds=1, iterations=1)
+    show(result.table())
+    claims = result.check_claims()
+    show("\n".join(f"[{'ok' if v else 'FAIL'}] {k}"
+                   for k, v in claims.items()))
+    assert all(claims.values())

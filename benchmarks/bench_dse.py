@@ -1,0 +1,26 @@
+"""Extension bench: design-space exploration of the DRAM geometry the
+paper fixes (row-buffer size, atom size)."""
+
+from repro.experiments import run_atom_size_sweep, run_row_size_sweep
+
+
+def test_row_size_sweep(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_row_size_sweep(n=2048, columns=(8, 16, 32, 64)),
+        rounds=1, iterations=1)
+    show(result.table())
+    claims = result.check_claims()
+    show("\n".join(f"[{'ok' if v else 'FAIL'}] {k}"
+                   for k, v in claims.items()))
+    assert all(claims.values())
+
+
+def test_atom_size_sweep(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_atom_size_sweep(n=2048, atom_bytes=(16, 32, 64)),
+        rounds=1, iterations=1)
+    show(result.table())
+    claims = result.check_claims()
+    show("\n".join(f"[{'ok' if v else 'FAIL'}] {k}"
+                   for k, v in claims.items()))
+    assert all(claims.values())

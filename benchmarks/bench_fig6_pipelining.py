@@ -1,0 +1,20 @@
+"""Fig. 6: pipelining micro-study per mapping regime.
+
+Shape requirements: pipelining shortens every regime's window, and in
+the inter-row regime it also *reduces row activations* (Fig. 6c's
+same-row grouping).
+"""
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_pipelining(benchmark, show):
+    result = benchmark(run_fig6)
+    show(result.table())
+    claims = result.check_claims()
+    show("\n".join(f"[{'ok' if v else 'FAIL'}] {k}"
+                   for k, v in claims.items()))
+    assert all(claims.values())
+    # The activation cut in inter-row is the headline mechanism.
+    assert (result.activations[("inter-row", "pipelined")]
+            < result.activations[("inter-row", "baseline")])

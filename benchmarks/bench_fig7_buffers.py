@@ -1,0 +1,21 @@
+"""Fig. 7: latency vs polynomial length for Nb in {1, 2, 4, 6} + x86.
+
+Shape requirements: Nb=1 rides the software line; the first auxiliary
+buffer is worth ~an order of magnitude; Nb 2->6 is worth 1.5-2.5x and
+grows with N.
+"""
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_buffer_sensitivity(benchmark, show):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    show(result.table())
+    show(result.plot())
+    gains = [f"N={n}: aux x{result.aux_buffer_gain(n):.1f}, "
+             f"pipe x{result.pipelining_gain(n):.2f}" for n in result.ns]
+    show("\n".join(gains))
+    claims = result.check_claims()
+    show("\n".join(f"[{'ok' if v else 'FAIL'}] {k}"
+                   for k, v in claims.items()))
+    assert all(claims.values())

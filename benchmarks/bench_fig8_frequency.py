@@ -1,0 +1,21 @@
+"""Fig. 8: sensitivity to clock frequency (Nb=2, 300-1200 MHz).
+
+Shape requirements: a 4x clock drop costs well under 4x latency (the
+paper reports 1.65x at the longest polynomial), large N is more robust
+than small N, and the PIM still beats the CPU at 300 MHz.
+"""
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_frequency_sensitivity(benchmark, show):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    show(result.table())
+    show(result.plot())
+    slowdowns = [f"N={n}: 300MHz/1200MHz = x{result.slowdown(n, 300.0):.2f}"
+                 for n in result.ns]
+    show("\n".join(slowdowns))
+    claims = result.check_claims()
+    show("\n".join(f"[{'ok' if v else 'FAIL'}] {k}"
+                   for k, v in claims.items()))
+    assert all(claims.values())

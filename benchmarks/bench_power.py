@@ -1,0 +1,15 @@
+"""Extension bench: power breakdown of NTT-PIM runs (the physical
+context behind Table III's energy rows)."""
+
+from repro.experiments import run_power_analysis
+
+
+def test_power_breakdown(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_power_analysis(ns=(256, 1024, 4096), nb=2),
+        rounds=1, iterations=1)
+    show(result.table())
+    claims = result.check_claims()
+    show("\n".join(f"[{'ok' if v else 'FAIL'}] {k}"
+                   for k, v in claims.items()))
+    assert all(claims.values())

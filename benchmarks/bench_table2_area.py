@@ -1,0 +1,17 @@
+"""Table II: PIM area overhead vs Newton (gate model + SRAM model)."""
+
+from repro.experiments import PAPER_TABLE2, run_table2
+
+
+def test_table2_area(benchmark, show):
+    result = benchmark(run_table2)
+    show(result.table())
+    claims = result.check_claims()
+    show("\n".join(f"[{'ok' if v else 'FAIL'}] {k}"
+                   for k, v in claims.items()))
+    assert all(claims.values())
+    # Shape vs paper: every row within 5%.
+    for nb, ref in PAPER_TABLE2["ntt_pim"].items():
+        assert abs(result.area(nb) - ref) / ref < 0.05
+    assert abs(result.bank_mm2 - PAPER_TABLE2["bank"]) < 0.05
+    assert abs(result.newton_mm2 - PAPER_TABLE2["newton"]) < 0.002

@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench regenerates one of the paper's tables/figures, printing the
+reproduced rows/series (run pytest with ``-s`` to see them inline; they
+are also summarized in EXPERIMENTS.md).  Simulation benches use
+``benchmark.pedantic`` with one round — a full PIM simulation is
+deterministic, so repeated timing rounds add nothing but wall time.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a block with a separator, visible under -s."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+
+    return _show

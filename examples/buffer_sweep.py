@@ -1,0 +1,32 @@
+"""Reproduce Fig. 7 interactively: latency vs polynomial length for
+Nb in {1, 2, 4, 6}, against the x86 software model.
+
+    python examples/buffer_sweep.py [--full]
+
+Without --full, the sweep stops at N=2048 to keep the Nb=1 runs quick.
+"""
+
+import sys
+
+from repro.experiments import run_fig7
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    ns = (256, 512, 1024, 2048, 4096, 8192) if full else (256, 512, 1024, 2048)
+    result = run_fig7(ns=ns)
+    print(result.table())
+    print()
+    print(result.plot())
+    print()
+    for n in ns:
+        print(f"N={n:>5}: first aux buffer x{result.aux_buffer_gain(n):5.1f}, "
+              f"pipelining (Nb 2->6) x{result.pipelining_gain(n):4.2f}, "
+              f"vs x86 (Nb=6) x{result.speedup_vs_cpu(n, 6):5.1f}")
+    print()
+    for claim, ok in result.check_claims().items():
+        print(f"[{'ok' if ok else 'FAIL'}] {claim}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Kyber-style incomplete NTT: lattice crypto with a *small* modulus.
+
+Kyber's q = 3329 has only 2^8 | q - 1, so a full negacyclic NTT at
+N = 256 is impossible — the transform stops one stage early and slot
+products become 2-coefficient schoolbook multiplies.  This example runs
+exactly that configuration through the library's incomplete-NTT kernels
+and cross-checks against schoolbook ring multiplication.
+
+    python examples/kyber_like.py
+"""
+
+import random
+
+from repro.ntt import naive_negacyclic_convolution
+from repro.ntt.incomplete import (
+    IncompleteNttParams,
+    incomplete_basemul,
+    incomplete_intt,
+    incomplete_ntt,
+)
+
+
+def main() -> None:
+    n, q, depth = 256, 3329, 2  # Kyber's exact ring configuration
+    params = IncompleteNttParams(n, q, depth)
+    print(f"ring Z_{q}[X]/(X^{n}+1), 2-adicity of q-1: "
+          f"{(q - 1) & -(q - 1)} -> full NTT impossible")
+    print(f"incomplete transform: {n.bit_length() - 1 - depth.bit_length() + 1} "
+          f"of {n.bit_length() - 1} stages, {n // depth} slots of "
+          f"degree-{depth} polynomials")
+
+    rng = random.Random(0)
+    a = [rng.randrange(q) for _ in range(n)]
+    b = [rng.randrange(q) for _ in range(n)]
+
+    a_hat = incomplete_ntt(a, params)
+    b_hat = incomplete_ntt(b, params)
+    prod_hat = incomplete_basemul(a_hat, b_hat, params)
+    product = incomplete_intt(prod_hat, params)
+
+    assert product == naive_negacyclic_convolution(a, b, q)
+    print("ring product via incomplete NTT + basemul: verified ok")
+
+    # The truncated stages are exactly the smallest-stride (intra-atom)
+    # work, so on the PIM an incomplete transform simply ends before the
+    # final C1N level — same mapping, fewer commands.
+    print("\nPIM view: stages by stride for N=256 (atom = 8 words):")
+    print("  strides 128..8  -> inter-atom C2 stages (run on PIM)")
+    print("  strides 4, 2    -> intra-atom C1N stages (run on PIM)")
+    print(f"  stride 1        -> truncated at depth={depth}: replaced by "
+          f"slot basemul")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: run one NTT on the simulated NTT-PIM and inspect the run.
+
+    python examples/quickstart.py
+"""
+
+import random
+
+from repro import NttParams, NttPimDriver, PimParams, SimConfig, find_ntt_prime
+from repro.cost import PowerModel
+
+
+def main() -> None:
+    # 1. Pick NTT parameters: length N and an NTT-friendly 32-bit prime.
+    n = 1024
+    q = find_ntt_prime(n, 32)
+    params = NttParams(n, q)
+    print(f"N = {n}, q = {q} (omega = {params.omega})")
+
+    # 2. Configure the PIM: HBM2E timing (paper Table I), 2 atom buffers
+    #    (the primary GSA + one auxiliary — the paper's base design).
+    config = SimConfig(pim=PimParams(nb_buffers=2))
+    driver = NttPimDriver(config)
+
+    # 3. Run.  The driver bit-reverses on the host, loads the bank,
+    #    generates the DRAM command sequence, executes it functionally
+    #    AND through the timing engine, and verifies against the golden
+    #    software NTT.
+    rng = random.Random(0)
+    values = [rng.randrange(q) for _ in range(n)]
+    result = driver.run_ntt(values, params)
+
+    print(result.summary())
+    print(f"  cycles          : {result.cycles}")
+    print(f"  latency         : {result.latency_us:.2f} us "
+          f"@ {config.timing.freq_mhz:.0f} MHz")
+    print(f"  energy          : {result.energy_nj:.2f} nJ")
+    print(f"  row activations : {result.activations}")
+    print(f"  DRAM commands   : {result.command_count}")
+    print(f"  butterfly ops   : {result.bu_ops} "
+          f"(= N/2 log N = {(n // 2) * params.log_n}, full data reuse)")
+
+    power = PowerModel(config.energy, config.timing)
+    breakdown = power.breakdown(result.schedule.stats)
+    print("  energy breakdown:")
+    for key in ("activation_pj", "column_pj", "compute_pj", "static_pj"):
+        print(f"    {key:<14}: {breakdown[key] / 1000:.2f} nJ")
+
+    # 4. The inverse transform brings the data back.
+    inverse = driver.run_intt(result.output, params)
+    assert inverse.output == values
+    print("inverse NTT on PIM round-trips the data: ok")
+
+
+if __name__ == "__main__":
+    main()

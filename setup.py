@@ -1,0 +1,7 @@
+"""Legacy shim so editable installs work without the `wheel` package
+(this environment is offline; setuptools' PEP-660 editable path needs
+bdist_wheel).  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""NTT-PIM reproduction: row-centric NTT mapping on DRAM PIM (DAC 2023).
+
+Top-level convenience surface::
+
+    from repro import NttParams, NttPimDriver, SimConfig, PimParams, ntt
+
+    params = NttParams(1024, find_ntt_prime(1024, 32))
+    driver = NttPimDriver(SimConfig(pim=PimParams(nb_buffers=2)))
+    result = driver.run_ntt(list(range(1024)), params)
+    print(result.summary())
+
+Subpackages:
+
+* :mod:`repro.arith`      — modular arithmetic, Montgomery, primes, roots
+* :mod:`repro.ntt`        — golden NTT kernels, variants, ring polynomials
+* :mod:`repro.dram`       — DRAM geometry/timing/energy + timing engine
+* :mod:`repro.pim`        — atom buffers, compute unit, PIM bank
+* :mod:`repro.mapping`    — the paper's mapping algorithm (3 regimes)
+* :mod:`repro.sim`        — driver, results, bank-level parallelism
+* :mod:`repro.baselines`  — x86 / MeNTT / CryptoPIM / FPGA models
+* :mod:`repro.cost`       — area (Table II) and power models
+* :mod:`repro.fhe`        — BFV-style RLWE workload layer
+* :mod:`repro.experiments`— one harness per paper table/figure
+* :mod:`repro.visual`     — ASCII timing diagrams and plots
+"""
+
+from .arith import DEFAULT_PRIME_32, NttParams, find_ntt_prime
+from .dram import HBM2E_ARCH, HBM2E_TIMING, ArchParams, TimingParams
+from .errors import FunctionalMismatch, MappingError, ReproError, TimingViolation
+from .ntt import NegacyclicParams, Polynomial, intt, ntt
+from .pim import PimParams
+from .sim import NttPimDriver, SimConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PRIME_32",
+    "NttParams",
+    "find_ntt_prime",
+    "HBM2E_ARCH",
+    "HBM2E_TIMING",
+    "ArchParams",
+    "TimingParams",
+    "FunctionalMismatch",
+    "MappingError",
+    "ReproError",
+    "TimingViolation",
+    "NegacyclicParams",
+    "Polynomial",
+    "intt",
+    "ntt",
+    "PimParams",
+    "NttPimDriver",
+    "SimConfig",
+    "__version__",
+]

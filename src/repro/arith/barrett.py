@@ -1,0 +1,41 @@
+"""Barrett reduction — the standard alternative to Montgomery.
+
+The paper's CU uses Montgomery reduction; Barrett is included both as an
+independent check of the arithmetic layer and as the reduction used by
+the software (x86) baseline model, where compilers typically emit
+Barrett-style magic-number sequences.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BarrettContext", "barrett_reduce"]
+
+
+class BarrettContext:
+    """Precomputed Barrett constant ``mu = floor(4^k / q)`` for modulus ``q``."""
+
+    def __init__(self, q: int):
+        if q <= 1:
+            raise ValueError(f"modulus must exceed 1, got {q}")
+        self.q = q
+        self.k = q.bit_length()
+        self.mu = (1 << (2 * self.k)) // q
+
+    def reduce(self, t: int) -> int:
+        """Reduce ``t`` in ``[0, q^2]`` to ``t mod q`` without division."""
+        if t < 0 or t > self.q * self.q:
+            raise ValueError(f"Barrett input {t} outside [0, q^2]")
+        approx = (t * self.mu) >> (2 * self.k)
+        r = t - approx * self.q
+        while r >= self.q:
+            r -= self.q
+        return r
+
+    def mul(self, a: int, b: int) -> int:
+        """Return ``(a * b) mod q`` using Barrett reduction."""
+        return self.reduce((a % self.q) * (b % self.q))
+
+
+def barrett_reduce(t: int, q: int) -> int:
+    """One-shot Barrett reduction of ``t`` modulo ``q``."""
+    return BarrettContext(q).reduce(t)

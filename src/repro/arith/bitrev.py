@@ -1,0 +1,46 @@
+"""Bit-reversal permutation.
+
+The paper assumes bit reversal is performed by software on the CPU
+(Sec. II.B), so the PIM input is stored bit-reversed and the transform
+produces natural order.  These helpers are that software step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["bit_reverse", "bit_reverse_indices", "bit_reverse_permute", "is_power_of_two"]
+
+
+def is_power_of_two(n: int) -> bool:
+    """True for 1, 2, 4, 8, ..."""
+    return n > 0 and n & (n - 1) == 0
+
+
+def bit_reverse(value: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``value``."""
+    if bits < 0:
+        raise ValueError(f"bit width must be non-negative, got {bits}")
+    if value < 0 or value >= (1 << bits):
+        raise ValueError(f"value {value} does not fit in {bits} bits")
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+def bit_reverse_indices(n: int) -> List[int]:
+    """The permutation table ``i -> bit_reverse(i, log2 n)``."""
+    if not is_power_of_two(n):
+        raise ValueError(f"length must be a power of two, got {n}")
+    bits = n.bit_length() - 1
+    return [bit_reverse(i, bits) for i in range(n)]
+
+
+def bit_reverse_permute(values: Sequence[T]) -> List[T]:
+    """Return ``values`` reordered by bit-reversed index (an involution)."""
+    table = bit_reverse_indices(len(values))
+    return [values[table[i]] for i in range(len(values))]

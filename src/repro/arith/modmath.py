@@ -1,0 +1,123 @@
+"""Elementary modular arithmetic.
+
+These routines are the mathematical ground truth for the whole library.
+The PIM compute unit (:mod:`repro.pim.cu`) performs the same operations
+through the Montgomery datapath model (:mod:`repro.arith.montgomery`);
+unit tests cross-check both against the functions defined here.
+
+All functions operate on plain Python integers so they remain exact for
+any modulus width (the paper targets 32-bit moduli, MeNTT 14/16-bit).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = [
+    "mod_add",
+    "mod_sub",
+    "mod_mul",
+    "mod_neg",
+    "mod_pow",
+    "mod_inverse",
+    "egcd",
+    "is_unit",
+    "mod_add_vec",
+    "mod_sub_vec",
+    "mod_mul_vec",
+]
+
+
+def mod_add(a: int, b: int, q: int) -> int:
+    """Return ``(a + b) mod q``."""
+    if q <= 0:
+        raise ValueError(f"modulus must be positive, got {q}")
+    return (a + b) % q
+
+
+def mod_sub(a: int, b: int, q: int) -> int:
+    """Return ``(a - b) mod q`` (always in ``[0, q)``)."""
+    if q <= 0:
+        raise ValueError(f"modulus must be positive, got {q}")
+    return (a - b) % q
+
+
+def mod_mul(a: int, b: int, q: int) -> int:
+    """Return ``(a * b) mod q``."""
+    if q <= 0:
+        raise ValueError(f"modulus must be positive, got {q}")
+    return (a * b) % q
+
+
+def mod_neg(a: int, q: int) -> int:
+    """Return ``(-a) mod q``."""
+    if q <= 0:
+        raise ValueError(f"modulus must be positive, got {q}")
+    return (-a) % q
+
+
+def mod_pow(base: int, exponent: int, q: int) -> int:
+    """Return ``base**exponent mod q``; negative exponents use the inverse."""
+    if q <= 0:
+        raise ValueError(f"modulus must be positive, got {q}")
+    if exponent < 0:
+        return pow(mod_inverse(base, q), -exponent, q)
+    return pow(base, exponent, q)
+
+
+def egcd(a: int, b: int):
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y = g = gcd(a, b)``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+        old_t, t = t, old_t - quotient * t
+    return old_r, old_s, old_t
+
+
+def mod_inverse(a: int, q: int) -> int:
+    """Return the multiplicative inverse of ``a`` modulo ``q``.
+
+    Raises :class:`ValueError` when ``gcd(a, q) != 1``.
+    """
+    if q <= 0:
+        raise ValueError(f"modulus must be positive, got {q}")
+    g, x, _ = egcd(a % q, q)
+    if g not in (1, -1):
+        raise ValueError(f"{a} is not invertible modulo {q} (gcd={g})")
+    if g == -1:
+        x = -x
+    return x % q
+
+
+def is_unit(a: int, q: int) -> bool:
+    """True when ``a`` is invertible modulo ``q``."""
+    g, _, _ = egcd(a % q, q)
+    return g in (1, -1)
+
+
+def mod_add_vec(xs: Iterable[int], ys: Iterable[int], q: int) -> List[int]:
+    """Element-wise modular addition of two equal-length sequences."""
+    xs, ys = list(xs), list(ys)
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    return [mod_add(x, y, q) for x, y in zip(xs, ys)]
+
+
+def mod_sub_vec(xs: Iterable[int], ys: Iterable[int], q: int) -> List[int]:
+    """Element-wise modular subtraction of two equal-length sequences."""
+    xs, ys = list(xs), list(ys)
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    return [mod_sub(x, y, q) for x, y in zip(xs, ys)]
+
+
+def mod_mul_vec(xs: Iterable[int], ys: Iterable[int], q: int) -> List[int]:
+    """Element-wise modular product of two equal-length sequences."""
+    xs, ys = list(xs), list(ys)
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    return [mod_mul(x, y, q) for x, y in zip(xs, ys)]

@@ -1,0 +1,110 @@
+"""Montgomery modular multiplication (word-level model of the BU multiplier).
+
+The paper's butterfly unit "supports ModAdd/Sub and ModMult for arbitrary
+modulo values using Montgomery reduction" (Sec. VI.B, citing Montgomery
+1985).  This module models that datapath faithfully:
+
+* :func:`montgomery_reduce` implements REDC, the core of the hardware
+  multiplier, for an ``R = 2**rbits`` radix.
+* :class:`MontgomeryContext` keeps the per-modulus constants (``q'``,
+  ``R^2 mod q``) that the CU loads through parameter writes, and exposes
+  multiplication both in and out of the Montgomery domain.
+
+Odd moduli only — exactly the restriction of the hardware algorithm (NTT
+moduli are odd primes, so this is not limiting in practice).
+"""
+
+from __future__ import annotations
+
+from .modmath import mod_inverse
+
+__all__ = ["MontgomeryContext", "montgomery_reduce"]
+
+
+def montgomery_reduce(t: int, q: int, rbits: int, q_neg_inv: int) -> int:
+    """REDC: return ``t * R^-1 mod q`` for ``R = 2**rbits``.
+
+    ``t`` must lie in ``[0, q * R)``; ``q_neg_inv`` is ``-q^-1 mod R``.
+    The computation uses only shifts, masks, multiplies and one
+    conditional subtraction — the same primitive ops as the RTL.
+    """
+    mask = (1 << rbits) - 1
+    if not 0 <= t < (q << rbits):
+        raise ValueError(f"REDC input {t} outside [0, q*R)")
+    m = ((t & mask) * q_neg_inv) & mask
+    u = (t + m * q) >> rbits
+    if u >= q:
+        u -= q
+    return u
+
+
+class MontgomeryContext:
+    """Precomputed constants for Montgomery arithmetic modulo ``q``.
+
+    Parameters
+    ----------
+    q:
+        Odd modulus.
+    rbits:
+        Radix width; defaults to the modulus bit length rounded up to a
+        word boundary the way a 32-bit datapath would (``max(32, bits)``).
+    """
+
+    def __init__(self, q: int, rbits: int | None = None):
+        if q <= 2 or q % 2 == 0:
+            raise ValueError(f"Montgomery requires an odd modulus > 2, got {q}")
+        if rbits is None:
+            rbits = max(32, q.bit_length())
+        if (1 << rbits) <= q:
+            raise ValueError(f"radix 2**{rbits} must exceed modulus {q}")
+        self.q = q
+        self.rbits = rbits
+        self.r = 1 << rbits
+        self.r_mask = self.r - 1
+        # q' = -q^-1 mod R, the Newton-iterated constant baked into the RTL.
+        self.q_neg_inv = (-mod_inverse(q, self.r)) % self.r
+        self.r_mod_q = self.r % q
+        self.r2_mod_q = (self.r_mod_q * self.r_mod_q) % q
+
+    def to_mont(self, a: int) -> int:
+        """Map ``a`` into the Montgomery domain: ``a * R mod q``."""
+        return self.reduce((a % self.q) * self.r2_mod_q)
+
+    def from_mont(self, a_bar: int) -> int:
+        """Map a Montgomery-domain value back to the plain domain."""
+        return self.reduce(a_bar)
+
+    def reduce(self, t: int) -> int:
+        """REDC with this context's constants."""
+        return montgomery_reduce(t, self.q, self.rbits, self.q_neg_inv)
+
+    def mont_mul(self, a_bar: int, b_bar: int) -> int:
+        """Product of two Montgomery-domain values (stays in the domain)."""
+        return self.reduce(a_bar * b_bar)
+
+    def mul(self, a: int, b: int) -> int:
+        """Plain-domain modular product computed through the Montgomery path.
+
+        This mirrors what the CU does for a ``ModMult``: one REDC to get
+        ``a*b*R^-1``, then a correction multiply by ``R^2 mod q``.
+        Functionally identical to ``(a*b) % q`` — unit tests assert so.
+        """
+        t = self.reduce((a % self.q) * (b % self.q))
+        return self.reduce(t * self.r2_mod_q)
+
+    def pow(self, base: int, exponent: int) -> int:
+        """Plain-domain exponentiation via Montgomery ladder (for the TFG)."""
+        if exponent < 0:
+            raise ValueError("negative exponents are not supported here")
+        acc = self.to_mont(1)
+        b = self.to_mont(base)
+        e = exponent
+        while e:
+            if e & 1:
+                acc = self.mont_mul(acc, b)
+            b = self.mont_mul(b, b)
+            e >>= 1
+        return self.from_mont(acc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MontgomeryContext(q={self.q}, rbits={self.rbits})"

@@ -1,0 +1,18 @@
+"""Comparison baselines: x86 software, MeNTT, CryptoPIM, FPGA."""
+
+from .comparators import (
+    AcceleratorModel,
+    CryptoPimModel,
+    FpgaNttModel,
+    MeNttModel,
+)
+from .cpu import CpuNttModel, numpy_ntt
+
+__all__ = [
+    "AcceleratorModel",
+    "CryptoPimModel",
+    "FpgaNttModel",
+    "MeNttModel",
+    "CpuNttModel",
+    "numpy_ntt",
+]

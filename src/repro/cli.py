@@ -1,0 +1,130 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands::
+
+    run      one NTT on the simulated PIM (prints the run summary)
+    trace    dump the DRAM command trace for one NTT
+    fig6 / fig7 / fig8 / table2 / table3 / ablations / banks
+             regenerate one experiment
+    all      run every experiment (the full reproduction)
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from .arith.primes import find_ntt_prime
+from .arith.roots import NttParams
+from .experiments import (
+    run_ablations,
+    run_bank_scaling,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_table2,
+    run_table3,
+)
+from .experiments.runner import run_all
+from .pim.params import PimParams
+from .sim.driver import NttPimDriver, SimConfig
+from .sim.trace import format_trace, trace_summary
+
+__all__ = ["main"]
+
+
+def _add_run_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("-n", type=int, default=1024,
+                     help="polynomial length (power of two, default 1024)")
+    sub.add_argument("--nb", type=int, default=2,
+                     help="number of atom buffers incl. primary (default 2)")
+    sub.add_argument("--freq", type=float, default=1200.0,
+                     help="clock in MHz (default 1200)")
+    sub.add_argument("--seed", type=int, default=0)
+
+
+def _make_driver(args) -> tuple:
+    q = find_ntt_prime(args.n, 32)
+    params = NttParams(args.n, q)
+    config = SimConfig(pim=PimParams(nb_buffers=args.nb))
+    if args.freq != 1200.0:
+        config = config.at_frequency(args.freq)
+    return NttPimDriver(config), params, q
+
+
+def _cmd_run(args) -> int:
+    driver, params, q = _make_driver(args)
+    rng = random.Random(args.seed)
+    values = [rng.randrange(q) for _ in range(args.n)]
+    result = driver.run_ntt(values, params)
+    print(result.summary())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    driver, params, _ = _make_driver(args)
+    commands = driver.map_commands(params)
+    print(trace_summary(commands))
+    print(format_trace(commands[:args.head]))
+    if len(commands) > args.head:
+        print(f"... ({len(commands) - args.head} more)")
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "table2": run_table2,
+    "table3": run_table3,
+    "ablations": run_ablations,
+    "banks": run_bank_scaling,
+}
+
+
+def _cmd_experiment(name: str) -> int:
+    result = _EXPERIMENTS[name]()
+    print(result.table())
+    if hasattr(result, "energy_table"):
+        print(result.energy_table())
+    ok = True
+    for claim, holds in result.check_claims().items():
+        print(f"[{'ok' if holds else 'FAIL'}] {claim}")
+        ok = ok and holds
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    run_p = subs.add_parser("run", help="simulate one NTT")
+    _add_run_args(run_p)
+
+    trace_p = subs.add_parser("trace", help="dump a command trace")
+    _add_run_args(trace_p)
+    trace_p.add_argument("--head", type=int, default=40,
+                         help="lines of trace to print (default 40)")
+
+    for name in _EXPERIMENTS:
+        subs.add_parser(name, help=f"reproduce {name}")
+
+    all_p = subs.add_parser("all", help="run every experiment")
+    all_p.add_argument("--quick", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "all":
+        checks = run_all(quick=args.quick)
+        bad = [c for claims in checks.values()
+               for c, ok in claims.items() if not ok]
+        return 1 if bad else 0
+    return _cmd_experiment(args.command)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Area and power models (Table II and energy breakdowns)."""
+
+from .area import AreaModel, cu_area_mm2, dram_bank_area_mm2, newton_area_mm2
+from .gates import (
+    GateLibrary,
+    crossbar_gates,
+    modadd_gates,
+    montgomery_multiplier_gates,
+    register_gates,
+    sram_buffer_um2,
+)
+from .power import PowerModel, average_power_mw
+
+__all__ = [
+    "AreaModel",
+    "cu_area_mm2",
+    "dram_bank_area_mm2",
+    "newton_area_mm2",
+    "GateLibrary",
+    "crossbar_gates",
+    "modadd_gates",
+    "montgomery_multiplier_gates",
+    "register_gates",
+    "sram_buffer_um2",
+    "PowerModel",
+    "average_power_mw",
+]

@@ -1,0 +1,108 @@
+"""Area model reproducing Table II.
+
+Three estimators:
+
+* :func:`cu_area_mm2` — the NTT-PIM compute unit (BU + TFG + LSU +
+  crossbar + scalar registers) as a function of Nb, from the gate model.
+* :func:`newton_area_mm2` — Newton's 16-lane bf16 MAC datapath [7].
+* :func:`dram_bank_area_mm2` — a CACTI-3DD-style bank estimate at 32 nm
+  (cell area * array inefficiency), the Table II denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .gates import (
+    GateLibrary,
+    crossbar_gates,
+    modadd_gates,
+    montgomery_multiplier_gates,
+    register_gates,
+    sram_buffer_um2,
+)
+
+__all__ = ["AreaModel", "cu_area_mm2", "newton_area_mm2", "dram_bank_area_mm2"]
+
+
+def cu_area_mm2(nb_buffers: int, bits: int = 32, atom_words: int = 8,
+                lib: GateLibrary | None = None) -> float:
+    """NTT-PIM per-bank overhead: CU logic + (Nb - 1) secondary buffers.
+
+    The primary buffer (GSA) is free — every bank already has it.
+    """
+    if nb_buffers < 1:
+        raise ValueError("Nb must be >= 1")
+    lib = lib or GateLibrary()
+    logic_gates = 0.0
+    # Butterfly unit: one Montgomery ModMult + two ModAdd/Sub, pipelined.
+    logic_gates += montgomery_multiplier_gates(bits)
+    logic_gates += 2 * modadd_gates(bits)
+    # Twiddle factor generator: a second (smaller-duty) modular multiplier
+    # and its hold registers.
+    logic_gates += montgomery_multiplier_gates(bits) * 0.55
+    logic_gates += 2 * register_gates(bits, lib)
+    # LSU, scalar operand registers, parameter registers, control FSM.
+    logic_gates += 4 * register_gates(bits, lib)
+    logic_gates += 600.0  # control / sequencing
+    # Crossbar: full connectivity between Nb buffers + 2 BU register ports.
+    logic_gates += crossbar_gates(nb_buffers + 2, bits)
+    area_um2 = lib.gates_to_um2(logic_gates)
+    # Secondary atom buffers (GSA excluded).
+    atom_bits = atom_words * bits
+    area_um2 += (nb_buffers - 1) * sram_buffer_um2(atom_bits, lib)
+    return area_um2 / 1e6
+
+
+def newton_area_mm2(lib: GateLibrary | None = None) -> float:
+    """Newton's in-bank MVM unit: 16 bf16 multipliers, an adder tree,
+    and input/accumulation registers [7]."""
+    lib = lib or GateLibrary()
+    gates = 0.0
+    # bf16 multiplier: 8x8 mantissa multiplier + exponent add + round.
+    bf16_mult = 4.5 * 8 * 8 + 10 * 8 + 82
+    gates += 16 * bf16_mult
+    # Adder tree: 15 FP adders (alignment shifter + normalizer dominate).
+    fp_add = 700.0
+    gates += 15 * fp_add
+    # Operand / weight / accumulation registers and control.
+    gates += 64 * register_gates(16, lib)
+    gates += 1200.0
+    return lib.gates_to_um2(gates) / 1e6
+
+
+def dram_bank_area_mm2(rows: int = 32768, row_bytes: int = 1024,
+                       feature_nm: float = 32.0,
+                       cell_factor: float = 6.0,
+                       array_efficiency: float = 0.3907) -> float:
+    """CACTI-3DD-style bank estimate: bits * (cell_factor * F^2) scaled by
+    array efficiency (periphery, decoders, spare rows)."""
+    bits = rows * row_bytes * 8
+    cell_um2 = cell_factor * (feature_nm / 1000.0) ** 2
+    return bits * cell_um2 / array_efficiency / 1e6
+
+
+@dataclass
+class AreaModel:
+    """Table II generator."""
+
+    lib: GateLibrary = GateLibrary()
+    bits: int = 32
+    atom_words: int = 8
+
+    def table(self, nb_values=(1, 2, 4, 6)) -> Dict[str, object]:
+        """All Table II rows: bank, Newton, NTT-PIM per Nb (+ percent)."""
+        bank = dram_bank_area_mm2()
+        newton = newton_area_mm2(self.lib)
+        rows = []
+        for nb in nb_values:
+            area = cu_area_mm2(nb, self.bits, self.atom_words, self.lib)
+            rows.append({"nb": nb, "area_mm2": area,
+                         "percent_of_bank": 100.0 * area / bank})
+        return {
+            "bank_mm2": bank,
+            "newton_mm2": newton,
+            "newton_percent": 100.0 * newton / bank,
+            "ntt_pim": rows,
+        }

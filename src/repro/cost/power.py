@@ -1,0 +1,59 @@
+"""Power model: average power of a PIM NTT run, plus the CU's dynamic
+power estimate used for sanity checks against the Table II-scale logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.energy import EnergyParams
+from ..dram.stats import SimStats
+from ..dram.timing import TimingParams
+
+__all__ = ["PowerModel", "average_power_mw"]
+
+
+def average_power_mw(energy_nj: float, latency_us: float) -> float:
+    """P = E / t (nJ / us == mW)."""
+    if latency_us <= 0:
+        raise ValueError("latency must be positive")
+    return energy_nj / latency_us
+
+
+@dataclass
+class PowerModel:
+    """Decomposes a run's energy into DRAM vs CU contributions."""
+
+    energy: EnergyParams
+    timing: TimingParams
+
+    def breakdown(self, stats: SimStats) -> dict:
+        """Per-category dynamic energy (pJ) plus static."""
+        c = stats.command_counts
+        act = c.get("ACT", 0) * self.energy.act_pj
+        col = (c.get("RD", 0) * self.energy.rd_pj
+               + c.get("WR", 0) * self.energy.wr_pj
+               + c.get("CU_READ", 0) * self.energy.cu_rd_pj
+               + c.get("CU_WRITE", 0) * self.energy.cu_wr_pj)
+        compute = (c.get("C1", 0) * self.energy.c1_pj
+                   + c.get("C2", 0) * self.energy.c2_pj
+                   + sum(c.get(k, 0) for k in
+                         ("LOAD_SCALAR", "BU_SCALAR", "STORE_SCALAR"))
+                   * self.energy.scalar_pj
+                   + c.get("PARAM_WRITE", 0) * self.energy.param_pj)
+        static = (self.energy.static_mw
+                  * self.timing.cycles_to_ns(stats.total_cycles))
+        total = act + col + compute + static
+        return {
+            "activation_pj": act,
+            "column_pj": col,
+            "compute_pj": compute,
+            "static_pj": static,
+            "total_pj": total,
+        }
+
+    def average_power_mw(self, stats: SimStats) -> float:
+        """Average power over the run."""
+        total_pj = self.breakdown(stats)["total_pj"]
+        ns = self.timing.cycles_to_ns(stats.total_cycles)
+        return total_pj / ns  # pJ / ns == mW

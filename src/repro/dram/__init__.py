@@ -1,0 +1,34 @@
+"""DRAM substrate: geometry/timing parameters, storage, timing engine,
+energy accounting."""
+
+from .addressing import AddressMap, WordLocation
+from .bank import BankStorage
+from .commands import Command, CommandType
+from .energy import EnergyAccount, EnergyParams, HBM2E_ENERGY
+from .engine import CommandTiming, ComputeTiming, ScheduleResult, TimingEngine
+from .refresh import RefreshOverhead, RefreshParams, refresh_overhead
+from .stats import SimStats
+from .timing import HBM2E_ARCH, HBM2E_TIMING, ArchParams, TimingParams
+
+__all__ = [
+    "AddressMap",
+    "WordLocation",
+    "BankStorage",
+    "Command",
+    "CommandType",
+    "EnergyAccount",
+    "EnergyParams",
+    "HBM2E_ENERGY",
+    "CommandTiming",
+    "ComputeTiming",
+    "ScheduleResult",
+    "TimingEngine",
+    "RefreshOverhead",
+    "RefreshParams",
+    "refresh_overhead",
+    "SimStats",
+    "HBM2E_ARCH",
+    "HBM2E_TIMING",
+    "ArchParams",
+    "TimingParams",
+]

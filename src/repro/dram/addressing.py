@@ -1,0 +1,73 @@
+"""Word-index <-> DRAM coordinate mapping for a polynomial laid out
+contiguously in one bank (Sec. IV.A: "only the address is passed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .timing import ArchParams
+
+__all__ = ["WordLocation", "AddressMap"]
+
+
+@dataclass(frozen=True)
+class WordLocation:
+    """Coordinates of one 32-bit word inside a bank."""
+
+    row: int
+    atom: int   # column index within the row (one column = one atom)
+    lane: int   # word index within the atom, 0 .. Na-1
+
+    @property
+    def col(self) -> int:
+        """DRAM column address (alias of ``atom``)."""
+        return self.atom
+
+
+class AddressMap:
+    """Linear layout: word ``w`` of the polynomial lives at row
+    ``base_row + w // R``, atom ``(w mod R) // Na``, lane ``w mod Na``."""
+
+    def __init__(self, arch: ArchParams, base_row: int = 0, length: int | None = None):
+        if base_row < 0 or base_row >= arch.rows_per_bank:
+            raise ValueError(f"base row {base_row} outside bank")
+        self.arch = arch
+        self.base_row = base_row
+        self.length = length
+        if length is not None:
+            last = self.locate(length - 1) if length > 0 else None
+            if last is not None and last.row >= arch.rows_per_bank:
+                raise ValueError(
+                    f"polynomial of {length} words does not fit from row {base_row}")
+
+    def locate(self, word: int) -> WordLocation:
+        """Coordinates of polynomial word ``word``."""
+        if word < 0 or (self.length is not None and word >= self.length):
+            raise ValueError(f"word index {word} out of range")
+        r = self.arch.words_per_row
+        na = self.arch.words_per_atom
+        return WordLocation(
+            row=self.base_row + word // r,
+            atom=(word % r) // na,
+            lane=word % na,
+        )
+
+    def atom_of(self, word: int) -> int:
+        """Global atom index of a word (row-major across the layout)."""
+        return word // self.arch.words_per_atom
+
+    def atom_location(self, atom_index: int) -> WordLocation:
+        """Coordinates of a whole atom (lane = 0)."""
+        return self.locate(atom_index * self.arch.words_per_atom)
+
+    def word_of(self, loc: WordLocation) -> int:
+        """Inverse of :meth:`locate`."""
+        r = self.arch.words_per_row
+        na = self.arch.words_per_atom
+        return ((loc.row - self.base_row) * r) + loc.atom * na + loc.lane
+
+    def rows_used(self, length: int) -> int:
+        """How many rows a length-``length`` polynomial occupies."""
+        r = self.arch.words_per_row
+        return (length + r - 1) // r

@@ -1,0 +1,116 @@
+"""Functional storage model of a DRAM bank (cell array + row buffer).
+
+Timing lives in :mod:`repro.dram.engine`; this module only answers "what
+data is where".  The row-buffer copy semantics matter for correctness:
+an activated row's contents live in the bitline sense amplifiers, column
+accesses hit the row buffer, and a precharge writes the (possibly
+modified) buffer back — so a CU_WRITE before a PRE really does update
+the array, which is what makes the paper's in-place update sound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import MappingError
+from .timing import ArchParams
+
+__all__ = ["BankStorage"]
+
+
+class BankStorage:
+    """One bank: ``rows_per_bank`` x ``words_per_row`` words plus an
+    explicit row buffer with open/closed state."""
+
+    def __init__(self, arch: ArchParams):
+        self.arch = arch
+        self._cells = np.zeros((arch.rows_per_bank, arch.words_per_row),
+                               dtype=np.uint64)
+        self._row_buffer = np.zeros(arch.words_per_row, dtype=np.uint64)
+        self._open_row: Optional[int] = None
+
+    # -- row management ----------------------------------------------------
+    @property
+    def open_row(self) -> Optional[int]:
+        return self._open_row
+
+    def activate(self, row: int) -> None:
+        """Copy a row into the row buffer (ACT)."""
+        if self._open_row is not None:
+            raise MappingError(
+                f"ACT row {row} while row {self._open_row} is open (missing PRE)")
+        if not 0 <= row < self.arch.rows_per_bank:
+            raise MappingError(f"row {row} outside bank")
+        self._row_buffer[:] = self._cells[row]
+        self._open_row = row
+
+    def precharge(self) -> None:
+        """Write the row buffer back and close the row (PRE)."""
+        if self._open_row is None:
+            raise MappingError("PRE with no open row")
+        self._cells[self._open_row] = self._row_buffer
+        self._open_row = None
+
+    def _check_column_access(self, row: int, col: int) -> None:
+        if self._open_row is None:
+            raise MappingError(f"column access to row {row} with no open row")
+        if self._open_row != row:
+            raise MappingError(
+                f"column access to row {row} but row {self._open_row} is open")
+        if not 0 <= col < self.arch.columns_per_row:
+            raise MappingError(f"column {col} outside row")
+
+    # -- column (atom) access ----------------------------------------------
+    def read_atom(self, row: int, col: int) -> List[int]:
+        """RD / CU_READ: one atom out of the open row buffer."""
+        self._check_column_access(row, col)
+        na = self.arch.words_per_atom
+        return [int(v) for v in self._row_buffer[col * na:(col + 1) * na]]
+
+    def write_atom(self, row: int, col: int, words: List[int]) -> None:
+        """WR / CU_WRITE: one atom into the open row buffer."""
+        self._check_column_access(row, col)
+        na = self.arch.words_per_atom
+        if len(words) != na:
+            raise MappingError(f"atom write needs {na} words, got {len(words)}")
+        self._row_buffer[col * na:(col + 1) * na] = np.array(words, dtype=np.uint64)
+
+    # -- host back-door (loading inputs / reading results) -------------------
+    def host_write_words(self, row: int, start_word: int, words: List[int]) -> None:
+        """Direct array write, bypassing timing — models the input data
+        already residing in memory before the NTT request (Sec. IV.A)."""
+        if self._open_row is not None:
+            raise MappingError("host access while a row is open")
+        r = self.arch.words_per_row
+        if start_word < 0 or start_word + len(words) > r:
+            raise MappingError("host write crosses a row boundary")
+        self._cells[row, start_word:start_word + len(words)] = np.array(
+            words, dtype=np.uint64)
+
+    def host_read_words(self, row: int, start_word: int, count: int) -> List[int]:
+        """Direct array read, bypassing timing."""
+        if self._open_row is not None:
+            raise MappingError("host access while a row is open")
+        return [int(v) for v in self._cells[row, start_word:start_word + count]]
+
+    def host_write_polynomial(self, base_row: int, values: List[int]) -> None:
+        """Lay a polynomial out contiguously starting at ``base_row``."""
+        r = self.arch.words_per_row
+        for offset in range(0, len(values), r):
+            chunk = values[offset:offset + r]
+            self.host_write_words(base_row + offset // r, 0, chunk)
+
+    def host_read_polynomial(self, base_row: int, length: int) -> List[int]:
+        """Read back a contiguous polynomial."""
+        r = self.arch.words_per_row
+        out: List[int] = []
+        remaining = length
+        row = base_row
+        while remaining > 0:
+            take = min(r, remaining)
+            out.extend(self.host_read_words(row, 0, take))
+            remaining -= take
+            row += 1
+        return out

@@ -1,0 +1,143 @@
+"""DRAM + PIM command vocabulary.
+
+The memory controller lowers an NTT invocation into a sequence of these
+commands (paper Fig. 1 and Sec. III.D).  Plain DRAM commands (ACT, PRE,
+RD, WR) coexist with the PIM extensions:
+
+* ``CU_READ`` / ``CU_WRITE`` — column transfers that stop at an atom
+  buffer instead of chip I/O,
+* ``C1`` — intra-atom NTT (Algorithm 1),
+* ``C2`` — one Na-way vectorized butterfly between two buffers
+  (Algorithm 2),
+* ``PARAM_WRITE`` — loads (q, omega0, r_omega) scalars into CU registers
+  via the global buffer.
+
+Commands carry optional ``deps`` — indices of earlier commands whose
+*completion* must precede this command's *issue* (data hazards through
+buffers).  The engine issues strictly in list order (a real MC's command
+queue); dependencies only add stall time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["CommandType", "Command"]
+
+
+class CommandType(enum.Enum):
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    CU_READ = "CU_READ"
+    CU_WRITE = "CU_WRITE"
+    C1 = "C1"
+    C2 = "C2"
+    PARAM_WRITE = "PARAM_WRITE"
+    # Extension: intra-atom stages of the *merged negacyclic* transform
+    # (decreasing stride, one constant zeta per butterfly block — seven
+    # zetas per atom, carried as command parameters).  See
+    # repro.ntt.merged and repro.mapping.negacyclic_mapper.
+    C1N = "C1N"
+    # Scalar micro-ops, normally internal to C1/C2.  The MC sequences them
+    # explicitly only in the single-buffer (Nb=1) degenerate mapping, where
+    # the CU's two operand registers are the only place to stage data
+    # (Sec. III.B; DESIGN.md note 3).
+    LOAD_SCALAR = "LOAD_SCALAR"    # scalar reg <- buf[lane]
+    BU_SCALAR = "BU_SCALAR"        # BU(scalar reg, buf[lane]); buf[lane] <- b'
+    STORE_SCALAR = "STORE_SCALAR"  # buf[lane] <- scalar reg (holds a')
+
+    @property
+    def is_column(self) -> bool:
+        """Column commands contend for tCCD and need the row open."""
+        return self in (CommandType.RD, CommandType.WR,
+                        CommandType.CU_READ, CommandType.CU_WRITE)
+
+    @property
+    def is_compute(self) -> bool:
+        return self in (CommandType.C1, CommandType.C2, CommandType.C1N,
+                        CommandType.LOAD_SCALAR, CommandType.BU_SCALAR,
+                        CommandType.STORE_SCALAR)
+
+    @property
+    def is_write_like(self) -> bool:
+        return self in (CommandType.WR, CommandType.CU_WRITE)
+
+
+@dataclass
+class Command:
+    """One entry of the MC's command queue.
+
+    Only the fields relevant to the type need to be set:
+
+    ========== =======================================================
+    type       fields used
+    ========== =======================================================
+    ACT        bank, row
+    PRE        bank
+    RD/WR      bank, row, col
+    CU_READ    bank, row, col, buf      (row-buffer atom -> atom buffer)
+    CU_WRITE   bank, row, col, buf      (atom buffer -> row-buffer atom)
+    C1         bank, buf, omega0, r_omega
+    C2         bank, buf, buf2, omega0, r_omega   (buf=P leg, buf2=S leg)
+    PARAM_WRITE bank, payload_words
+    ========== =======================================================
+    """
+
+    ctype: CommandType
+    bank: int = 0
+    row: Optional[int] = None
+    col: Optional[int] = None
+    buf: Optional[int] = None
+    buf2: Optional[int] = None
+    lane: Optional[int] = None
+    omega0: Optional[int] = None
+    r_omega: Optional[int] = None
+    payload_words: int = 0
+    gs: bool = False                      # Gentleman-Sande butterfly form
+    zetas: Tuple[int, ...] = ()           # C1N per-block twiddles
+    deps: Tuple[int, ...] = field(default_factory=tuple)
+    label: str = ""
+
+    def __post_init__(self):
+        needs_row = {CommandType.ACT, CommandType.RD, CommandType.WR,
+                     CommandType.CU_READ, CommandType.CU_WRITE}
+        if self.ctype in needs_row and self.row is None:
+            raise ValueError(f"{self.ctype.value} requires a row")
+        if self.ctype.is_column and self.col is None:
+            raise ValueError(f"{self.ctype.value} requires a column")
+        if self.ctype in (CommandType.CU_READ, CommandType.CU_WRITE,
+                          CommandType.C1, CommandType.C1N) and self.buf is None:
+            raise ValueError(f"{self.ctype.value} requires a buffer index")
+        if self.ctype is CommandType.C1N and not self.zetas:
+            raise ValueError("C1N requires its per-block zetas")
+        if self.ctype is CommandType.C2 and (self.buf is None or self.buf2 is None):
+            raise ValueError("C2 requires two buffer indices")
+        scalar = {CommandType.LOAD_SCALAR, CommandType.BU_SCALAR,
+                  CommandType.STORE_SCALAR}
+        if self.ctype in scalar and (self.buf is None or self.lane is None):
+            raise ValueError(f"{self.ctype.value} requires a buffer and a lane")
+
+    def describe(self) -> str:
+        """Short human-readable form for traces and timing diagrams."""
+        t = self.ctype
+        if t is CommandType.ACT:
+            return f"ACT r{self.row}"
+        if t is CommandType.PRE:
+            return "PRE"
+        if t.is_column:
+            return f"{t.value} r{self.row} c{self.col}" + (
+                f" b{self.buf}" if self.buf is not None else "")
+        if t is CommandType.C1:
+            return f"C1 b{self.buf}"
+        if t is CommandType.C1N:
+            return f"C1N b{self.buf}" + ("i" if self.gs else "")
+        if t is CommandType.C2:
+            return f"C2 b{self.buf},b{self.buf2}" + (" gs" if self.gs else "")
+        if t in (CommandType.LOAD_SCALAR, CommandType.BU_SCALAR,
+                 CommandType.STORE_SCALAR):
+            return f"{t.value} b{self.buf}[{self.lane}]"
+        return f"PARAM x{self.payload_words}"

@@ -1,0 +1,207 @@
+"""Command-stepped DRAM/PIM timing engine (the DRAMsim3 stand-in).
+
+The engine consumes an ordered command list — the memory controller's
+command queue — and issues strictly in order over a shared command bus
+(one command per cycle), stalling a command until:
+
+* the bus is free,
+* its bank's timing constraints allow it (tRCD/tCCD/tRAS/tRP/tWR/CL),
+* the CU is idle (for compute commands), and
+* every dependency (data hazard through a buffer) has completed.
+
+In-order issue is what makes the paper's pipelining story representable
+purely by command *order*: the mapper interleaves reads of the next
+operation between compute/write of the previous one (Fig. 6), and the
+engine turns that order into overlapped timing.
+
+The engine also *validates* the schedule: activating an open bank,
+accessing a closed or wrong row, etc. raise :class:`MappingError`, so
+every timing run doubles as a protocol check of the mapping algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import MappingError
+from .commands import Command, CommandType
+from .energy import EnergyAccount, EnergyParams, HBM2E_ENERGY
+from .stats import SimStats
+from .timing import ArchParams, TimingParams
+
+__all__ = ["ComputeTiming", "CommandTiming", "ScheduleResult", "TimingEngine"]
+
+
+@dataclass(frozen=True)
+class ComputeTiming:
+    """Latency of the PIM compute commands, in CU clock cycles.
+
+    ``c1`` and ``c2`` are the synthesized latencies from Sec. VI.B.
+    The scalar micro-op latencies model the Nb=1 degenerate mapping,
+    where the MC must sequence the loads/stores that C1/C2 normally
+    perform internally ("load/store µ-ops ... are very fast (2 cycles)").
+    """
+
+    c1_cycles: int = 15
+    c2_cycles: int = 10
+    param_cycles: int = 4
+    load_scalar_cycles: int = 2
+    store_scalar_cycles: int = 2
+    bu_scalar_cycles: int = 10
+    # C1N (merged negacyclic intra-atom) = C1's butterflies plus seven
+    # zeta-register loads from the command payload (one cycle each).
+    c1n_cycles: int = 22
+
+    def latency(self, ctype: CommandType) -> int:
+        table = {
+            CommandType.C1: self.c1_cycles,
+            CommandType.C1N: self.c1n_cycles,
+            CommandType.C2: self.c2_cycles,
+            CommandType.PARAM_WRITE: self.param_cycles,
+            CommandType.LOAD_SCALAR: self.load_scalar_cycles,
+            CommandType.STORE_SCALAR: self.store_scalar_cycles,
+            CommandType.BU_SCALAR: self.bu_scalar_cycles,
+        }
+        return table[ctype]
+
+
+@dataclass(frozen=True)
+class CommandTiming:
+    """When one command issued and when its effect completed."""
+
+    issue: int
+    complete: int
+
+
+@dataclass
+class ScheduleResult:
+    """Timing outcome of one command program."""
+
+    timings: List[CommandTiming]
+    stats: SimStats
+    timing_params: TimingParams
+    energy_nj: float = 0.0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.stats.total_cycles
+
+    @property
+    def latency_ns(self) -> float:
+        return self.timing_params.cycles_to_ns(self.total_cycles)
+
+    @property
+    def latency_us(self) -> float:
+        return self.timing_params.cycles_to_us(self.total_cycles)
+
+
+@dataclass
+class _BankState:
+    """Timing-side mirror of one bank's row/CU state."""
+
+    open_row: Optional[int] = None
+    next_act: int = 0
+    next_col: int = 0
+    next_pre: int = 0
+    cu_free: int = 0
+
+
+class TimingEngine:
+    """Cycle-accurate-in-effect simulator over an ordered command list."""
+
+    def __init__(self, timing: TimingParams, arch: ArchParams,
+                 compute: ComputeTiming | None = None,
+                 energy: EnergyParams | None = None):
+        self.timing = timing
+        self.arch = arch
+        self.compute = compute or ComputeTiming()
+        self.energy = energy or HBM2E_ENERGY
+
+    def simulate(self, commands: Sequence[Command]) -> ScheduleResult:
+        timing = self.timing
+        compute = self.compute
+        banks: Dict[int, _BankState] = {}
+        account = EnergyAccount(self.energy)
+        stats = SimStats()
+        timings: List[CommandTiming] = []
+        bus_free = 0
+        end = 0
+        # Rank-level activation throttles: tRRD between any two ACTs,
+        # tFAW over any four (matters once several banks run in parallel).
+        last_act = -10**9
+        act_history: List[int] = []
+
+        for index, cmd in enumerate(commands):
+            bank = banks.setdefault(cmd.bank, _BankState())
+            earliest = bus_free
+            for dep in cmd.deps:
+                if dep >= index:
+                    raise MappingError(
+                        f"command {index} depends on later command {dep}")
+                earliest = max(earliest, timings[dep].complete)
+
+            ctype = cmd.ctype
+            if ctype is CommandType.ACT:
+                if bank.open_row is not None:
+                    raise MappingError(
+                        f"cmd {index}: ACT row {cmd.row} while row "
+                        f"{bank.open_row} is open")
+                t = max(earliest, bank.next_act, last_act + timing.trrd)
+                if len(act_history) >= 4:
+                    t = max(t, act_history[-4] + timing.tfaw)
+                last_act = t
+                act_history.append(t)
+                if len(act_history) > 8:
+                    del act_history[:-4]
+                bank.open_row = cmd.row
+                bank.next_col = t + timing.trcd
+                bank.next_pre = t + timing.tras
+                complete = t + timing.trcd
+
+            elif ctype is CommandType.PRE:
+                if bank.open_row is None:
+                    raise MappingError(f"cmd {index}: PRE with no open row")
+                t = max(earliest, bank.next_pre)
+                bank.open_row = None
+                bank.next_act = max(bank.next_act, t + timing.trp)
+                complete = t
+
+            elif ctype.is_column:
+                if bank.open_row is None:
+                    raise MappingError(
+                        f"cmd {index}: {ctype.value} with no open row")
+                if bank.open_row != cmd.row:
+                    raise MappingError(
+                        f"cmd {index}: {ctype.value} to row {cmd.row} but row "
+                        f"{bank.open_row} is open")
+                t = max(earliest, bank.next_col)
+                bank.next_col = t + timing.tccd
+                if ctype.is_write_like:
+                    data_end = t + timing.write_to_data
+                    bank.next_pre = max(bank.next_pre, data_end + timing.twr)
+                    complete = data_end
+                else:
+                    complete = t + timing.read_to_data
+
+            elif ctype.is_compute or ctype is CommandType.PARAM_WRITE:
+                latency = compute.latency(ctype)
+                t = max(earliest, bank.cu_free)
+                bank.cu_free = t + latency
+                stats.cu_busy_cycles += latency
+                complete = t + latency
+
+            else:  # pragma: no cover - enum is exhaustive
+                raise MappingError(f"unknown command type {ctype}")
+
+            bus_free = t + 1
+            stats.bus_busy_cycles += 1
+            stats.record(ctype)
+            account.add_command(ctype)
+            timings.append(CommandTiming(issue=t, complete=complete))
+            end = max(end, complete)
+
+        stats.total_cycles = end
+        energy_nj = account.total_nj(end, timing)
+        return ScheduleResult(timings=timings, stats=stats,
+                              timing_params=timing, energy_nj=energy_nj)

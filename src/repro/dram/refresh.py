@@ -1,0 +1,83 @@
+"""DRAM refresh overhead analysis.
+
+The paper's evaluation (like most PIM papers) ignores refresh; real DRAM
+must issue an all-bank refresh every tREFI, blocking the bank for tRFC
+and closing all rows.  This module quantifies what that omission costs
+an NTT run, analytically:
+
+* **stall time** — ceil(makespan / tREFI) refresh windows of tRFC each;
+* **re-activation** — any row open across a refresh boundary must be
+  re-activated (tRP excluded: refresh implies precharge-all), which we
+  bound by one extra ACT per refresh window.
+
+The result: well under a few percent for every size the paper sweeps —
+i.e. the omission is benign (see ``bench_refresh.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .timing import TimingParams
+
+__all__ = ["RefreshParams", "RefreshOverhead", "refresh_overhead"]
+
+
+@dataclass(frozen=True)
+class RefreshParams:
+    """JEDEC-style refresh constants (HBM2E-like, in nanoseconds)."""
+
+    trefi_ns: float = 3900.0   # average refresh interval
+    trfc_ns: float = 260.0     # refresh cycle time (per all-bank REF)
+
+    def __post_init__(self):
+        if self.trefi_ns <= self.trfc_ns:
+            raise ValueError("tREFI must exceed tRFC")
+
+
+@dataclass(frozen=True)
+class RefreshOverhead:
+    """Breakdown of refresh cost for one run."""
+
+    refresh_windows: int
+    stall_cycles: int
+    reactivation_cycles: int
+    base_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.base_cycles + self.stall_cycles + self.reactivation_cycles
+
+    @property
+    def overhead_fraction(self) -> float:
+        if self.base_cycles == 0:
+            return 0.0
+        return (self.stall_cycles + self.reactivation_cycles) / self.base_cycles
+
+
+def refresh_overhead(base_cycles: int, timing: TimingParams,
+                     refresh: RefreshParams | None = None) -> RefreshOverhead:
+    """Refresh cost of a run of ``base_cycles`` at ``timing``'s clock.
+
+    Uses a fixed-point iteration: stalls lengthen the run, which can add
+    further refresh windows (converges in a couple of rounds).
+    """
+    if base_cycles < 0:
+        raise ValueError("base cycle count must be non-negative")
+    refresh = refresh or RefreshParams()
+    trefi = timing.ns_to_cycles(refresh.trefi_ns)
+    trfc = timing.ns_to_cycles(refresh.trfc_ns)
+    windows = 0
+    while True:
+        total = base_cycles + windows * (trfc + timing.trcd)
+        needed = math.floor(total / trefi)
+        if needed <= windows:
+            break
+        windows = needed
+    return RefreshOverhead(
+        refresh_windows=windows,
+        stall_cycles=windows * trfc,
+        reactivation_cycles=windows * timing.trcd,
+        base_cycles=base_cycles,
+    )

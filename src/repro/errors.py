@@ -1,0 +1,20 @@
+"""Library-wide exception types."""
+
+__all__ = ["ReproError", "MappingError", "TimingViolation", "FunctionalMismatch"]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class MappingError(ReproError):
+    """A command sequence violates the DRAM/PIM protocol (e.g. a column
+    access to a row that is not open, or a buffer index out of range)."""
+
+
+class TimingViolation(ReproError):
+    """The timing engine detected an internally inconsistent schedule."""
+
+
+class FunctionalMismatch(ReproError):
+    """The PIM-computed result disagrees with the golden-model NTT."""

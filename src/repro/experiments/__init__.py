@@ -1,0 +1,44 @@
+"""Paper experiment harnesses: one module per table/figure + ablations."""
+
+from .ablations import (
+    AblationResult,
+    BankScalingResult,
+    run_ablations,
+    run_bank_scaling,
+)
+from .dse import DseResult, run_atom_size_sweep, run_row_size_sweep
+from .fig6 import Fig6Result, run_fig6
+from .power_analysis import PowerResult, run_power_analysis
+from .fig7 import Fig7Result, run_fig7
+from .fig8 import Fig8Result, run_fig8
+from .report import ascii_log_plot, format_table
+from .runner import run_all
+from .table2 import PAPER_TABLE2, Table2Result, run_table2
+from .table3 import PAPER_TABLE3_LATENCY, Table3Result, run_table3
+
+__all__ = [
+    "AblationResult",
+    "BankScalingResult",
+    "run_ablations",
+    "run_bank_scaling",
+    "DseResult",
+    "run_atom_size_sweep",
+    "run_row_size_sweep",
+    "Fig6Result",
+    "run_fig6",
+    "PowerResult",
+    "run_power_analysis",
+    "Fig7Result",
+    "run_fig7",
+    "Fig8Result",
+    "run_fig8",
+    "ascii_log_plot",
+    "format_table",
+    "run_all",
+    "PAPER_TABLE2",
+    "Table2Result",
+    "run_table2",
+    "PAPER_TABLE3_LATENCY",
+    "Table3Result",
+    "run_table3",
+]

@@ -1,0 +1,79 @@
+"""Plain-text rendering of experiment tables and log-scale plots."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["format_table", "ascii_log_plot"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Fixed-width table; floats rendered with sensible precision."""
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000:
+                return f"{v:,.0f}"
+            if abs(v) >= 10:
+                return f"{v:.2f}"
+            return f"{v:.3f}"
+        if v is None:
+            return "-"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_log_plot(series: Dict[str, List[Tuple[float, float]]],
+                   width: int = 64, height: int = 18,
+                   title: str | None = None,
+                   xlabel: str = "", ylabel: str = "") -> str:
+    """Log-log scatter of several named series (paper Figs. 7/8 style)."""
+    points = [(x, y) for pts in series.values() for x, y in pts if y > 0]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [math.log10(x) for x, _ in points]
+    ys = [math.log10(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        legend.append(f"{mark}={name}")
+        for x, y in pts:
+            if y <= 0:
+                continue
+            cx = round((math.log10(x) - x_lo) / x_span * (width - 1))
+            cy = round((math.log10(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - cy][cx] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    top = 10 ** y_hi
+    bottom = 10 ** y_lo
+    lines.append(f"{ylabel} (log scale, top={top:.3g}, bottom={bottom:.3g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel}: {10 ** x_lo:.3g} .. {10 ** x_hi:.3g} (log)")
+    lines.append(" " + "  ".join(legend))
+    return "\n".join(lines)

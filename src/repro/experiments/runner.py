@@ -1,0 +1,85 @@
+"""Run every paper experiment and print its table + claim checks.
+
+Usage::
+
+    python -m repro.experiments.runner [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from .ablations import run_ablations, run_bank_scaling
+from .dse import run_atom_size_sweep, run_row_size_sweep
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .fig8 import run_fig8
+from .power_analysis import run_power_analysis
+from .table2 import run_table2
+from .table3 import run_table3
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(quick: bool = False, out=sys.stdout) -> Dict[str, Dict[str, bool]]:
+    """Execute every experiment; returns {experiment: {claim: ok}}."""
+    ns_small = (256, 512, 1024) if quick else None
+    checks: Dict[str, Dict[str, bool]] = {}
+
+    def section(name: str, fn: Callable):
+        start = time.time()
+        result = fn()
+        print(f"\n=== {name} ({time.time() - start:.1f}s) ===", file=out)
+        print(result.table(), file=out)
+        if hasattr(result, "energy_table"):
+            print(result.energy_table(), file=out)
+        if hasattr(result, "plot"):
+            print(result.plot(), file=out)
+        claims = result.check_claims()
+        checks[name] = claims
+        for claim, ok in claims.items():
+            print(f"  [{'ok' if ok else 'FAIL'}] {claim}", file=out)
+        return result
+
+    section("Table II", run_table2)
+    section("Fig. 6", run_fig6)
+    if quick:
+        section("Fig. 7", lambda: run_fig7(ns=ns_small))
+        section("Fig. 8", lambda: run_fig8(ns=ns_small))
+        section("Table III", lambda: run_table3(ns=ns_small))
+        section("Ablations", lambda: run_ablations(ns=(1024,)))
+        section("Bank scaling", lambda: run_bank_scaling(n=512, banks=(1, 2, 4)))
+        section("Power", lambda: run_power_analysis(ns=(256, 1024)))
+        section("DSE rows", lambda: run_row_size_sweep(n=1024))
+    else:
+        section("Fig. 7", run_fig7)
+        section("Fig. 8", run_fig8)
+        section("Table III", run_table3)
+        section("Ablations", run_ablations)
+        section("Bank scaling", run_bank_scaling)
+        section("Power", run_power_analysis)
+        section("DSE rows", run_row_size_sweep)
+        section("DSE atoms", run_atom_size_sweep)
+    return checks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweeps for a fast smoke run")
+    args = parser.parse_args(argv)
+    checks = run_all(quick=args.quick)
+    failed = [f"{exp}: {claim}" for exp, claims in checks.items()
+              for claim, ok in claims.items() if not ok]
+    if failed:
+        print("\nFAILED CLAIMS:", *failed, sep="\n  ")
+        return 1
+    print("\nAll reproduction claims hold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Table II: PIM area overhead vs Newton, for Nb in {1, 2, 4, 6}."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..cost.area import AreaModel
+from .report import format_table
+
+__all__ = ["Table2Result", "run_table2", "PAPER_TABLE2"]
+
+#: The published numbers (mm^2) for comparison in EXPERIMENTS.md.
+PAPER_TABLE2 = {
+    "bank": 4.2208,
+    "newton": 0.0474,
+    "ntt_pim": {1: 0.0213, 2: 0.0232, 4: 0.0263, 6: 0.0285},
+}
+
+
+@dataclass
+class Table2Result:
+    bank_mm2: float
+    newton_mm2: float
+    newton_percent: float
+    ntt_pim: List[Dict[str, float]]
+
+    def area(self, nb: int) -> float:
+        for row in self.ntt_pim:
+            if row["nb"] == nb:
+                return row["area_mm2"]
+        raise KeyError(nb)
+
+    def check_claims(self) -> Dict[str, bool]:
+        claims = {}
+        # Overhead is "tiny": all configurations below 1% of a bank.
+        claims["below_one_percent"] = all(
+            r["percent_of_bank"] < 1.0 for r in self.ntt_pim)
+        # "Less than half of Newton's" for the base architecture.
+        claims["base_below_half_newton"] = (
+            self.area(1) < 0.55 * self.newton_mm2)
+        # Buffer increments are marginal (<20% per doubling step).
+        areas = [r["area_mm2"] for r in self.ntt_pim]
+        claims["buffer_increment_marginal"] = all(
+            b / a < 1.2 for a, b in zip(areas, areas[1:]))
+        # Within 5% of the published table.
+        claims["matches_paper_within_5pct"] = all(
+            abs(self.area(nb) - ref) / ref < 0.05
+            for nb, ref in PAPER_TABLE2["ntt_pim"].items())
+        return claims
+
+    def table(self) -> str:
+        rows: List[List[object]] = [
+            ["DRAM bank", "-", self.bank_mm2, "-"],
+            ["Newton", "-", self.newton_mm2, self.newton_percent],
+        ]
+        for r in self.ntt_pim:
+            rows.append(["NTT-PIM", r["nb"], r["area_mm2"],
+                         r["percent_of_bank"]])
+        return format_table(["design", "Nb", "area (mm^2)", "% of bank"],
+                            rows, title="Table II — area overhead")
+
+
+def run_table2(nb_values: Sequence[int] = (1, 2, 4, 6)) -> Table2Result:
+    data = AreaModel().table(nb_values)
+    return Table2Result(
+        bank_mm2=data["bank_mm2"],
+        newton_mm2=data["newton_mm2"],
+        newton_percent=data["newton_percent"],
+        ntt_pim=data["ntt_pim"],
+    )

@@ -1,0 +1,17 @@
+"""Minimal RLWE/BFV layer driving FHE-shaped NTT traffic at the PIM."""
+
+from .ops import PimFheAccelerator, PimTransformStats
+from .rlwe import Ciphertext, KeyPair, RlweParams, RlweScheme
+from .rns import PimRnsMultiplier, RnsBasis, RnsPolynomial
+
+__all__ = [
+    "PimFheAccelerator",
+    "PimTransformStats",
+    "Ciphertext",
+    "KeyPair",
+    "RlweParams",
+    "RlweScheme",
+    "PimRnsMultiplier",
+    "RnsBasis",
+    "RnsPolynomial",
+]

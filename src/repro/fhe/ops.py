@@ -1,0 +1,103 @@
+"""FHE polynomial operations routed through the PIM simulator.
+
+This is the bridge the paper's introduction motivates: FHE ring
+multiplications are NTT -> pointwise -> INTT, and the NTTs run on the
+PIM.  The negacyclic pre/post scalings (psi powers) are element-wise
+host passes, matching the paper's CPU-side bit-reversal assumption.
+
+:class:`PimFheAccelerator` keeps an account of simulated PIM time and
+energy, so examples can report "what the PIM did" for an end-to-end
+homomorphic workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..arith.modmath import mod_pow
+from ..arith.roots import NttParams
+from ..ntt.negacyclic import NegacyclicParams
+from ..sim.driver import NttPimDriver, SimConfig
+
+__all__ = ["PimTransformStats", "PimFheAccelerator"]
+
+
+@dataclass
+class PimTransformStats:
+    """Aggregate of all PIM transforms issued by an accelerator."""
+
+    transforms: int = 0
+    total_cycles: int = 0
+    total_latency_us: float = 0.0
+    total_energy_nj: float = 0.0
+    total_activations: int = 0
+    per_call_us: List[float] = field(default_factory=list)
+
+
+class PimFheAccelerator:
+    """Runs negacyclic ring multiplications with NTTs on the simulated PIM.
+
+    Two modes:
+
+    * ``native=False`` (paper-faithful): host psi-prescaling and bit
+      reversal, cyclic NTT on the PIM;
+    * ``native=True`` (extension): the merged negacyclic transform runs
+      entirely on the PIM via the C1N/zeta mapping — no host scaling or
+      permutation passes (see :mod:`repro.mapping.negacyclic_mapper`).
+    """
+
+    def __init__(self, ring: NegacyclicParams, config: SimConfig | None = None,
+                 native: bool = False):
+        self.ring = ring
+        self.driver = NttPimDriver(config or SimConfig())
+        self.cyclic = ring.cyclic  # NttParams of the underlying cyclic NTT
+        self.native = native
+        self.stats = PimTransformStats()
+        q, n = ring.q, ring.n
+        self._psi_powers = [mod_pow(ring.psi, i, q) for i in range(n)]
+        self._psi_inv_powers = [mod_pow(ring.psi_inv, i, q) for i in range(n)]
+
+    def _record(self, result) -> None:
+        self.stats.transforms += 1
+        self.stats.total_cycles += result.cycles
+        self.stats.total_latency_us += result.latency_us
+        self.stats.total_energy_nj += result.energy_nj
+        self.stats.total_activations += result.activations
+        self.stats.per_call_us.append(result.latency_us)
+
+    def forward(self, coefficients: Sequence[int]) -> List[int]:
+        """Negacyclic forward transform on the PIM."""
+        if self.native:
+            result = self.driver.run_negacyclic_ntt(coefficients, self.ring)
+            self._record(result)
+            return result.output
+        q = self.ring.q
+        scaled = [(c * self._psi_powers[i]) % q
+                  for i, c in enumerate(coefficients)]
+        result = self.driver.run_ntt(scaled, self.cyclic)
+        self._record(result)
+        return result.output
+
+    def inverse(self, values: Sequence[int]) -> List[int]:
+        """Negacyclic inverse transform (PIM transform; 1/N — and in the
+        paper-faithful mode psi^-i — applied host-side)."""
+        if self.native:
+            result = self.driver.run_negacyclic_intt(values, self.ring)
+            self._record(result)
+            return result.output
+        q, n_inv = self.ring.q, self.cyclic.n_inv
+        inv_params = NttParams(self.cyclic.n, q, self.cyclic.omega_inv)
+        result = self.driver.run_ntt_with_params(values, inv_params,
+                                                 verify_against=None)
+        self._record(result)
+        return [(v * n_inv % q) * self._psi_inv_powers[i] % q
+                for i, v in enumerate(result.output)]
+
+    def multiply(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Full ring product: 2 forward NTTs, pointwise, 1 inverse."""
+        q = self.ring.q
+        fa = self.forward(a)
+        fb = self.forward(b)
+        prod = [(x * y) % q for x, y in zip(fa, fb)]
+        return self.inverse(prod)

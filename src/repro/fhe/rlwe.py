@@ -1,0 +1,187 @@
+"""A compact BFV-style RLWE cryptosystem over R_q = Z_q[X]/(X^N + 1).
+
+This is the motivating application layer (paper Secs. I-II): FHE
+workloads are dominated by NTTs over exactly this ring.  The scheme here
+is deliberately small — keygen / encrypt / decrypt / homomorphic add /
+plaintext multiply — enough to drive realistic polynomial traffic
+through the PIM simulator (see :mod:`repro.fhe.ops` and
+``examples/fhe_polymul.py``).  It is NOT hardened cryptography: noise is
+bounded-uniform rather than discrete Gaussian, and there is no
+relinearization, so use it only as a workload generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..ntt.negacyclic import NegacyclicParams
+from ..ntt.polynomial import Polynomial
+
+__all__ = ["RlweParams", "KeyPair", "Ciphertext", "RlweScheme"]
+
+
+@dataclass(frozen=True)
+class RlweParams:
+    """(N, q, t): ring degree, ciphertext modulus, plaintext modulus."""
+
+    n: int
+    q: int
+    t: int
+    noise_bound: int = 3
+
+    def __post_init__(self):
+        if self.t < 2 or self.t >= self.q:
+            raise ValueError("need 2 <= t < q")
+        if self.q % 2 == 0:
+            raise ValueError("q must be odd (NTT-friendly prime)")
+
+    @property
+    def delta(self) -> int:
+        """Plaintext scaling factor floor(q / t)."""
+        return self.q // self.t
+
+    def ring(self) -> NegacyclicParams:
+        return NegacyclicParams(self.n, self.q)
+
+
+@dataclass
+class KeyPair:
+    secret: Polynomial
+    public: Tuple[Polynomial, Polynomial]  # (b, a) with b = -(a s + e)
+
+
+@dataclass
+class Ciphertext:
+    """BFV ciphertext (c0, c1[, c2]); decrypts via ``sum c_i * s^i``.
+
+    The optional degree-2 component appears after a ciphertext-ciphertext
+    multiplication (we keep it rather than relinearize — decryption just
+    uses s², which is fine for a workload generator).
+    """
+
+    c0: Polynomial
+    c1: Polynomial
+    c2: "Polynomial | None" = None
+
+    def __add__(self, other: "Ciphertext") -> "Ciphertext":
+        if (self.c2 is None) != (other.c2 is None):
+            raise ValueError("cannot add ciphertexts of different degree")
+        c2 = self.c2 + other.c2 if self.c2 is not None else None
+        return Ciphertext(self.c0 + other.c0, self.c1 + other.c1, c2)
+
+    def __sub__(self, other: "Ciphertext") -> "Ciphertext":
+        if (self.c2 is None) != (other.c2 is None):
+            raise ValueError("cannot subtract ciphertexts of different degree")
+        c2 = self.c2 - other.c2 if self.c2 is not None else None
+        return Ciphertext(self.c0 - other.c0, self.c1 - other.c1, c2)
+
+
+class RlweScheme:
+    """Keygen / encrypt / decrypt / homomorphic ops."""
+
+    def __init__(self, params: RlweParams, rng: random.Random | None = None):
+        self.params = params
+        self.ring = params.ring()
+        self.rng = rng or random.Random()
+
+    # -- key generation ---------------------------------------------------------
+    def keygen(self) -> KeyPair:
+        s = Polynomial.random_ternary(self.ring, self.rng)
+        a = Polynomial.random_uniform(self.ring, self.rng)
+        e = Polynomial.random_noise(self.ring, self.params.noise_bound, self.rng)
+        b = -(a * s + e)
+        return KeyPair(secret=s, public=(b, a))
+
+    # -- encryption --------------------------------------------------------------
+    def encode(self, message: Sequence[int]) -> Polynomial:
+        """Integers mod t -> scaled plaintext polynomial."""
+        if len(message) > self.params.n:
+            raise ValueError("message longer than ring degree")
+        coeffs = [(m % self.params.t) * self.params.delta for m in message]
+        coeffs += [0] * (self.params.n - len(coeffs))
+        return Polynomial(coeffs, self.ring)
+
+    def encrypt(self, message: Sequence[int], keys: KeyPair) -> Ciphertext:
+        b, a = keys.public
+        u = Polynomial.random_ternary(self.ring, self.rng)
+        e1 = Polynomial.random_noise(self.ring, self.params.noise_bound, self.rng)
+        e2 = Polynomial.random_noise(self.ring, self.params.noise_bound, self.rng)
+        m = self.encode(message)
+        return Ciphertext(c0=b * u + e1 + m, c1=a * u + e2)
+
+    # -- decryption ----------------------------------------------------------------
+    def decrypt(self, ct: Ciphertext, keys: KeyPair) -> List[int]:
+        raw = ct.c0 + ct.c1 * keys.secret
+        if ct.c2 is not None:
+            raw = raw + ct.c2 * keys.secret * keys.secret
+        q, t = self.params.q, self.params.t
+        out = []
+        for c in raw.centered():
+            out.append(round(c * t / q) % t)
+        return out
+
+    # -- homomorphic operations -------------------------------------------------------
+    def add(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        """Homomorphic addition (exact, noise adds)."""
+        return x + y
+
+    def multiply_plain(self, ct: Ciphertext, plain: Sequence[int]) -> Ciphertext:
+        """Multiply a ciphertext by an *unscaled* plaintext polynomial —
+        the NTT-heavy primitive (two ring multiplications)."""
+        p = Polynomial([m % self.params.t for m in plain]
+                       + [0] * (self.params.n - len(plain)), self.ring)
+        return Ciphertext(ct.c0 * p, ct.c1 * p)
+
+    def multiply(self, x: Ciphertext, y: Ciphertext) -> Ciphertext:
+        """Ciphertext-ciphertext product (BFV tensor + scale, no relin).
+
+        The tensor products must be computed over the *integers* on
+        centered representatives and only then scaled by t/q — that is
+        BFV's defining trick, so this path uses exact big-int negacyclic
+        convolution rather than the mod-q NTT (four convolutions).
+        """
+        if x.c2 is not None or y.c2 is not None:
+            raise ValueError("only degree-1 ciphertexts can be multiplied")
+        n, q, t = self.params.n, self.params.q, self.params.t
+
+        def centered(poly: Polynomial) -> List[int]:
+            return poly.centered()
+
+        def conv(a: List[int], b: List[int]) -> List[int]:
+            out = [0] * n
+            for i, ai in enumerate(a):
+                if ai == 0:
+                    continue
+                for j, bj in enumerate(b):
+                    k = i + j
+                    if k < n:
+                        out[k] += ai * bj
+                    else:
+                        out[k - n] -= ai * bj
+            return out
+
+        c0, c1 = centered(x.c0), centered(x.c1)
+        d0, d1 = centered(y.c0), centered(y.c1)
+        e0 = conv(c0, d0)
+        e1 = [a + b for a, b in zip(conv(c0, d1), conv(c1, d0))]
+        e2 = conv(c1, d1)
+
+        def scale(coeffs: List[int]) -> Polynomial:
+            return Polynomial([round(c * t / q) % q for c in coeffs], self.ring)
+
+        return Ciphertext(scale(e0), scale(e1), scale(e2))
+
+    def noise_budget_bits(self, ct: Ciphertext, keys: KeyPair,
+                          message: Sequence[int]) -> float:
+        """Remaining log2 margin before decryption fails — used by tests
+        to confirm homomorphic ops degrade noise as expected."""
+        import math
+        m = self.encode(message)
+        raw = ct.c0 + ct.c1 * keys.secret
+        noise = raw - m
+        norm = noise.infinity_norm()
+        if norm == 0:
+            return float(self.params.q.bit_length())
+        return math.log2(self.params.delta / (2 * norm)) if norm else 0.0

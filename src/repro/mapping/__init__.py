@@ -1,0 +1,30 @@
+"""NTT-to-PIM mapping: regimes, twiddle parameters, command generation."""
+
+from .analysis import (
+    MappingForecast,
+    forecast_multi_buffer,
+    forecast_single_buffer,
+)
+from .mapper import MapperOptions, NttMapper
+from .negacyclic_mapper import NegacyclicNttMapper
+from .program import ProgramBuilder
+from .regimes import Regime, RegimeProfile, profile_regimes, regime_of_stage
+from .single_buffer import SingleBufferMapper
+from .twiddle_params import c1_root, c2_twiddles
+
+__all__ = [
+    "MappingForecast",
+    "forecast_multi_buffer",
+    "forecast_single_buffer",
+    "MapperOptions",
+    "NttMapper",
+    "NegacyclicNttMapper",
+    "ProgramBuilder",
+    "Regime",
+    "RegimeProfile",
+    "profile_regimes",
+    "regime_of_stage",
+    "SingleBufferMapper",
+    "c1_root",
+    "c2_twiddles",
+]

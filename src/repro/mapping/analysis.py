@@ -1,0 +1,115 @@
+"""Closed-form predictions for command and activation counts.
+
+These formulas mirror the mappers exactly; tests assert that simulated
+statistics match them, which pins down the mapping's efficiency claims
+(Sec. III.C's activation arithmetic, Fig. 6c's pipelining reduction)
+independently of the timing engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arith.bitrev import is_power_of_two
+from ..dram.timing import ArchParams
+from ..pim.params import PimParams
+from .regimes import profile_regimes
+
+__all__ = ["MappingForecast", "forecast_multi_buffer", "forecast_single_buffer"]
+
+
+@dataclass(frozen=True)
+class MappingForecast:
+    """Expected command-mix of one NTT program."""
+
+    activations: int
+    cu_reads: int
+    cu_writes: int
+    c1_ops: int
+    c2_ops: int
+    scalar_ops: int = 0
+
+    @property
+    def column_accesses(self) -> int:
+        return self.cu_reads + self.cu_writes
+
+
+def forecast_multi_buffer(n: int, arch: ArchParams, pim: PimParams) -> MappingForecast:
+    """Command counts of :class:`repro.mapping.mapper.NttMapper`."""
+    if not is_power_of_two(n):
+        raise ValueError(f"N must be a power of two, got {n}")
+    na = arch.words_per_atom
+    r = arch.words_per_row
+    profile = profile_regimes(n, arch)
+    rows_used = max(1, n // r) if n >= r else 1
+    atoms = n // na
+
+    c1_ops = atoms
+    reads = atoms          # intra-atom loads
+    writes = atoms
+    # Intra-row C2 stages: every stage reads and writes every atom once.
+    intra_row_pairs_per_stage = atoms // 2
+    c2_ops = profile.intra_row_stages * intra_row_pairs_per_stage
+    reads += profile.intra_row_stages * atoms
+    writes += profile.intra_row_stages * atoms
+    # Phase-A activations: one per row-sized vertical block.
+    activations = rows_used
+
+    # Inter-row stages.
+    group = max(1, pim.pair_slots)
+    cols = arch.columns_per_row
+    groups_per_row_pair = math.ceil(cols / group)
+    for _ in range(profile.inter_row_stages):
+        row_pairs = rows_used // 2
+        c2_ops += row_pairs * cols
+        reads += row_pairs * cols * 2
+        writes += row_pairs * cols * 2
+        activations += row_pairs * (1 + 2 * groups_per_row_pair)
+    return MappingForecast(activations=activations, cu_reads=reads,
+                           cu_writes=writes, c1_ops=c1_ops, c2_ops=c2_ops)
+
+
+def forecast_single_buffer(n: int, arch: ArchParams) -> MappingForecast:
+    """Command counts of the Nb=1 degenerate mapping.
+
+    Each inter-atom butterfly costs one LOAD + BU + STORE triple, one
+    read+write of each operand atom — except that the '+'-leg atom read
+    is skipped while the buffer still holds it (``Na`` consecutive
+    butterflies share it within a stage run).
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"N must be a power of two, got {n}")
+    na = arch.words_per_atom
+    r = arch.words_per_row
+    profile = profile_regimes(n, arch)
+    atoms = n // na
+    rows_used = max(1, n // r) if n >= r else 1
+
+    c1_ops = atoms
+    reads = atoms
+    writes = atoms
+    scalar_ops = 0
+    activations = rows_used  # phase A (one per row of C1 sweeps)
+    inter_atom_stages = profile.intra_row_stages + profile.inter_row_stages
+    butterflies_per_stage = n // 2
+    for idx in range(inter_atom_stages):
+        stage = arch.log_words_per_atom + 1 + idx
+        m = 1 << (stage - 1)
+        scalar_ops += 3 * butterflies_per_stage
+        # Per butterfly: read B, write B, re-read A, write A — plus one
+        # initial read per distinct '+'-leg atom (the buffer holds A for
+        # the Na consecutive butterflies that share it in scan order).
+        reads += 2 * butterflies_per_stage + butterflies_per_stage // na
+        writes += 2 * butterflies_per_stage
+        if m >= r:
+            # Inter-row: every visit to B and return to A flips the open
+            # row (2 ACTs per butterfly), plus one ACT each time the scan
+            # enters a new '+'-leg row (rows_used/2 of them per stage).
+            activations += 2 * butterflies_per_stage + rows_used // 2
+        elif rows_used > 1:
+            # Intra-row: the scan sweeps each row once per stage.
+            activations += rows_used
+    return MappingForecast(activations=activations, cu_reads=reads,
+                           cu_writes=writes, c1_ops=c1_ops, c2_ops=0,
+                           scalar_ops=scalar_ops)

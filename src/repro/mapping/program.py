@@ -1,0 +1,136 @@
+"""Incremental builder for MC command programs, with buffer-hazard and
+open-row bookkeeping shared by the mappers."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dram.commands import Command, CommandType
+from ..errors import MappingError
+
+__all__ = ["ProgramBuilder"]
+
+
+class ProgramBuilder:
+    """Appends commands, wires dependencies, tracks the open row and
+    per-buffer producers so mappers stay readable."""
+
+    def __init__(self, bank: int, nb_buffers: int):
+        self.bank = bank
+        self.nb_buffers = nb_buffers
+        self.commands: List[Command] = []
+        self.open_row: Optional[int] = None
+        # Last command that produced the buffer's current contents.
+        self._producer: List[Optional[int]] = [None] * nb_buffers
+        # Last command still needing the buffer's contents (WAR hazard).
+        self._busy: List[Optional[int]] = [None] * nb_buffers
+
+    # -- raw emission ---------------------------------------------------------
+    def emit(self, ctype: CommandType, deps=(), **kwargs) -> int:
+        dep_tuple = tuple(sorted({d for d in deps if d is not None}))
+        cmd = Command(ctype=ctype, bank=self.bank, deps=dep_tuple, **kwargs)
+        self.commands.append(cmd)
+        return len(self.commands) - 1
+
+    # -- row management --------------------------------------------------------
+    def goto_row(self, row: int) -> None:
+        """Open ``row``, precharging first if another row is open."""
+        if self.open_row == row:
+            return
+        if self.open_row is not None:
+            self.emit(CommandType.PRE)
+        self.emit(CommandType.ACT, row=row)
+        self.open_row = row
+
+    def close_row(self) -> None:
+        """Final precharge (restores the row buffer into the array)."""
+        if self.open_row is not None:
+            self.emit(CommandType.PRE)
+            self.open_row = None
+
+    # -- buffer-aware helpers ----------------------------------------------------
+    def _check_buf(self, buf: int) -> None:
+        if not 0 <= buf < self.nb_buffers:
+            raise MappingError(f"buffer {buf} out of range (Nb={self.nb_buffers})")
+
+    def cu_read(self, row: int, col: int, buf: int) -> int:
+        """Row-buffer atom -> atom buffer; waits out WAR on the buffer."""
+        self._check_buf(buf)
+        if self.open_row != row:
+            raise MappingError(f"cu_read of row {row} while {self.open_row} open")
+        idx = self.emit(CommandType.CU_READ, deps=(self._busy[buf],),
+                        row=row, col=col, buf=buf)
+        self._producer[buf] = idx
+        self._busy[buf] = idx
+        return idx
+
+    def cu_write(self, row: int, col: int, buf: int) -> int:
+        """Atom buffer -> row-buffer atom; waits for the producer."""
+        self._check_buf(buf)
+        if self.open_row != row:
+            raise MappingError(f"cu_write to row {row} while {self.open_row} open")
+        idx = self.emit(CommandType.CU_WRITE, deps=(self._producer[buf],),
+                        row=row, col=col, buf=buf)
+        self._busy[buf] = idx
+        return idx
+
+    def c1(self, buf: int, omega0: int) -> int:
+        self._check_buf(buf)
+        idx = self.emit(CommandType.C1, deps=(self._producer[buf],),
+                        buf=buf, omega0=omega0, r_omega=omega0)
+        self._producer[buf] = idx
+        self._busy[buf] = idx
+        return idx
+
+    def c2(self, buf_p: int, buf_s: int, omega0: int, r_omega: int,
+           gs: bool = False) -> int:
+        self._check_buf(buf_p)
+        self._check_buf(buf_s)
+        idx = self.emit(CommandType.C2,
+                        deps=(self._producer[buf_p], self._producer[buf_s]),
+                        buf=buf_p, buf2=buf_s, omega0=omega0,
+                        r_omega=r_omega, gs=gs)
+        self._producer[buf_p] = idx
+        self._producer[buf_s] = idx
+        self._busy[buf_p] = idx
+        self._busy[buf_s] = idx
+        return idx
+
+    def c1n(self, buf: int, zetas, gs: bool = False) -> int:
+        """Merged negacyclic intra-atom command (extension)."""
+        self._check_buf(buf)
+        idx = self.emit(CommandType.C1N, deps=(self._producer[buf],),
+                        buf=buf, zetas=tuple(zetas), gs=gs)
+        self._producer[buf] = idx
+        self._busy[buf] = idx
+        return idx
+
+    # -- scalar micro-ops (Nb=1 degenerate path) -----------------------------------
+    def load_scalar(self, buf: int, lane: int) -> int:
+        """reg_a <- buf[lane]; needs the buffer's current contents."""
+        self._check_buf(buf)
+        idx = self.emit(CommandType.LOAD_SCALAR, deps=(self._producer[buf],),
+                        buf=buf, lane=lane)
+        self._busy[buf] = idx
+        return idx
+
+    def bu_scalar(self, buf: int, lane: int, omega0: int) -> int:
+        """BU(reg_a, buf[lane]); writes b' back into the lane."""
+        self._check_buf(buf)
+        idx = self.emit(CommandType.BU_SCALAR, deps=(self._producer[buf],),
+                        buf=buf, lane=lane, omega0=omega0)
+        self._producer[buf] = idx
+        self._busy[buf] = idx
+        return idx
+
+    def store_scalar(self, buf: int, lane: int) -> int:
+        """buf[lane] <- reg_a."""
+        self._check_buf(buf)
+        idx = self.emit(CommandType.STORE_SCALAR, deps=(self._producer[buf],),
+                        buf=buf, lane=lane)
+        self._producer[buf] = idx
+        self._busy[buf] = idx
+        return idx
+
+    def build(self) -> List[Command]:
+        return self.commands

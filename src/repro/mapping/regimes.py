@@ -1,0 +1,70 @@
+"""The three mapping regimes (paper Sec. IV.B, Fig. 5).
+
+* **intra-atom** — stages ``1 .. log Na``: all data dependence inside an
+  atom; handled by C1.
+* **intra-row** — stages ``log Na + 1 .. log R``: dependence crosses
+  atoms but stays inside a row; C2 with all accesses hitting the open
+  row.
+* **inter-row** — stages ``log R + 1 .. log N``: dependence crosses
+  rows; C2 with intermittent activates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..arith.bitrev import is_power_of_two
+from ..dram.timing import ArchParams
+
+__all__ = ["Regime", "regime_of_stage", "RegimeProfile", "profile_regimes"]
+
+
+class Regime(enum.Enum):
+    INTRA_ATOM = "intra-atom"
+    INTRA_ROW = "intra-row"
+    INTER_ROW = "inter-row"
+
+
+def regime_of_stage(stage: int, arch: ArchParams) -> Regime:
+    """Which regime a (1-based) DIT stage falls into."""
+    if stage < 1:
+        raise ValueError(f"stage must be >= 1, got {stage}")
+    if stage <= arch.log_words_per_atom:
+        return Regime.INTRA_ATOM
+    if stage <= arch.log_words_per_row:
+        return Regime.INTRA_ROW
+    return Regime.INTER_ROW
+
+
+@dataclass(frozen=True)
+class RegimeProfile:
+    """How a size-N NTT's stages split across the regimes."""
+
+    n: int
+    intra_atom_stages: int
+    intra_row_stages: int
+    inter_row_stages: int
+
+    @property
+    def total_stages(self) -> int:
+        return (self.intra_atom_stages + self.intra_row_stages
+                + self.inter_row_stages)
+
+    @property
+    def inter_row_fraction(self) -> float:
+        """Share of stages in the expensive regime — grows with N, which
+        is the paper's explanation for Fig. 7's widening Nb gains."""
+        return self.inter_row_stages / self.total_stages
+
+
+def profile_regimes(n: int, arch: ArchParams) -> RegimeProfile:
+    """Stage counts per regime for a size-``n`` transform."""
+    if not is_power_of_two(n) or n < arch.words_per_atom:
+        raise ValueError(
+            f"N must be a power of two >= Na={arch.words_per_atom}, got {n}")
+    log_n = n.bit_length() - 1
+    intra_atom = min(log_n, arch.log_words_per_atom)
+    intra_row = min(log_n, arch.log_words_per_row) - intra_atom
+    inter_row = log_n - intra_atom - intra_row
+    return RegimeProfile(n, intra_atom, intra_row, inter_row)

@@ -1,0 +1,47 @@
+"""Software-side computation of the (omega0, r_omega) scalars each C1/C2
+command encodes (Sec. IV.A: parameters travel with the command / global
+buffer; the TFG expands them into per-lane twiddles).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..arith.modmath import mod_pow
+from ..arith.roots import NttParams
+
+__all__ = ["c1_root", "c2_twiddles"]
+
+
+def c1_root(params: NttParams, atom_words: int) -> int:
+    """The primitive ``Na``-th root seeding C1's intra-atom sub-NTT.
+
+    The first ``log Na`` DIT stages of a size-N transform are ``N/Na``
+    *identical* size-``Na`` NTTs with root ``omega^(N/Na)`` — block
+    invariance is what makes a single scalar parameter sufficient.
+    """
+    if atom_words < 2 or atom_words & (atom_words - 1):
+        raise ValueError("atom width must be a power of two >= 2")
+    if params.n < atom_words:
+        raise ValueError(f"N={params.n} smaller than an atom ({atom_words})")
+    return mod_pow(params.omega, params.n // atom_words, params.q)
+
+
+def c2_twiddles(params: NttParams, stage: int, word_a: int) -> Tuple[int, int]:
+    """(omega0, r_omega) for the C2 covering the atom whose '+'-leg
+    starts at global word index ``word_a``, at DIT stage ``stage``.
+
+    Lane ``l`` of the command needs ``omega^((N >> stage) * (j + l))``
+    with ``j = word_a mod m`` — a geometric run: first value
+    ``omega^((N>>stage) * j)``, ratio ``omega^(N>>stage)``.
+    """
+    n, q = params.n, params.q
+    m = 1 << (stage - 1)
+    if word_a % (2 * m) >= m:
+        raise ValueError(
+            f"word {word_a} is not a '+'-leg operand at stage {stage}")
+    j = word_a % m
+    step_exp = n >> stage
+    omega0 = mod_pow(params.omega, step_exp * j, q)
+    r_omega = mod_pow(params.omega, step_exp, q)
+    return omega0, r_omega

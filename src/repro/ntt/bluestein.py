@@ -1,0 +1,101 @@
+"""Bluestein's algorithm: NTT of *arbitrary* length via convolution.
+
+The paper's designs (and ours) natively support power-of-two lengths.
+Bluestein's chirp-z trick lifts a length-M transform (any M) onto a
+length-2^k cyclic convolution — meaning the PIM's power-of-two NTT can
+serve arbitrary-length transforms too.  Requirements on the modulus:
+a primitive 2M-th root (for the chirp) and a power-of-two root for the
+helper convolution, i.e. ``lcm(2M, 2^k) | q - 1``.
+
+    A[j] = chirp(j) * sum_k a[k] chirp(k) * w^{-(j-k)^2/2 ...}
+
+Implemented with exact integer arithmetic over Z_q.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..arith.modmath import mod_inverse, mod_pow
+from ..arith.roots import NttParams, root_of_unity
+from .reference import cyclic_convolution
+
+__all__ = ["bluestein_ntt", "bluestein_intt", "naive_dft"]
+
+
+def _next_power_of_two(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def naive_dft(values: Sequence[int], omega: int, q: int) -> List[int]:
+    """Direct O(M^2) DFT with an arbitrary-order root — ground truth."""
+    m = len(values)
+    out = []
+    for j in range(m):
+        acc = 0
+        for k in range(m):
+            acc = (acc + values[k] * mod_pow(omega, j * k, q)) % q
+        out.append(acc)
+    return out
+
+
+def bluestein_ntt(values: Sequence[int], q: int,
+                  omega: int | None = None) -> List[int]:
+    """Length-M DFT over Z_q for any M >= 1 via chirp-z.
+
+    ``omega`` (a primitive M-th root) is derived from q when omitted.
+    Raises :class:`ValueError` when q cannot support the transform.
+    """
+    m = len(values)
+    if m == 0:
+        raise ValueError("empty input")
+    if m == 1:
+        return [values[0] % q]
+    if omega is None:
+        omega = root_of_unity(m, q)
+    # Chirp needs half-integer exponents k^2/2: use a 2M-th root.
+    if (q - 1) % (2 * m) != 0:
+        raise ValueError(f"q={q} lacks a 2*{m}-th root for the chirp")
+    psi = root_of_unity(2 * m, q)
+    if mod_pow(psi, 2, q) != omega % q:
+        # Align psi so psi^2 == omega (both primitive; some power works).
+        for e in range(1, 2 * m, 2):
+            cand = mod_pow(psi, e, q)
+            if mod_pow(cand, 2, q) == omega % q:
+                psi = cand
+                break
+        else:
+            raise ValueError("could not align chirp root with omega")
+
+    size = _next_power_of_two(2 * m - 1)
+    if (q - 1) % size != 0:
+        raise ValueError(
+            f"q={q} lacks a {size}-th root for the helper convolution")
+    helper = NttParams(size, q)
+
+    # a_k = x_k * psi^(k^2);  b_k = psi^(-k^2) (symmetric chirp kernel).
+    psi_inv = mod_inverse(psi, q)
+    a = [0] * size
+    b = [0] * size
+    for k in range(m):
+        a[k] = (values[k] % q) * mod_pow(psi, k * k, q) % q
+        chirp = mod_pow(psi_inv, k * k, q)
+        b[k] = chirp
+        if k:
+            b[size - k] = chirp  # negative indices wrap in the cyclic helper
+    conv = cyclic_convolution(a, b, helper)
+    return [(mod_pow(psi, j * j, q) * conv[j]) % q for j in range(m)]
+
+
+def bluestein_intt(values: Sequence[int], q: int,
+                   omega: int | None = None) -> List[int]:
+    """Inverse of :func:`bluestein_ntt` (1/M-scaled, inverse root)."""
+    m = len(values)
+    if omega is None:
+        omega = root_of_unity(m, q)
+    raw = bluestein_ntt(values, q, mod_inverse(omega, q))
+    m_inv = mod_inverse(m, q)
+    return [(v * m_inv) % q for v in raw]

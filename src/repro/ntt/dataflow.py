@@ -1,0 +1,73 @@
+"""Butterfly-level dataflow graph of the DIT NTT network (paper Fig. 3).
+
+The memory controller's mapping algorithm (Sec. IV.B) is described as
+dividing the NTT's dataflow graph (DFG) stage-wise (horizontally) or
+data-wise (vertically).  This module materializes that DFG so the mapper
+and the tests can reason about it explicitly: which words each butterfly
+touches, which twiddle it needs, and how stages partition into
+independent blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..arith.bitrev import is_power_of_two
+from .twiddle import twiddle_exponent
+
+__all__ = ["Butterfly", "stage_butterflies", "all_butterflies", "independent_blocks"]
+
+
+@dataclass(frozen=True)
+class Butterfly:
+    """One BU operation: word indices of its two operands and its twiddle.
+
+    ``index_a`` is the '+' leg (bit ``stage-1`` clear), ``index_b`` the
+    '×ω' leg.  ``twiddle_exp`` is the exponent of ``omega_N``.
+    """
+
+    stage: int
+    index_a: int
+    index_b: int
+    twiddle_exp: int
+
+    @property
+    def stride(self) -> int:
+        """Distance between the operands, ``2^(stage-1)``."""
+        return self.index_b - self.index_a
+
+
+def stage_butterflies(n: int, stage: int) -> Iterator[Butterfly]:
+    """Yield the ``N/2`` butterflies of one stage in scan order
+    (j inner, block outer — the order Algorithms 1-2 walk)."""
+    if not is_power_of_two(n):
+        raise ValueError(f"N must be a power of two, got {n}")
+    log_n = n.bit_length() - 1
+    if not 1 <= stage <= log_n:
+        raise ValueError(f"stage {stage} outside [1, {log_n}]")
+    m = 1 << (stage - 1)
+    for k in range(0, n, 2 * m):
+        for j in range(m):
+            yield Butterfly(stage, k + j, k + j + m, twiddle_exponent(n, stage, j))
+
+
+def all_butterflies(n: int) -> Iterator[Butterfly]:
+    """Every butterfly of the full network, stage by stage."""
+    log_n = n.bit_length() - 1
+    for stage in range(1, log_n + 1):
+        yield from stage_butterflies(n, stage)
+
+
+def independent_blocks(n: int, block: int) -> List[range]:
+    """Vertical partition of the first ``log block`` stages (Sec. III.A).
+
+    Returns the ``N/block`` word ranges; all butterflies of stages
+    ``1..log block`` stay within a single range (tests assert this),
+    which is why one row activation suffices per block.
+    """
+    if not is_power_of_two(n) or not is_power_of_two(block):
+        raise ValueError("N and block must be powers of two")
+    if block > n:
+        raise ValueError(f"block {block} exceeds N {n}")
+    return [range(start, start + block) for start in range(0, n, block)]

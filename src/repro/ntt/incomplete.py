@@ -1,0 +1,131 @@
+"""Incomplete (truncated) negacyclic NTT — Kyber's trick, generalized.
+
+A *full* negacyclic NTT needs a 2N-th root of unity (``2N | q - 1``).
+When the modulus has less 2-adicity (e.g. Kyber's q = 3329 with
+q - 1 = 2^8 * 13), one stops the transform ``d`` stages early: the ring
+factors into N/2^d quadratic-or-larger polynomials ``X^k - zeta`` and
+"pointwise" multiplication becomes small schoolbook products per slot.
+
+This extends the PIM story: the truncated stages are exactly the *last*
+(smallest-stride) stages, i.e. the intra-atom work — an incomplete
+transform simply ends before (or partway through) C1N, and the base-case
+products are short vector ops the CU can also host.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..arith.modmath import mod_inverse, mod_pow
+from ..arith.roots import is_primitive_root_of_unity, root_of_unity
+from .merged import block_zeta_exponent
+
+__all__ = ["IncompleteNttParams", "incomplete_ntt", "incomplete_intt",
+           "incomplete_basemul"]
+
+
+class IncompleteNttParams:
+    """(N, q, depth): transform stopping after ``log N - log depth``
+    stages, leaving slots of ``depth`` coefficients.
+
+    Requires a primitive ``2N/depth``-th root of unity; ``depth = 1``
+    recovers the full merged transform.
+    """
+
+    def __init__(self, n: int, q: int, depth: int):
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"N must be a power of two, got {n}")
+        if depth < 1 or depth & (depth - 1) or depth > n // 2:
+            raise ValueError(f"depth must be a power of two <= N/2, got {depth}")
+        order = 2 * n // depth
+        if (q - 1) % order != 0:
+            raise ValueError(
+                f"q={q} lacks a primitive {order}-th root (depth {depth})")
+        self.n = n
+        self.q = q
+        self.depth = depth
+        #: psi plays the role of the 2N-th root of the *virtual* full
+        #: transform: exponents are always multiples of depth, so only
+        #: psi^depth (an order-2N/depth element) need exist.
+        self.psi_effective = root_of_unity(order, q)
+        assert is_primitive_root_of_unity(self.psi_effective, order, q)
+
+    def _zeta(self, length: int, start: int, invert: bool = False) -> int:
+        exp = block_zeta_exponent(self.n, length, start)
+        if exp % self.depth:
+            raise AssertionError("truncated stage touched a deep zeta")
+        root = (mod_inverse(self.psi_effective, self.q) if invert
+                else self.psi_effective)
+        return mod_pow(root, exp // self.depth, self.q)
+
+    def slot_zeta(self, slot: int) -> int:
+        """The ``X^depth = zeta`` constant of base-case slot ``slot``.
+
+        Adjacent slots share a magnitude with opposite signs: the last
+        executed stage split ``X^2d - z^2`` into ``X^d - z`` (even slot)
+        and ``X^d + z`` (odd slot) — Kyber's ``±zetas[64+i]`` pattern.
+        """
+        base = self._zeta(self.depth, (slot // 2) * 2 * self.depth)
+        return base if slot % 2 == 0 else (self.q - base) % self.q
+
+
+def incomplete_ntt(values: Sequence[int],
+                   params: IncompleteNttParams) -> List[int]:
+    """Forward truncated transform: stops once blocks reach ``depth``."""
+    n, q = params.n, params.q
+    if len(values) != n:
+        raise ValueError(f"expected {n} values, got {len(values)}")
+    x = [v % q for v in values]
+    length = n // 2
+    while length >= params.depth:
+        for start in range(0, n, 2 * length):
+            zeta = params._zeta(length, start)
+            for j in range(start, start + length):
+                t = (zeta * x[j + length]) % q
+                x[j + length] = (x[j] - t) % q
+                x[j] = (x[j] + t) % q
+        length >>= 1
+    return x
+
+
+def incomplete_intt(values: Sequence[int],
+                    params: IncompleteNttParams) -> List[int]:
+    """Inverse truncated transform with the (N/depth)^-1 scale."""
+    n, q = params.n, params.q
+    if len(values) != n:
+        raise ValueError(f"expected {n} values, got {len(values)}")
+    x = [v % q for v in values]
+    length = params.depth
+    while length < n:
+        for start in range(0, n, 2 * length):
+            zeta_inv = params._zeta(length, start, invert=True)
+            for j in range(start, start + length):
+                a, b = x[j], x[j + length]
+                x[j] = (a + b) % q
+                x[j + length] = ((a - b) * zeta_inv) % q
+        length <<= 1
+    scale = mod_inverse(n // params.depth, q)
+    return [(v * scale) % q for v in x]
+
+
+def incomplete_basemul(a_hat: Sequence[int], b_hat: Sequence[int],
+                       params: IncompleteNttParams) -> List[int]:
+    """Slot-wise product: schoolbook multiply in ``Z_q[X]/(X^d - zeta)``
+    per slot (Kyber's basemul, generalized to any depth)."""
+    n, q, d = params.n, params.q, params.depth
+    if len(a_hat) != n or len(b_hat) != n:
+        raise ValueError("operands must be full transform-domain vectors")
+    out = [0] * n
+    for slot in range(n // d):
+        zeta = params.slot_zeta(slot)
+        base = slot * d
+        for i in range(d):
+            for j in range(d):
+                prod = a_hat[base + i] * b_hat[base + j] % q
+                k = i + j
+                if k < d:
+                    out[base + k] = (out[base + k] + prod) % q
+                else:
+                    out[base + k - d] = (out[base + k - d]
+                                         + prod * zeta) % q
+    return out

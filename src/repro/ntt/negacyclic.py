@@ -1,0 +1,83 @@
+"""Negacyclic NTT for the FHE ring ``R_q = Z_q[X]/(X^N + 1)`` (Sec. II.B).
+
+Multiplication in ``R_q`` is a *negacyclic* convolution.  With a ``2N``-th
+root of unity ``psi`` (``psi^2 = omega``), pre-scaling coefficient ``i``
+by ``psi^i`` turns it into the cyclic case handled by the plain NTT:
+
+    NegaNTT(a)   = NTT(psi^i * a_i)
+    NegaINTT(A)  = psi^{-i} * INTT(A)_i
+    a *_nega b   = NegaINTT(NegaNTT(a) ⊙ NegaNTT(b))
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..arith.modmath import mod_inverse, mod_pow
+from ..arith.roots import NttParams, is_primitive_root_of_unity, root_of_unity
+from .reference import intt, ntt
+
+__all__ = [
+    "NegacyclicParams",
+    "negacyclic_ntt",
+    "negacyclic_intt",
+    "negacyclic_convolution",
+    "naive_negacyclic_convolution",
+]
+
+
+class NegacyclicParams:
+    """(N, q, psi) with ``psi`` a primitive 2N-th root; ``omega = psi^2``."""
+
+    def __init__(self, n: int, q: int, psi: int | None = None):
+        if (q - 1) % (2 * n) != 0:
+            raise ValueError(f"q={q} does not support length-{n} negacyclic NTT")
+        self.n = n
+        self.q = q
+        self.psi = root_of_unity(2 * n, q) if psi is None else psi % q
+        if not is_primitive_root_of_unity(self.psi, 2 * n, q):
+            raise ValueError(f"psi={psi} is not a primitive {2 * n}-th root mod {q}")
+        self.psi_inv = mod_inverse(self.psi, q)
+        self.cyclic = NttParams(n, q, mod_pow(self.psi, 2, q))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NegacyclicParams(n={self.n}, q={self.q}, psi={self.psi})"
+
+
+def negacyclic_ntt(values: Sequence[int], params: NegacyclicParams) -> List[int]:
+    """Forward negacyclic transform (psi pre-scaling + cyclic NTT)."""
+    q = params.q
+    scaled = [(v * mod_pow(params.psi, i, q)) % q for i, v in enumerate(values)]
+    return ntt(scaled, params.cyclic)
+
+
+def negacyclic_intt(values: Sequence[int], params: NegacyclicParams) -> List[int]:
+    """Inverse negacyclic transform (cyclic INTT + psi^{-i} post-scaling)."""
+    q = params.q
+    raw = intt(values, params.cyclic)
+    return [(v * mod_pow(params.psi_inv, i, q)) % q for i, v in enumerate(raw)]
+
+
+def negacyclic_convolution(a: Sequence[int], b: Sequence[int],
+                           params: NegacyclicParams) -> List[int]:
+    """Product in ``Z_q[X]/(X^N+1)`` via the transform (Eq. 1 of the paper)."""
+    fa = negacyclic_ntt(a, params)
+    fb = negacyclic_ntt(b, params)
+    prod = [(x * y) % params.q for x, y in zip(fa, fb)]
+    return negacyclic_intt(prod, params)
+
+
+def naive_negacyclic_convolution(a: Sequence[int], b: Sequence[int], q: int) -> List[int]:
+    """Schoolbook product with ``X^N = -1`` reduction, for verification."""
+    n = len(a)
+    if len(b) != n:
+        raise ValueError(f"length mismatch: {n} vs {len(b)}")
+    out = [0] * n
+    for i in range(n):
+        for j in range(n):
+            k = i + j
+            if k < n:
+                out[k] = (out[k] + a[i] * b[j]) % q
+            else:
+                out[k - n] = (out[k - n] - a[i] * b[j]) % q
+    return out

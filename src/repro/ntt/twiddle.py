@@ -1,0 +1,117 @@
+"""Twiddle-factor generation.
+
+The paper generates twiddle factors on the fly (Sec. IV.A, after Aysu et
+al. [21]) so that the full memory bandwidth serves polynomial data.  The
+hardware TFG is a multiply-accumulate register seeded with two scalars
+``(omega0, r_omega)``; each butterfly lane consumes the current value and
+the register is multiplied by ``r_omega``.
+
+:class:`TwiddleGenerator` models that register.  The module also provides
+the *software side*: the formulas the memory controller uses to derive
+``(omega0, r_omega)`` for each C1/C2 command (see
+:mod:`repro.mapping.twiddle_params`), and a precomputed table for the
+software baselines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..arith.modmath import mod_mul, mod_pow
+from ..arith.roots import NttParams
+
+__all__ = [
+    "TwiddleGenerator",
+    "TwiddleTable",
+    "stage_step",
+    "lane_twiddles",
+    "twiddle_exponent",
+]
+
+
+class TwiddleGenerator:
+    """On-the-fly geometric twiddle sequence ``omega0 * r_omega^t``.
+
+    The hardware equivalent is a single modular multiplier and a hold
+    register inside the CU (the ``TFG`` block of Fig. 2); parameters are
+    delivered via the global buffer as 16-bit chunks (Sec. IV.A).
+    """
+
+    def __init__(self, omega0: int, r_omega: int, q: int):
+        if q <= 1:
+            raise ValueError(f"modulus must exceed 1, got {q}")
+        self.q = q
+        self.omega0 = omega0 % q
+        self.r_omega = r_omega % q
+        self._current = self.omega0
+        self.count = 0  # how many twiddles were consumed (for stats)
+
+    def next(self) -> int:
+        """Consume and return the next twiddle."""
+        value = self._current
+        self._current = mod_mul(self._current, self.r_omega, self.q)
+        self.count += 1
+        return value
+
+    def peek(self) -> int:
+        """Current twiddle without consuming it."""
+        return self._current
+
+    def reset(self, omega0: int | None = None, r_omega: int | None = None) -> None:
+        """Reload the generator (a parameter write in hardware)."""
+        if omega0 is not None:
+            self.omega0 = omega0 % self.q
+        if r_omega is not None:
+            self.r_omega = r_omega % self.q
+        self._current = self.omega0
+
+    def take(self, count: int) -> List[int]:
+        """Consume ``count`` twiddles (one vectorized C2's worth)."""
+        return [self.next() for _ in range(count)]
+
+
+def stage_step(params: NttParams, stage: int) -> int:
+    """Lane-to-lane twiddle ratio at DIT stage ``stage``: ``omega^(N/2^s)``."""
+    if not 1 <= stage <= params.log_n:
+        raise ValueError(f"stage {stage} outside [1, {params.log_n}]")
+    return mod_pow(params.omega, params.n >> stage, params.q)
+
+
+def twiddle_exponent(n: int, stage: int, j: int) -> int:
+    """Exponent of ``omega`` for lane ``j`` of a stage-``stage`` butterfly."""
+    m = 1 << (stage - 1)
+    if not 0 <= j < m:
+        raise ValueError(f"lane {j} outside [0, {m})")
+    return j * (n >> stage)
+
+
+def lane_twiddles(params: NttParams, stage: int, j_start: int, count: int) -> List[int]:
+    """Twiddles for lanes ``j_start .. j_start+count`` of one stage.
+
+    This is what a single C2 command consumes: a geometric run starting
+    at ``omega^(j_start * N/2^s)`` with ratio :func:`stage_step`.
+    """
+    step = stage_step(params, stage)
+    first = mod_pow(params.omega, twiddle_exponent(params.n, stage, j_start), params.q)
+    gen = TwiddleGenerator(first, step, params.q)
+    return gen.take(count)
+
+
+class TwiddleTable:
+    """Fully precomputed twiddles, as a software library (or FPGA with
+    BRAM-resident tables) would hold them.  Used by the CPU baseline."""
+
+    def __init__(self, params: NttParams):
+        self.params = params
+        q, n = params.q, params.n
+        self.powers: List[int] = [1] * n
+        for i in range(1, n):
+            self.powers[i] = (self.powers[i - 1] * params.omega) % q
+
+    def power(self, exponent: int) -> int:
+        """``omega^exponent`` via table lookup."""
+        return self.powers[exponent % self.params.n]
+
+    def stage_lane(self, stage: int, j: int) -> int:
+        """Twiddle for lane ``j`` of stage ``stage``."""
+        return self.power(twiddle_exponent(self.params.n, stage, j))

@@ -1,0 +1,158 @@
+"""Alternative parallel NTT algorithms discussed in Sec. II.B.
+
+The paper argues that Pease (constant geometry) and Stockham
+(self-sorting) networks, while attractive for ASIC/FPGA, need ``log N``
+shuffling stages and therefore fit DRAM-PIM poorly compared to recursive
+Cooley-Tukey.  We implement all three so the claim is testable: the
+functional results agree, and :func:`shuffle_stage_count` exposes the
+structural difference the argument rests on.
+
+Also includes the four-step (Bailey) decomposition used by cache-blocked
+CPU libraries — the software baseline's large-N strategy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..arith.bitrev import bit_reverse, bit_reverse_permute, is_power_of_two
+from ..arith.modmath import mod_pow
+from ..arith.roots import NttParams
+from .reference import ntt as _reference_ntt
+
+__all__ = ["pease_ntt", "stockham_ntt", "four_step_ntt", "shuffle_stage_count"]
+
+
+def pease_ntt(values: Sequence[int], params: NttParams) -> List[int]:
+    """Pease constant-geometry NTT (natural input, natural output).
+
+    Every stage reads slot pairs ``(i, i + N/2)`` and writes results to
+    ``(2i, 2i+1)`` — identical interconnect each stage, at the price of a
+    full data shuffle per stage.  Implemented as a DIF network with the
+    perfect-shuffle tracked explicitly, so correctness follows from the
+    DIF semantics (and is asserted via the pairing invariant).
+    """
+    n, q, omega = params.n, params.q, params.omega
+    if len(values) != n:
+        raise ValueError(f"expected {n} values, got {len(values)}")
+    data = [v % q for v in values]
+    # pos[slot] = index in the DIF array held by this slot.
+    pos = list(range(n))
+    log_n = params.log_n
+    half = n // 2
+    for s in range(log_n, 0, -1):
+        m = 1 << (s - 1)
+        w_step_exp = n >> s
+        new_data = [0] * n
+        new_pos = [0] * n
+        for i in range(half):
+            p_lo, p_hi = pos[i], pos[i + half]
+            if p_hi != p_lo + m:  # pairing invariant of constant geometry
+                raise AssertionError(
+                    f"constant-geometry invariant broken at stage {s}: {p_lo}, {p_hi}")
+            j = p_lo % m if m > 1 else 0
+            w = mod_pow(omega, j * w_step_exp, q)
+            a, b = data[i], data[i + half]
+            new_data[2 * i] = (a + b) % q
+            new_data[2 * i + 1] = ((a - b) * w) % q
+            new_pos[2 * i] = p_lo
+            new_pos[2 * i + 1] = p_hi
+        data, pos = new_data, new_pos
+    # DIF output at array index p is A[bit_reverse(p)].
+    out = [0] * n
+    bits = log_n
+    for slot in range(n):
+        out[bit_reverse(pos[slot], bits)] = data[slot]
+    return out
+
+
+def stockham_ntt(values: Sequence[int], params: NttParams) -> List[int]:
+    """Stockham self-sorting NTT (natural input, natural output).
+
+    Radix-2 DIF Stockham: no explicit bit-reversal, but ping-pong buffers
+    and a stride that doubles each stage — the 'self-sorting' behaviour
+    the paper contrasts with Cooley-Tukey.
+    """
+    n, q = params.n, params.q
+    if len(values) != n:
+        raise ValueError(f"expected {n} values, got {len(values)}")
+    x = [v % q for v in values]
+    y = [0] * n
+    _stockham_step(n, 1, False, x, y, params.omega, q)
+    return x
+
+
+def _stockham_step(n: int, stride: int, out_in_y: bool,
+                   x: List[int], y: List[int], omega: int, q: int) -> None:
+    """One recursion level: transform length ``n`` at ``stride`` copies."""
+    if n == 1:
+        if out_in_y:
+            for i in range(stride):
+                y[i] = x[i]
+        return
+    m = n // 2
+    w = 1
+    for p in range(m):
+        for s in range(stride):
+            a = x[stride * p + s]
+            b = x[stride * (p + m) + s]
+            y[stride * 2 * p + s] = (a + b) % q
+            y[stride * (2 * p + 1) + s] = ((a - b) * w) % q
+        w = (w * omega) % q
+    _stockham_step(m, 2 * stride, not out_in_y, y, x, (omega * omega) % q, q)
+
+
+def four_step_ntt(values: Sequence[int], params: NttParams,
+                  n1: int | None = None) -> List[int]:
+    """Bailey four-step NTT: column transforms, twiddle scale, row
+    transforms, index transpose.  ``n1 * n2 = N`` with ``n1`` columns."""
+    n, q, omega = params.n, params.q, params.omega
+    if len(values) != n:
+        raise ValueError(f"expected {n} values, got {len(values)}")
+    if n1 is None:
+        n1 = 1 << (params.log_n // 2)
+    if not is_power_of_two(n1) or n % n1:
+        raise ValueError(f"n1={n1} must be a power-of-two divisor of {n}")
+    n2 = n // n1
+    if n1 == 1 or n2 == 1:
+        return _reference_ntt(values, params)
+    x = [v % q for v in values]
+    params_n2 = NttParams(n2, q, mod_pow(omega, n1, q))
+    params_n1 = NttParams(n1, q, mod_pow(omega, n2, q))
+    # Step 1: size-n2 transform of each column k1 (elements k1 + n1*k2).
+    cols = []
+    for k1 in range(n1):
+        col = [x[k1 + n1 * k2] for k2 in range(n2)]
+        cols.append(_reference_ntt(col, params_n2))
+    # Step 2: twiddle scaling by omega^(k1 * j2).
+    for k1 in range(n1):
+        for j2 in range(n2):
+            cols[k1][j2] = (cols[k1][j2] * mod_pow(omega, k1 * j2, q)) % q
+    # Step 3: size-n1 transform across columns for each j2.
+    out = [0] * n
+    for j2 in range(n2):
+        row = [cols[k1][j2] for k1 in range(n1)]
+        row = _reference_ntt(row, params_n1)
+        # Step 4: transpose — output index j2 + n2*j1.
+        for j1 in range(n1):
+            out[j2 + n2 * j1] = row[j1]
+    return out
+
+
+def shuffle_stage_count(algorithm: str, n: int) -> int:
+    """Number of whole-array data-movement stages each algorithm needs —
+    the quantity behind the paper's 'more frequent interactions with CPU'
+    argument against Pease/Stockham on PIM."""
+    if not is_power_of_two(n):
+        raise ValueError(f"N must be a power of two, got {n}")
+    log_n = n.bit_length() - 1
+    counts = {
+        "cooley-tukey": 1,        # single bit-reversal (done on the host)
+        "pease": log_n,           # perfect shuffle every stage
+        "stockham": log_n,        # ping-pong copy every stage
+        "four-step": 3,           # transpose-ish passes
+    }
+    try:
+        return counts[algorithm]
+    except KeyError:
+        raise ValueError(f"unknown algorithm {algorithm!r}") from None

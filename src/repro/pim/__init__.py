@@ -1,0 +1,8 @@
+"""PIM architecture model: atom buffers, compute unit, PIM bank."""
+
+from .bank_pim import PimBank
+from .buffers import PRIMARY_BUFFER, AtomBufferFile
+from .cu import ComputeUnit
+from .params import PimParams
+
+__all__ = ["PimBank", "PRIMARY_BUFFER", "AtomBufferFile", "ComputeUnit", "PimParams"]

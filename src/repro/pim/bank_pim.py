@@ -1,0 +1,100 @@
+"""A PIM-extended DRAM bank: storage + atom buffers + compute unit.
+
+This is the functional half of the simulator.  The driver feeds the same
+command list to this class (for data) and to the timing engine (for
+cycles) — mirroring the paper's two-way coupling between their Python
+front-end and DRAMsim3 (Sec. VI.A, footnote 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..dram.bank import BankStorage
+from ..dram.commands import Command, CommandType
+from ..dram.timing import ArchParams
+from ..errors import MappingError
+from .buffers import AtomBufferFile
+from .cu import ComputeUnit
+from .params import PimParams
+
+__all__ = ["PimBank"]
+
+
+class PimBank:
+    """One bank with the paper's datapath extensions (Fig. 2 left)."""
+
+    def __init__(self, arch: ArchParams, pim: PimParams):
+        self.arch = arch
+        self.pim = pim
+        self.storage = BankStorage(arch)
+        self.buffers = AtomBufferFile(pim.nb_buffers, arch.words_per_atom)
+        self.cu = ComputeUnit(arch.words_per_atom, pim.use_montgomery)
+        self.pending_q: int | None = None
+
+    def set_parameters(self, q: int) -> None:
+        """Stage the modulus the next PARAM_WRITE command will latch."""
+        self.pending_q = q
+
+    def execute(self, cmd: Command) -> None:
+        """Apply one command's data effect."""
+        ctype = cmd.ctype
+        if ctype is CommandType.ACT:
+            self.storage.activate(cmd.row)
+        elif ctype is CommandType.PRE:
+            self.storage.precharge()
+        elif ctype in (CommandType.RD, CommandType.CU_READ):
+            words = self.storage.read_atom(cmd.row, cmd.col)
+            if ctype is CommandType.CU_READ:
+                self.buffers.write(cmd.buf, words)
+            # A plain RD sends data to chip I/O; nothing bank-side changes.
+        elif ctype in (CommandType.WR, CommandType.CU_WRITE):
+            if ctype is CommandType.CU_WRITE:
+                words = self.buffers.read(cmd.buf)
+            else:
+                raise MappingError(
+                    "plain WR with host data is not used by the NTT mapping")
+            self.storage.write_atom(cmd.row, cmd.col, words)
+        elif ctype is CommandType.C1:
+            data = self.buffers.read(cmd.buf)
+            out = self.cu.execute_c1(data, cmd.omega0, cmd.r_omega or 0)
+            self.buffers.write(cmd.buf, out)
+        elif ctype is CommandType.C2:
+            p = self.buffers.read(cmd.buf)
+            s = self.buffers.read(cmd.buf2)
+            p_out, s_out = self.cu.execute_c2(p, s, cmd.omega0, cmd.r_omega,
+                                              gs=cmd.gs)
+            self.buffers.write(cmd.buf, p_out)
+            self.buffers.write(cmd.buf2, s_out)
+        elif ctype is CommandType.C1N:
+            data = self.buffers.read(cmd.buf)
+            out = self.cu.execute_c1n(data, cmd.zetas, gs=cmd.gs)
+            self.buffers.write(cmd.buf, out)
+        elif ctype is CommandType.PARAM_WRITE:
+            if self.pending_q is None:
+                raise MappingError("PARAM_WRITE with no staged parameters")
+            self.cu.set_modulus(self.pending_q)
+        elif ctype is CommandType.LOAD_SCALAR:
+            self.cu.load_scalar(self.buffers.read_lane(cmd.buf, cmd.lane))
+        elif ctype is CommandType.BU_SCALAR:
+            b = self.buffers.read_lane(cmd.buf, cmd.lane)
+            _, b_out = self.cu.bu_scalar(b, cmd.omega0)
+            self.buffers.write_lane(cmd.buf, cmd.lane, b_out)
+        elif ctype is CommandType.STORE_SCALAR:
+            self.buffers.write_lane(cmd.buf, cmd.lane, self.cu.store_scalar())
+        else:  # pragma: no cover - enum exhaustive
+            raise MappingError(f"unknown command {ctype}")
+
+    def run(self, commands: Sequence[Command]) -> None:
+        """Apply a whole program in order."""
+        for cmd in commands:
+            self.execute(cmd)
+
+    # -- host data path -------------------------------------------------------
+    def load_polynomial(self, base_row: int, values: List[int]) -> None:
+        """Host writes the (already bit-reversed) input into the bank."""
+        self.storage.host_write_polynomial(base_row, values)
+
+    def read_polynomial(self, base_row: int, length: int) -> List[int]:
+        """Host reads the NTT result back."""
+        return self.storage.host_read_polynomial(base_row, length)

@@ -1,0 +1,63 @@
+"""Atom buffer file: the GSA (primary) plus secondary atom buffers.
+
+Each buffer holds exactly one DRAM atom (Na words).  Buffer 0 is the
+primary atom buffer — the global sense amplifiers that every DRAM bank
+already has; buffers 1..Nb-1 are the paper's added SRAM secondary
+buffers (6T cells + complementary-signal inverters, Sec. IV.A).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import MappingError
+
+__all__ = ["AtomBufferFile", "PRIMARY_BUFFER"]
+
+#: Index of the primary atom buffer (the GSA).
+PRIMARY_BUFFER = 0
+
+
+class AtomBufferFile:
+    """``count`` single-atom buffers of ``atom_words`` words each."""
+
+    def __init__(self, count: int, atom_words: int):
+        if count < 1:
+            raise ValueError("need at least the primary buffer")
+        if atom_words < 1:
+            raise ValueError("atom width must be positive")
+        self.count = count
+        self.atom_words = atom_words
+        self._data: List[List[int]] = [[0] * atom_words for _ in range(count)]
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.count:
+            raise MappingError(
+                f"buffer {index} out of range (Nb={self.count})")
+
+    def read(self, index: int) -> List[int]:
+        """Copy out one buffer's contents."""
+        self._check(index)
+        return list(self._data[index])
+
+    def write(self, index: int, words: List[int]) -> None:
+        """Replace one buffer's contents."""
+        self._check(index)
+        if len(words) != self.atom_words:
+            raise MappingError(
+                f"buffer write needs {self.atom_words} words, got {len(words)}")
+        self._data[index] = list(words)
+
+    def read_lane(self, index: int, lane: int) -> int:
+        """One word out of a buffer (scalar load µ-op path)."""
+        self._check(index)
+        if not 0 <= lane < self.atom_words:
+            raise MappingError(f"lane {lane} out of range")
+        return self._data[index][lane]
+
+    def write_lane(self, index: int, lane: int, value: int) -> None:
+        """One word into a buffer (scalar store µ-op path)."""
+        self._check(index)
+        if not 0 <= lane < self.atom_words:
+            raise MappingError(f"lane {lane} out of range")
+        self._data[index][lane] = value

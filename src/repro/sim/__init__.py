@@ -1,0 +1,28 @@
+"""Simulation front end: driver, results, host protocol, traces,
+bank-level parallelism."""
+
+from .batch import BatchResult, concat_programs, run_batch
+from .driver import NttPimDriver, SimConfig
+from .host import MemoryRequest, MemoryResponse, PimMemoryController, RequestType
+from .multibank import MultiBankResult, interleave_programs, run_multibank
+from .results import NttRunResult
+from .trace import format_trace, parse_trace_line, trace_summary
+
+__all__ = [
+    "BatchResult",
+    "concat_programs",
+    "run_batch",
+    "NttPimDriver",
+    "SimConfig",
+    "MemoryRequest",
+    "MemoryResponse",
+    "PimMemoryController",
+    "RequestType",
+    "MultiBankResult",
+    "interleave_programs",
+    "run_multibank",
+    "NttRunResult",
+    "format_trace",
+    "parse_trace_line",
+    "trace_summary",
+]

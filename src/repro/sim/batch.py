@@ -1,0 +1,118 @@
+"""Batched NTT execution in one bank (extension).
+
+An FHE ciphertext operation needs many NTTs; besides spreading them over
+banks (:mod:`repro.sim.multibank`), a single bank can run them
+back-to-back.  Batching amortizes the parameter write and lets the MC
+overlap the tail of one transform with the head of the next (the final
+PRE of polynomial *i* and the first reads of polynomial *i+1* pipeline
+on the bus).  :func:`run_batch` measures steady-state throughput per
+transform vs the single-shot latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..arith.bitrev import bit_reverse_permute
+from ..arith.roots import NttParams
+from ..dram.commands import Command, CommandType
+from ..dram.engine import ScheduleResult, TimingEngine
+from ..errors import FunctionalMismatch
+from ..mapping.mapper import NttMapper
+from ..ntt.reference import ntt as reference_ntt
+from ..pim.bank_pim import PimBank
+from .driver import SimConfig
+
+__all__ = ["BatchResult", "concat_programs", "run_batch"]
+
+
+def concat_programs(programs: Sequence[List[Command]],
+                    skip_leading_param: bool = True) -> List[Command]:
+    """Concatenate per-polynomial programs with dependency re-indexing.
+
+    With ``skip_leading_param`` the PARAM_WRITE of every program after
+    the first is dropped — the modulus registers are already loaded.
+    """
+    merged: List[Command] = []
+    for prog_index, program in enumerate(programs):
+        offset_map = {}
+        for i, cmd in enumerate(program):
+            if (skip_leading_param and prog_index > 0 and i == 0
+                    and cmd.ctype is CommandType.PARAM_WRITE):
+                continue
+            new_deps = tuple(offset_map[d] for d in cmd.deps
+                             if d in offset_map)
+            merged.append(dataclasses.replace(cmd, deps=new_deps))
+            offset_map[i] = len(merged) - 1
+    return merged
+
+
+@dataclass
+class BatchResult:
+    """Timing of a back-to-back batch in one bank."""
+
+    count: int
+    schedule: ScheduleResult
+    single_cycles: int
+    verified: bool
+
+    @property
+    def cycles(self) -> int:
+        return self.schedule.total_cycles
+
+    @property
+    def cycles_per_transform(self) -> float:
+        return self.cycles / self.count
+
+    @property
+    def amortization(self) -> float:
+        """single-shot cycles / steady-state cycles-per-transform
+        (>1 means batching helps)."""
+        return self.single_cycles / self.cycles_per_transform
+
+
+def run_batch(inputs: Sequence[Sequence[int]], params: NttParams,
+              config: SimConfig | None = None) -> BatchResult:
+    """Run ``len(inputs)`` NTTs back-to-back in one bank.
+
+    Each polynomial occupies its own row region so results stay resident
+    (an FHE pipeline reads them later).
+    """
+    config = config or SimConfig()
+    count = len(inputs)
+    if count < 1:
+        raise ValueError("need at least one polynomial")
+    rows_each = max(1, params.n // config.arch.words_per_row)
+    programs = []
+    for i in range(count):
+        mapper = NttMapper(params, config.arch, config.pim,
+                           base_row=config.base_row + i * rows_each,
+                           options=config.mapper_options)
+        programs.append(mapper.generate())
+    merged = concat_programs(programs)
+
+    engine = TimingEngine(config.timing, config.arch,
+                          compute=config.pim.compute_timing(),
+                          energy=config.energy)
+    schedule = engine.simulate(merged)
+    single = engine.simulate(programs[0])
+
+    verified = False
+    if config.functional:
+        bank = PimBank(config.arch, config.pim)
+        bank.set_parameters(params.q)
+        for i, values in enumerate(inputs):
+            bank.load_polynomial(config.base_row + i * rows_each,
+                                 bit_reverse_permute(list(values)))
+        bank.run(merged)
+        if config.verify:
+            for i, values in enumerate(inputs):
+                got = bank.read_polynomial(config.base_row + i * rows_each,
+                                           params.n)
+                if got != reference_ntt(values, params):
+                    raise FunctionalMismatch(f"batch element {i} wrong")
+            verified = True
+    return BatchResult(count=count, schedule=schedule,
+                       single_cycles=single.total_cycles, verified=verified)

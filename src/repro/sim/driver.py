@@ -1,0 +1,218 @@
+"""Front-end driver: the paper's Python MC model + functional checker.
+
+Mirrors Sec. VI.A: the driver (a) lowers the NTT invocation into DRAM
+commands via the mapping algorithm and (b) runs them through both the
+functional bank model and the timing engine, verifying the data result
+against the golden NTT while collecting cycles/energy.
+
+Host protocol (Sec. IV.A): the input polynomial is already in memory in
+bit-reversed order (bit reversal is the host's job, as in MeNTT and
+CryptoPIM); the NTT request passes only (N, q, omega, address); the
+result overwrites the input, in natural order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..arith.bitrev import bit_reverse_permute
+from ..arith.roots import NttParams
+from ..dram.commands import Command
+from ..dram.energy import EnergyParams, HBM2E_ENERGY
+from ..dram.engine import TimingEngine
+from ..dram.timing import HBM2E_ARCH, HBM2E_TIMING, ArchParams, TimingParams
+from ..errors import FunctionalMismatch
+from ..mapping.mapper import MapperOptions, NttMapper
+from ..mapping.negacyclic_mapper import NegacyclicNttMapper
+from ..mapping.single_buffer import SingleBufferMapper
+from ..ntt.merged import merged_negacyclic_intt, merged_negacyclic_ntt
+from ..ntt.negacyclic import NegacyclicParams
+from ..ntt.reference import ntt as reference_ntt
+from ..pim.bank_pim import PimBank
+from ..pim.params import PimParams
+from .results import NttRunResult
+
+__all__ = ["SimConfig", "NttPimDriver"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Full configuration of one simulated PIM bank."""
+
+    arch: ArchParams = HBM2E_ARCH
+    timing: TimingParams = HBM2E_TIMING
+    pim: PimParams = field(default_factory=PimParams)
+    energy: EnergyParams = HBM2E_ENERGY
+    base_row: int = 0
+    verify: bool = True
+    functional: bool = True   # set False for timing-only sweeps (faster)
+    mapper_options: MapperOptions = MapperOptions()
+
+    def at_frequency(self, freq_mhz: float) -> "SimConfig":
+        """Fig. 8 helper: same machine at a different clock."""
+        return SimConfig(arch=self.arch, timing=self.timing.retimed(freq_mhz),
+                         pim=self.pim, energy=self.energy,
+                         base_row=self.base_row, verify=self.verify,
+                         functional=self.functional,
+                         mapper_options=self.mapper_options)
+
+
+class NttPimDriver:
+    """Runs NTT invocations against a simulated PIM bank."""
+
+    def __init__(self, config: Optional[SimConfig] = None):
+        self.config = config or SimConfig()
+
+    def make_mapper(self, ntt: NttParams, bank: int = 0):
+        """The mapper matching this configuration."""
+        cfg = self.config
+        if cfg.pim.nb_buffers == 1:
+            return SingleBufferMapper(ntt, cfg.arch, cfg.pim,
+                                      cfg.base_row, bank)
+        return NttMapper(ntt, cfg.arch, cfg.pim, cfg.base_row, bank,
+                         options=cfg.mapper_options)
+
+    def map_commands(self, ntt: NttParams, bank: int = 0) -> List[Command]:
+        """Lower one NTT invocation to a command program."""
+        return self.make_mapper(ntt, bank).generate()
+
+    def run_ntt(self, values: Sequence[int], ntt: NttParams) -> NttRunResult:
+        """Simulate one forward NTT of ``values`` (natural order).
+
+        Returns timing, energy and the transformed data; raises
+        :class:`FunctionalMismatch` if the PIM result disagrees with the
+        golden model (when ``verify`` is on).
+        """
+        cfg = self.config
+        if len(values) != ntt.n:
+            raise ValueError(f"expected {ntt.n} values, got {len(values)}")
+        mapper = self.make_mapper(ntt)
+        commands = mapper.generate()
+
+        engine = TimingEngine(cfg.timing, cfg.arch,
+                              compute=cfg.pim.compute_timing(),
+                              energy=cfg.energy)
+        schedule = engine.simulate(commands)
+
+        output: List[int] = []
+        verified = False
+        bu_ops = 0
+        if cfg.functional:
+            bank = PimBank(cfg.arch, cfg.pim)
+            bank.set_parameters(ntt.q)
+            # Host-side bit reversal, then data is "already in memory".
+            bank.load_polynomial(cfg.base_row, bit_reverse_permute(list(values)))
+            bank.run(commands)
+            output = bank.read_polynomial(mapper.result_base_row, ntt.n)
+            bu_ops = bank.cu.bu_ops
+            if cfg.verify:
+                expected = reference_ntt(values, ntt)
+                if output != expected:
+                    raise FunctionalMismatch(
+                        f"PIM NTT result wrong for N={ntt.n}, "
+                        f"Nb={cfg.pim.nb_buffers}")
+                verified = True
+
+        return NttRunResult(
+            n=ntt.n, q=ntt.q, nb_buffers=cfg.pim.nb_buffers,
+            output=output, schedule=schedule, verified=verified,
+            command_count=len(commands), bu_ops=bu_ops)
+
+    def run_negacyclic_ntt(self, values: Sequence[int],
+                           ring: NegacyclicParams,
+                           inverse: bool = False) -> NttRunResult:
+        """Native merged negacyclic transform (extension; see
+        :mod:`repro.mapping.negacyclic_mapper`).
+
+        Natural-order input, NTT-domain output (forward); the inverse
+        returns natural order *before* the 1/N scale, which the caller
+        (or :meth:`run_negacyclic_intt`) applies host-side.
+        """
+        cfg = self.config
+        if len(values) != ring.n:
+            raise ValueError(f"expected {ring.n} values, got {len(values)}")
+        mapper = NegacyclicNttMapper(ring, cfg.arch, cfg.pim,
+                                     cfg.base_row, inverse=inverse)
+        commands = mapper.generate()
+        engine = TimingEngine(cfg.timing, cfg.arch,
+                              compute=cfg.pim.compute_timing(),
+                              energy=cfg.energy)
+        schedule = engine.simulate(commands)
+        output: List[int] = []
+        verified = False
+        bu_ops = 0
+        if cfg.functional:
+            bank = PimBank(cfg.arch, cfg.pim)
+            bank.set_parameters(ring.q)
+            bank.load_polynomial(cfg.base_row, [v % ring.q for v in values])
+            bank.run(commands)
+            output = bank.read_polynomial(mapper.result_base_row, ring.n)
+            bu_ops = bank.cu.bu_ops
+            if cfg.verify:
+                if inverse:
+                    from ..arith.modmath import mod_inverse
+                    n_inv = mod_inverse(ring.n, ring.q)
+                    expected = [(v * ring.n) % ring.q for v in
+                                merged_negacyclic_intt(values, ring)]
+                else:
+                    expected = merged_negacyclic_ntt(values, ring)
+                if output != expected:
+                    raise FunctionalMismatch(
+                        f"PIM negacyclic NTT wrong for N={ring.n}")
+                verified = True
+        return NttRunResult(
+            n=ring.n, q=ring.q, nb_buffers=cfg.pim.nb_buffers,
+            output=output, schedule=schedule, verified=verified,
+            command_count=len(commands), bu_ops=bu_ops)
+
+    def run_negacyclic_intt(self, values: Sequence[int],
+                            ring: NegacyclicParams) -> NttRunResult:
+        """Inverse merged transform including the host-side 1/N scale."""
+        from ..arith.modmath import mod_inverse
+        result = self.run_negacyclic_ntt(values, ring, inverse=True)
+        n_inv = mod_inverse(ring.n, ring.q)
+        result.output = [(v * n_inv) % ring.q for v in result.output]
+        return result
+
+    def run_intt(self, values: Sequence[int], ntt: NttParams) -> NttRunResult:
+        """Inverse transform: same machine, inverse twiddles; the final
+        1/N scaling is an element-wise pass the host (or an FHE pipeline's
+        next element-wise stage) absorbs — as in the compared works."""
+        result = self.run_ntt_with_params(values, ntt.inverse(),
+                                          verify_against=None)
+        n_inv, q = ntt.n_inv, ntt.q
+        result.output = [(v * n_inv) % q for v in result.output]
+        return result
+
+    def run_ntt_with_params(self, values: Sequence[int], ntt: NttParams,
+                            verify_against: Optional[List[int]] = "default",
+                            ) -> NttRunResult:
+        """Like :meth:`run_ntt` but with custom verification data."""
+        cfg = self.config
+        if verify_against == "default":
+            return self.run_ntt(values, ntt)
+        mapper = self.make_mapper(ntt)
+        commands = mapper.generate()
+        engine = TimingEngine(cfg.timing, cfg.arch,
+                              compute=cfg.pim.compute_timing(),
+                              energy=cfg.energy)
+        schedule = engine.simulate(commands)
+        output: List[int] = []
+        bu_ops = 0
+        verified = False
+        if cfg.functional:
+            bank = PimBank(cfg.arch, cfg.pim)
+            bank.set_parameters(ntt.q)
+            bank.load_polynomial(cfg.base_row, bit_reverse_permute(list(values)))
+            bank.run(commands)
+            output = bank.read_polynomial(mapper.result_base_row, ntt.n)
+            bu_ops = bank.cu.bu_ops
+            if verify_against is not None:
+                if output != verify_against:
+                    raise FunctionalMismatch("PIM result mismatch")
+                verified = True
+        return NttRunResult(
+            n=ntt.n, q=ntt.q, nb_buffers=cfg.pim.nb_buffers,
+            output=output, schedule=schedule, verified=verified,
+            command_count=len(commands), bu_ops=bu_ops)

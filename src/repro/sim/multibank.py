@@ -1,0 +1,118 @@
+"""Bank-level parallelism (Sec. VI.A / Conclusion).
+
+FHE workloads run many independent NTTs (one per RNS limb / ciphertext
+polynomial); the paper's architecture runs one per bank.  All banks
+share the command bus (one command per cycle) while row/column timing
+and the CUs are per-bank, so speedup is near-linear until the command
+bus saturates — which this module lets us measure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from ..arith.bitrev import bit_reverse_permute
+from ..arith.roots import NttParams
+from ..dram.commands import Command
+from ..dram.engine import ScheduleResult, TimingEngine
+from ..errors import FunctionalMismatch
+from ..ntt.reference import ntt as reference_ntt
+from ..pim.bank_pim import PimBank
+from .driver import NttPimDriver, SimConfig
+
+__all__ = ["interleave_programs", "MultiBankResult", "run_multibank"]
+
+
+def interleave_programs(programs: Sequence[List[Command]]) -> List[Command]:
+    """Round-robin merge of per-bank programs onto the shared bus.
+
+    Dependency indices are rewritten from per-program to merged
+    positions.  Round-robin models an MC draining per-bank queues
+    fairly, which is what gives each bank steady command-bus share.
+    """
+    merged: List[Command] = []
+    index_maps = [dict() for _ in programs]
+    cursors = [0] * len(programs)
+    remaining = sum(len(p) for p in programs)
+    while remaining:
+        for bank_idx, program in enumerate(programs):
+            cur = cursors[bank_idx]
+            if cur >= len(program):
+                continue
+            cmd = program[cur]
+            new_deps = tuple(index_maps[bank_idx][d] for d in cmd.deps)
+            merged.append(dataclasses.replace(cmd, deps=new_deps))
+            index_maps[bank_idx][cur] = len(merged) - 1
+            cursors[bank_idx] = cur + 1
+            remaining -= 1
+    return merged
+
+
+@dataclasses.dataclass
+class MultiBankResult:
+    """Outcome of running one NTT per bank concurrently."""
+
+    banks: int
+    schedule: ScheduleResult
+    single_bank_cycles: int
+    verified: bool
+
+    @property
+    def cycles(self) -> int:
+        return self.schedule.total_cycles
+
+    @property
+    def latency_us(self) -> float:
+        return self.schedule.latency_us
+
+    @property
+    def speedup(self) -> float:
+        """Throughput speedup over running the same work serially on one
+        bank: (banks * T1) / T_parallel."""
+        return self.banks * self.single_bank_cycles / self.cycles
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of ideal linear scaling achieved."""
+        return self.speedup / self.banks
+
+
+def run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
+                  config: SimConfig | None = None) -> MultiBankResult:
+    """Run ``len(inputs)`` independent NTTs, one per bank."""
+    config = config or SimConfig()
+    banks = len(inputs)
+    if banks < 1:
+        raise ValueError("need at least one bank's worth of input")
+    driver = NttPimDriver(config)
+    programs = [driver.map_commands(ntt, bank=k) for k in range(banks)]
+    merged = interleave_programs(programs)
+
+    engine = TimingEngine(config.timing, config.arch,
+                          compute=config.pim.compute_timing(),
+                          energy=config.energy)
+    schedule = engine.simulate(merged)
+    single = engine.simulate(programs[0])
+
+    verified = False
+    if config.functional:
+        bank_models = []
+        for values in inputs:
+            bank = PimBank(config.arch, config.pim)
+            bank.set_parameters(ntt.q)
+            bank.load_polynomial(config.base_row,
+                                 bit_reverse_permute(list(values)))
+            bank_models.append(bank)
+        for cmd in merged:
+            bank_models[cmd.bank].execute(cmd)
+        if config.verify:
+            for values, bank in zip(inputs, bank_models):
+                got = bank.read_polynomial(config.base_row, ntt.n)
+                if got != reference_ntt(values, ntt):
+                    raise FunctionalMismatch("multi-bank NTT result wrong")
+            verified = True
+
+    return MultiBankResult(banks=banks, schedule=schedule,
+                           single_bank_cycles=single.total_cycles,
+                           verified=verified)

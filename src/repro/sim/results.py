@@ -1,0 +1,51 @@
+"""Result record of one simulated NTT invocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..dram.engine import ScheduleResult
+
+__all__ = ["NttRunResult"]
+
+
+@dataclass
+class NttRunResult:
+    """Everything an experiment wants to know about one PIM NTT run."""
+
+    n: int
+    q: int
+    nb_buffers: int
+    output: List[int]
+    schedule: ScheduleResult
+    verified: bool
+    command_count: int
+    bu_ops: int
+
+    @property
+    def cycles(self) -> int:
+        return self.schedule.total_cycles
+
+    @property
+    def latency_ns(self) -> float:
+        return self.schedule.latency_ns
+
+    @property
+    def latency_us(self) -> float:
+        return self.schedule.latency_us
+
+    @property
+    def energy_nj(self) -> float:
+        return self.schedule.energy_nj
+
+    @property
+    def activations(self) -> int:
+        return self.schedule.stats.activations
+
+    def summary(self) -> str:
+        """One-line report used by examples and experiment harnesses."""
+        return (f"N={self.n:>5}  Nb={self.nb_buffers}  "
+                f"{self.latency_us:9.2f} us  {self.energy_nj:9.2f} nJ  "
+                f"ACTs={self.activations:>6}  cmds={self.command_count:>7}  "
+                f"verified={'yes' if self.verified else 'NO'}")

@@ -1,0 +1,69 @@
+"""Command-trace export — the "DRAM cmd seq" of the paper's Fig. 1.
+
+Serializes a command program (optionally with its simulated timing) in
+a DRAMsim3-style text format, one command per line, so schedules can be
+diffed, inspected, or replayed by external tools.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..dram.commands import Command, CommandType
+from ..dram.engine import CommandTiming
+
+__all__ = ["format_trace", "parse_trace_line", "trace_summary"]
+
+
+def format_trace(commands: Sequence[Command],
+                 timings: Optional[Sequence[CommandTiming]] = None) -> str:
+    """Render a command program as text.
+
+    With timings, each line is prefixed by the issue cycle::
+
+        123  bank0  CU_READ r5 c3 b1
+    """
+    if timings is not None and len(timings) != len(commands):
+        raise ValueError("timings and commands differ in length")
+    lines: List[str] = []
+    for i, cmd in enumerate(commands):
+        prefix = f"{timings[i].issue:>10}  " if timings is not None else ""
+        lines.append(f"{prefix}bank{cmd.bank}  {cmd.describe()}")
+    return "\n".join(lines)
+
+
+def parse_trace_line(line: str) -> dict:
+    """Parse one (untimed or timed) trace line back into fields."""
+    parts = line.split()
+    if not parts:
+        raise ValueError("empty trace line")
+    cursor = 0
+    issue = None
+    if parts[0].isdigit():
+        issue = int(parts[0])
+        cursor = 1
+    if not parts[cursor].startswith("bank"):
+        raise ValueError(f"malformed trace line: {line!r}")
+    bank = int(parts[cursor][4:])
+    op = parts[cursor + 1]
+    fields = {"issue": issue, "bank": bank, "op": op}
+    for token in parts[cursor + 2:]:
+        if token.startswith("r") and token[1:].isdigit():
+            fields["row"] = int(token[1:])
+        elif token.startswith("c") and token[1:].isdigit():
+            fields["col"] = int(token[1:])
+        elif token.startswith("b") and token[1:].replace(",", "").isdigit():
+            fields.setdefault("bufs", []).append(token)
+    return fields
+
+
+def trace_summary(commands: Iterable[Command]) -> str:
+    """One-line histogram of a program's command mix."""
+    counts = {}
+    total = 0
+    for cmd in commands:
+        counts[cmd.ctype.value] = counts.get(cmd.ctype.value, 0) + 1
+        total += 1
+    ordered = sorted(counts.items(), key=lambda kv: -kv[1])
+    body = ", ".join(f"{name}={count}" for name, count in ordered)
+    return f"{total} commands: {body}"

@@ -1,0 +1,6 @@
+"""Text visualizations: timing diagrams (Figs. 5-6) and log plots."""
+
+from ..experiments.report import ascii_log_plot
+from .timing_diagram import render_timing_diagram
+
+__all__ = ["ascii_log_plot", "render_timing_diagram"]

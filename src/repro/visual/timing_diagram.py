@@ -1,0 +1,76 @@
+"""ASCII timing diagrams in the style of the paper's Figs. 5 and 6.
+
+Two lanes, as in the paper: ``I/O`` (the bank's row/column machinery)
+and ``C`` (the compute unit).  Each command paints its issue..complete
+window; overlap between lanes is the pipelining the figures illustrate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..dram.commands import Command, CommandType
+from ..dram.engine import CommandTiming
+
+__all__ = ["render_timing_diagram"]
+
+_LANE_IO = ("ACT", "PRE", "RD", "WR", "CU_READ", "CU_WRITE", "PARAM_WRITE")
+
+_GLYPH = {
+    CommandType.ACT: "A",
+    CommandType.PRE: "P",
+    CommandType.RD: "R",
+    CommandType.WR: "W",
+    CommandType.CU_READ: "r",
+    CommandType.CU_WRITE: "w",
+    CommandType.C1: "1",
+    CommandType.C2: "2",
+    CommandType.PARAM_WRITE: "p",
+    CommandType.LOAD_SCALAR: "l",
+    CommandType.BU_SCALAR: "b",
+    CommandType.STORE_SCALAR: "s",
+}
+
+
+def render_timing_diagram(commands: Sequence[Command],
+                          timings: Sequence[CommandTiming],
+                          start_cycle: int = 0,
+                          end_cycle: int | None = None,
+                          max_width: int = 100) -> str:
+    """Render the [start, end) cycle window as two annotated lanes.
+
+    Cycles are compressed by an integer scale factor when the window
+    exceeds ``max_width`` columns.  Legend: uppercase = DRAM commands,
+    digits = C1/C2, lowercase = CU transfers / scalar micro-ops.
+    """
+    if len(commands) != len(timings):
+        raise ValueError("commands and timings differ in length")
+    if end_cycle is None:
+        end_cycle = max((t.complete for t in timings), default=0)
+    span = max(1, end_cycle - start_cycle)
+    scale = max(1, (span + max_width - 1) // max_width)
+    width = (span + scale - 1) // scale
+    lanes = {"I/O": [" "] * width, "C  ": [" "] * width}
+
+    for cmd, timing in zip(commands, timings):
+        lane = "I/O" if cmd.ctype.value in _LANE_IO else "C  "
+        glyph = _GLYPH[cmd.ctype]
+        lo = max(timing.issue, start_cycle)
+        hi = min(timing.complete, end_cycle)
+        if hi <= lo:
+            continue
+        c_lo = (lo - start_cycle) // scale
+        c_hi = max(c_lo + 1, (hi - start_cycle + scale - 1) // scale)
+        row = lanes[lane]
+        for c in range(c_lo, min(c_hi, width)):
+            row[c] = glyph
+
+    lines: List[str] = [
+        f"cycles {start_cycle}..{end_cycle} (1 char = {scale} cycle"
+        f"{'s' if scale > 1 else ''})",
+    ]
+    for name, row in lanes.items():
+        lines.append(f"{name} |{''.join(row)}|")
+    lines.append("legend: A=ACT P=PRE r=CU_READ w=CU_WRITE 1=C1 2=C2 "
+                 "p=PARAM l/b/s=scalar uops")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Unit and property tests for Barrett reduction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arith import BarrettContext, barrett_reduce
+
+
+class TestBarrett:
+    def test_reduce_basic(self):
+        assert barrett_reduce(45, 7) == 45 % 7  # 45 <= q^2 = 49
+
+    def test_reduce_zero(self):
+        assert barrett_reduce(0, 7) == 0
+
+    def test_reduce_at_q_squared(self):
+        q = 12289
+        assert BarrettContext(q).reduce(q * q) == 0
+
+    def test_modulus_one_rejected(self):
+        with pytest.raises(ValueError):
+            BarrettContext(1)
+
+    def test_out_of_range_rejected(self):
+        ctx = BarrettContext(7)
+        with pytest.raises(ValueError):
+            ctx.reduce(50)  # > q^2 = 49
+        with pytest.raises(ValueError):
+            ctx.reduce(-1)
+
+    def test_mul(self):
+        ctx = BarrettContext(12289)
+        assert ctx.mul(12345, 67890) == (12345 * 67890) % 12289
+
+    def test_even_modulus_works(self):
+        # Unlike Montgomery, Barrett has no parity restriction.
+        ctx = BarrettContext(100)
+        assert ctx.mul(73, 91) == (73 * 91) % 100
+
+
+@given(
+    q=st.integers(min_value=2, max_value=2**32),
+    a=st.integers(min_value=0, max_value=2**32),
+    b=st.integers(min_value=0, max_value=2**32),
+)
+def test_property_barrett_mul(q, a, b):
+    assert BarrettContext(q).mul(a, b) == (a * b) % q

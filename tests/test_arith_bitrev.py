@@ -1,0 +1,60 @@
+"""Tests for the bit-reversal permutation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arith import (
+    bit_reverse,
+    bit_reverse_indices,
+    bit_reverse_permute,
+    is_power_of_two,
+)
+
+
+class TestBitReverse:
+    def test_known_values(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+        assert bit_reverse(0, 3) == 0
+        assert bit_reverse(0b1, 1) == 0b1
+
+    def test_zero_bits(self):
+        assert bit_reverse(0, 0) == 0
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError):
+            bit_reverse(8, 3)
+
+    def test_negative_width(self):
+        with pytest.raises(ValueError):
+            bit_reverse(1, -1)
+
+    def test_indices_n8(self):
+        # The classic FFT input order of the paper's Fig. 3.
+        assert bit_reverse_indices(8) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_permute_fig3_order(self):
+        values = list(range(8))
+        assert bit_reverse_permute(values) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_permute_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            bit_reverse_permute([1, 2, 3])
+
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(1 << k) for k in range(20))
+        assert not any(is_power_of_two(v) for v in (0, -2, 3, 6, 12, 100))
+
+
+@given(st.integers(min_value=0, max_value=11))
+def test_property_involution(log_n):
+    n = 1 << log_n
+    values = list(range(n))
+    assert bit_reverse_permute(bit_reverse_permute(values)) == values
+
+
+@given(st.integers(min_value=1, max_value=14), st.data())
+def test_property_reverse_twice_is_identity(bits, data):
+    value = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+    assert bit_reverse(bit_reverse(value, bits), bits) == value

@@ -1,0 +1,107 @@
+"""Unit tests for repro.arith.modmath."""
+
+import pytest
+
+from repro.arith import (
+    egcd,
+    is_unit,
+    mod_add,
+    mod_add_vec,
+    mod_inverse,
+    mod_mul,
+    mod_mul_vec,
+    mod_neg,
+    mod_pow,
+    mod_sub,
+    mod_sub_vec,
+)
+
+
+class TestScalarOps:
+    def test_add_basic(self):
+        assert mod_add(5, 9, 7) == 0
+
+    def test_add_wraps(self):
+        assert mod_add(6, 6, 7) == 5
+
+    def test_sub_positive_result(self):
+        assert mod_sub(5, 3, 7) == 2
+
+    def test_sub_wraps_negative(self):
+        assert mod_sub(3, 5, 7) == 5
+
+    def test_mul_basic(self):
+        assert mod_mul(3, 4, 7) == 5
+
+    def test_neg(self):
+        assert mod_neg(3, 7) == 4
+
+    def test_neg_zero(self):
+        assert mod_neg(0, 7) == 0
+
+    def test_results_always_canonical(self):
+        q = 13
+        for a in range(-q, q):
+            for b in range(-q, q):
+                assert 0 <= mod_add(a, b, q) < q
+                assert 0 <= mod_sub(a, b, q) < q
+                assert 0 <= mod_mul(a, b, q) < q
+
+    @pytest.mark.parametrize("fn", [mod_add, mod_sub, mod_mul])
+    def test_nonpositive_modulus_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(1, 2, 0)
+        with pytest.raises(ValueError):
+            fn(1, 2, -5)
+
+
+class TestPowInverse:
+    def test_pow_matches_builtin(self):
+        assert mod_pow(3, 20, 101) == pow(3, 20, 101)
+
+    def test_pow_negative_exponent(self):
+        q = 101
+        inv = mod_pow(3, -1, q)
+        assert (3 * inv) % q == 1
+
+    def test_pow_negative_exponent_general(self):
+        q = 97
+        assert mod_pow(5, -3, q) == pow(mod_inverse(5, q), 3, q)
+
+    def test_inverse_all_units_mod_prime(self):
+        q = 31
+        for a in range(1, q):
+            assert (a * mod_inverse(a, q)) % q == 1
+
+    def test_inverse_of_non_unit_raises(self):
+        with pytest.raises(ValueError):
+            mod_inverse(6, 12)
+
+    def test_inverse_negative_input(self):
+        q = 17
+        assert ((-3) * mod_inverse(-3, q)) % q == 1
+
+    def test_egcd_identity(self):
+        for a, b in [(12, 18), (35, 64), (0, 5), (7, 0), (270, 192)]:
+            g, x, y = egcd(a, b)
+            assert a * x + b * y == g
+
+    def test_is_unit(self):
+        assert is_unit(5, 12)
+        assert not is_unit(6, 12)
+
+
+class TestVectorOps:
+    def test_add_vec(self):
+        assert mod_add_vec([1, 2, 3], [6, 6, 6], 7) == [0, 1, 2]
+
+    def test_sub_vec(self):
+        assert mod_sub_vec([1, 2, 3], [6, 6, 6], 7) == [2, 3, 4]
+
+    def test_mul_vec(self):
+        assert mod_mul_vec([1, 2, 3], [6, 6, 6], 7) == [6, 5, 4]
+
+    @pytest.mark.parametrize("fn", [mod_add_vec, mod_sub_vec, mod_mul_vec])
+    def test_length_mismatch(self, fn):
+        with pytest.raises(ValueError):
+            fn([1, 2], [1], 7)

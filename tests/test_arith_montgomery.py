@@ -1,0 +1,93 @@
+"""Unit and property tests for the Montgomery datapath model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import DEFAULT_PRIME_32, MontgomeryContext, montgomery_reduce
+
+ODD_MODULI = [3, 17, 12289, 65537, 8380417, DEFAULT_PRIME_32]
+
+
+class TestContextConstruction:
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            MontgomeryContext(16)
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            MontgomeryContext(1)
+
+    def test_radix_must_exceed_modulus(self):
+        with pytest.raises(ValueError):
+            MontgomeryContext(257, rbits=8)
+
+    def test_default_radix_at_least_32(self):
+        assert MontgomeryContext(17).rbits == 32
+
+    def test_qprime_identity(self):
+        # q * q' ≡ -1 (mod R)
+        for q in ODD_MODULI:
+            ctx = MontgomeryContext(q)
+            assert (q * ctx.q_neg_inv) % ctx.r == ctx.r - 1
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("q", ODD_MODULI)
+    def test_to_from_mont(self, q):
+        ctx = MontgomeryContext(q)
+        for a in [0, 1, 2, q - 1, q // 2, q // 3]:
+            assert ctx.from_mont(ctx.to_mont(a)) == a % q
+
+    def test_reduce_rejects_out_of_range(self):
+        ctx = MontgomeryContext(17)
+        with pytest.raises(ValueError):
+            montgomery_reduce(17 << 32, 17, 32, ctx.q_neg_inv)
+        with pytest.raises(ValueError):
+            montgomery_reduce(-1, 17, 32, ctx.q_neg_inv)
+
+
+class TestMultiplication:
+    @pytest.mark.parametrize("q", ODD_MODULI)
+    def test_mul_small_exhaustive_slice(self, q):
+        ctx = MontgomeryContext(q)
+        samples = [0, 1, 2, 3, q - 1, q - 2, q // 2]
+        for a in samples:
+            for b in samples:
+                assert ctx.mul(a, b) == (a * b) % q
+
+    def test_mont_domain_multiplication(self):
+        q = 12289
+        ctx = MontgomeryContext(q)
+        a, b = 1234, 5678
+        ab_bar = ctx.mont_mul(ctx.to_mont(a), ctx.to_mont(b))
+        assert ctx.from_mont(ab_bar) == (a * b) % q
+
+    def test_pow_matches_builtin(self):
+        q = 12289
+        ctx = MontgomeryContext(q)
+        for base in [0, 1, 3, 11, q - 1]:
+            for exp in [0, 1, 2, 17, 4096]:
+                assert ctx.pow(base, exp) == pow(base, exp, q)
+
+    def test_pow_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            MontgomeryContext(17).pow(3, -1)
+
+
+@given(
+    q=st.sampled_from(ODD_MODULI),
+    a=st.integers(min_value=0, max_value=2**64),
+    b=st.integers(min_value=0, max_value=2**64),
+)
+@settings(max_examples=200)
+def test_property_mul_equals_modmul(q, a, b):
+    """The Montgomery path is functionally a plain modular multiply."""
+    ctx = MontgomeryContext(q)
+    assert ctx.mul(a, b) == (a * b) % q
+
+
+@given(q=st.sampled_from(ODD_MODULI), a=st.integers(min_value=0, max_value=2**40))
+def test_property_roundtrip(q, a):
+    ctx = MontgomeryContext(q)
+    assert ctx.from_mont(ctx.to_mont(a)) == a % q

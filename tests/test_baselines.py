@@ -1,0 +1,112 @@
+"""Tests for the x86 software baseline and the comparator models."""
+
+import random
+
+import pytest
+
+from repro.arith import NttParams, find_ntt_prime
+from repro.baselines import (
+    CpuNttModel,
+    CryptoPimModel,
+    FpgaNttModel,
+    MeNttModel,
+    numpy_ntt,
+)
+from repro.ntt import ntt
+
+Q = find_ntt_prime(4096, 32)
+
+
+class TestNumpyNtt:
+    @pytest.mark.parametrize("n", [8, 64, 256, 1024])
+    def test_matches_reference(self, n):
+        rng = random.Random(n)
+        params = NttParams(n, Q)
+        x = [rng.randrange(Q) for _ in range(n)]
+        assert numpy_ntt(x, params) == ntt(x, params)
+
+    def test_rejects_wide_modulus(self):
+        q = find_ntt_prime(8, 40)
+        with pytest.raises(ValueError):
+            numpy_ntt([0] * 8, NttParams(8, q))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            numpy_ntt([1, 2, 3], NttParams(8, 12289))
+
+
+class TestCpuModel:
+    PAPER = {256: 84.81, 512: 168.96, 1024: 349.41,
+             2048: 736.92, 4096: 1503.31}
+    PAPER_E = {256: 570.60, 512: 1179.52, 1024: 2483.77,
+               2048: 5273.07, 4096: 10864.64}
+
+    def test_latency_within_10pct_of_paper(self):
+        model = CpuNttModel()
+        for n, ref in self.PAPER.items():
+            assert abs(model.latency_us(n) - ref) / ref < 0.10
+
+    def test_energy_within_10pct_of_paper(self):
+        model = CpuNttModel()
+        for n, ref in self.PAPER_E.items():
+            assert abs(model.energy_nj(n) - ref) / ref < 0.10
+
+    def test_monotone_in_n(self):
+        model = CpuNttModel()
+        lats = [model.latency_us(n) for n in (256, 512, 1024, 2048, 4096, 8192)]
+        assert lats == sorted(lats)
+
+    def test_butterfly_count(self):
+        assert CpuNttModel().butterflies(1024) == 512 * 10
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            CpuNttModel().latency_us(100)
+
+
+class TestComparators:
+    def test_published_points_returned_exactly(self):
+        mentt = MeNttModel()
+        assert mentt.latency_us(256) == 23.0
+        assert mentt.energy_nj(1024) == 0.868
+        cpim = CryptoPimModel()
+        assert cpim.latency_us(2048) == 363.90
+        fpga = FpgaNttModel()
+        assert fpga.latency_us(512) == 47.64
+
+    def test_mentt_max_n_restriction(self):
+        mentt = MeNttModel()
+        assert not mentt.supports(2048)
+        assert mentt.latency_us(2048) is None
+        assert mentt.energy_nj(4096) is None
+
+    def test_cryptopim_fixed_modulus_flag(self):
+        assert CryptoPimModel().fixed_modulus
+        assert not MeNttModel().fixed_modulus
+
+    def test_fpga_extrapolation_scales_nlogn(self):
+        fpga = FpgaNttModel()
+        t2048 = fpga.latency_us(2048)
+        t4096 = fpga.latency_us(4096)
+        assert t2048 is not None and t4096 is not None
+        assert 1.8 < t4096 / t2048 < 2.4
+
+    def test_mentt_extrapolation_within_range(self):
+        # 128 is unpublished but within capability.
+        t = MeNttModel().latency_us(128)
+        assert t is not None and 0 < t < 23.0 * 2
+
+    def test_cryptopim_capacity_jump(self):
+        """The published 1024 -> 2048 latency jump (crossbar refills)."""
+        cpim = CryptoPimModel()
+        assert cpim.latency_us(2048) > 3 * cpim.latency_us(1024)
+
+    def test_energy_extrapolation_follows_latency(self):
+        fpga = FpgaNttModel()
+        e = fpga.energy_nj(2048)
+        assert e is not None and e > fpga.energy_nj(1024)
+
+    def test_bitwidths(self):
+        assert MeNttModel().bitwidth == 14
+        assert CryptoPimModel().bitwidth == 16
+        assert FpgaNttModel().bitwidth == 16

@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_run_subcommand(self, capsys):
+        assert main(["run", "-n", "256", "--nb", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "N=  256" in out and "verified=yes" in out
+
+    def test_run_with_frequency(self, capsys):
+        assert main(["run", "-n", "256", "--freq", "600"]) == 0
+        assert "verified=yes" in capsys.readouterr().out
+
+    def test_trace_subcommand(self, capsys):
+        assert main(["trace", "-n", "256", "--head", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "commands:" in out
+        assert "bank0" in out
+        assert "more)" in out
+
+    def test_table2_subcommand(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Newton" in out
+        assert "FAIL" not in out
+
+    def test_fig6_subcommand(self, capsys):
+        assert main(["fig6"]) == 0
+        assert "inter-row" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,104 @@
+"""Tests for the area (Table II) and power models."""
+
+import pytest
+
+from repro.cost import (
+    AreaModel,
+    GateLibrary,
+    PowerModel,
+    average_power_mw,
+    crossbar_gates,
+    cu_area_mm2,
+    dram_bank_area_mm2,
+    modadd_gates,
+    montgomery_multiplier_gates,
+    newton_area_mm2,
+    sram_buffer_um2,
+)
+from repro.dram import HBM2E_ENERGY, HBM2E_TIMING, SimStats
+
+PAPER = {1: 0.0213, 2: 0.0232, 4: 0.0263, 6: 0.0285}
+
+
+class TestGateModel:
+    def test_multiplier_scales_quadratically(self):
+        g16 = montgomery_multiplier_gates(16)
+        g32 = montgomery_multiplier_gates(32)
+        assert 3.0 < g32 / g16 < 4.5
+
+    def test_multiplier_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            montgomery_multiplier_gates(2)
+
+    def test_modadd_linear(self):
+        assert modadd_gates(32) == pytest.approx(2 * modadd_gates(16), rel=0.1)
+
+    def test_crossbar_superlinear(self):
+        b = 32
+        g3, g6 = crossbar_gates(3, b), crossbar_gates(6, b)
+        assert g6 > 2 * g3
+
+    def test_sram_dominated_by_periphery_at_atom_size(self):
+        lib = GateLibrary()
+        total = sram_buffer_um2(256, lib)
+        cells = 256 * (8 / 6) * lib.sram_cell_um2
+        assert total > 3 * cells
+
+
+class TestTable2Calibration:
+    def test_bank_area(self):
+        assert dram_bank_area_mm2() == pytest.approx(4.2208, rel=0.01)
+
+    def test_newton_area(self):
+        assert newton_area_mm2() == pytest.approx(0.0474, rel=0.02)
+
+    @pytest.mark.parametrize("nb,ref", sorted(PAPER.items()))
+    def test_cu_area_matches_paper(self, nb, ref):
+        assert cu_area_mm2(nb) == pytest.approx(ref, rel=0.05)
+
+    def test_area_monotone_in_buffers(self):
+        areas = [cu_area_mm2(nb) for nb in (1, 2, 3, 4, 5, 6, 8)]
+        assert areas == sorted(areas)
+
+    def test_less_than_half_of_newton_base(self):
+        assert cu_area_mm2(1) < 0.55 * newton_area_mm2()
+
+    def test_invalid_nb(self):
+        with pytest.raises(ValueError):
+            cu_area_mm2(0)
+
+    def test_table_structure(self):
+        table = AreaModel().table()
+        assert {r["nb"] for r in table["ntt_pim"]} == {1, 2, 4, 6}
+        assert all(r["percent_of_bank"] < 1.0 for r in table["ntt_pim"])
+
+
+class TestPowerModel:
+    def _stats(self):
+        stats = SimStats(total_cycles=1200)  # 1 us at 1200 MHz
+        stats.command_counts = {"ACT": 2, "CU_READ": 10, "CU_WRITE": 10,
+                                "C1": 4, "C2": 8}
+        return stats
+
+    def test_breakdown_sums(self):
+        model = PowerModel(HBM2E_ENERGY, HBM2E_TIMING)
+        b = model.breakdown(self._stats())
+        assert b["total_pj"] == pytest.approx(
+            b["activation_pj"] + b["column_pj"] + b["compute_pj"]
+            + b["static_pj"])
+
+    def test_activation_energy_dominates_per_op(self):
+        assert HBM2E_ENERGY.act_pj > 4 * HBM2E_ENERGY.rd_pj
+
+    def test_internal_transfer_cheaper_than_io(self):
+        assert HBM2E_ENERGY.cu_rd_pj < HBM2E_ENERGY.rd_pj
+
+    def test_average_power(self):
+        assert average_power_mw(100.0, 10.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            average_power_mw(1.0, 0.0)
+
+    def test_average_power_from_stats(self):
+        model = PowerModel(HBM2E_ENERGY, HBM2E_TIMING)
+        p = model.average_power_mw(self._stats())
+        assert p > 0

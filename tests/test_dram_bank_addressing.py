@@ -1,0 +1,135 @@
+"""Tests for bank storage semantics and address mapping."""
+
+import pytest
+
+from repro.dram import AddressMap, BankStorage, HBM2E_ARCH
+from repro.errors import MappingError
+
+
+class TestAddressMap:
+    def test_first_words(self):
+        am = AddressMap(HBM2E_ARCH, base_row=0, length=1024)
+        loc = am.locate(0)
+        assert (loc.row, loc.atom, loc.lane) == (0, 0, 0)
+        loc = am.locate(9)
+        assert (loc.row, loc.atom, loc.lane) == (0, 1, 1)
+
+    def test_row_crossing(self):
+        am = AddressMap(HBM2E_ARCH, base_row=5, length=1024)
+        loc = am.locate(256)  # first word of second row
+        assert (loc.row, loc.atom, loc.lane) == (6, 0, 0)
+
+    def test_roundtrip(self):
+        am = AddressMap(HBM2E_ARCH, base_row=3, length=2048)
+        for w in (0, 1, 7, 8, 255, 256, 2047):
+            assert am.word_of(am.locate(w)) == w
+
+    def test_atom_of(self):
+        am = AddressMap(HBM2E_ARCH, length=512)
+        assert am.atom_of(0) == 0
+        assert am.atom_of(8) == 1
+        assert am.atom_of(511) == 63
+
+    def test_atom_location(self):
+        am = AddressMap(HBM2E_ARCH, length=512)
+        loc = am.atom_location(33)  # second row, atom 1
+        assert (loc.row, loc.atom, loc.lane) == (1, 1, 0)
+        assert loc.col == 1
+
+    def test_rows_used(self):
+        am = AddressMap(HBM2E_ARCH)
+        assert am.rows_used(256) == 1
+        assert am.rows_used(257) == 2
+        assert am.rows_used(8192) == 32
+
+    def test_out_of_range(self):
+        am = AddressMap(HBM2E_ARCH, length=256)
+        with pytest.raises(ValueError):
+            am.locate(256)
+        with pytest.raises(ValueError):
+            am.locate(-1)
+
+    def test_base_row_outside_bank(self):
+        with pytest.raises(ValueError):
+            AddressMap(HBM2E_ARCH, base_row=40000)
+
+    def test_does_not_fit(self):
+        with pytest.raises(ValueError):
+            AddressMap(HBM2E_ARCH, base_row=32767, length=1024)
+
+
+class TestBankStorage:
+    def test_activate_read(self):
+        bank = BankStorage(HBM2E_ARCH)
+        bank.host_write_words(3, 0, list(range(16)))
+        bank.activate(3)
+        assert bank.read_atom(3, 0) == list(range(8))
+        assert bank.read_atom(3, 1) == list(range(8, 16))
+        bank.precharge()
+
+    def test_write_visible_after_precharge(self):
+        bank = BankStorage(HBM2E_ARCH)
+        bank.activate(7)
+        bank.write_atom(7, 2, [9] * 8)
+        bank.precharge()
+        assert bank.host_read_words(7, 16, 8) == [9] * 8
+
+    def test_row_buffer_isolation_until_precharge(self):
+        """Writes land in the row buffer; the array copy happens at PRE."""
+        bank = BankStorage(HBM2E_ARCH)
+        bank.activate(1)
+        bank.write_atom(1, 0, [5] * 8)
+        # Reading through the open row sees the new data immediately.
+        assert bank.read_atom(1, 0) == [5] * 8
+        bank.precharge()
+        assert bank.host_read_words(1, 0, 8) == [5] * 8
+
+    def test_double_activate_rejected(self):
+        bank = BankStorage(HBM2E_ARCH)
+        bank.activate(0)
+        with pytest.raises(MappingError):
+            bank.activate(1)
+
+    def test_precharge_without_open_row(self):
+        with pytest.raises(MappingError):
+            BankStorage(HBM2E_ARCH).precharge()
+
+    def test_column_access_wrong_row(self):
+        bank = BankStorage(HBM2E_ARCH)
+        bank.activate(0)
+        with pytest.raises(MappingError):
+            bank.read_atom(1, 0)
+
+    def test_column_access_closed_bank(self):
+        with pytest.raises(MappingError):
+            BankStorage(HBM2E_ARCH).read_atom(0, 0)
+
+    def test_column_out_of_range(self):
+        bank = BankStorage(HBM2E_ARCH)
+        bank.activate(0)
+        with pytest.raises(MappingError):
+            bank.read_atom(0, 32)
+
+    def test_wrong_atom_size_write(self):
+        bank = BankStorage(HBM2E_ARCH)
+        bank.activate(0)
+        with pytest.raises(MappingError):
+            bank.write_atom(0, 0, [1, 2, 3])
+
+    def test_host_access_requires_closed_bank(self):
+        bank = BankStorage(HBM2E_ARCH)
+        bank.activate(0)
+        with pytest.raises(MappingError):
+            bank.host_read_words(0, 0, 8)
+
+    def test_polynomial_roundtrip(self):
+        bank = BankStorage(HBM2E_ARCH)
+        data = list(range(1000))
+        bank.host_write_polynomial(10, data)
+        assert bank.host_read_polynomial(10, 1000) == data
+
+    def test_polynomial_spans_rows(self):
+        bank = BankStorage(HBM2E_ARCH)
+        data = list(range(512))
+        bank.host_write_polynomial(0, data)
+        assert bank.host_read_words(1, 0, 8) == list(range(256, 264))

@@ -1,0 +1,99 @@
+"""Property/fuzz tests of the timing engine on randomly generated but
+protocol-legal command programs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import (
+    Command,
+    CommandType,
+    ComputeTiming,
+    HBM2E_ARCH,
+    HBM2E_TIMING,
+    TimingEngine,
+)
+
+
+def _random_legal_program(seed: int, length: int):
+    """Generate a random DRAM/PIM program that obeys open-row rules."""
+    rng = random.Random(seed)
+    cmds = []
+    open_row = None
+    cmds.append(Command(CommandType.PARAM_WRITE, payload_words=6))
+    for _ in range(length):
+        choices = []
+        if open_row is None:
+            choices = ["act"]
+        else:
+            choices = ["rd", "wr", "c1", "c2", "pre", "rd", "wr"]
+        op = rng.choice(choices)
+        if op == "act":
+            open_row = rng.randrange(64)
+            cmds.append(Command(CommandType.ACT, row=open_row))
+        elif op == "pre":
+            cmds.append(Command(CommandType.PRE))
+            open_row = None
+        elif op == "rd":
+            cmds.append(Command(CommandType.CU_READ, row=open_row,
+                                col=rng.randrange(32), buf=rng.randrange(2)))
+        elif op == "wr":
+            cmds.append(Command(CommandType.CU_WRITE, row=open_row,
+                                col=rng.randrange(32), buf=rng.randrange(2)))
+        elif op == "c1":
+            cmds.append(Command(CommandType.C1, buf=rng.randrange(2),
+                                omega0=3))
+        elif op == "c2":
+            cmds.append(Command(CommandType.C2, buf=0, buf2=1,
+                                omega0=3, r_omega=5))
+    if open_row is not None:
+        cmds.append(Command(CommandType.PRE))
+    return cmds
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       length=st.integers(min_value=1, max_value=120))
+@settings(max_examples=60, deadline=None)
+def test_property_legal_programs_simulate(seed, length):
+    """Every protocol-legal program must simulate without error, with
+    strictly increasing issue times and completes >= issues."""
+    cmds = _random_legal_program(seed, length)
+    engine = TimingEngine(HBM2E_TIMING, HBM2E_ARCH, compute=ComputeTiming())
+    result = engine.simulate(cmds)
+    issues = [t.issue for t in result.timings]
+    assert all(b > a for a, b in zip(issues, issues[1:]))
+    assert all(t.complete >= t.issue for t in result.timings)
+    assert result.total_cycles == max(t.complete for t in result.timings)
+    assert result.stats.total_commands == len(cmds)
+    assert result.energy_nj > 0
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_property_slower_timing_never_faster(seed):
+    """Uniformly relaxing DRAM timing cannot shorten a schedule."""
+    from dataclasses import replace
+    cmds = _random_legal_program(seed, 60)
+    fast = TimingEngine(HBM2E_TIMING, HBM2E_ARCH).simulate(cmds)
+    slow_params = replace(HBM2E_TIMING, cl=20, trp=20, tras=44,
+                          trcd=20, twr=22, tccd=4)
+    slow = TimingEngine(slow_params, HBM2E_ARCH).simulate(cmds)
+    assert slow.total_cycles >= fast.total_cycles
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_property_prefix_monotone(seed):
+    """Simulating a prefix never takes longer than the whole program."""
+    cmds = _random_legal_program(seed, 80)
+    engine = TimingEngine(HBM2E_TIMING, HBM2E_ARCH)
+    full = engine.simulate(cmds)
+    # Choose a prefix that leaves no dangling open row: cut after a PRE.
+    pre_positions = [i for i, c in enumerate(cmds)
+                     if c.ctype is CommandType.PRE]
+    if not pre_positions:
+        return
+    cut = pre_positions[len(pre_positions) // 2] + 1
+    prefix = engine.simulate(cmds[:cut])
+    assert prefix.total_cycles <= full.total_cycles

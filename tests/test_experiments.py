@@ -1,0 +1,143 @@
+"""Tests for the experiment harnesses (reduced sweeps for speed) and
+their paper-claim checks."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE2,
+    PAPER_TABLE3_LATENCY,
+    run_ablations,
+    run_bank_scaling,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.report import ascii_log_plot, format_table
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(l) for l in lines[1:]}) <= 2  # header+sep+rows align
+
+    def test_format_table_none_rendered_as_dash(self):
+        out = format_table(["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_ascii_plot_contains_markers(self):
+        out = ascii_log_plot({"s1": [(1, 1), (10, 10)],
+                              "s2": [(1, 2), (10, 20)]})
+        assert "o" in out and "x" in out
+
+    def test_ascii_plot_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_log_plot({"s": []})
+
+
+class TestTable2:
+    def test_all_claims_hold(self):
+        result = run_table2()
+        assert all(result.check_claims().values())
+
+    def test_matches_paper_values(self):
+        result = run_table2()
+        for nb, ref in PAPER_TABLE2["ntt_pim"].items():
+            assert result.area(nb) == pytest.approx(ref, rel=0.05)
+
+    def test_table_renders(self):
+        assert "Newton" in run_table2().table()
+
+
+class TestFig6:
+    def test_all_claims_hold(self):
+        result = run_fig6()
+        assert all(result.check_claims().values())
+
+    def test_speedups_bounded(self):
+        result = run_fig6()
+        for regime in ("intra-atom", "intra-row", "inter-row"):
+            assert 1.0 < result.speedup(regime) < 5.0
+
+    def test_table_renders(self):
+        assert "inter-row" in run_fig6().table()
+
+
+class TestFig7Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(ns=(256, 512, 1024), nbs=(1, 2, 4, 6))
+
+    def test_claims(self, result):
+        assert all(result.check_claims().values())
+
+    def test_aux_buffer_gain(self, result):
+        for n in (256, 512, 1024):
+            assert result.aux_buffer_gain(n) >= 7.0
+
+    def test_pipelining_gain_band(self, result):
+        for n in (256, 512, 1024):
+            assert 1.3 <= result.pipelining_gain(n) <= 3.0
+
+    def test_rendering(self, result):
+        assert "Nb=2" in result.table()
+        assert "Fig. 7" in result.plot()
+
+
+class TestFig8Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8(ns=(256, 1024, 2048), freqs=(1200.0, 600.0, 300.0))
+
+    def test_slowdown_below_clock_ratio(self, result):
+        for n in (256, 1024, 2048):
+            assert result.slowdown(n, 300.0) < 4.0
+
+    def test_large_n_more_robust(self, result):
+        assert result.slowdown(2048, 300.0) <= result.slowdown(256, 300.0)
+
+    def test_rendering(self, result):
+        assert "300MHz" in result.table()
+
+
+class TestTable3Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3(ns=(256, 512, 1024))
+
+    def test_beats_prior_pim(self, result):
+        for n in (256, 512, 1024):
+            assert result.speedup_vs_best_prior(n, 6) > 1.0
+
+    def test_latency_within_2x_of_paper(self, result):
+        for (n, nb), ref in PAPER_TABLE3_LATENCY.items():
+            if (n, nb) in result.pim_us:
+                assert 0.4 <= result.pim_us[(n, nb)] / ref <= 2.0
+
+    def test_energy_table_renders(self, result):
+        assert "MeNTT" in result.energy_table()
+
+    def test_mentt_absent_beyond_max_n(self):
+        result = run_table3(ns=(2048,))
+        assert result.comparators_us["MeNTT"][2048] is None
+
+
+class TestAblationsSmall:
+    def test_claims(self):
+        result = run_ablations(ns=(1024,), nb=6)
+        assert all(result.check_claims().values())
+
+    def test_penalties_above_one(self):
+        result = run_ablations(ns=(1024,), nb=6)
+        assert result.penalty(1024, "no-in-place") > 1.0
+        assert result.penalty(1024, "no-grouping") > 1.0
+
+
+class TestBankScalingSmall:
+    def test_claims(self):
+        result = run_bank_scaling(n=512, banks=(1, 2, 4))
+        assert all(result.check_claims().values())

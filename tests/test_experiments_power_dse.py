@@ -1,0 +1,33 @@
+"""Tests for the power-analysis experiment."""
+
+import pytest
+
+from repro.experiments.power_analysis import run_power_analysis
+
+
+class TestPowerAnalysis:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_power_analysis(ns=(256, 1024, 4096), nb=2)
+
+    def test_all_claims(self, result):
+        assert all(result.check_claims().values())
+
+    def test_shares_sum_to_one(self, result):
+        for n in result.ns:
+            assert sum(result.shares[n].values()) == pytest.approx(1.0)
+
+    def test_activation_share_monotone(self, result):
+        shares = [result.activation_share(n) for n in result.ns]
+        assert shares == sorted(shares)
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "avg power (mW)" in text
+        assert "ACT %" in text
+
+    def test_small_n_dominated_by_columns_not_acts(self, result):
+        # N=256 fits one row: a single activation, column traffic rules.
+        s = result.shares[256]
+        assert s["activation"] < 0.05
+        assert s["column"] > 0.3

@@ -1,0 +1,116 @@
+"""Tests for the RNS layer and its PIM-parallel multiplier."""
+
+import random
+
+import pytest
+
+from repro.fhe import PimRnsMultiplier, RnsBasis, RnsPolynomial
+from repro.ntt import naive_negacyclic_convolution
+from repro.pim import PimParams
+from repro.sim import SimConfig
+
+N = 64
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return RnsBasis.generate(N, limbs=3, bits=30)
+
+
+class TestRnsBasis:
+    def test_generate_distinct_coprime(self, basis):
+        assert len(set(basis.moduli)) == 3
+        for q in basis.moduli:
+            assert (q - 1) % (2 * N) == 0
+
+    def test_big_q_is_product(self, basis):
+        product = 1
+        for q in basis.moduli:
+            product *= q
+        assert basis.big_q == product
+
+    def test_crt_roundtrip(self, basis):
+        rng = random.Random(1)
+        coeffs = [rng.randrange(basis.big_q) for _ in range(N)]
+        assert basis.from_rns(basis.to_rns(coeffs)) == coeffs
+
+    def test_to_rns_wrong_length(self, basis):
+        with pytest.raises(ValueError):
+            basis.to_rns([1, 2, 3])
+
+    def test_from_rns_wrong_limbs(self, basis):
+        with pytest.raises(ValueError):
+            basis.from_rns([[0] * N])
+
+    def test_duplicate_moduli_rejected(self):
+        q = RnsBasis.generate(N, 1).moduli[0]
+        with pytest.raises(ValueError):
+            RnsBasis(N, [q, q])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RnsBasis(N, [])
+
+
+class TestRnsPolynomial:
+    def test_add_matches_bigint(self, basis):
+        rng = random.Random(2)
+        a = [rng.randrange(basis.big_q) for _ in range(N)]
+        b = [rng.randrange(basis.big_q) for _ in range(N)]
+        pa = RnsPolynomial.from_coefficients(basis, a)
+        pb = RnsPolynomial.from_coefficients(basis, b)
+        got = (pa + pb).to_coefficients()
+        assert got == [(x + y) % basis.big_q for x, y in zip(a, b)]
+
+    def test_sub_matches_bigint(self, basis):
+        rng = random.Random(3)
+        a = [rng.randrange(basis.big_q) for _ in range(N)]
+        b = [rng.randrange(basis.big_q) for _ in range(N)]
+        pa = RnsPolynomial.from_coefficients(basis, a)
+        pb = RnsPolynomial.from_coefficients(basis, b)
+        got = (pa - pb).to_coefficients()
+        assert got == [(x - y) % basis.big_q for x, y in zip(a, b)]
+
+    def test_mul_matches_bigint_negacyclic(self, basis):
+        rng = random.Random(4)
+        a = [rng.randrange(basis.big_q) for _ in range(N)]
+        b = [rng.randrange(basis.big_q) for _ in range(N)]
+        pa = RnsPolynomial.from_coefficients(basis, a)
+        pb = RnsPolynomial.from_coefficients(basis, b)
+        got = (pa * pb).to_coefficients()
+        assert got == naive_negacyclic_convolution(a, b, basis.big_q)
+
+    def test_cross_basis_rejected(self, basis):
+        other = RnsBasis.generate(N, limbs=2, bits=28)
+        pa = RnsPolynomial.from_coefficients(basis, [0] * N)
+        pb = RnsPolynomial.from_coefficients(other, [0] * N)
+        with pytest.raises(ValueError):
+            _ = pa + pb
+
+
+class TestPimRnsMultiplier:
+    def test_product_correct_and_timed(self, basis):
+        rng = random.Random(5)
+        a = [rng.randrange(basis.big_q) for _ in range(N)]
+        b = [rng.randrange(basis.big_q) for _ in range(N)]
+        mult = PimRnsMultiplier(
+            basis, SimConfig(pim=PimParams(nb_buffers=2)))
+        pa = RnsPolynomial.from_coefficients(basis, a)
+        pb = RnsPolynomial.from_coefficients(basis, b)
+        got = mult.multiply(pa, pb).to_coefficients()
+        assert got == naive_negacyclic_convolution(a, b, basis.big_q)
+        assert mult.rounds == 3
+        assert mult.total_cycles > 0
+        assert mult.total_latency_us > 0
+
+    def test_limb_parallelism_cheaper_than_serial(self, basis):
+        """3 limbs on 3 banks must take well under 3x one limb's time."""
+        mult = PimRnsMultiplier(basis)
+        zero = RnsPolynomial.from_coefficients(basis, [0] * N)
+        mult.multiply(zero, zero)
+        parallel = mult.total_cycles
+        single_basis = RnsBasis(N, basis.moduli[:1])
+        mult1 = PimRnsMultiplier(single_basis)
+        zero1 = RnsPolynomial.from_coefficients(single_basis, [0] * N)
+        mult1.multiply(zero1, zero1)
+        assert parallel < 1.5 * mult1.total_cycles

@@ -1,0 +1,90 @@
+"""Tests for Bluestein arbitrary-length NTT."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import find_ntt_prime, mod_inverse, root_of_unity
+from repro.ntt import bluestein_intt, bluestein_ntt, naive_dft
+
+# A prime with a rich q-1: supports many transform orders.
+# q - 1 = 2^20 * 3^2 * 5 * 7 * 13 must divide... pick via search below.
+Q = find_ntt_prime(1 << 13, 32)  # q ≡ 1 mod 2^13
+
+
+def _supported_lengths(q, max_m=50):
+    """Lengths m with 2m | q-1 and helper-size | q-1."""
+    out = []
+    for m in range(2, max_m):
+        if (q - 1) % (2 * m):
+            continue
+        size = 1
+        while size < 2 * m - 1:
+            size <<= 1
+        if (q - 1) % size == 0:
+            out.append(m)
+    return out
+
+
+LENGTHS = _supported_lengths(Q)
+
+
+class TestBluestein:
+    def test_some_non_power_of_two_lengths_supported(self):
+        assert any(m & (m - 1) for m in LENGTHS), LENGTHS
+
+    @pytest.mark.parametrize("m", LENGTHS[:8])
+    def test_matches_naive_dft(self, m):
+        rng = random.Random(m)
+        x = [rng.randrange(Q) for _ in range(m)]
+        omega = root_of_unity(m, Q)
+        assert bluestein_ntt(x, Q, omega) == naive_dft(x, omega, Q)
+
+    @pytest.mark.parametrize("m", LENGTHS[:6])
+    def test_roundtrip(self, m):
+        rng = random.Random(m + 1)
+        x = [rng.randrange(Q) for _ in range(m)]
+        assert bluestein_intt(bluestein_ntt(x, Q), Q) == x
+
+    def test_length_one(self):
+        assert bluestein_ntt([5], Q) == [5]
+
+    def test_power_of_two_agrees_with_reference(self):
+        from repro.arith import NttParams
+        from repro.ntt import ntt
+        m = 16
+        rng = random.Random(3)
+        x = [rng.randrange(Q) for _ in range(m)]
+        params = NttParams(m, Q)
+        assert bluestein_ntt(x, Q, params.omega) == ntt(x, params)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bluestein_ntt([], Q)
+
+    def test_unsupported_modulus_rejected(self):
+        # 17: q-1 = 16; m=5 needs a 10th root -> unsupported.
+        with pytest.raises(ValueError):
+            bluestein_ntt([1, 2, 3, 4, 5], 17)
+
+    def test_linearity(self):
+        m = LENGTHS[0]
+        rng = random.Random(4)
+        x = [rng.randrange(Q) for _ in range(m)]
+        y = [rng.randrange(Q) for _ in range(m)]
+        fx = bluestein_ntt(x, Q)
+        fy = bluestein_ntt(y, Q)
+        fsum = bluestein_ntt([(a + b) % Q for a, b in zip(x, y)], Q)
+        assert fsum == [(a + b) % Q for a, b in zip(fx, fy)]
+
+
+@given(data=st.data())
+@settings(max_examples=10, deadline=None)
+def test_property_bluestein_equals_naive(data):
+    m = data.draw(st.sampled_from(LENGTHS))
+    x = [data.draw(st.integers(min_value=0, max_value=Q - 1))
+         for _ in range(m)]
+    omega = root_of_unity(m, Q)
+    assert bluestein_ntt(x, Q, omega) == naive_dft(x, omega, Q)

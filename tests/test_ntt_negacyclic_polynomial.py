@@ -1,0 +1,163 @@
+"""Tests for the negacyclic transform and the R_q polynomial type."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import DEFAULT_PRIME_32
+from repro.ntt import (
+    NegacyclicParams,
+    Polynomial,
+    naive_negacyclic_convolution,
+    negacyclic_convolution,
+    negacyclic_intt,
+    negacyclic_ntt,
+)
+
+Q = 12289  # (q-1) divisible by 2N for N <= 2048
+
+
+def params(n, q=Q):
+    return NegacyclicParams(n, q)
+
+
+class TestNegacyclicTransform:
+    @pytest.mark.parametrize("n", [2, 8, 64, 256])
+    def test_roundtrip(self, n):
+        rng = random.Random(n)
+        p = params(n)
+        x = [rng.randrange(Q) for _ in range(n)]
+        assert negacyclic_intt(negacyclic_ntt(x, p), p) == x
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_convolution_matches_naive(self, n):
+        rng = random.Random(n + 1)
+        p = params(n)
+        a = [rng.randrange(Q) for _ in range(n)]
+        b = [rng.randrange(Q) for _ in range(n)]
+        assert negacyclic_convolution(a, b, p) == naive_negacyclic_convolution(a, b, Q)
+
+    def test_x_to_n_wraps_negative(self):
+        """X^(N-1) * X == -1 in Z_q[X]/(X^N+1)."""
+        n = 16
+        p = params(n)
+        xn1 = [0] * n
+        xn1[n - 1] = 1
+        x1 = [0] * n
+        x1[1] = 1
+        result = negacyclic_convolution(xn1, x1, p)
+        expected = [Q - 1] + [0] * (n - 1)
+        assert result == expected
+
+    def test_unsupported_modulus(self):
+        with pytest.raises(ValueError):
+            NegacyclicParams(4096, Q)  # 2*4096 does not divide Q-1
+
+    def test_bad_psi_rejected(self):
+        with pytest.raises(ValueError):
+            NegacyclicParams(16, Q, psi=1)
+
+    def test_32bit_modulus(self):
+        n = 64
+        p = params(n, DEFAULT_PRIME_32)
+        rng = random.Random(3)
+        a = [rng.randrange(DEFAULT_PRIME_32) for _ in range(n)]
+        b = [rng.randrange(DEFAULT_PRIME_32) for _ in range(n)]
+        assert (negacyclic_convolution(a, b, p)
+                == naive_negacyclic_convolution(a, b, DEFAULT_PRIME_32))
+
+
+class TestPolynomial:
+    def test_add_sub_roundtrip(self):
+        p = params(32)
+        rng = random.Random(1)
+        a = Polynomial.random_uniform(p, rng)
+        b = Polynomial.random_uniform(p, rng)
+        assert (a + b) - b == a
+
+    def test_neg(self):
+        p = params(32)
+        a = Polynomial.random_uniform(p, random.Random(2))
+        assert a + (-a) == Polynomial.zero(p)
+
+    def test_mul_matches_schoolbook(self):
+        p = params(64)
+        rng = random.Random(3)
+        a = Polynomial.random_uniform(p, rng)
+        b = Polynomial.random_uniform(p, rng)
+        assert a * b == a.mul_schoolbook(b)
+
+    def test_one_is_identity(self):
+        p = params(32)
+        a = Polynomial.random_uniform(p, random.Random(4))
+        assert a * Polynomial.one(p) == a
+
+    def test_monomial_multiplication_shifts(self):
+        p = params(16)
+        a = Polynomial.monomial(3, p)
+        b = Polynomial.monomial(5, p)
+        assert a * b == Polynomial.monomial(8, p)
+
+    def test_monomial_wraps_with_sign(self):
+        p = params(16)
+        a = Polynomial.monomial(10, p)
+        b = Polynomial.monomial(9, p)
+        # X^19 = X^3 * X^16 = -X^3
+        expected = Polynomial.monomial(3, p, coefficient=-1)
+        assert a * b == expected
+
+    def test_scalar_mul(self):
+        p = params(16)
+        a = Polynomial(list(range(16)), p)
+        assert 3 * a == Polynomial([3 * c for c in range(16)], p)
+
+    def test_cross_ring_rejected(self):
+        a = Polynomial.zero(params(16))
+        b = Polynomial.zero(params(32))
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial([1, 2, 3], params(16))
+
+    def test_centered_lift(self):
+        p = params(4, q=17)
+        poly = Polynomial([0, 1, 16, 9], p)
+        assert poly.centered() == [0, 1, -1, -8]
+
+    def test_infinity_norm(self):
+        p = params(4, q=17)
+        assert Polynomial([0, 1, 16, 9], p).infinity_norm() == 8
+
+    def test_ternary_coefficients(self):
+        p = params(64)
+        poly = Polynomial.random_ternary(p, random.Random(5))
+        assert all(c in (0, 1, Q - 1) for c in poly.coefficients)
+
+
+@given(
+    log_n=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_negacyclic_convolution(log_n, seed):
+    n = 1 << log_n
+    p = params(n)
+    rng = random.Random(seed)
+    a = [rng.randrange(Q) for _ in range(n)]
+    b = [rng.randrange(Q) for _ in range(n)]
+    assert negacyclic_convolution(a, b, p) == naive_negacyclic_convolution(a, b, Q)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_property_ring_distributivity(seed):
+    p = params(16)
+    rng = random.Random(seed)
+    a = Polynomial.random_uniform(p, rng)
+    b = Polynomial.random_uniform(p, rng)
+    c = Polynomial.random_uniform(p, rng)
+    assert a * (b + c) == a * b + a * c

@@ -1,0 +1,158 @@
+"""Tests for the golden-model NTT kernels."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import NttParams, bit_reverse_permute
+from repro.ntt import (
+    cyclic_convolution,
+    direct_ntt,
+    intt,
+    naive_cyclic_convolution,
+    ntt,
+    ntt_dif_natural_input,
+    ntt_dit_bitrev_input,
+    recursive_ntt,
+)
+
+Q = 12289  # supports cyclic NTT up to N = 4096
+
+
+def params(n, q=Q):
+    return NttParams(n, q)
+
+
+class TestAgainstDirectDFT:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_ntt_matches_direct(self, n):
+        rng = random.Random(n)
+        p = params(n)
+        x = [rng.randrange(Q) for _ in range(n)]
+        assert ntt(x, p) == direct_ntt(x, p)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 32])
+    def test_dit_bitrev_input_semantics(self, n):
+        """DIT on bit-reversed input == natural-order DFT."""
+        rng = random.Random(n + 1)
+        p = params(n)
+        x = [rng.randrange(Q) for _ in range(n)]
+        assert ntt_dit_bitrev_input(bit_reverse_permute(x), p) == direct_ntt(x, p)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 32])
+    def test_dif_transpose_relation(self, n):
+        """DIF(natural) followed by bit reversal == DFT."""
+        rng = random.Random(n + 2)
+        p = params(n)
+        x = [rng.randrange(Q) for _ in range(n)]
+        assert bit_reverse_permute(ntt_dif_natural_input(x, p)) == direct_ntt(x, p)
+
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_recursive_matches_iterative(self, n):
+        rng = random.Random(n + 3)
+        p = params(n)
+        x = [rng.randrange(Q) for _ in range(n)]
+        assert recursive_ntt(bit_reverse_permute(x), p) == ntt(x, p)
+
+
+class TestInverse:
+    @pytest.mark.parametrize("n", [2, 16, 256, 1024])
+    def test_roundtrip(self, n):
+        rng = random.Random(n)
+        p = params(n)
+        x = [rng.randrange(Q) for _ in range(n)]
+        assert intt(ntt(x, p), p) == x
+
+    def test_ntt_of_delta_is_all_ones(self):
+        p = params(16)
+        delta = [1] + [0] * 15
+        assert ntt(delta, p) == [1] * 16
+
+    def test_ntt_of_ones_is_scaled_delta(self):
+        n = 16
+        p = params(n)
+        out = ntt([1] * n, p)
+        assert out[0] == n % Q
+        assert all(v == 0 for v in out[1:])
+
+    def test_linearity(self):
+        n = 64
+        rng = random.Random(7)
+        p = params(n)
+        x = [rng.randrange(Q) for _ in range(n)]
+        y = [rng.randrange(Q) for _ in range(n)]
+        fx, fy = ntt(x, p), ntt(y, p)
+        fsum = ntt([(a + b) % Q for a, b in zip(x, y)], p)
+        assert fsum == [(a + b) % Q for a, b in zip(fx, fy)]
+
+
+class TestConvolution:
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_matches_naive(self, n):
+        rng = random.Random(n)
+        p = params(n)
+        a = [rng.randrange(Q) for _ in range(n)]
+        b = [rng.randrange(Q) for _ in range(n)]
+        assert cyclic_convolution(a, b, p) == naive_cyclic_convolution(a, b, Q)
+
+    def test_convolution_with_delta_is_identity(self):
+        n = 32
+        p = params(n)
+        rng = random.Random(9)
+        a = [rng.randrange(Q) for _ in range(n)]
+        delta = [1] + [0] * (n - 1)
+        assert cyclic_convolution(a, delta, p) == a
+
+    def test_convolution_with_shifted_delta_rotates(self):
+        n = 16
+        p = params(n)
+        a = list(range(n))
+        shift = [0] * n
+        shift[3] = 1
+        expected = [(a[(i - 3) % n]) % Q for i in range(n)]
+        assert cyclic_convolution(a, shift, p) == expected
+
+    def test_naive_length_mismatch(self):
+        with pytest.raises(ValueError):
+            naive_cyclic_convolution([1, 2], [1], Q)
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            ntt([1, 2, 3], params(4))
+
+    def test_inputs_reduced_mod_q(self):
+        p = params(8)
+        x = list(range(8))
+        shifted = [v + 3 * Q for v in x]
+        assert ntt(shifted, p) == ntt(x, p)
+
+
+@given(
+    log_n=st.integers(min_value=1, max_value=7),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_roundtrip(log_n, seed):
+    n = 1 << log_n
+    p = params(n)
+    rng = random.Random(seed)
+    x = [rng.randrange(Q) for _ in range(n)]
+    assert intt(ntt(x, p), p) == x
+
+
+@given(
+    log_n=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_convolution_theorem(log_n, seed):
+    n = 1 << log_n
+    p = params(n)
+    rng = random.Random(seed)
+    a = [rng.randrange(Q) for _ in range(n)]
+    b = [rng.randrange(Q) for _ in range(n)]
+    assert cyclic_convolution(a, b, p) == naive_cyclic_convolution(a, b, Q)

@@ -1,0 +1,97 @@
+"""Tests for Pease / Stockham / four-step NTT variants."""
+
+import random
+
+import pytest
+
+from repro.arith import NttParams
+from repro.ntt import (
+    four_step_ntt,
+    ntt,
+    pease_ntt,
+    shuffle_stage_count,
+    stockham_ntt,
+)
+
+Q = 12289
+
+
+def params(n):
+    return NttParams(n, Q)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 64, 256])
+class TestFunctionalEquivalence:
+    def test_pease(self, n):
+        rng = random.Random(n)
+        p = params(n)
+        x = [rng.randrange(Q) for _ in range(n)]
+        assert pease_ntt(x, p) == ntt(x, p)
+
+    def test_stockham(self, n):
+        rng = random.Random(n + 1)
+        p = params(n)
+        x = [rng.randrange(Q) for _ in range(n)]
+        assert stockham_ntt(x, p) == ntt(x, p)
+
+    def test_four_step(self, n):
+        rng = random.Random(n + 2)
+        p = params(n)
+        x = [rng.randrange(Q) for _ in range(n)]
+        assert four_step_ntt(x, p) == ntt(x, p)
+
+
+class TestFourStepShapes:
+    def test_explicit_n1_values(self):
+        n = 64
+        p = params(n)
+        rng = random.Random(5)
+        x = [rng.randrange(Q) for _ in range(n)]
+        expected = ntt(x, p)
+        for n1 in (2, 4, 8, 16, 32):
+            assert four_step_ntt(x, p, n1=n1) == expected
+
+    def test_degenerate_n1(self):
+        n = 16
+        p = params(n)
+        x = list(range(n))
+        assert four_step_ntt(x, p, n1=1) == ntt(x, p)
+
+    def test_invalid_n1(self):
+        with pytest.raises(ValueError):
+            four_step_ntt(list(range(16)), params(16), n1=3)
+
+
+class TestInputValidation:
+    def test_pease_wrong_length(self):
+        with pytest.raises(ValueError):
+            pease_ntt([1, 2, 3], params(4))
+
+    def test_stockham_wrong_length(self):
+        with pytest.raises(ValueError):
+            stockham_ntt([1, 2, 3], params(4))
+
+
+class TestShuffleStageCounts:
+    """The structural argument of Sec. II.B: CT needs one host-side
+    shuffle; Pease/Stockham need one per stage."""
+
+    def test_cooley_tukey_is_constant(self):
+        assert shuffle_stage_count("cooley-tukey", 4096) == 1
+
+    def test_pease_scales_with_log_n(self):
+        assert shuffle_stage_count("pease", 4096) == 12
+
+    def test_stockham_scales_with_log_n(self):
+        assert shuffle_stage_count("stockham", 1024) == 10
+
+    def test_four_step(self):
+        assert shuffle_stage_count("four-step", 4096) == 3
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            shuffle_stage_count("bluestein", 64)
+
+    def test_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            shuffle_stage_count("pease", 100)

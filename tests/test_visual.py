@@ -1,0 +1,63 @@
+"""Tests for the timing-diagram renderer."""
+
+import pytest
+
+from repro.dram import (
+    Command,
+    CommandType,
+    ComputeTiming,
+    HBM2E_ARCH,
+    HBM2E_TIMING,
+    TimingEngine,
+)
+from repro.visual import render_timing_diagram
+
+
+def _schedule():
+    cmds = [
+        Command(CommandType.ACT, row=0),
+        Command(CommandType.CU_READ, row=0, col=0, buf=0),
+        Command(CommandType.C1, buf=0, omega0=1, deps=(1,)),
+        Command(CommandType.CU_WRITE, row=0, col=0, buf=0, deps=(2,)),
+        Command(CommandType.PRE),
+    ]
+    engine = TimingEngine(HBM2E_TIMING, HBM2E_ARCH, compute=ComputeTiming())
+    return cmds, engine.simulate(cmds)
+
+
+class TestTimingDiagram:
+    def test_two_lanes_present(self):
+        cmds, result = _schedule()
+        out = render_timing_diagram(cmds, result.timings)
+        assert "I/O |" in out
+        assert "C   |" in out
+
+    def test_glyphs_on_correct_lanes(self):
+        cmds, result = _schedule()
+        out = render_timing_diagram(cmds, result.timings)
+        io_line = next(l for l in out.splitlines() if l.startswith("I/O"))
+        c_line = next(l for l in out.splitlines() if l.startswith("C  "))
+        assert "A" in io_line and "r" in io_line and "w" in io_line
+        assert "1" in c_line
+        assert "1" not in io_line
+
+    def test_window_clipping(self):
+        cmds, result = _schedule()
+        out = render_timing_diagram(cmds, result.timings, start_cycle=0,
+                                    end_cycle=5)
+        io_line = next(l for l in out.splitlines() if l.startswith("I/O"))
+        assert "w" not in io_line  # the write happens much later
+
+    def test_scale_compression(self):
+        cmds, result = _schedule()
+        out = render_timing_diagram(cmds, result.timings, max_width=10)
+        assert "1 char =" in out.splitlines()[0]
+
+    def test_length_mismatch_rejected(self):
+        cmds, result = _schedule()
+        with pytest.raises(ValueError):
+            render_timing_diagram(cmds[:-1], result.timings)
+
+    def test_legend_present(self):
+        cmds, result = _schedule()
+        assert "legend" in render_timing_diagram(cmds, result.timings)
