@@ -1,0 +1,114 @@
+"""Backend speedup harness: python vs numpy across the stack.
+
+Times (a) the golden reference-NTT kernel and (b) an end-to-end
+functional ``run_ntt`` (mapping + timing engine + functional bank +
+golden verify) at N in {1024, 4096} on both compute backends, and writes
+the measurements to ``BENCH_kernels.json`` at the repo root.
+
+Non-gating: run directly —
+
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py
+
+or as a pytest smoke target (reduced sizes, no threshold asserts) —
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_backend_speedup.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.arith import NttParams, bit_reverse_permute, find_ntt_prime, use_backend
+from repro.mapping import clear_program_cache
+from repro.ntt.reference import ntt_dit_bitrev_input
+from repro.sim.driver import NttPimDriver
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_kernels.json"
+
+
+def _best_of(fn, repeats: int, warmup: int = 1) -> float:
+    """Best wall time in seconds (warmup also primes the artifact caches,
+    so the steady-state number reflects the cached pipeline)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(ns=(1024, 4096), kernel_repeats: int = 5, e2e_repeats: int = 3,
+        out_path: Path = DEFAULT_OUT) -> dict:
+    results = {
+        "description": "python vs numpy backend, best-of wall times (s)",
+        "kernel_reference_ntt": {},
+        "end_to_end_run_ntt": {},
+    }
+    for n in ns:
+        q = find_ntt_prime(n, 32)
+        params = NttParams(n, q)
+        rng = random.Random(n)
+        data = [rng.randrange(q) for _ in range(n)]
+        pre_reversed = bit_reverse_permute(list(data))
+
+        entry = {}
+        for backend in ("python", "numpy"):
+            with use_backend(backend):
+                entry[backend] = _best_of(
+                    lambda: ntt_dit_bitrev_input(list(pre_reversed), params),
+                    kernel_repeats)
+        entry["speedup"] = entry["python"] / entry["numpy"]
+        results["kernel_reference_ntt"][str(n)] = entry
+
+        entry = {}
+        for backend in ("python", "numpy"):
+            clear_program_cache()  # same cold/warm treatment per backend
+            with use_backend(backend):
+                driver = NttPimDriver()
+                entry[backend] = _best_of(lambda: driver.run_ntt(data, params),
+                                          e2e_repeats)
+        entry["speedup"] = entry["python"] / entry["numpy"]
+        results["end_to_end_run_ntt"][str(n)] = entry
+
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _format(results: dict) -> str:
+    lines = ["backend speedups (python / numpy, best-of wall time):"]
+    for section in ("kernel_reference_ntt", "end_to_end_run_ntt"):
+        for n, entry in results[section].items():
+            lines.append(
+                f"  {section:24s} N={n:>5s}  python={entry['python'] * 1e3:9.3f} ms"
+                f"  numpy={entry['numpy'] * 1e3:9.3f} ms"
+                f"  speedup={entry['speedup']:7.1f}x")
+    return "\n".join(lines)
+
+
+def test_backend_speedup_smoke(show, tmp_path):
+    """Smoke target: reduced sizes, sanity checks only (no perf gates)."""
+    results = run(ns=(256,), kernel_repeats=2, e2e_repeats=1,
+                  out_path=tmp_path / "BENCH_kernels.json")
+    show(_format(results))
+    assert (tmp_path / "BENCH_kernels.json").exists()
+    for section in ("kernel_reference_ntt", "end_to_end_run_ntt"):
+        assert results[section]["256"]["speedup"] > 0
+
+
+def main(argv=None) -> int:
+    ns = tuple(int(a) for a in (argv or sys.argv[1:])) or (1024, 4096)
+    results = run(ns=ns)
+    print(_format(results))
+    print(f"wrote {DEFAULT_OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

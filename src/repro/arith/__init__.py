@@ -22,10 +22,17 @@ from .modmath import (
     mod_mul_vec,
     mod_neg,
     mod_pow,
+    mod_scale_vec,
     mod_sub,
     mod_sub_vec,
 )
 from .montgomery import MontgomeryContext, montgomery_reduce
+from .vector import (
+    HAS_NUMPY,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from .primes import (
     DEFAULT_PRIME_14,
     DEFAULT_PRIME_16,
@@ -59,10 +66,15 @@ __all__ = [
     "mod_mul_vec",
     "mod_neg",
     "mod_pow",
+    "mod_scale_vec",
     "mod_sub",
     "mod_sub_vec",
     "MontgomeryContext",
     "montgomery_reduce",
+    "HAS_NUMPY",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "DEFAULT_PRIME_14",
     "DEFAULT_PRIME_16",
     "DEFAULT_PRIME_32",

@@ -7,7 +7,8 @@ produces natural order.  These helpers are that software step.
 
 from __future__ import annotations
 
-from typing import List, Sequence, TypeVar
+from functools import lru_cache
+from typing import List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -32,15 +33,21 @@ def bit_reverse(value: int, bits: int) -> int:
     return out
 
 
-def bit_reverse_indices(n: int) -> List[int]:
-    """The permutation table ``i -> bit_reverse(i, log2 n)``."""
+@lru_cache(maxsize=64)
+def _indices(n: int) -> Tuple[int, ...]:
     if not is_power_of_two(n):
         raise ValueError(f"length must be a power of two, got {n}")
     bits = n.bit_length() - 1
-    return [bit_reverse(i, bits) for i in range(n)]
+    return tuple(bit_reverse(i, bits) for i in range(n))
+
+
+def bit_reverse_indices(n: int) -> List[int]:
+    """The permutation table ``i -> bit_reverse(i, log2 n)`` (memoized
+    internally — every transform of size ``n`` uses the same table)."""
+    return list(_indices(n))
 
 
 def bit_reverse_permute(values: Sequence[T]) -> List[T]:
     """Return ``values`` reordered by bit-reversed index (an involution)."""
-    table = bit_reverse_indices(len(values))
-    return [values[table[i]] for i in range(len(values))]
+    table = _indices(len(values))
+    return [values[i] for i in table]

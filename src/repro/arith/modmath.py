@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
+from . import vector
+
 __all__ = [
     "mod_add",
     "mod_sub",
@@ -25,6 +27,7 @@ __all__ = [
     "mod_add_vec",
     "mod_sub_vec",
     "mod_mul_vec",
+    "mod_scale_vec",
 ]
 
 
@@ -100,10 +103,18 @@ def is_unit(a: int, q: int) -> bool:
 
 
 def mod_add_vec(xs: Iterable[int], ys: Iterable[int], q: int) -> List[int]:
-    """Element-wise modular addition of two equal-length sequences."""
+    """Element-wise modular addition of two equal-length sequences.
+
+    Dispatches to the NumPy lane kernels (:mod:`repro.arith.vector`)
+    when that backend is active; bit-exact either way.
+    """
     xs, ys = list(xs), list(ys)
     if len(xs) != len(ys):
         raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if q <= 0:
+        raise ValueError(f"modulus must be positive, got {q}")
+    if vector.numpy_active(q):
+        return vector.mod_add_list(xs, ys, q)
     return [mod_add(x, y, q) for x, y in zip(xs, ys)]
 
 
@@ -112,6 +123,10 @@ def mod_sub_vec(xs: Iterable[int], ys: Iterable[int], q: int) -> List[int]:
     xs, ys = list(xs), list(ys)
     if len(xs) != len(ys):
         raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if q <= 0:
+        raise ValueError(f"modulus must be positive, got {q}")
+    if vector.numpy_active(q):
+        return vector.mod_sub_list(xs, ys, q)
     return [mod_sub(x, y, q) for x, y in zip(xs, ys)]
 
 
@@ -120,4 +135,19 @@ def mod_mul_vec(xs: Iterable[int], ys: Iterable[int], q: int) -> List[int]:
     xs, ys = list(xs), list(ys)
     if len(xs) != len(ys):
         raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if q <= 0:
+        raise ValueError(f"modulus must be positive, got {q}")
+    if vector.numpy_active(q):
+        return vector.mod_mul_list(xs, ys, q)
     return [mod_mul(x, y, q) for x, y in zip(xs, ys)]
+
+
+def mod_scale_vec(xs: Iterable[int], c: int, q: int) -> List[int]:
+    """``[(x * c) mod q]`` — the element-wise scalings (1/N, psi powers)
+    that bracket every inverse/negacyclic transform."""
+    xs = list(xs)
+    if q <= 0:
+        raise ValueError(f"modulus must be positive, got {q}")
+    if vector.numpy_active(q):
+        return vector.scale_list(xs, c, q)
+    return [(x * c) % q for x in xs]

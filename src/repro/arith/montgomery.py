@@ -16,6 +16,8 @@ moduli are odd primes, so this is not limiting in practice).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from .modmath import mod_inverse
 
 __all__ = ["MontgomeryContext", "montgomery_reduce"]
@@ -65,6 +67,19 @@ class MontgomeryContext:
         self.q_neg_inv = (-mod_inverse(q, self.r)) % self.r
         self.r_mod_q = self.r % q
         self.r2_mod_q = (self.r_mod_q * self.r_mod_q) % q
+
+    @classmethod
+    @lru_cache(maxsize=256)
+    def cached(cls, q: int, rbits: int | None = None) -> "MontgomeryContext":
+        """Shared per-modulus context.
+
+        Every PARAM_WRITE re-derives the Montgomery constants in hardware,
+        but they are a pure function of ``(q, rbits)``; memoizing them
+        keeps multi-bank / batched simulations from recomputing the same
+        ``q'`` and ``R^2 mod q`` once per bank per run.  The context is
+        immutable after construction, so sharing is safe.
+        """
+        return cls(q, rbits)
 
     def to_mont(self, a: int) -> int:
         """Map ``a`` into the Montgomery domain: ``a * R mod q``."""

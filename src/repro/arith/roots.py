@@ -7,6 +7,7 @@ transform additionally needs a ``2N``-th root ``ψ`` with ``ψ^2 = ω``.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List
 
 from .modmath import mod_inverse, mod_pow
@@ -39,8 +40,13 @@ def factorize(n: int) -> Dict[int, int]:
     return factors
 
 
+@lru_cache(maxsize=1024)
 def primitive_root(q: int) -> int:
-    """Smallest generator of the multiplicative group of ``Z_q`` (q prime)."""
+    """Smallest generator of the multiplicative group of ``Z_q`` (q prime).
+
+    Memoized: experiment sweeps re-derive parameters for the same handful
+    of moduli thousands of times, and the search factorizes ``q - 1``.
+    """
     if not is_prime(q):
         raise ValueError(f"{q} is not prime")
     if q == 2:
@@ -53,8 +59,10 @@ def primitive_root(q: int) -> int:
     raise ArithmeticError(f"no primitive root found for {q}")  # pragma: no cover
 
 
+@lru_cache(maxsize=1024)
 def root_of_unity(order: int, q: int) -> int:
-    """A primitive ``order``-th root of unity modulo prime ``q``."""
+    """A primitive ``order``-th root of unity modulo prime ``q`` (memoized —
+    a deterministic artifact of ``(order, q)``)."""
     if order < 1:
         raise ValueError(f"order must be positive, got {order}")
     if (q - 1) % order != 0:

@@ -1,0 +1,486 @@
+"""Vectorized NumPy compute backend for the whole simulator stack.
+
+Every hot path of the library — golden NTTs, the PIM compute unit, the
+RNS/RLWE element-wise ops — bottoms out in element-wise modular
+arithmetic.  This module provides that arithmetic on NumPy ``uint64``
+lanes, behind a process-wide backend selector:
+
+* ``"python"`` — the pure-Python scalar routines of
+  :mod:`repro.arith.modmath`; exact for any modulus and the library's
+  ground truth.
+* ``"numpy"`` — array kernels, selected automatically when NumPy is
+  importable.  Bit-exact with the Python path (unit tests assert
+  equality lane for lane), orders of magnitude faster.
+
+Overflow safety
+---------------
+
+``uint64`` lane products overflow once ``q >= 2**32``, so the multiply
+kernel runs in three regimes:
+
+* ``q < 2**32`` — the product of two reduced operands fits in 64 bits;
+  plain ``(a * b) % q``.
+* odd ``q < 2**63`` — Montgomery multiplication with ``R = 2**64``:
+  the full 128-bit product is formed as a (hi, lo) pair via 32-bit
+  limb splitting (:func:`_mul_u64`) and reduced with a vectorized REDC,
+  mirroring :func:`repro.arith.montgomery.montgomery_reduce` word for
+  word.
+* anything else — no lane support (:func:`lanes_supported` is False);
+  callers fall back to the Python path.
+
+Backend selection honours the ``REPRO_BACKEND`` environment variable
+(``python`` or ``numpy``) and can be changed at runtime with
+:func:`set_backend` / the :func:`use_backend` context manager.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from functools import lru_cache
+from typing import Iterator, List, Sequence, Tuple
+
+try:  # NumPy is an optional accelerator, never a hard dependency.
+    import numpy as np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+    HAS_NUMPY = False
+
+__all__ = [
+    "HAS_NUMPY",
+    "BACKENDS",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "numpy_active",
+    "lanes_supported",
+    "mod_add_arr",
+    "mod_sub_arr",
+    "mod_mul_arr",
+    "mod_add_list",
+    "mod_sub_list",
+    "mod_mul_list",
+    "scale_list",
+    "ntt_dit_bitrev",
+    "ntt_dif_natural",
+    "merged_negacyclic_forward",
+    "merged_negacyclic_inverse",
+    "is_array",
+    "c1_atom",
+    "c1_atom_arr",
+    "c2_atom",
+    "c2_atom_arr",
+    "c1n_atom",
+    "c1n_atom_arr",
+    "omega_power_array",
+    "clear_caches",
+]
+
+BACKENDS = ("python", "numpy")
+
+_MASK32 = (1 << 32) - 1
+_DIRECT_LIMIT = 1 << 32   # below: reduced lane products fit in uint64
+_LANE_LIMIT = 1 << 63     # below (odd q): Montgomery lane path
+
+
+def _default_backend() -> str:
+    env = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if env in BACKENDS:
+        if env == "numpy" and not HAS_NUMPY:
+            return "python"
+        return env
+    return "numpy" if HAS_NUMPY else "python"
+
+
+_backend = _default_backend()
+
+
+def get_backend() -> str:
+    """The currently selected backend name."""
+    return _backend
+
+
+def set_backend(name: str) -> None:
+    """Select ``"python"`` or ``"numpy"`` for all subsequent kernels."""
+    global _backend
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")
+    if name == "numpy" and not HAS_NUMPY:
+        raise ValueError("numpy backend requested but numpy is unavailable")
+    _backend = name
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Temporarily switch backends (used heavily by the equivalence tests)."""
+    previous = get_backend()
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+def lanes_supported(q: int) -> bool:
+    """True when the uint64 lane kernels are exact for modulus ``q``."""
+    if not HAS_NUMPY or q <= 0:
+        return False
+    return q < _DIRECT_LIMIT or (q < _LANE_LIMIT and q % 2 == 1)
+
+
+def numpy_active(q: int) -> bool:
+    """True when the numpy backend is selected *and* can handle ``q``."""
+    return _backend == "numpy" and lanes_supported(q)
+
+
+# -- uint64 lane primitives ----------------------------------------------------
+
+@lru_cache(maxsize=1024)
+def _u64(q: int):
+    """Cached uint64 scalar of ``q`` — boxing a Python int into a NumPy
+    scalar costs more than a small-array ufunc, so do it once per modulus."""
+    return np.uint64(q)
+
+
+def _mul_u64(a, b):
+    """Full 128-bit product of two uint64 arrays as a (hi, lo) pair.
+
+    Classic 32-bit limb splitting; every partial product and carry sum
+    stays strictly below 2**64, so the arithmetic is exact.
+    """
+    a0 = a & np.uint64(_MASK32)
+    a1 = a >> np.uint64(32)
+    b0 = b & np.uint64(_MASK32)
+    b1 = b >> np.uint64(32)
+    ll = a0 * b0
+    mid1 = a0 * b1 + (ll >> np.uint64(32))
+    mid2 = a1 * b0 + (mid1 & np.uint64(_MASK32))
+    hi = a1 * b1 + (mid1 >> np.uint64(32)) + (mid2 >> np.uint64(32))
+    lo = (mid2 << np.uint64(32)) | (ll & np.uint64(_MASK32))
+    return hi, lo
+
+
+@lru_cache(maxsize=None)
+def _mont_constants(q: int):
+    """Per-modulus Montgomery constants for ``R = 2**64`` as uint64 scalars:
+    ``-q^-1 mod R`` and ``R^2 mod q``."""
+    r = 1 << 64
+    neg_qinv = (-pow(q, -1, r)) % r
+    r2 = (1 << 128) % q
+    return np.uint64(neg_qinv), np.uint64(r2)
+
+
+def _redc(hi, lo, q_u64, neg_qinv):
+    """Vectorized REDC of the 128-bit values ``hi:lo`` (each < q * 2**64)."""
+    m = lo * neg_qinv  # wraps mod 2**64 — exactly the REDC definition
+    mq_hi, mq_lo = _mul_u64(m, q_u64)
+    # lo + mq_lo is 0 mod 2**64 by construction: carry is 1 unless lo == 0.
+    carry = (lo != np.uint64(0)).astype(np.uint64)
+    u = hi + mq_hi + carry  # < 2q < 2**64, no wrap
+    return np.where(u >= q_u64, u - q_u64, u)
+
+
+def _mulmod_mont(a, b, q: int):
+    """``a * b mod q`` on uint64 lanes for odd ``q < 2**63`` via two REDCs
+    (product REDC + correction by ``R^2 mod q``), mirroring
+    :meth:`repro.arith.montgomery.MontgomeryContext.mul`."""
+    neg_qinv, r2 = _mont_constants(q)
+    q_u64 = np.uint64(q)
+    hi, lo = _mul_u64(a, b)
+    t = _redc(hi, lo, q_u64, neg_qinv)          # a*b*R^-1 mod q
+    hi2, lo2 = _mul_u64(t, r2)
+    return _redc(hi2, lo2, q_u64, neg_qinv)     # a*b mod q
+
+
+def mod_add_arr(a, b, q: int):
+    """Lane-wise ``(a + b) mod q`` for reduced uint64 operands."""
+    return (a + b) % _u64(q)
+
+
+def mod_sub_arr(a, b, q: int):
+    """Lane-wise ``(a - b) mod q`` for reduced uint64 operands."""
+    q_u64 = _u64(q)
+    return (a + (q_u64 - b)) % q_u64
+
+
+def mod_mul_arr(a, b, q: int):
+    """Lane-wise ``(a * b) mod q`` for reduced uint64 operands.
+
+    Requires :func:`lanes_supported`\\ ``(q)``; picks the direct or the
+    Montgomery regime by modulus width.
+    """
+    if q < _DIRECT_LIMIT:
+        return (a * b) % _u64(q)
+    return _mulmod_mont(a, b, q)
+
+
+def _as_lanes(xs: Sequence[int], q: int):
+    """Reduce a sequence mod ``q`` into a uint64 array."""
+    try:
+        arr = np.array(xs, dtype=np.uint64)
+    except (OverflowError, ValueError):
+        # Negative or >= 2**64 inputs: reduce in Python first (rare path).
+        arr = np.array([x % q for x in xs], dtype=np.uint64)
+    return arr % _u64(q)
+
+
+# -- list-level API (what modmath's mod_*_vec dispatch to) ---------------------
+
+def mod_add_list(xs: Sequence[int], ys: Sequence[int], q: int) -> List[int]:
+    return mod_add_arr(_as_lanes(xs, q), _as_lanes(ys, q), q).tolist()
+
+
+def mod_sub_list(xs: Sequence[int], ys: Sequence[int], q: int) -> List[int]:
+    return mod_sub_arr(_as_lanes(xs, q), _as_lanes(ys, q), q).tolist()
+
+
+def mod_mul_list(xs: Sequence[int], ys: Sequence[int], q: int) -> List[int]:
+    return mod_mul_arr(_as_lanes(xs, q), _as_lanes(ys, q), q).tolist()
+
+
+def scale_list(xs: Sequence[int], c: int, q: int) -> List[int]:
+    """``[(x * c) mod q]`` — the 1/N passes and psi pre/post scalings."""
+    return mod_mul_arr(_as_lanes(xs, q), np.uint64(c % q), q).tolist()
+
+
+# -- cached twiddle material ---------------------------------------------------
+
+@lru_cache(maxsize=64)
+def omega_power_array(n: int, q: int, omega: int):
+    """uint64 array of ``omega^i mod q`` for ``i in [0, n)`` — the full
+    twiddle table of one ``(n, q, omega)`` transform, computed once."""
+    powers = np.empty(n, dtype=np.uint64)
+    acc = 1
+    for i in range(n):
+        powers[i] = acc
+        acc = (acc * omega) % q
+    return powers
+
+
+@lru_cache(maxsize=64)
+def _merged_zeta_arrays(n: int, q: int, psi: int, inverse: bool):
+    """Per-stage block-zeta arrays of the merged negacyclic transform.
+
+    Stage order matches the kernels below: forward walks strides
+    N/2, N/4, ..., 1; inverse walks 1, 2, ..., N/2 with inverse zetas.
+    """
+    from .bitrev import bit_reverse  # local import avoids a cycle
+
+    log_n = n.bit_length() - 1
+    base = pow(psi, -1, q) if inverse else psi % q
+    stages = []
+    lengths = ([n >> s for s in range(1, log_n + 1)] if not inverse
+               else [1 << s for s in range(log_n)])
+    for length in lengths:
+        blocks = n // (2 * length)
+        zetas = np.empty(blocks, dtype=np.uint64)
+        for k in range(blocks):
+            zetas[k] = pow(base, bit_reverse(blocks + k, log_n), q)
+        stages.append(zetas)
+    return tuple(stages)
+
+
+@lru_cache(maxsize=8192)
+def _geom_run_arr(first: int, step: int, count: int, q: int):
+    """uint64 array of the geometric run ``first * step^j`` — exactly what
+    one TFG parameter pair ``(omega0, r_omega)`` expands to.  Memoized:
+    sweeps and batches replay the same command programs, hence the same
+    runs."""
+    out = np.empty(count, dtype=np.uint64)
+    acc = first % q
+    step = step % q
+    for j in range(count):
+        out[j] = acc
+        acc = (acc * step) % q
+    return out
+
+
+def clear_caches() -> None:
+    """Drop all memoized twiddle/constant material (test isolation)."""
+    _mont_constants.cache_clear()
+    omega_power_array.cache_clear()
+    _merged_zeta_arrays.cache_clear()
+    _geom_run_arr.cache_clear()
+
+
+# -- whole-transform kernels ---------------------------------------------------
+
+def ntt_dit_bitrev(values: Sequence[int], n: int, q: int, omega: int) -> List[int]:
+    """Iterative DIT Cooley-Tukey on uint64 lanes: bit-reversed input,
+    natural output.  Bit-exact with
+    :func:`repro.ntt.reference.ntt_dit_bitrev_input`."""
+    x = _as_lanes(values, q)
+    powers = omega_power_array(n, q, omega)
+    log_n = n.bit_length() - 1
+    for s in range(1, log_n + 1):
+        m = 1 << (s - 1)
+        w = powers[:: n >> s][:m]  # omega^(j * N/2^s) for one block
+        x = x.reshape(-1, 2 * m)
+        a = x[:, :m].copy()  # copy: the next writes go through the view
+        t = mod_mul_arr(w[None, :], x[:, m:], q)
+        x[:, :m] = mod_add_arr(a, t, q)
+        x[:, m:] = mod_sub_arr(a, t, q)
+        x = x.reshape(-1)
+    return x.tolist()
+
+
+def ntt_dif_natural(values: Sequence[int], n: int, q: int, omega: int) -> List[int]:
+    """Iterative DIF Gentleman-Sande on uint64 lanes: natural input,
+    bit-reversed output — the transpose network of :func:`ntt_dit_bitrev`."""
+    x = _as_lanes(values, q)
+    powers = omega_power_array(n, q, omega)
+    log_n = n.bit_length() - 1
+    for s in range(log_n, 0, -1):
+        m = 1 << (s - 1)
+        w = powers[:: n >> s][:m]
+        x = x.reshape(-1, 2 * m)
+        a = x[:, :m].copy()
+        b = x[:, m:]
+        x[:, :m] = mod_add_arr(a, b, q)
+        x[:, m:] = mod_mul_arr(mod_sub_arr(a, b, q), w[None, :], q)
+        x = x.reshape(-1)
+    return x.tolist()
+
+
+def merged_negacyclic_forward(values: Sequence[int], n: int, q: int,
+                              psi: int) -> List[int]:
+    """Forward merged-psi negacyclic NTT on uint64 lanes (natural-order
+    input, NTT-domain output) — bit-exact with
+    :func:`repro.ntt.merged.merged_negacyclic_ntt`."""
+    x = _as_lanes(values, q)
+    length = n // 2
+    for zetas in _merged_zeta_arrays(n, q, psi, inverse=False):
+        xr = x.reshape(-1, 2 * length)
+        a = xr[:, :length].copy()
+        t = mod_mul_arr(zetas[:, None], xr[:, length:], q)
+        xr[:, :length] = mod_add_arr(a, t, q)
+        xr[:, length:] = mod_sub_arr(a, t, q)
+        length >>= 1
+    return x.tolist()
+
+
+# -- PIM atom kernels (the CU's C1/C2/C1N on whole atoms) ----------------------
+#
+# The ``*_arr`` cores take and return uint64 arrays so the functional
+# bank can keep atoms array-resident from DRAM cells through buffers to
+# the CU with zero list conversions; the plain-named wrappers provide
+# the list API the scalar path and tests use.
+
+def is_array(x) -> bool:
+    """True when ``x`` is a NumPy array (atom fast-path detection)."""
+    return HAS_NUMPY and isinstance(x, np.ndarray)
+
+
+def c1_atom_arr(x, q: int, steps: Sequence[int]):
+    """Size-``Na`` DIT network on one atom with per-stage lane steps
+    ``steps[s]`` (index 1..log Na) — the array form of
+    :meth:`repro.pim.cu.ComputeUnit.execute_c1`."""
+    na = len(x)
+    x = x % _u64(q)
+    log_na = na.bit_length() - 1
+    for s in range(1, log_na + 1):
+        m = 1 << (s - 1)
+        w = _geom_run_arr(1, steps[s], m, q)
+        x = x.reshape(-1, 2 * m)
+        a = x[:, :m].copy()
+        t = mod_mul_arr(w[None, :], x[:, m:], q)
+        x[:, :m] = mod_add_arr(a, t, q)
+        x[:, m:] = mod_sub_arr(a, t, q)
+        x = x.reshape(-1)
+    return x
+
+
+def c1_atom(words: Sequence[int], q: int, steps: Sequence[int]) -> List[int]:
+    """List-API form of :func:`c1_atom_arr`."""
+    return c1_atom_arr(_as_lanes(words, q), q, steps).tolist()
+
+
+def c2_atom_arr(p, s, q: int, omega0: int, r_omega: int, gs: bool = False):
+    """One ``Na``-way butterfly between two atoms with the TFG's geometric
+    lane twiddles — the array form of
+    :meth:`repro.pim.cu.ComputeUnit.execute_c2`.
+
+    The hottest kernel of the functional bank (one call per C2 command);
+    the direct regime is written with raw ufuncs on a cached uint64
+    scalar to keep the per-call overhead minimal.
+    """
+    q_u64 = _u64(q)
+    p = p % q_u64
+    s = s % q_u64
+    w = _geom_run_arr(omega0, r_omega, len(p), q)
+    if q < _DIRECT_LIMIT:
+        if gs:
+            return (p + s) % q_u64, ((p + (q_u64 - s)) % q_u64 * w) % q_u64
+        t = (w * s) % q_u64
+        return (p + t) % q_u64, (p + (q_u64 - t)) % q_u64
+    if gs:
+        return (mod_add_arr(p, s, q),
+                mod_mul_arr(mod_sub_arr(p, s, q), w, q))
+    t = mod_mul_arr(w, s, q)
+    return mod_add_arr(p, t, q), mod_sub_arr(p, t, q)
+
+
+def c2_atom(p_words: Sequence[int], s_words: Sequence[int], q: int,
+            omega0: int, r_omega: int,
+            gs: bool = False) -> Tuple[List[int], List[int]]:
+    """List-API form of :func:`c2_atom_arr`."""
+    p_out, s_out = c2_atom_arr(_as_lanes(p_words, q), _as_lanes(s_words, q),
+                               q, omega0, r_omega, gs=gs)
+    return p_out.tolist(), s_out.tolist()
+
+
+def c1n_atom_arr(x, q: int, zetas: Sequence[int], gs: bool = False):
+    """Merged-negacyclic intra-atom stages (constant zeta per block) —
+    the array form of :meth:`repro.pim.cu.ComputeUnit.execute_c1n`.
+
+    Zeta consumption order matches the scalar path: forward (CT) walks
+    strides Na/2, Na/4, ..., 1; inverse (GS) walks 1, 2, ..., Na/2.
+    """
+    na = len(x)
+    x = x % _u64(q)
+    log_na = na.bit_length() - 1
+    lengths = ([na >> s for s in range(1, log_na + 1)] if not gs
+               else [1 << s for s in range(log_na)])
+    idx = 0
+    for length in lengths:
+        blocks = na // (2 * length)
+        z = np.array([zetas[idx + k] % q for k in range(blocks)],
+                     dtype=np.uint64)
+        idx += blocks
+        xr = x.reshape(-1, 2 * length)
+        a = xr[:, :length].copy()
+        if gs:
+            b = xr[:, length:].copy()
+            xr[:, :length] = mod_add_arr(a, b, q)
+            xr[:, length:] = mod_mul_arr(mod_sub_arr(a, b, q), z[:, None], q)
+        else:
+            t = mod_mul_arr(z[:, None], xr[:, length:], q)
+            xr[:, :length] = mod_add_arr(a, t, q)
+            xr[:, length:] = mod_sub_arr(a, t, q)
+    return x
+
+
+def c1n_atom(words: Sequence[int], q: int, zetas: Sequence[int],
+             gs: bool = False) -> List[int]:
+    """List-API form of :func:`c1n_atom_arr`."""
+    return c1n_atom_arr(_as_lanes(words, q), q, zetas, gs=gs).tolist()
+
+
+def merged_negacyclic_inverse(values: Sequence[int], n: int, q: int,
+                              psi: int) -> List[int]:
+    """Inverse merged transform on uint64 lanes, *including* the final
+    1/N scale — bit-exact with
+    :func:`repro.ntt.merged.merged_negacyclic_intt`."""
+    x = _as_lanes(values, q)
+    length = 1
+    for zetas in _merged_zeta_arrays(n, q, psi, inverse=True):
+        xr = x.reshape(-1, 2 * length)
+        a = xr[:, :length].copy()
+        b = xr[:, length:].copy()
+        xr[:, :length] = mod_add_arr(a, b, q)
+        xr[:, length:] = mod_mul_arr(mod_sub_arr(a, b, q), zetas[:, None], q)
+        length <<= 1
+    n_inv = pow(n, -1, q)
+    return mod_mul_arr(x, np.uint64(n_inv), q).tolist()

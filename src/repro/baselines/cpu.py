@@ -16,44 +16,28 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
-
-from ..arith.bitrev import bit_reverse_indices
+from ..arith import vector
+from ..arith.bitrev import bit_reverse_permute
 from ..arith.roots import NttParams
 
 __all__ = ["numpy_ntt", "CpuNttModel"]
 
 
 def numpy_ntt(values: Sequence[int], params: NttParams) -> List[int]:
-    """Vectorized iterative DIT NTT using numpy object-free arithmetic.
+    """Vectorized iterative DIT NTT on NumPy uint64 lanes.
 
-    Works for q < 2^32 by doing the lane products in uint64 (max operand
-    product < 2^64).
+    Thin wrapper over the shared kernel in :mod:`repro.arith.vector`
+    (always the NumPy path, regardless of the selected backend — this
+    *is* the software baseline the paper's x86 column measures).  Keeps
+    its historical ``q < 2^32`` contract.
     """
     n, q = params.n, params.q
     if q >= (1 << 32):
         raise ValueError("numpy_ntt supports q < 2^32")
     if len(values) != n:
         raise ValueError(f"expected {n} values, got {len(values)}")
-    x = np.array(values, dtype=np.uint64) % np.uint64(q)
-    x = x[np.array(bit_reverse_indices(n))]
-    log_n = params.log_n
-    for s in range(1, log_n + 1):
-        m = 1 << (s - 1)
-        w_step = pow(params.omega, n >> s, q)
-        # Twiddles of one block, reused by every block (DIT invariance).
-        w = np.empty(m, dtype=np.uint64)
-        acc = 1
-        for j in range(m):
-            w[j] = acc
-            acc = (acc * w_step) % q
-        x = x.reshape(-1, 2 * m)
-        a = x[:, :m].copy()  # copy: the next line writes through the view
-        t = (w[None, :] * x[:, m:]) % np.uint64(q)
-        x[:, :m] = (a + t) % np.uint64(q)
-        x[:, m:] = (a + np.uint64(q) - t) % np.uint64(q)
-        x = x.reshape(-1)
-    return [int(v) for v in x]
+    return vector.ntt_dit_bitrev(bit_reverse_permute(list(values)),
+                                 n, q, params.omega)
 
 
 class CpuNttModel:

@@ -69,13 +69,21 @@ class BankStorage:
         na = self.arch.words_per_atom
         return [int(v) for v in self._row_buffer[col * na:(col + 1) * na]]
 
+    def read_atom_array(self, row: int, col: int) -> np.ndarray:
+        """Array form of :func:`read_atom` — a fresh uint64 copy, so the
+        caller can hold it across later writes to the row buffer."""
+        self._check_column_access(row, col)
+        na = self.arch.words_per_atom
+        return self._row_buffer[col * na:(col + 1) * na].copy()
+
     def write_atom(self, row: int, col: int, words: List[int]) -> None:
         """WR / CU_WRITE: one atom into the open row buffer."""
         self._check_column_access(row, col)
         na = self.arch.words_per_atom
         if len(words) != na:
             raise MappingError(f"atom write needs {na} words, got {len(words)}")
-        self._row_buffer[col * na:(col + 1) * na] = np.array(words, dtype=np.uint64)
+        self._row_buffer[col * na:(col + 1) * na] = np.asarray(words,
+                                                               dtype=np.uint64)
 
     # -- host back-door (loading inputs / reading results) -------------------
     def host_write_words(self, row: int, start_word: int, words: List[int]) -> None:

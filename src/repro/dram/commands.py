@@ -53,23 +53,35 @@ class CommandType(enum.Enum):
     @property
     def is_column(self) -> bool:
         """Column commands contend for tCCD and need the row open."""
-        return self in (CommandType.RD, CommandType.WR,
-                        CommandType.CU_READ, CommandType.CU_WRITE)
+        return self in _COLUMN_TYPES
 
     @property
     def is_compute(self) -> bool:
-        return self in (CommandType.C1, CommandType.C2, CommandType.C1N,
-                        CommandType.LOAD_SCALAR, CommandType.BU_SCALAR,
-                        CommandType.STORE_SCALAR)
+        return self in _COMPUTE_TYPES
 
     @property
     def is_write_like(self) -> bool:
-        return self in (CommandType.WR, CommandType.CU_WRITE)
+        return self in _WRITE_LIKE_TYPES
 
 
-@dataclass
+# Membership sets built once — these properties run per command in the
+# timing engine's inner loop.
+_COLUMN_TYPES = frozenset((CommandType.RD, CommandType.WR,
+                           CommandType.CU_READ, CommandType.CU_WRITE))
+_COMPUTE_TYPES = frozenset((CommandType.C1, CommandType.C2, CommandType.C1N,
+                            CommandType.LOAD_SCALAR, CommandType.BU_SCALAR,
+                            CommandType.STORE_SCALAR))
+_WRITE_LIKE_TYPES = frozenset((CommandType.WR, CommandType.CU_WRITE))
+
+
+@dataclass(frozen=True)
 class Command:
     """One entry of the MC's command queue.
+
+    Frozen: programs are shared through the program cache
+    (:mod:`repro.mapping.program_cache`), so commands must be immutable
+    after construction — derive variants with ``dataclasses.replace``
+    (as the batch/multi-bank mergers do).
 
     Only the fields relevant to the type need to be set:
 

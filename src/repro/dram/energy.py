@@ -36,8 +36,10 @@ class EnergyParams:
     scalar_pj: float = 0.3        # one scalar µop (Nb=1 degenerate mapping)
     static_mw: float = 0.05       # PIM-bank background power
 
-    def command_energy(self, ctype: CommandType) -> float:
-        table = {
+    def __post_init__(self):
+        # command_energy sits on the engine's per-command hot path; build
+        # the lookup table once (frozen dataclass, hence object.__setattr__).
+        object.__setattr__(self, "_energy_table", {
             CommandType.ACT: self.act_pj,
             CommandType.PRE: 0.0,  # folded into act_pj
             CommandType.RD: self.rd_pj,
@@ -51,8 +53,10 @@ class EnergyParams:
             CommandType.LOAD_SCALAR: self.scalar_pj,
             CommandType.BU_SCALAR: self.scalar_pj,
             CommandType.STORE_SCALAR: self.scalar_pj,
-        }
-        return table[ctype]
+        })
+
+    def command_energy(self, ctype: CommandType) -> float:
+        return self._energy_table[ctype]
 
 
 class EnergyAccount:
@@ -81,7 +85,5 @@ def stats_energy_nj(stats: SimStats, energy: EnergyParams,
     """Energy of a run reconstructed from its command counts alone."""
     account = EnergyAccount(energy)
     for name, count in stats.command_counts.items():
-        ctype = CommandType(name)
-        for _ in range(count):
-            account.add_command(ctype)
+        account.dynamic_pj += energy.command_energy(CommandType(name)) * count
     return account.total_nj(stats.total_cycles, timing)

@@ -21,7 +21,7 @@ every timing run doubles as a protocol check of the mapping algorithm.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import MappingError
@@ -53,8 +53,11 @@ class ComputeTiming:
     # zeta-register loads from the command payload (one cycle each).
     c1n_cycles: int = 22
 
-    def latency(self, ctype: CommandType) -> int:
-        table = {
+    def __post_init__(self):
+        # latency() sits on the per-command hot path of the engine;
+        # precompute the lookup table once instead of rebuilding a dict
+        # for every command.  (Frozen dataclass, hence object.__setattr__.)
+        object.__setattr__(self, "_latency_table", {
             CommandType.C1: self.c1_cycles,
             CommandType.C1N: self.c1n_cycles,
             CommandType.C2: self.c2_cycles,
@@ -62,8 +65,10 @@ class ComputeTiming:
             CommandType.LOAD_SCALAR: self.load_scalar_cycles,
             CommandType.STORE_SCALAR: self.store_scalar_cycles,
             CommandType.BU_SCALAR: self.bu_scalar_cycles,
-        }
-        return table[ctype]
+        })
+
+    def latency(self, ctype: CommandType) -> int:
+        return self._latency_table[ctype]
 
 
 @dataclass(frozen=True)

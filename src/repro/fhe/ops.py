@@ -15,9 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from ..arith.modmath import mod_pow
+from ..arith.modmath import mod_mul_vec, mod_scale_vec
 from ..arith.roots import NttParams
-from ..ntt.negacyclic import NegacyclicParams
+from ..ntt.negacyclic import NegacyclicParams, psi_power_table
 from ..sim.driver import NttPimDriver, SimConfig
 
 __all__ = ["PimTransformStats", "PimFheAccelerator"]
@@ -55,8 +55,12 @@ class PimFheAccelerator:
         self.native = native
         self.stats = PimTransformStats()
         q, n = ring.q, ring.n
-        self._psi_powers = [mod_pow(ring.psi, i, q) for i in range(n)]
-        self._psi_inv_powers = [mod_pow(ring.psi_inv, i, q) for i in range(n)]
+        # Shared per-(psi, n, q) tables — deterministic artifacts, memoized.
+        self._psi_powers = psi_power_table(ring.psi, n, q)
+        self._psi_inv_powers = psi_power_table(ring.psi_inv, n, q)
+        # 1/N folded into the inverse post-scaling: one element-wise pass.
+        self._inv_scale = mod_scale_vec(self._psi_inv_powers,
+                                        self.cyclic.n_inv, q)
 
     def _record(self, result) -> None:
         self.stats.transforms += 1
@@ -73,8 +77,7 @@ class PimFheAccelerator:
             self._record(result)
             return result.output
         q = self.ring.q
-        scaled = [(c * self._psi_powers[i]) % q
-                  for i, c in enumerate(coefficients)]
+        scaled = mod_mul_vec(coefficients, self._psi_powers, q)
         result = self.driver.run_ntt(scaled, self.cyclic)
         self._record(result)
         return result.output
@@ -86,18 +89,16 @@ class PimFheAccelerator:
             result = self.driver.run_negacyclic_intt(values, self.ring)
             self._record(result)
             return result.output
-        q, n_inv = self.ring.q, self.cyclic.n_inv
+        q = self.ring.q
         inv_params = NttParams(self.cyclic.n, q, self.cyclic.omega_inv)
         result = self.driver.run_ntt_with_params(values, inv_params,
                                                  verify_against=None)
         self._record(result)
-        return [(v * n_inv % q) * self._psi_inv_powers[i] % q
-                for i, v in enumerate(result.output)]
+        return mod_mul_vec(result.output, self._inv_scale, q)
 
     def multiply(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
         """Full ring product: 2 forward NTTs, pointwise, 1 inverse."""
-        q = self.ring.q
         fa = self.forward(a)
         fb = self.forward(b)
-        prod = [(x * y) % q for x, y in zip(fa, fb)]
+        prod = mod_mul_vec(fa, fb, self.ring.q)
         return self.inverse(prod)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from ..arith.modmath import mod_inverse
+from ..arith.modmath import mod_add_vec, mod_inverse, mod_mul_vec, mod_sub_vec
 from ..arith.primes import ntt_prime_candidates
 from ..ntt.negacyclic import NegacyclicParams, negacyclic_intt, negacyclic_ntt
 from ..pim.params import PimParams
@@ -99,14 +99,14 @@ class RnsPolynomial:
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check(other)
-        out = [[(a + b) % q for a, b in zip(x, y)]
+        out = [mod_add_vec(x, y, q)
                for x, y, q in zip(self.residues, other.residues,
                                   self.basis.moduli)]
         return RnsPolynomial(self.basis, out)
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check(other)
-        out = [[(a - b) % q for a, b in zip(x, y)]
+        out = [mod_sub_vec(x, y, q)
                for x, y, q in zip(self.residues, other.residues,
                                   self.basis.moduli)]
         return RnsPolynomial(self.basis, out)
@@ -118,7 +118,7 @@ class RnsPolynomial:
         for x, y, ring in zip(self.residues, other.residues, self.basis.rings):
             fa = negacyclic_ntt(x, ring)
             fb = negacyclic_ntt(y, ring)
-            prod = [(a * b) % ring.q for a, b in zip(fa, fb)]
+            prod = mod_mul_vec(fa, fb, ring.q)
             out.append(negacyclic_intt(prod, ring))
         return RnsPolynomial(self.basis, out)
 
@@ -140,9 +140,6 @@ class PimRnsMultiplier:
     def _limb_ntt_round(self, limb_inputs: List[List[int]],
                         inverse: bool) -> List[List[int]]:
         """One all-limbs transform round on the multi-bank machine."""
-        from ..arith.modmath import mod_pow
-        from ..arith.roots import NttParams
-
         outputs: List[List[int]] = []
         # Timing: all limbs in parallel (same N; take one representative
         # merged run per round using the first ring's shape).
@@ -169,7 +166,7 @@ class PimRnsMultiplier:
         a._check(b)
         fa = self._limb_ntt_round(a.residues, inverse=False)
         fb = self._limb_ntt_round(b.residues, inverse=False)
-        prod = [[(x * y) % q for x, y in zip(la, lb)]
+        prod = [mod_mul_vec(la, lb, q)
                 for la, lb, q in zip(fa, fb, self.basis.moduli)]
         out = self._limb_ntt_round(prod, inverse=True)
         return RnsPolynomial(self.basis, out)

@@ -8,6 +8,13 @@ from .analysis import (
 from .mapper import MapperOptions, NttMapper
 from .negacyclic_mapper import NegacyclicNttMapper
 from .program import ProgramBuilder
+from .program_cache import (
+    CachedProgram,
+    clear_program_cache,
+    cyclic_program,
+    negacyclic_program,
+    program_cache_info,
+)
 from .regimes import Regime, RegimeProfile, profile_regimes, regime_of_stage
 from .single_buffer import SingleBufferMapper
 from .twiddle_params import c1_root, c2_twiddles
@@ -25,6 +32,11 @@ __all__ = [
     "profile_regimes",
     "regime_of_stage",
     "SingleBufferMapper",
+    "CachedProgram",
+    "clear_program_cache",
+    "cyclic_program",
+    "negacyclic_program",
+    "program_cache_info",
     "c1_root",
     "c2_twiddles",
 ]

@@ -1,0 +1,111 @@
+"""Memoized command-program generation.
+
+A mapper's output is a deterministic artifact of ``(transform
+parameters, geometry, PIM config, placement)``: running the same NTT
+shape twice — every repetition of a batch, every bank of a multi-bank
+round, every point of an experiment sweep that revisits a size —
+regenerates an identical command list.  This module caches those
+programs.
+
+Cached programs are tuples of :class:`~repro.dram.commands.Command`
+objects shared between consumers.  That is safe because nothing in the
+simulator mutates a command after construction: the timing engine and
+the functional bank only read fields, and the batch/multi-bank mergers
+rewrite dependencies via ``dataclasses.replace`` (fresh copies).  Do not
+mutate commands obtained from this cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..arith.roots import NttParams
+from ..dram.commands import Command
+from ..dram.timing import ArchParams
+from ..ntt.negacyclic import NegacyclicParams
+from ..pim.params import PimParams
+from .mapper import MapperOptions, NttMapper
+from .negacyclic_mapper import NegacyclicNttMapper
+from .single_buffer import SingleBufferMapper
+
+__all__ = ["CachedProgram", "cyclic_program", "negacyclic_program",
+           "program_cache_info", "clear_program_cache"]
+
+_MAX_ENTRIES = 512
+
+_hits = 0
+_misses = 0
+
+
+@dataclass(frozen=True)
+class CachedProgram:
+    """One lowered NTT invocation, plus the mapper facts the driver needs."""
+
+    commands: Tuple[Command, ...]
+    result_base_row: int
+
+
+_cache: Dict[tuple, CachedProgram] = {}
+
+
+def _insert(key: tuple, value: CachedProgram) -> CachedProgram:
+    if len(_cache) >= _MAX_ENTRIES:
+        # Evict oldest entries (insertion order) — programs are cheap to
+        # regenerate; the cap only bounds memory during huge DSE sweeps.
+        for stale in list(_cache)[: _MAX_ENTRIES // 4]:
+            del _cache[stale]
+    _cache[key] = value
+    return value
+
+
+def cyclic_program(ntt: NttParams, arch: ArchParams, pim: PimParams,
+                   base_row: int = 0, bank: int = 0,
+                   options: MapperOptions = MapperOptions()) -> CachedProgram:
+    """The command program of one cyclic NTT (Nb >= 2 row-centric mapping,
+    or the Nb = 1 single-buffer mapping), memoized."""
+    global _hits, _misses
+    key = ("cyclic", ntt.n, ntt.q, ntt.omega, arch, pim, base_row, bank,
+           options)
+    hit = _cache.get(key)
+    if hit is not None:
+        _hits += 1
+        return hit
+    _misses += 1
+    if pim.nb_buffers == 1:
+        mapper = SingleBufferMapper(ntt, arch, pim, base_row, bank)
+    else:
+        mapper = NttMapper(ntt, arch, pim, base_row, bank, options=options)
+    return _insert(key, CachedProgram(tuple(mapper.generate()),
+                                      mapper.result_base_row))
+
+
+def negacyclic_program(ring: NegacyclicParams, arch: ArchParams,
+                       pim: PimParams, base_row: int = 0, bank: int = 0,
+                       inverse: bool = False) -> CachedProgram:
+    """The command program of one merged negacyclic transform, memoized."""
+    global _hits, _misses
+    key = ("negacyclic", ring.n, ring.q, ring.psi, arch, pim, base_row, bank,
+           inverse)
+    hit = _cache.get(key)
+    if hit is not None:
+        _hits += 1
+        return hit
+    _misses += 1
+    mapper = NegacyclicNttMapper(ring, arch, pim, base_row, bank,
+                                 inverse=inverse)
+    return _insert(key, CachedProgram(tuple(mapper.generate()),
+                                      mapper.result_base_row))
+
+
+def program_cache_info() -> Dict[str, int]:
+    """Cache statistics (for benchmarks and diagnostics)."""
+    return {"entries": len(_cache), "hits": _hits, "misses": _misses}
+
+
+def clear_program_cache() -> None:
+    """Empty the cache and reset statistics (test isolation)."""
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0

@@ -21,6 +21,7 @@ from .negacyclic import (
     negacyclic_convolution,
     negacyclic_intt,
     negacyclic_ntt,
+    psi_power_table,
 )
 from .polynomial import Polynomial
 from .reference import (
@@ -64,6 +65,7 @@ __all__ = [
     "negacyclic_convolution",
     "negacyclic_intt",
     "negacyclic_ntt",
+    "psi_power_table",
     "Polynomial",
     "cyclic_convolution",
     "direct_ntt",

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..arith import vector
 from ..arith.bitrev import bit_reverse
-from ..arith.modmath import mod_inverse, mod_pow
+from ..arith.modmath import mod_inverse, mod_mul_vec, mod_pow
 from .negacyclic import NegacyclicParams
 
 __all__ = [
@@ -63,6 +64,8 @@ def merged_negacyclic_ntt(values: Sequence[int],
     n, q = params.n, params.q
     if len(values) != n:
         raise ValueError(f"expected {n} values, got {len(values)}")
+    if vector.numpy_active(q):
+        return vector.merged_negacyclic_forward(values, n, q, params.psi)
     x = [v % q for v in values]
     length = n // 2
     while length >= 1:
@@ -86,6 +89,8 @@ def merged_negacyclic_intt(values: Sequence[int],
     n, q = params.n, params.q
     if len(values) != n:
         raise ValueError(f"expected {n} values, got {len(values)}")
+    if vector.numpy_active(q):
+        return vector.merged_negacyclic_inverse(values, n, q, params.psi)
     x = [v % q for v in values]
     psi_inv = params.psi_inv
     length = 1
@@ -108,4 +113,4 @@ def merged_pointwise_multiply(a_hat: Sequence[int], b_hat: Sequence[int],
     plain lane-wise multiplication — no base-case folding needed)."""
     if len(a_hat) != params.n or len(b_hat) != params.n:
         raise ValueError("operands must be full NTT-domain vectors")
-    return [(x * y) % params.q for x, y in zip(a_hat, b_hat)]
+    return mod_mul_vec(a_hat, b_hat, params.q)

@@ -11,14 +11,16 @@ by ``psi^i`` turns it into the cyclic case handled by the plain NTT:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
 
-from ..arith.modmath import mod_inverse, mod_pow
+from ..arith.modmath import mod_inverse, mod_mul_vec, mod_pow
 from ..arith.roots import NttParams, is_primitive_root_of_unity, root_of_unity
 from .reference import intt, ntt
 
 __all__ = [
     "NegacyclicParams",
+    "psi_power_table",
     "negacyclic_ntt",
     "negacyclic_intt",
     "negacyclic_convolution",
@@ -44,10 +46,21 @@ class NegacyclicParams:
         return f"NegacyclicParams(n={self.n}, q={self.q}, psi={self.psi})"
 
 
+@lru_cache(maxsize=64)
+def psi_power_table(base: int, n: int, q: int) -> Tuple[int, ...]:
+    """``(base^0, base^1, ..., base^(n-1)) mod q`` — the pre/post scaling
+    vector of the decomposed negacyclic transform, computed once per
+    ``(base, n, q)`` instead of once per call."""
+    powers = [1] * n
+    for i in range(1, n):
+        powers[i] = (powers[i - 1] * base) % q
+    return tuple(powers)
+
+
 def negacyclic_ntt(values: Sequence[int], params: NegacyclicParams) -> List[int]:
     """Forward negacyclic transform (psi pre-scaling + cyclic NTT)."""
     q = params.q
-    scaled = [(v * mod_pow(params.psi, i, q)) % q for i, v in enumerate(values)]
+    scaled = mod_mul_vec(values, psi_power_table(params.psi, params.n, q), q)
     return ntt(scaled, params.cyclic)
 
 
@@ -55,7 +68,7 @@ def negacyclic_intt(values: Sequence[int], params: NegacyclicParams) -> List[int
     """Inverse negacyclic transform (cyclic INTT + psi^{-i} post-scaling)."""
     q = params.q
     raw = intt(values, params.cyclic)
-    return [(v * mod_pow(params.psi_inv, i, q)) % q for i, v in enumerate(raw)]
+    return mod_mul_vec(raw, psi_power_table(params.psi_inv, params.n, q), q)
 
 
 def negacyclic_convolution(a: Sequence[int], b: Sequence[int],

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..arith import vector
 from ..arith.bitrev import bit_reverse_permute, is_power_of_two
-from ..arith.modmath import mod_pow
+from ..arith.modmath import mod_mul_vec, mod_pow, mod_scale_vec
 from ..arith.roots import NttParams
 
 __all__ = [
@@ -58,8 +59,12 @@ def ntt_dit_bitrev_input(values: Sequence[int], params: NttParams) -> List[int]:
     lane twiddle is ``omega^(j * N / 2^s)``, geometric across ``j`` — the
     exact pattern the hardware TFG generates from ``(omega0, r_omega)``.
     """
-    x = _check_input(values, params)
     n, q, omega = params.n, params.q, params.omega
+    if len(values) != n:
+        raise ValueError(f"expected {n} coefficients, got {len(values)}")
+    if vector.numpy_active(q):
+        return vector.ntt_dit_bitrev(values, n, q, omega)
+    x = _check_input(values, params)
     log_n = params.log_n
     for s in range(1, log_n + 1):
         m = 1 << (s - 1)
@@ -81,8 +86,12 @@ def ntt_dif_natural_input(values: Sequence[int], params: NttParams) -> List[int]
     The transpose network of :func:`ntt_dit_bitrev_input`; composing with
     a bit-reversal gives the same transform (asserted in tests).
     """
-    x = _check_input(values, params)
     n, q, omega = params.n, params.q, params.omega
+    if len(values) != n:
+        raise ValueError(f"expected {n} coefficients, got {len(values)}")
+    if vector.numpy_active(q):
+        return vector.ntt_dif_natural(values, n, q, omega)
+    x = _check_input(values, params)
     log_n = params.log_n
     for s in range(log_n, 0, -1):
         m = 1 << (s - 1)
@@ -108,7 +117,7 @@ def intt(values: Sequence[int], params: NttParams) -> List[int]:
     """Natural-order inverse NTT, including the ``1/N`` scaling."""
     inv = params.inverse()
     y = ntt_dit_bitrev_input(bit_reverse_permute(list(values)), inv)
-    return [(v * params.n_inv) % params.q for v in y]
+    return mod_scale_vec(y, params.n_inv, params.q)
 
 
 def recursive_ntt(values: Sequence[int], params: NttParams) -> List[int]:
@@ -145,7 +154,7 @@ def cyclic_convolution(a: Sequence[int], b: Sequence[int], params: NttParams) ->
     """Length-N cyclic convolution via the convolution theorem (Eq. 1)."""
     fa = ntt(a, params)
     fb = ntt(b, params)
-    prod = [(x * y) % params.q for x, y in zip(fa, fb)]
+    prod = mod_mul_vec(fa, fb, params.q)
     return intt(prod, params)
 
 

@@ -15,7 +15,8 @@ software baselines.
 
 from __future__ import annotations
 
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 from ..arith.modmath import mod_mul, mod_pow
 from ..arith.roots import NttParams
@@ -97,16 +98,29 @@ def lane_twiddles(params: NttParams, stage: int, j_start: int, count: int) -> Li
     return gen.take(count)
 
 
+@lru_cache(maxsize=128)
+def _power_run(n: int, q: int, omega: int) -> Tuple[int, ...]:
+    """The geometric run ``omega^i mod q`` for ``i in [0, n)``, shared by
+    every table instance with the same ``(n, q, omega)``."""
+    powers = [1] * n
+    for i in range(1, n):
+        powers[i] = (powers[i - 1] * omega) % q
+    return tuple(powers)
+
+
 class TwiddleTable:
     """Fully precomputed twiddles, as a software library (or FPGA with
-    BRAM-resident tables) would hold them.  Used by the CPU baseline."""
+    BRAM-resident tables) would hold them.  Used by the CPU baseline.
+
+    The underlying power run is memoized on ``(n, q, omega)``, so
+    constructing many tables for the same transform (one per repetition
+    of a sweep) costs one table's worth of multiplies in total.
+    """
 
     def __init__(self, params: NttParams):
         self.params = params
-        q, n = params.q, params.n
-        self.powers: List[int] = [1] * n
-        for i in range(1, n):
-            self.powers[i] = (self.powers[i - 1] * params.omega) % q
+        self.powers: Tuple[int, ...] = _power_run(params.n, params.q,
+                                                  params.omega)
 
     def power(self, exponent: int) -> int:
         """``omega^exponent`` via table lookup."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..arith import vector
 from ..dram.bank import BankStorage
 from ..dram.commands import Command, CommandType
 from ..dram.timing import ArchParams
@@ -31,64 +32,132 @@ class PimBank:
         self.buffers = AtomBufferFile(pim.nb_buffers, arch.words_per_atom)
         self.cu = ComputeUnit(arch.words_per_atom, pim.use_montgomery)
         self.pending_q: int | None = None
+        self._arrays_key: tuple | None = None
+        self._arrays_flag = False
+        # Per-type handlers: execute() runs once per command, and a dict
+        # dispatch beats re-evaluating an if-chain of enum membership tests.
+        self._dispatch = {
+            CommandType.ACT: self._exec_act,
+            CommandType.PRE: self._exec_pre,
+            CommandType.RD: self._exec_rd,
+            CommandType.CU_READ: self._exec_cu_read,
+            CommandType.WR: self._exec_wr,
+            CommandType.CU_WRITE: self._exec_cu_write,
+            CommandType.C1: self._exec_c1,
+            CommandType.C2: self._exec_c2,
+            CommandType.C1N: self._exec_c1n,
+            CommandType.PARAM_WRITE: self._exec_param_write,
+            CommandType.LOAD_SCALAR: self._exec_load_scalar,
+            CommandType.BU_SCALAR: self._exec_bu_scalar,
+            CommandType.STORE_SCALAR: self._exec_store_scalar,
+        }
 
     def set_parameters(self, q: int) -> None:
         """Stage the modulus the next PARAM_WRITE command will latch."""
         self.pending_q = q
 
-    def execute(self, cmd: Command) -> None:
-        """Apply one command's data effect."""
-        ctype = cmd.ctype
-        if ctype is CommandType.ACT:
-            self.storage.activate(cmd.row)
-        elif ctype is CommandType.PRE:
-            self.storage.precharge()
-        elif ctype in (CommandType.RD, CommandType.CU_READ):
-            words = self.storage.read_atom(cmd.row, cmd.col)
-            if ctype is CommandType.CU_READ:
-                self.buffers.write(cmd.buf, words)
-            # A plain RD sends data to chip I/O; nothing bank-side changes.
-        elif ctype in (CommandType.WR, CommandType.CU_WRITE):
-            if ctype is CommandType.CU_WRITE:
-                words = self.buffers.read(cmd.buf)
-            else:
-                raise MappingError(
-                    "plain WR with host data is not used by the NTT mapping")
-            self.storage.write_atom(cmd.row, cmd.col, words)
-        elif ctype is CommandType.C1:
-            data = self.buffers.read(cmd.buf)
-            out = self.cu.execute_c1(data, cmd.omega0, cmd.r_omega or 0)
+    def _use_arrays(self) -> bool:
+        """Keep atoms array-resident (storage -> buffers -> CU -> storage)
+        when the numpy backend can handle the active modulus; the scalar
+        list path is the pure-Python ground truth.  Memoized per
+        (modulus, backend) — this runs for every command."""
+        key = (self.cu.q, vector.get_backend())
+        if key != self._arrays_key:
+            self._arrays_key = key
+            self._arrays_flag = key[0] is not None and vector.numpy_active(key[0])
+        return self._arrays_flag
+
+    # -- per-command handlers --------------------------------------------------
+    def _exec_act(self, cmd: Command) -> None:
+        self.storage.activate(cmd.row)
+
+    def _exec_pre(self, cmd: Command) -> None:
+        self.storage.precharge()
+
+    def _exec_rd(self, cmd: Command) -> None:
+        # A plain RD sends data to chip I/O; nothing bank-side changes
+        # (the access is still validated).
+        self.storage.read_atom_array(cmd.row, cmd.col)
+
+    def _exec_cu_read(self, cmd: Command) -> None:
+        if self._use_arrays():
+            self.buffers.write_array(
+                cmd.buf, self.storage.read_atom_array(cmd.row, cmd.col))
+        else:
+            self.buffers.write(cmd.buf, self.storage.read_atom(cmd.row, cmd.col))
+
+    def _exec_wr(self, cmd: Command) -> None:
+        raise MappingError(
+            "plain WR with host data is not used by the NTT mapping")
+
+    def _exec_cu_write(self, cmd: Command) -> None:
+        words = (self.buffers.peek_array(cmd.buf) if self._use_arrays()
+                 else self.buffers.read(cmd.buf))
+        self.storage.write_atom(cmd.row, cmd.col, words)
+
+    def _exec_c1(self, cmd: Command) -> None:
+        if self._use_arrays():
+            out = self.cu.execute_c1(self.buffers.peek_array(cmd.buf),
+                                     cmd.omega0, cmd.r_omega or 0)
+            self.buffers.write_array(cmd.buf, out)
+        else:
+            out = self.cu.execute_c1(self.buffers.read(cmd.buf),
+                                     cmd.omega0, cmd.r_omega or 0)
             self.buffers.write(cmd.buf, out)
-        elif ctype is CommandType.C2:
-            p = self.buffers.read(cmd.buf)
-            s = self.buffers.read(cmd.buf2)
-            p_out, s_out = self.cu.execute_c2(p, s, cmd.omega0, cmd.r_omega,
-                                              gs=cmd.gs)
+
+    def _exec_c2(self, cmd: Command) -> None:
+        if self._use_arrays():
+            p_out, s_out = self.cu.execute_c2(
+                self.buffers.peek_array(cmd.buf),
+                self.buffers.peek_array(cmd.buf2),
+                cmd.omega0, cmd.r_omega, gs=cmd.gs)
+            self.buffers.write_array(cmd.buf, p_out)
+            self.buffers.write_array(cmd.buf2, s_out)
+        else:
+            p_out, s_out = self.cu.execute_c2(
+                self.buffers.read(cmd.buf), self.buffers.read(cmd.buf2),
+                cmd.omega0, cmd.r_omega, gs=cmd.gs)
             self.buffers.write(cmd.buf, p_out)
             self.buffers.write(cmd.buf2, s_out)
-        elif ctype is CommandType.C1N:
-            data = self.buffers.read(cmd.buf)
-            out = self.cu.execute_c1n(data, cmd.zetas, gs=cmd.gs)
+
+    def _exec_c1n(self, cmd: Command) -> None:
+        if self._use_arrays():
+            out = self.cu.execute_c1n(self.buffers.peek_array(cmd.buf),
+                                      cmd.zetas, gs=cmd.gs)
+            self.buffers.write_array(cmd.buf, out)
+        else:
+            out = self.cu.execute_c1n(self.buffers.read(cmd.buf),
+                                      cmd.zetas, gs=cmd.gs)
             self.buffers.write(cmd.buf, out)
-        elif ctype is CommandType.PARAM_WRITE:
-            if self.pending_q is None:
-                raise MappingError("PARAM_WRITE with no staged parameters")
-            self.cu.set_modulus(self.pending_q)
-        elif ctype is CommandType.LOAD_SCALAR:
-            self.cu.load_scalar(self.buffers.read_lane(cmd.buf, cmd.lane))
-        elif ctype is CommandType.BU_SCALAR:
-            b = self.buffers.read_lane(cmd.buf, cmd.lane)
-            _, b_out = self.cu.bu_scalar(b, cmd.omega0)
-            self.buffers.write_lane(cmd.buf, cmd.lane, b_out)
-        elif ctype is CommandType.STORE_SCALAR:
-            self.buffers.write_lane(cmd.buf, cmd.lane, self.cu.store_scalar())
-        else:  # pragma: no cover - enum exhaustive
-            raise MappingError(f"unknown command {ctype}")
+
+    def _exec_param_write(self, cmd: Command) -> None:
+        if self.pending_q is None:
+            raise MappingError("PARAM_WRITE with no staged parameters")
+        self.cu.set_modulus(self.pending_q)
+
+    def _exec_load_scalar(self, cmd: Command) -> None:
+        self.cu.load_scalar(self.buffers.read_lane(cmd.buf, cmd.lane))
+
+    def _exec_bu_scalar(self, cmd: Command) -> None:
+        b = self.buffers.read_lane(cmd.buf, cmd.lane)
+        _, b_out = self.cu.bu_scalar(b, cmd.omega0)
+        self.buffers.write_lane(cmd.buf, cmd.lane, b_out)
+
+    def _exec_store_scalar(self, cmd: Command) -> None:
+        self.buffers.write_lane(cmd.buf, cmd.lane, self.cu.store_scalar())
+
+    def execute(self, cmd: Command) -> None:
+        """Apply one command's data effect."""
+        handler = self._dispatch.get(cmd.ctype)
+        if handler is None:  # pragma: no cover - enum exhaustive
+            raise MappingError(f"unknown command {cmd.ctype}")
+        handler(cmd)
 
     def run(self, commands: Sequence[Command]) -> None:
         """Apply a whole program in order."""
+        dispatch = self._dispatch
         for cmd in commands:
-            self.execute(cmd)
+            dispatch[cmd.ctype](cmd)
 
     # -- host data path -------------------------------------------------------
     def load_polynomial(self, base_row: int, values: List[int]) -> None:

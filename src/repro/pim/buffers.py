@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from ..errors import MappingError
 
 __all__ = ["AtomBufferFile", "PRIMARY_BUFFER"]
@@ -36,9 +38,12 @@ class AtomBufferFile:
                 f"buffer {index} out of range (Nb={self.count})")
 
     def read(self, index: int) -> List[int]:
-        """Copy out one buffer's contents."""
+        """Copy out one buffer's contents as Python ints."""
         self._check(index)
-        return list(self._data[index])
+        data = self._data[index]
+        if isinstance(data, np.ndarray):
+            return data.tolist()
+        return list(data)
 
     def write(self, index: int, words: List[int]) -> None:
         """Replace one buffer's contents."""
@@ -48,12 +53,35 @@ class AtomBufferFile:
                 f"buffer write needs {self.atom_words} words, got {len(words)}")
         self._data[index] = list(words)
 
+    def peek_array(self, index: int) -> np.ndarray:
+        """Borrow a buffer's contents as a uint64 array *without copying*.
+
+        The caller must consume the array within the current command and
+        must not mutate it (the CU kernels reduce into fresh arrays, and
+        storage writes copy) — this is the zero-copy hot path of the
+        functional bank.
+        """
+        self._check(index)
+        data = self._data[index]
+        if isinstance(data, np.ndarray):
+            return data
+        return np.array(data, dtype=np.uint64)
+
+    def write_array(self, index: int, words: np.ndarray) -> None:
+        """Array form of :meth:`write`; takes ownership of ``words``
+        (callers pass fresh arrays, never views into live storage)."""
+        self._check(index)
+        if len(words) != self.atom_words:
+            raise MappingError(
+                f"buffer write needs {self.atom_words} words, got {len(words)}")
+        self._data[index] = words
+
     def read_lane(self, index: int, lane: int) -> int:
         """One word out of a buffer (scalar load µ-op path)."""
         self._check(index)
         if not 0 <= lane < self.atom_words:
             raise MappingError(f"lane {lane} out of range")
-        return self._data[index][lane]
+        return int(self._data[index][lane])
 
     def write_lane(self, index: int, lane: int, value: int) -> None:
         """One word into a buffer (scalar store µ-op path)."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..arith import vector
 from ..arith.montgomery import MontgomeryContext
 from ..errors import MappingError
 from ..ntt.twiddle import TwiddleGenerator
@@ -37,6 +38,7 @@ class ComputeUnit:
         self.use_montgomery = use_montgomery
         self.q: Optional[int] = None
         self._mont: Optional[MontgomeryContext] = None
+        self._lanes_ok = False  # numpy lanes usable for the loaded modulus
         self.reg_a: int = 0  # scalar operand register (Nb=1 path)
         # Statistics the area/power models consume.
         self.bu_ops = 0
@@ -46,11 +48,17 @@ class ComputeUnit:
 
     # -- parameter registers -------------------------------------------------
     def set_modulus(self, q: int) -> None:
-        """PARAM_WRITE: load q and derive the Montgomery constants."""
+        """PARAM_WRITE: load q and derive the Montgomery constants.
+
+        The constants are a pure function of ``q``, so they come from the
+        shared :meth:`MontgomeryContext.cached` pool — one derivation per
+        modulus per process, however many banks are simulated.
+        """
         if q <= 2:
             raise MappingError(f"modulus {q} unsupported")
         self.q = q
-        self._mont = MontgomeryContext(q) if self.use_montgomery else None
+        self._mont = MontgomeryContext.cached(q) if self.use_montgomery else None
+        self._lanes_ok = vector.lanes_supported(q)
 
     def _require_modulus(self) -> int:
         if self.q is None:
@@ -94,12 +102,24 @@ class ComputeUnit:
         na = self.atom_words
         if len(words) != na:
             raise MappingError(f"C1 needs {na} words, got {len(words)}")
-        x = [w % q for w in words]
         # Stage s uses lane step g^(Na / 2^s); compute by squaring from g.
         steps = [0] * (self.log_atom_words + 1)
         steps[self.log_atom_words] = omega0 % q
         for s in range(self.log_atom_words - 1, 0, -1):
             steps[s] = self._mod_mul(steps[s + 1], steps[s + 1])
+        if self._lanes_ok and vector.get_backend() == "numpy":
+            # Array execution of the whole atom; µ-op accounting stays
+            # exact: Na/2 butterflies per stage, 2 loads/stores each, and
+            # the TFG emits Na/2 twiddles per stage (as in the lane loop).
+            flies = (na // 2) * self.log_atom_words
+            self.bu_ops += flies
+            self.load_uops += 2 * flies
+            self.store_uops += 2 * flies
+            self.twiddles_generated += flies
+            if vector.is_array(words):  # array-resident atom (bank fast path)
+                return vector.c1_atom_arr(words, q, steps)
+            return vector.c1_atom(words, q, steps)
+        x = [w % q for w in words]
         for s in range(1, self.log_atom_words + 1):
             m = 1 << (s - 1)
             tfg = TwiddleGenerator(1, steps[s], q)
@@ -129,6 +149,15 @@ class ComputeUnit:
         na = self.atom_words
         if len(p_words) != na or len(s_words) != na:
             raise MappingError("C2 operands must be full atoms")
+        if self._lanes_ok and vector.get_backend() == "numpy":
+            self.bu_ops += na
+            self.load_uops += 2 * na
+            self.store_uops += 2 * na
+            self.twiddles_generated += na
+            if vector.is_array(p_words) and vector.is_array(s_words):
+                return vector.c2_atom_arr(p_words, s_words, q,
+                                          omega0, r_omega, gs=gs)
+            return vector.c2_atom(p_words, s_words, q, omega0, r_omega, gs=gs)
         tfg = TwiddleGenerator(omega0, r_omega, q)
         bu = self._butterfly_gs if gs else self._butterfly
         p_out, s_out = [0] * na, [0] * na
@@ -158,6 +187,15 @@ class ComputeUnit:
         if len(zetas) != na - 1:
             raise MappingError(
                 f"C1N needs {na - 1} zetas, got {len(zetas)}")
+        if self._lanes_ok and vector.get_backend() == "numpy":
+            flies = (na // 2) * self.log_atom_words
+            self.bu_ops += flies
+            self.load_uops += 2 * flies
+            self.store_uops += 2 * flies
+            self.twiddles_generated += na - 1
+            if vector.is_array(words):
+                return vector.c1n_atom_arr(words, q, zetas, gs=gs)
+            return vector.c1n_atom(words, q, zetas, gs=gs)
         x = [w % q for w in words]
         idx = 0
         strides = ([na >> s for s in range(1, self.log_atom_words + 1)]

@@ -24,7 +24,7 @@ from ..dram.engine import TimingEngine
 from ..dram.timing import HBM2E_ARCH, HBM2E_TIMING, ArchParams, TimingParams
 from ..errors import FunctionalMismatch
 from ..mapping.mapper import MapperOptions, NttMapper
-from ..mapping.negacyclic_mapper import NegacyclicNttMapper
+from ..mapping.program_cache import cyclic_program, negacyclic_program
 from ..mapping.single_buffer import SingleBufferMapper
 from ..ntt.merged import merged_negacyclic_intt, merged_negacyclic_ntt
 from ..ntt.negacyclic import NegacyclicParams
@@ -33,7 +33,52 @@ from ..pim.bank_pim import PimBank
 from ..pim.params import PimParams
 from .results import NttRunResult
 
-__all__ = ["SimConfig", "NttPimDriver"]
+__all__ = ["SimConfig", "NttPimDriver", "VERIFY_DEFAULT",
+           "clear_schedule_cache"]
+
+
+class _VerifyDefault:
+    """Sentinel for :meth:`NttPimDriver.run_ntt_with_params`: verify the
+    output against the golden reference NTT (the :meth:`run_ntt` path)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<verify against reference NTT>"
+
+
+#: Default for ``verify_against``: check against the golden reference NTT.
+#: Pass ``None`` to skip verification, or an explicit expected output list.
+VERIFY_DEFAULT = _VerifyDefault()
+
+
+# -- schedule cache ------------------------------------------------------------
+# The timing engine is deterministic: the same command tuple under the
+# same (timing, arch, compute, energy) parameters always produces the
+# same schedule.  Programs coming out of the program cache are shared
+# tuples, so their identity is a sound cache key *as long as the cache
+# holds a strong reference to the keyed tuple* (preventing id reuse).
+# Cached ScheduleResults are shared between runs — treat them as
+# immutable.
+_MAX_SCHEDULES = 128
+_schedule_cache: dict = {}
+
+
+def _cached_schedule(commands, timing, arch, compute, energy):
+    key = (id(commands), timing, arch, compute, energy)
+    hit = _schedule_cache.get(key)
+    if hit is not None and hit[0] is commands:
+        return hit[1]
+    schedule = TimingEngine(timing, arch, compute=compute,
+                            energy=energy).simulate(commands)
+    if len(_schedule_cache) >= _MAX_SCHEDULES:
+        for stale in list(_schedule_cache)[: _MAX_SCHEDULES // 4]:
+            del _schedule_cache[stale]
+    _schedule_cache[key] = (commands, schedule)
+    return schedule
+
+
+def clear_schedule_cache() -> None:
+    """Empty the schedule cache (test isolation)."""
+    _schedule_cache.clear()
 
 
 @dataclass(frozen=True)
@@ -73,9 +118,16 @@ class NttPimDriver:
         return NttMapper(ntt, cfg.arch, cfg.pim, cfg.base_row, bank,
                          options=cfg.mapper_options)
 
+    def _program(self, ntt: NttParams, bank: int = 0):
+        """The (memoized) command program for this configuration."""
+        cfg = self.config
+        return cyclic_program(ntt, cfg.arch, cfg.pim, cfg.base_row, bank,
+                              cfg.mapper_options)
+
     def map_commands(self, ntt: NttParams, bank: int = 0) -> List[Command]:
-        """Lower one NTT invocation to a command program."""
-        return self.make_mapper(ntt, bank).generate()
+        """Lower one NTT invocation to a command program (cached — the
+        program is a pure function of the parameters and configuration)."""
+        return list(self._program(ntt, bank).commands)
 
     def run_ntt(self, values: Sequence[int], ntt: NttParams) -> NttRunResult:
         """Simulate one forward NTT of ``values`` (natural order).
@@ -87,13 +139,11 @@ class NttPimDriver:
         cfg = self.config
         if len(values) != ntt.n:
             raise ValueError(f"expected {ntt.n} values, got {len(values)}")
-        mapper = self.make_mapper(ntt)
-        commands = mapper.generate()
+        program = self._program(ntt)
+        commands = program.commands
 
-        engine = TimingEngine(cfg.timing, cfg.arch,
-                              compute=cfg.pim.compute_timing(),
-                              energy=cfg.energy)
-        schedule = engine.simulate(commands)
+        schedule = _cached_schedule(commands, cfg.timing, cfg.arch,
+                                    cfg.pim.compute_timing(), cfg.energy)
 
         output: List[int] = []
         verified = False
@@ -104,7 +154,7 @@ class NttPimDriver:
             # Host-side bit reversal, then data is "already in memory".
             bank.load_polynomial(cfg.base_row, bit_reverse_permute(list(values)))
             bank.run(commands)
-            output = bank.read_polynomial(mapper.result_base_row, ntt.n)
+            output = bank.read_polynomial(program.result_base_row, ntt.n)
             bu_ops = bank.cu.bu_ops
             if cfg.verify:
                 expected = reference_ntt(values, ntt)
@@ -132,13 +182,11 @@ class NttPimDriver:
         cfg = self.config
         if len(values) != ring.n:
             raise ValueError(f"expected {ring.n} values, got {len(values)}")
-        mapper = NegacyclicNttMapper(ring, cfg.arch, cfg.pim,
-                                     cfg.base_row, inverse=inverse)
-        commands = mapper.generate()
-        engine = TimingEngine(cfg.timing, cfg.arch,
-                              compute=cfg.pim.compute_timing(),
-                              energy=cfg.energy)
-        schedule = engine.simulate(commands)
+        program = negacyclic_program(ring, cfg.arch, cfg.pim, cfg.base_row,
+                                     inverse=inverse)
+        commands = program.commands
+        schedule = _cached_schedule(commands, cfg.timing, cfg.arch,
+                                    cfg.pim.compute_timing(), cfg.energy)
         output: List[int] = []
         verified = False
         bu_ops = 0
@@ -147,12 +195,10 @@ class NttPimDriver:
             bank.set_parameters(ring.q)
             bank.load_polynomial(cfg.base_row, [v % ring.q for v in values])
             bank.run(commands)
-            output = bank.read_polynomial(mapper.result_base_row, ring.n)
+            output = bank.read_polynomial(program.result_base_row, ring.n)
             bu_ops = bank.cu.bu_ops
             if cfg.verify:
                 if inverse:
-                    from ..arith.modmath import mod_inverse
-                    n_inv = mod_inverse(ring.n, ring.q)
                     expected = [(v * ring.n) % ring.q for v in
                                 merged_negacyclic_intt(values, ring)]
                 else:
@@ -169,35 +215,42 @@ class NttPimDriver:
     def run_negacyclic_intt(self, values: Sequence[int],
                             ring: NegacyclicParams) -> NttRunResult:
         """Inverse merged transform including the host-side 1/N scale."""
-        from ..arith.modmath import mod_inverse
+        from ..arith.modmath import mod_inverse, mod_scale_vec
         result = self.run_negacyclic_ntt(values, ring, inverse=True)
         n_inv = mod_inverse(ring.n, ring.q)
-        result.output = [(v * n_inv) % ring.q for v in result.output]
+        result.output = mod_scale_vec(result.output, n_inv, ring.q)
         return result
 
     def run_intt(self, values: Sequence[int], ntt: NttParams) -> NttRunResult:
         """Inverse transform: same machine, inverse twiddles; the final
         1/N scaling is an element-wise pass the host (or an FHE pipeline's
         next element-wise stage) absorbs — as in the compared works."""
+        from ..arith.modmath import mod_scale_vec
         result = self.run_ntt_with_params(values, ntt.inverse(),
                                           verify_against=None)
-        n_inv, q = ntt.n_inv, ntt.q
-        result.output = [(v * n_inv) % q for v in result.output]
+        result.output = mod_scale_vec(result.output, ntt.n_inv, ntt.q)
         return result
 
-    def run_ntt_with_params(self, values: Sequence[int], ntt: NttParams,
-                            verify_against: Optional[List[int]] = "default",
-                            ) -> NttRunResult:
-        """Like :meth:`run_ntt` but with custom verification data."""
+    def run_ntt_with_params(
+            self, values: Sequence[int], ntt: NttParams,
+            verify_against: Optional[List[int]] | _VerifyDefault = VERIFY_DEFAULT,
+    ) -> NttRunResult:
+        """Like :meth:`run_ntt` but with custom verification data.
+
+        ``verify_against`` is :data:`VERIFY_DEFAULT` (check against the
+        golden reference NTT), ``None`` (skip verification), or the
+        explicit expected output.
+        """
         cfg = self.config
-        if verify_against == "default":
+        if verify_against is VERIFY_DEFAULT or (
+                isinstance(verify_against, str) and verify_against == "default"):
+            # The string is the legacy spelling of the sentinel; honour it
+            # rather than treating it as expected-output data.
             return self.run_ntt(values, ntt)
-        mapper = self.make_mapper(ntt)
-        commands = mapper.generate()
-        engine = TimingEngine(cfg.timing, cfg.arch,
-                              compute=cfg.pim.compute_timing(),
-                              energy=cfg.energy)
-        schedule = engine.simulate(commands)
+        program = self._program(ntt)
+        commands = program.commands
+        schedule = _cached_schedule(commands, cfg.timing, cfg.arch,
+                                    cfg.pim.compute_timing(), cfg.energy)
         output: List[int] = []
         bu_ops = 0
         verified = False
@@ -206,7 +259,7 @@ class NttPimDriver:
             bank.set_parameters(ntt.q)
             bank.load_polynomial(cfg.base_row, bit_reverse_permute(list(values)))
             bank.run(commands)
-            output = bank.read_polynomial(mapper.result_base_row, ntt.n)
+            output = bank.read_polynomial(program.result_base_row, ntt.n)
             bu_ops = bank.cu.bu_ops
             if verify_against is not None:
                 if output != verify_against:

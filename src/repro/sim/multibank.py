@@ -86,6 +86,8 @@ def run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
     if banks < 1:
         raise ValueError("need at least one bank's worth of input")
     driver = NttPimDriver(config)
+    # map_commands is memoized per (params, config, bank): repeated rounds
+    # over the same shape (e.g. every RNS limb round) reuse the programs.
     programs = [driver.map_commands(ntt, bank=k) for k in range(banks)]
     merged = interleave_programs(programs)
 
