@@ -2,12 +2,13 @@
 host-scaled cyclic protocol, and the refresh-overhead the evaluation
 (like the paper) ignores."""
 
+from repro.api import NegacyclicRequest, NttRequest, Simulator
 from repro.arith import NttParams, find_ntt_prime
 from repro.dram import refresh_overhead
 from repro.experiments.report import format_table
 from repro.ntt import NegacyclicParams
 from repro.pim import PimParams
-from repro.sim import NttPimDriver, SimConfig
+from repro.sim import SimConfig
 
 
 def test_native_negacyclic_vs_cyclic(benchmark, show):
@@ -16,12 +17,12 @@ def test_native_negacyclic_vs_cyclic(benchmark, show):
 
     def sweep():
         rows = []
-        drv = NttPimDriver(SimConfig(pim=PimParams(nb_buffers=4),
-                                     functional=False, verify=False))
+        sim = Simulator(SimConfig(pim=PimParams(nb_buffers=4),
+                                  functional=False, verify=False))
         for n in (256, 1024, 4096):
             q = find_ntt_prime(n, 32, negacyclic=True)
-            nega = drv.run_negacyclic_ntt([0] * n, NegacyclicParams(n, q))
-            cyc = drv.run_ntt([0] * n, NttParams(n, q))
+            nega = sim.run(NegacyclicRequest(ring=NegacyclicParams(n, q)))
+            cyc = sim.run(NttRequest(params=NttParams(n, q)))
             rows.append([n, cyc.latency_us, nega.latency_us,
                          nega.cycles / cyc.cycles])
         return rows
@@ -41,10 +42,10 @@ def test_refresh_overhead(benchmark, show):
     def sweep():
         rows = []
         config = SimConfig(functional=False, verify=False)
-        drv = NttPimDriver(config)
+        sim = Simulator(config)
         q = find_ntt_prime(8192, 32)
         for n in (256, 1024, 4096, 8192):
-            run = drv.run_ntt([0] * n, NttParams(n, q))
+            run = sim.run(NttRequest(params=NttParams(n, q)))
             o = refresh_overhead(run.cycles, config.timing)
             rows.append([n, run.cycles, o.refresh_windows,
                          100.0 * o.overhead_fraction])

@@ -4,9 +4,10 @@ tracking regressions in the simulator, not a paper figure."""
 
 import random
 
+from repro.api import NttRequest, Simulator
 from repro.arith import NttParams, find_ntt_prime
 from repro.pim import PimParams
-from repro.sim import NttPimDriver, SimConfig
+from repro.sim import SimConfig
 
 Q = find_ntt_prime(4096, 32)
 
@@ -16,7 +17,7 @@ def _run(n, nb, functional):
     x = [rng.randrange(Q) for _ in range(n)]
     config = SimConfig(pim=PimParams(nb_buffers=nb),
                        functional=functional, verify=functional)
-    return NttPimDriver(config).run_ntt(x, NttParams(n, Q))
+    return Simulator(config).run(NttRequest(params=NttParams(n, Q), values=x))
 
 
 def test_sim_full_n1024_nb2(benchmark):

@@ -1,14 +1,20 @@
 """Bank-level parallelism: run one NTT per bank and measure scaling —
 the paper's conclusion claims near-linear speedup; here we test it on
-the shared-command-bus model.
+the shared-command-bus model through the repro.api facade.
 
     python examples/bank_parallelism.py
 """
 
 import random
 
-from repro import NttParams, PimParams, SimConfig, find_ntt_prime
-from repro.sim import run_multibank
+from repro import (
+    MultiBankRequest,
+    NttParams,
+    PimParams,
+    SimConfig,
+    Simulator,
+    find_ntt_prime,
+)
 
 
 def main() -> None:
@@ -25,10 +31,12 @@ def main() -> None:
         inputs = [[rng.randrange(q) for _ in range(n)] for _ in range(banks)]
         config = SimConfig(pim=PimParams(nb_buffers=2),
                            functional=banks <= 4)  # verify small configs
-        result = run_multibank(inputs, params, config)
-        flag = " (verified)" if result.verified else ""
-        print(f"{banks:>5} | {result.latency_us:>10.2f} | "
-              f"{result.speedup:>7.2f} | {result.efficiency:>10.3f}{flag}")
+        response = Simulator(config).run(
+            MultiBankRequest(params=params, inputs=inputs))
+        flag = " (verified)" if response.verified else ""
+        print(f"{banks:>5} | {response.latency_us:>10.2f} | "
+              f"{response.metrics['speedup']:>7.2f} | "
+              f"{response.metrics['efficiency']:>10.3f}{flag}")
 
     print("\nefficiency stays high until the shared command bus saturates;")
     print("FHE applications get this speedup for free by placing one NTT")

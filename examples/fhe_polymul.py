@@ -9,11 +9,10 @@ most of its time in NTTs over Z_q[X]/(X^N+1).
 
 import random
 
-from repro import find_ntt_prime
-from repro.fhe import PimFheAccelerator, RlweParams, RlweScheme
+from repro import FheOpRequest, SimConfig, Simulator, find_ntt_prime
+from repro.fhe import RlweParams, RlweScheme
 from repro.ntt import NegacyclicParams
 from repro.pim import PimParams
-from repro.sim import SimConfig
 
 
 def encrypted_compute_demo() -> None:
@@ -39,27 +38,28 @@ def encrypted_compute_demo() -> None:
 
 
 def pim_ring_multiplication() -> None:
-    """The NTT-heavy primitive, with every transform on the PIM."""
+    """The NTT-heavy primitive, with every transform on the PIM — one
+    FheOpRequest through the repro.api facade."""
     n = 1024
     q = find_ntt_prime(n, 32, negacyclic=True)
     ring = NegacyclicParams(n, q)
-    acc = PimFheAccelerator(ring, SimConfig(pim=PimParams(nb_buffers=4)))
+    simulator = Simulator(SimConfig(pim=PimParams(nb_buffers=4)))
 
     rng = random.Random(1)
     a = [rng.randrange(q) for _ in range(n)]
     b = [rng.randrange(q) for _ in range(n)]
-    product = acc.multiply(a, b)
+    response = simulator.run(FheOpRequest(ring=ring, op="multiply", a=a, b=b))
 
     # Cross-check against schoolbook negacyclic convolution.
     from repro.ntt import naive_negacyclic_convolution
-    assert product == naive_negacyclic_convolution(a, b, q)
+    assert response.values == naive_negacyclic_convolution(a, b, q)
 
-    s = acc.stats
+    s = response.raw  # the accelerator's PimTransformStats
     print(f"\nring multiplication in Z_{q}[X]/(X^{n}+1) on the PIM:")
     print(f"  transforms on PIM : {s.transforms} (2 fwd + 1 inv)")
-    print(f"  simulated latency : {s.total_latency_us:.2f} us")
-    print(f"  simulated energy  : {s.total_energy_nj:.2f} nJ")
-    print(f"  row activations   : {s.total_activations}")
+    print(f"  simulated latency : {response.latency_us:.2f} us")
+    print(f"  simulated energy  : {response.energy_nj:.2f} nJ")
+    print(f"  row activations   : {response.activations}")
     print(f"  per-transform us  : "
           + ", ".join(f"{v:.2f}" for v in s.per_call_us))
     print("result verified against schoolbook convolution: ok")

@@ -1,11 +1,19 @@
-"""Quickstart: run one NTT on the simulated NTT-PIM and inspect the run.
+"""Quickstart: run one NTT through the repro.api facade and inspect the
+response envelope.
 
     python examples/quickstart.py
 """
 
 import random
 
-from repro import NttParams, NttPimDriver, PimParams, SimConfig, find_ntt_prime
+from repro import (
+    NttParams,
+    NttRequest,
+    PimParams,
+    SimConfig,
+    Simulator,
+    find_ntt_prime,
+)
 from repro.cost import PowerModel
 
 
@@ -18,37 +26,50 @@ def main() -> None:
 
     # 2. Configure the PIM: HBM2E timing (paper Table I), 2 atom buffers
     #    (the primary GSA + one auxiliary — the paper's base design).
+    #    One Simulator owns one configuration; every workload shape goes
+    #    through its run() entry point.
     config = SimConfig(pim=PimParams(nb_buffers=2))
-    driver = NttPimDriver(config)
+    simulator = Simulator(config)
 
-    # 3. Run.  The driver bit-reverses on the host, loads the bank,
+    # 3. Run.  The facade bit-reverses on the host, loads the bank,
     #    generates the DRAM command sequence, executes it functionally
     #    AND through the timing engine, and verifies against the golden
     #    software NTT.
     rng = random.Random(0)
     values = [rng.randrange(q) for _ in range(n)]
-    result = driver.run_ntt(values, params)
+    response = simulator.run(NttRequest(params=params, values=values))
 
-    print(result.summary())
-    print(f"  cycles          : {result.cycles}")
-    print(f"  latency         : {result.latency_us:.2f} us "
+    print(response.summary())
+    print(f"  cycles          : {response.cycles}")
+    print(f"  latency         : {response.latency_us:.2f} us "
           f"@ {config.timing.freq_mhz:.0f} MHz")
-    print(f"  energy          : {result.energy_nj:.2f} nJ")
-    print(f"  row activations : {result.activations}")
-    print(f"  DRAM commands   : {result.command_count}")
-    print(f"  butterfly ops   : {result.bu_ops} "
+    print(f"  energy          : {response.energy_nj:.2f} nJ")
+    print(f"  row activations : {response.activations}")
+    print(f"  DRAM commands   : {response.command_count}")
+    print(f"  butterfly ops   : {response.counters['bu_ops']} "
           f"(= N/2 log N = {(n // 2) * params.log_n}, full data reuse)")
+    print(f"  compute backend : {response.backend}")
+    print(f"  cache provenance: {response.cache}")
+    print(f"  wall clock      : {response.wall_time_s * 1e3:.1f} ms")
 
     power = PowerModel(config.energy, config.timing)
-    breakdown = power.breakdown(result.schedule.stats)
+    breakdown = power.breakdown(response.schedule.stats)
     print("  energy breakdown:")
     for key in ("activation_pj", "column_pj", "compute_pj", "static_pj"):
         print(f"    {key:<14}: {breakdown[key] / 1000:.2f} nJ")
 
-    # 4. The inverse transform brings the data back.
-    inverse = driver.run_intt(result.output, params)
-    assert inverse.output == values
+    # 4. The inverse transform brings the data back — same entry point.
+    inverse = simulator.run(NttRequest(params=params,
+                                       values=response.values,
+                                       inverse=True))
+    assert inverse.values == values
     print("inverse NTT on PIM round-trips the data: ok")
+
+    # 5. A repeated run hits the program AND schedule caches.
+    again = simulator.run(NttRequest(params=params, values=values))
+    assert again.cache["schedule"]["hits"] >= 1
+    print(f"repeat run cache hits: {again.cache} "
+          f"({again.wall_time_s * 1e3:.1f} ms)")
 
 
 if __name__ == "__main__":

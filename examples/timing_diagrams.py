@@ -5,8 +5,15 @@ pipelining.
     python examples/timing_diagrams.py
 """
 
-from repro import NttParams, NttPimDriver, PimParams, SimConfig, find_ntt_prime
-from repro.dram import TimingEngine
+from repro import (
+    NttParams,
+    NttPimDriver,
+    PimParams,
+    ProgramRequest,
+    SimConfig,
+    Simulator,
+    find_ntt_prime,
+)
 from repro.visual import render_timing_diagram
 
 
@@ -14,14 +21,11 @@ def regime_window(n: int, nb: int, start: int, end: int, title: str) -> None:
     q = find_ntt_prime(n, 32)
     config = SimConfig(pim=PimParams(nb_buffers=nb),
                        functional=False, verify=False)
-    driver = NttPimDriver(config)
-    commands = driver.map_commands(NttParams(n, q))
-    engine = TimingEngine(config.timing, config.arch,
-                          compute=config.pim.compute_timing(),
-                          energy=config.energy)
-    schedule = engine.simulate(commands)
+    commands = NttPimDriver(config).map_commands(NttParams(n, q))
+    response = Simulator(config).run(ProgramRequest(commands=commands,
+                                                    label=title))
     print(f"\n--- {title} (N={n}, Nb={nb}) ---")
-    print(render_timing_diagram(commands, schedule.timings,
+    print(render_timing_diagram(commands, response.raw.timings,
                                 start_cycle=start, end_cycle=end))
 
 

@@ -1,15 +1,17 @@
 """NTT-PIM reproduction: row-centric NTT mapping on DRAM PIM (DAC 2023).
 
-Top-level convenience surface::
+Top-level convenience surface (the :mod:`repro.api` facade)::
 
-    from repro import NttParams, NttPimDriver, SimConfig, PimParams, ntt
+    from repro import NttParams, NttRequest, Simulator, find_ntt_prime
 
     params = NttParams(1024, find_ntt_prime(1024, 32))
-    driver = NttPimDriver(SimConfig(pim=PimParams(nb_buffers=2)))
-    result = driver.run_ntt(list(range(1024)), params)
-    print(result.summary())
+    response = Simulator().run(NttRequest(params=params,
+                                          values=list(range(1024))))
+    print(response.summary())
 
 Subpackages:
+
+* :mod:`repro.api`        — the public facade: Simulator + typed requests
 
 * :mod:`repro.arith`      — modular arithmetic, Montgomery, primes, roots
 * :mod:`repro.ntt`        — golden NTT kernels, variants, ring polynomials
@@ -26,12 +28,31 @@ Subpackages:
 
 from .arith import DEFAULT_PRIME_32, NttParams, find_ntt_prime
 from .dram import HBM2E_ARCH, HBM2E_TIMING, ArchParams, TimingParams
-from .errors import FunctionalMismatch, MappingError, ReproError, TimingViolation
+from .errors import (
+    FunctionalMismatch,
+    MappingError,
+    ReproError,
+    RequestValidationError,
+    TimingViolation,
+)
 from .ntt import NegacyclicParams, Polynomial, intt, ntt
 from .pim import PimParams
 from .sim import NttPimDriver, SimConfig
+from .api import (
+    BatchRequest,
+    FheOpRequest,
+    MultiBankRequest,
+    NegacyclicRequest,
+    NttRequest,
+    ProgramRequest,
+    SimRequest,
+    SimResponse,
+    Simulator,
+    register_workload,
+    workload_names,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_PRIME_32",
@@ -44,6 +65,7 @@ __all__ = [
     "FunctionalMismatch",
     "MappingError",
     "ReproError",
+    "RequestValidationError",
     "TimingViolation",
     "NegacyclicParams",
     "Polynomial",
@@ -52,5 +74,16 @@ __all__ = [
     "PimParams",
     "NttPimDriver",
     "SimConfig",
+    "SimRequest",
+    "NttRequest",
+    "NegacyclicRequest",
+    "BatchRequest",
+    "MultiBankRequest",
+    "FheOpRequest",
+    "ProgramRequest",
+    "SimResponse",
+    "Simulator",
+    "register_workload",
+    "workload_names",
     "__version__",
 ]

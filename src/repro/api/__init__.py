@@ -1,0 +1,64 @@
+"""Unified simulation facade — the library's public API spine.
+
+One entry point for every run shape of the paper's evaluation::
+
+    from repro.api import NttRequest, Simulator
+    from repro import NttParams, SimConfig, find_ntt_prime
+
+    sim = Simulator(SimConfig())
+    q = find_ntt_prime(1024, 32)
+    response = sim.run(NttRequest(params=NttParams(1024, q), values=data))
+
+* typed, frozen requests (:mod:`repro.api.requests`) map one-to-one to
+  the paper sections they reproduce;
+* every request returns the same :class:`SimResponse` envelope
+  (:mod:`repro.api.response`): values, cycles, energy, µ-op counters,
+  cache provenance, backend and wall-clock metadata;
+* a string-keyed workload registry (:mod:`repro.api.registry`) lets
+  third-party scenarios plug in without touching core code;
+* :meth:`Simulator.run_many` dispatches bulk request streams across
+  banks automatically.
+
+The pre-facade entry points (``NttPimDriver.run_ntt*``,
+``repro.sim.batch.run_batch``, ``repro.sim.multibank.run_multibank``)
+remain as deprecation shims producing identical results.
+"""
+
+from .registry import (
+    UnknownWorkloadError,
+    get_workload,
+    register_workload,
+    unregister_workload,
+    workload_names,
+)
+from .requests import (
+    BatchRequest,
+    FheOpRequest,
+    MultiBankRequest,
+    NegacyclicRequest,
+    NttRequest,
+    ProgramRequest,
+    SimRequest,
+)
+from .response import SimResponse
+from .simulator import Simulator
+
+# Importing the handlers registers the built-in workloads.
+from . import workloads as _workloads  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "UnknownWorkloadError",
+    "get_workload",
+    "register_workload",
+    "unregister_workload",
+    "workload_names",
+    "SimRequest",
+    "NttRequest",
+    "NegacyclicRequest",
+    "BatchRequest",
+    "MultiBankRequest",
+    "FheOpRequest",
+    "ProgramRequest",
+    "SimResponse",
+    "Simulator",
+]

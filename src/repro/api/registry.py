@@ -1,0 +1,91 @@
+"""String-keyed workload registry of the :mod:`repro.api` facade.
+
+The registry is how the facade stays open to scenarios that the core
+library does not know about: a workload handler is any callable
+``handler(config, request) -> SimResponse``, registered under a short
+string name with :func:`register_workload`.  Requests resolve to their
+handler through their ``workload`` class attribute, so third-party code
+adds a new simulation scenario without touching core modules::
+
+    from repro.api import SimRequest, Simulator, register_workload
+
+    @dataclass(frozen=True)
+    class MyRequest(SimRequest):
+        workload = "my-scenario"
+        ...
+
+    @register_workload("my-scenario")
+    def run_my_scenario(config, request):
+        ...build and return a SimResponse...
+
+    Simulator().run(MyRequest(...))
+
+The built-in workloads (``ntt``, ``negacyclic``, ``batch``,
+``multibank``, ``fhe``, ``program``) are registered by
+:mod:`repro.api.workloads` on import of :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ReproError
+
+__all__ = ["UnknownWorkloadError", "register_workload", "get_workload",
+           "workload_names", "unregister_workload"]
+
+
+class UnknownWorkloadError(ReproError):
+    """No handler is registered under the requested workload name.
+
+    Deliberately not a ``KeyError``: ``KeyError.__str__`` repr-quotes
+    the message, which mangles it on every CLI/log surface.
+    """
+
+
+#: name -> handler(config, request) -> SimResponse
+_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_workload(name: str, *, replace: bool = False):
+    """Decorator registering a workload handler under ``name``.
+
+    Re-registering an existing name raises :class:`ValueError` unless
+    ``replace=True`` (so two libraries cannot silently shadow each
+    other's scenarios).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("workload name must be a non-empty string")
+
+    def decorator(handler: Callable) -> Callable:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not handler and not replace:
+            raise ValueError(
+                f"workload {name!r} is already registered; pass replace=True "
+                f"to override")
+        _REGISTRY[name] = handler
+        return handler
+
+    return decorator
+
+
+def get_workload(name: str) -> Callable:
+    """The handler registered under ``name``; raises
+    :class:`UnknownWorkloadError` with the known names otherwise."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(workload_names()) or "(none)"
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; registered workloads: {known}"
+        ) from None
+
+
+def workload_names() -> List[str]:
+    """Sorted names of all registered workloads."""
+    return sorted(_REGISTRY)
+
+
+def unregister_workload(name: str) -> None:
+    """Remove ``name`` from the registry (no-op if absent)."""
+    _REGISTRY.pop(name, None)

@@ -1,0 +1,226 @@
+"""Typed, frozen request objects of the :mod:`repro.api` facade.
+
+Each request class captures one workload shape of the paper's
+evaluation, so the mapping back to the source material stays explicit:
+
+=====================  ======================================================
+request                paper section it reproduces
+=====================  ======================================================
+:class:`NttRequest`    Sec. IV.A host protocol / Sec. VI.C (Fig. 7, Fig. 8):
+                       one cyclic (I)NTT invocation against one bank.
+:class:`NegacyclicRequest`
+                       merged negacyclic transform extension of Sec. III
+                       (the C1N/zeta mapping in
+                       :mod:`repro.mapping.negacyclic_mapper`).
+:class:`BatchRequest`  back-to-back transforms in one bank — the batching
+                       side of the Sec. VI.A FHE deployment story.
+:class:`MultiBankRequest`
+                       Sec. VI.A / Conclusion: one independent NTT per bank
+                       (e.g. one RNS limb each) on the shared command bus.
+:class:`FheOpRequest`  Sec. I motivation: negacyclic ring arithmetic whose
+                       NTTs run on the PIM (forward / inverse / multiply).
+:class:`ProgramRequest`
+                       raw command-window micro-studies (Fig. 5 / Fig. 6).
+=====================  ======================================================
+
+Requests are frozen dataclasses: value sequences are normalized to
+tuples in ``__post_init__`` so a request is immutable and hashable, and
+:meth:`SimRequest.validate` raises :class:`~repro.errors.RequestValidationError`
+on malformed parameters before any simulation work starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional, Tuple
+
+from ..arith.roots import NttParams
+from ..dram.commands import Command
+from ..errors import RequestValidationError
+from ..ntt.negacyclic import NegacyclicParams
+
+__all__ = ["SimRequest", "NttRequest", "NegacyclicRequest", "BatchRequest",
+           "MultiBankRequest", "FheOpRequest", "ProgramRequest"]
+
+
+def _freeze(values) -> Optional[Tuple[int, ...]]:
+    return None if values is None else tuple(values)
+
+
+def _freeze_nested(rows) -> Tuple[Tuple[int, ...], ...]:
+    return tuple(tuple(row) for row in rows)
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """Base class of every facade request.
+
+    Subclasses set the ``workload`` class attribute to the registry name
+    their handler is registered under (see
+    :func:`repro.api.register_workload`) and may override
+    :meth:`validate`.
+    """
+
+    workload: ClassVar[str] = ""
+
+    def validate(self) -> None:
+        """Raise :class:`RequestValidationError` on malformed parameters."""
+        if not self.workload:
+            raise RequestValidationError(
+                f"{type(self).__name__} does not name a workload")
+
+
+@dataclass(frozen=True)
+class NttRequest(SimRequest):
+    """One cyclic (I)NTT invocation (Sec. IV.A protocol; Fig. 7/8 runs).
+
+    ``values=None`` runs on an all-zero polynomial — the timing-only
+    idiom of the experiment sweeps (pair with
+    ``SimConfig(functional=False)``).  ``inverse=True`` runs the inverse
+    transform including the host-side 1/N scale.
+    """
+
+    workload: ClassVar[str] = "ntt"
+
+    params: NttParams
+    values: Optional[Tuple[int, ...]] = None
+    inverse: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", _freeze(self.values))
+
+    def validate(self) -> None:
+        if not isinstance(self.params, NttParams):
+            raise RequestValidationError("params must be an NttParams")
+        if self.values is not None and len(self.values) != self.params.n:
+            raise RequestValidationError(
+                f"expected {self.params.n} values, got {len(self.values)}")
+
+
+@dataclass(frozen=True)
+class NegacyclicRequest(SimRequest):
+    """One native merged negacyclic transform (C1N mapping extension)."""
+
+    workload: ClassVar[str] = "negacyclic"
+
+    ring: NegacyclicParams
+    values: Optional[Tuple[int, ...]] = None
+    inverse: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", _freeze(self.values))
+
+    def validate(self) -> None:
+        if not isinstance(self.ring, NegacyclicParams):
+            raise RequestValidationError("ring must be a NegacyclicParams")
+        if self.values is not None and len(self.values) != self.ring.n:
+            raise RequestValidationError(
+                f"expected {self.ring.n} values, got {len(self.values)}")
+
+
+@dataclass(frozen=True)
+class BatchRequest(SimRequest):
+    """Back-to-back NTTs of all ``inputs`` in one bank (Sec. VI.A
+    batching: amortized PARAM_WRITE, pipelined transform seams)."""
+
+    workload: ClassVar[str] = "batch"
+
+    params: NttParams
+    inputs: Tuple[Tuple[int, ...], ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "inputs", _freeze_nested(self.inputs))
+
+    def validate(self) -> None:
+        if len(self.inputs) < 1:
+            raise RequestValidationError("need at least one polynomial")
+        for i, row in enumerate(self.inputs):
+            if len(row) != self.params.n:
+                raise RequestValidationError(
+                    f"batch element {i}: expected {self.params.n} values, "
+                    f"got {len(row)}")
+
+
+@dataclass(frozen=True)
+class MultiBankRequest(SimRequest):
+    """One independent NTT per bank on the shared command bus
+    (Sec. VI.A / Conclusion — the RNS-limb-per-bank deployment)."""
+
+    workload: ClassVar[str] = "multibank"
+
+    params: NttParams
+    inputs: Tuple[Tuple[int, ...], ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "inputs", _freeze_nested(self.inputs))
+
+    def validate(self) -> None:
+        if len(self.inputs) < 1:
+            raise RequestValidationError("need at least one bank's input")
+        for i, row in enumerate(self.inputs):
+            if len(row) != self.params.n:
+                raise RequestValidationError(
+                    f"bank {i}: expected {self.params.n} values, "
+                    f"got {len(row)}")
+
+
+@dataclass(frozen=True)
+class FheOpRequest(SimRequest):
+    """One negacyclic ring operation with its NTTs on the PIM (Sec. I).
+
+    ``op`` is ``"forward"``, ``"inverse"`` or ``"multiply"`` (two
+    forward transforms, pointwise product, one inverse).  ``native=True``
+    uses the merged negacyclic mapping instead of the paper-faithful
+    host psi-scaling + cyclic NTT protocol.
+    """
+
+    workload: ClassVar[str] = "fhe"
+    OPS: ClassVar[Tuple[str, ...]] = ("forward", "inverse", "multiply")
+
+    ring: NegacyclicParams
+    op: str = "multiply"
+    a: Tuple[int, ...] = ()
+    b: Optional[Tuple[int, ...]] = None
+    native: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "a", tuple(self.a))
+        object.__setattr__(self, "b", _freeze(self.b))
+
+    def validate(self) -> None:
+        if not isinstance(self.ring, NegacyclicParams):
+            raise RequestValidationError("ring must be a NegacyclicParams")
+        if self.op not in self.OPS:
+            raise RequestValidationError(
+                f"unknown FHE op {self.op!r}; choose from {self.OPS}")
+        if len(self.a) != self.ring.n:
+            raise RequestValidationError(
+                f"operand a: expected {self.ring.n} values, got {len(self.a)}")
+        if self.op == "multiply":
+            if self.b is None or len(self.b) != self.ring.n:
+                raise RequestValidationError(
+                    "multiply needs a second operand b of length n")
+        elif self.b is not None:
+            raise RequestValidationError(f"op {self.op!r} takes one operand")
+
+
+@dataclass(frozen=True)
+class ProgramRequest(SimRequest):
+    """Time a raw command program (the Fig. 5/6 micro-study windows).
+
+    The program runs through the timing engine only (no functional
+    model); buffer depth and clocking come from the simulator's
+    :class:`~repro.sim.driver.SimConfig`.
+    """
+
+    workload: ClassVar[str] = "program"
+
+    commands: Tuple[Command, ...] = ()
+    label: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "commands", tuple(self.commands))
+
+    def validate(self) -> None:
+        if len(self.commands) < 1:
+            raise RequestValidationError("need at least one command")

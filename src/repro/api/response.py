@@ -1,0 +1,88 @@
+"""The uniform :class:`SimResponse` envelope of the facade.
+
+Every workload — single NTT, negacyclic, batch, multi-bank, FHE op,
+raw program window — returns the same envelope: primary values, cycle
+and energy totals, per-command-type µ-op counters, cache-hit
+provenance, the active compute backend and wall-clock metadata, plus
+the legacy result object under ``raw`` for full drill-down (the
+experiment harnesses use ``response.schedule.stats``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..dram.engine import ScheduleResult
+
+__all__ = ["SimResponse"]
+
+
+@dataclass
+class SimResponse:
+    """Uniform result envelope of one :class:`repro.api.Simulator` run."""
+
+    #: Registry name of the workload that produced this response.
+    workload: str
+    #: Primary output polynomial (empty on timing-only runs and on
+    #: multi-output workloads — see :attr:`outputs`).
+    values: List[int] = field(default_factory=list)
+    #: Per-element outputs of batch / multi-bank runs (input order).
+    outputs: List[List[int]] = field(default_factory=list)
+    cycles: int = 0
+    latency_us: float = 0.0
+    energy_nj: float = 0.0
+    verified: bool = False
+    #: Commands issued on the bus (0 when the workload has no single
+    #: program, e.g. FHE ops spanning several transforms).
+    command_count: int = 0
+    #: µ-op / command counters: per-CommandType issue counts (``"ACT"``,
+    #: ``"C2"``, ...) plus ``"bu_ops"`` — executed butterfly operations.
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Workload-specific scalar metrics (``speedup``, ``amortization``, ...).
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Cache-hit provenance: ``{"program": {hits, misses, entries},
+    #: "schedule": {...}}`` — hits/misses are deltas over this run.
+    cache: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Active ``repro.arith.vector`` backend (``"python"``/``"numpy"``).
+    backend: str = ""
+    #: Host wall-clock seconds the simulation took.
+    wall_time_s: float = 0.0
+    #: Legacy result object (NttRunResult / BatchResult / MultiBankResult /
+    #: PimTransformStats / ScheduleResult) for drill-down.
+    raw: Any = None
+    #: The request that produced this response.
+    request: Any = None
+
+    @property
+    def latency_ns(self) -> float:
+        return self.latency_us * 1000.0
+
+    @property
+    def activations(self) -> int:
+        """Row activations — the paper's key efficiency counter."""
+        return self.counters.get("ACT", 0)
+
+    @property
+    def schedule(self) -> Optional[ScheduleResult]:
+        """The underlying :class:`ScheduleResult`, when the workload has
+        one (raw program runs return it directly)."""
+        if isinstance(self.raw, ScheduleResult):
+            return self.raw
+        return getattr(self.raw, "schedule", None)
+
+    def summary(self) -> str:
+        """One-line report (the CLI's output for ``repro run``)."""
+        params = getattr(self.request, "params", None) or getattr(
+            self.request, "ring", None)
+        shape = f"N={params.n:>5}  " if params is not None else ""
+        head = (f"{shape}[{self.workload}] {self.latency_us:9.2f} us  "
+                f"{self.energy_nj:9.2f} nJ  ACTs={self.activations:>6}  "
+                f"cmds={self.command_count:>7}  "
+                f"verified={'yes' if self.verified else 'NO'}")
+        if self.metrics:
+            extras = "  ".join(f"{k}={v:.3g}" if isinstance(v, float)
+                               else f"{k}={v}"
+                               for k, v in sorted(self.metrics.items()))
+            head += "  " + extras
+        return head

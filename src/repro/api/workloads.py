@@ -1,0 +1,201 @@
+"""Built-in workload handlers of the :mod:`repro.api` facade.
+
+Each handler lowers one request type onto the engine-room modules
+(:mod:`repro.sim.driver`, :mod:`repro.sim.batch`,
+:mod:`repro.sim.multibank`, :mod:`repro.fhe.ops`) and wraps the outcome
+in the uniform :class:`~repro.api.response.SimResponse` envelope.  The
+handlers are registered under the names ``ntt``, ``negacyclic``,
+``batch``, ``multibank``, ``fhe`` and ``program`` — the same names the
+CLI's generic ``run <workload>`` subcommand accepts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dram.engine import ScheduleResult
+from ..sim.batch import BatchResult, _run_batch
+from ..sim.driver import NttPimDriver, SimConfig, cached_schedule
+from ..sim.multibank import MultiBankResult, _run_multibank
+from ..sim.results import NttRunResult
+from .registry import register_workload
+from .requests import (
+    BatchRequest,
+    FheOpRequest,
+    MultiBankRequest,
+    NegacyclicRequest,
+    NttRequest,
+    ProgramRequest,
+)
+from .response import SimResponse
+
+__all__ = ["response_from_run", "response_from_schedule"]
+
+
+def _counters(schedule: ScheduleResult, bu_ops: int = 0) -> dict:
+    counters = dict(schedule.stats.command_counts)
+    if bu_ops:
+        counters["bu_ops"] = bu_ops
+    return counters
+
+
+def response_from_run(workload: str, run: NttRunResult) -> SimResponse:
+    """Envelope one driver-level :class:`NttRunResult`."""
+    return SimResponse(
+        workload=workload,
+        values=list(run.output),
+        cycles=run.cycles,
+        latency_us=run.latency_us,
+        energy_nj=run.energy_nj,
+        verified=run.verified,
+        command_count=run.command_count,
+        counters=_counters(run.schedule, run.bu_ops),
+        raw=run,
+    )
+
+
+def response_from_schedule(workload: str, schedule: ScheduleResult,
+                           raw=None) -> SimResponse:
+    """Envelope a bare :class:`ScheduleResult` (timing-only workloads)."""
+    return SimResponse(
+        workload=workload,
+        cycles=schedule.total_cycles,
+        latency_us=schedule.latency_us,
+        energy_nj=schedule.energy_nj,
+        command_count=len(schedule.timings),
+        counters=_counters(schedule),
+        raw=raw if raw is not None else schedule,
+    )
+
+
+def _values_or_zeros(values: Optional[tuple], n: int) -> List[int]:
+    return list(values) if values is not None else [0] * n
+
+
+@register_workload("ntt")
+def run_ntt_workload(config: SimConfig, request: NttRequest) -> SimResponse:
+    """Cyclic (I)NTT — Sec. IV.A protocol, the Fig. 7/8 run shape."""
+    driver = NttPimDriver(config)
+    values = _values_or_zeros(request.values, request.params.n)
+    if request.inverse:
+        run = driver._run_intt(values, request.params)
+    else:
+        run = driver._run_ntt(values, request.params)
+    return response_from_run("ntt", run)
+
+
+@register_workload("negacyclic")
+def run_negacyclic_workload(config: SimConfig,
+                            request: NegacyclicRequest) -> SimResponse:
+    """Native merged negacyclic transform (C1N mapping extension)."""
+    driver = NttPimDriver(config)
+    values = _values_or_zeros(request.values, request.ring.n)
+    if request.inverse:
+        run = driver._run_negacyclic_intt(values, request.ring)
+    else:
+        run = driver._run_negacyclic_ntt(values, request.ring)
+    return response_from_run("negacyclic", run)
+
+
+@register_workload("batch")
+def run_batch_workload(config: SimConfig,
+                       request: BatchRequest) -> SimResponse:
+    """Back-to-back NTTs in one bank (Sec. VI.A batching)."""
+    result: BatchResult = _run_batch(
+        [list(row) for row in request.inputs], request.params, config)
+    response = response_from_schedule("batch", result.schedule, raw=result)
+    if result.bu_ops:
+        response.counters["bu_ops"] = result.bu_ops
+    response.outputs = [list(out) for out in result.outputs]
+    if response.outputs:
+        response.values = list(response.outputs[0])
+    response.verified = result.verified
+    response.metrics = {
+        "count": result.count,
+        "single_cycles": result.single_cycles,
+        "cycles_per_transform": result.cycles_per_transform,
+        "amortization": result.amortization,
+    }
+    return response
+
+
+@register_workload("multibank")
+def run_multibank_workload(config: SimConfig,
+                           request: MultiBankRequest) -> SimResponse:
+    """One NTT per bank on the shared bus (Sec. VI.A / Conclusion)."""
+    result: MultiBankResult = _run_multibank(
+        [list(row) for row in request.inputs], request.params, config)
+    response = response_from_schedule("multibank", result.schedule, raw=result)
+    if result.bu_ops:
+        response.counters["bu_ops"] = result.bu_ops
+    response.outputs = [list(out) for out in result.outputs]
+    if response.outputs:
+        response.values = list(response.outputs[0])
+    response.verified = result.verified
+    response.metrics = {
+        "banks": result.banks,
+        "single_bank_cycles": result.single_bank_cycles,
+        "speedup": result.speedup,
+        "efficiency": result.efficiency,
+    }
+    return response
+
+
+@register_workload("fhe")
+def run_fhe_workload(config: SimConfig, request: FheOpRequest) -> SimResponse:
+    """Negacyclic ring op with every NTT on the PIM (Sec. I motivation)."""
+    # Imported lazily: repro.fhe sits above the facade's engine-room
+    # imports, and only this handler needs it.
+    from ..fhe.ops import PimFheAccelerator
+
+    acc = PimFheAccelerator(request.ring, config, native=request.native)
+    a = list(request.a)
+    verified = False
+    if request.op == "multiply":
+        out = acc.multiply(a, list(request.b))
+        if config.functional and config.verify:
+            from ..arith.modmath import mod_mul_vec
+            from ..ntt.negacyclic import negacyclic_intt, negacyclic_ntt
+            fa = negacyclic_ntt(a, request.ring)
+            fb = negacyclic_ntt(list(request.b), request.ring)
+            expected = negacyclic_intt(mod_mul_vec(fa, fb, request.ring.q),
+                                       request.ring)
+            if out != expected:
+                from ..errors import FunctionalMismatch
+                raise FunctionalMismatch(
+                    f"FHE ring product wrong for N={request.ring.n}")
+            verified = True
+    elif request.op == "forward":
+        out = acc.forward(a)
+        verified = config.functional and config.verify
+    else:
+        out = acc.inverse(a)
+        # Only the native inverse runs the golden check; the hosted
+        # path's cyclic INTT is unverified (verify_against=None).
+        verified = config.functional and config.verify and request.native
+    stats = acc.stats
+    return SimResponse(
+        workload="fhe",
+        values=list(out),
+        cycles=stats.total_cycles,
+        latency_us=stats.total_latency_us,
+        energy_nj=stats.total_energy_nj,
+        verified=verified,
+        counters={"ACT": stats.total_activations},
+        metrics={"transforms": stats.transforms,
+                 "per_transform_us": (stats.total_latency_us
+                                      / max(stats.transforms, 1))},
+        raw=stats,
+    )
+
+
+@register_workload("program")
+def run_program_workload(config: SimConfig,
+                         request: ProgramRequest) -> SimResponse:
+    """Raw command-window timing (the Fig. 5/6 micro-studies)."""
+    schedule = cached_schedule(request.commands, config.timing, config.arch,
+                               config.pim.compute_timing(), config.energy)
+    response = response_from_schedule("program", schedule)
+    if request.label:
+        response.metrics["label"] = request.label
+    return response

@@ -5,6 +5,7 @@ from .comparators import (
     CryptoPimModel,
     FpgaNttModel,
     MeNttModel,
+    NttPimModel,
 )
 from .cpu import CpuNttModel, numpy_ntt
 
@@ -13,6 +14,7 @@ __all__ = [
     "CryptoPimModel",
     "FpgaNttModel",
     "MeNttModel",
+    "NttPimModel",
     "CpuNttModel",
     "numpy_ntt",
 ]

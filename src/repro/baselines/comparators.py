@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-__all__ = ["AcceleratorModel", "MeNttModel", "CryptoPimModel", "FpgaNttModel"]
+__all__ = ["AcceleratorModel", "MeNttModel", "CryptoPimModel", "FpgaNttModel",
+           "NttPimModel"]
 
 
 @dataclass
@@ -109,6 +110,46 @@ class CryptoPimModel(AcceleratorModel):
         log_n = n.bit_length() - 1
         refills = max(1, n // self.crossbar_capacity)
         return refills * (self.base_us + self.per_stage_us * log_n)
+
+
+class NttPimModel(AcceleratorModel):
+    """This paper's design, measured live through the
+    :class:`repro.api.Simulator` facade (not a published-point model).
+
+    Puts NTT-PIM in the same comparator frame as the prior accelerators:
+    ``latency_us`` / ``energy_nj`` run one simulated transform per new N
+    (memoized), with full modulus/length flexibility — the Sec. VI.E
+    contrast to CryptoPIM's fixed modulus and MeNTT's N <= 1024 cap.
+    """
+
+    def __init__(self, nb_buffers: int = 2, functional: bool = False,
+                 config=None):
+        super().__init__(name=f"NTT-PIM Nb={nb_buffers}", bitwidth=32)
+        from ..api import Simulator
+        from ..pim.params import PimParams
+        from ..sim.driver import SimConfig
+
+        self.nb_buffers = nb_buffers
+        self._simulator = Simulator(config or SimConfig(
+            pim=PimParams(nb_buffers=nb_buffers),
+            functional=functional, verify=functional))
+        self._responses: Dict[int, object] = {}
+
+    def _response(self, n: int):
+        if n not in self._responses:
+            from ..api import NttRequest
+            from ..arith.primes import find_ntt_prime
+            from ..arith.roots import NttParams
+
+            params = NttParams(n, find_ntt_prime(n, 32))
+            self._responses[n] = self._simulator.run(NttRequest(params=params))
+        return self._responses[n]
+
+    def _extrapolate_latency(self, n: int) -> float:
+        return self._response(n).latency_us
+
+    def _extrapolate_energy(self, n: int) -> float:
+        return self._response(n).energy_nj
 
 
 class FpgaNttModel(AcceleratorModel):

@@ -2,11 +2,14 @@
 
 Subcommands::
 
-    run      one NTT on the simulated PIM (prints the run summary)
-    trace    dump the DRAM command trace for one NTT
+    run [workload]   one workload through the repro.api facade
+                     (ntt | negacyclic | batch | multibank | fhe;
+                     --backend picks the compute backend, --cache-info
+                     prints program/schedule cache statistics)
+    trace            dump the DRAM command trace for one NTT
     fig6 / fig7 / fig8 / table2 / table3 / ablations / banks
-             regenerate one experiment
-    all      run every experiment (the full reproduction)
+                     regenerate one experiment
+    all              run every experiment (the full reproduction)
 """
 
 from __future__ import annotations
@@ -14,9 +17,20 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from contextlib import ExitStack
 
+from .api import (
+    BatchRequest,
+    FheOpRequest,
+    MultiBankRequest,
+    NegacyclicRequest,
+    NttRequest,
+    Simulator,
+    workload_names,
+)
 from .arith.primes import find_ntt_prime
 from .arith.roots import NttParams
+from .arith.vector import BACKENDS, use_backend
 from .experiments import (
     run_ablations,
     run_bank_scaling,
@@ -27,11 +41,16 @@ from .experiments import (
     run_table3,
 )
 from .experiments.runner import run_all
+from .ntt.negacyclic import NegacyclicParams
 from .pim.params import PimParams
 from .sim.driver import NttPimDriver, SimConfig
 from .sim.trace import format_trace, trace_summary
 
 __all__ = ["main"]
+
+#: Workloads the generic ``run <workload>`` subcommand can construct
+#: from flags.  Other registered workloads are API-only.
+CLI_WORKLOADS = ("ntt", "negacyclic", "batch", "multibank", "fhe")
 
 
 def _add_run_args(sub: argparse.ArgumentParser) -> None:
@@ -44,27 +63,72 @@ def _add_run_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--seed", type=int, default=0)
 
 
-def _make_driver(args) -> tuple:
-    q = find_ntt_prime(args.n, 32)
-    params = NttParams(args.n, q)
+def _make_config(args) -> SimConfig:
     config = SimConfig(pim=PimParams(nb_buffers=args.nb))
     if args.freq != 1200.0:
         config = config.at_frequency(args.freq)
-    return NttPimDriver(config), params, q
+    return config
+
+
+def _build_request(args):
+    """One facade request from the run subcommand's flags."""
+    n, workload = args.n, args.workload
+    rng = random.Random(args.seed)
+    if workload in ("negacyclic", "fhe"):
+        q = find_ntt_prime(n, 32, negacyclic=True)
+        ring = NegacyclicParams(n, q)
+        values = [rng.randrange(q) for _ in range(n)]
+        if workload == "negacyclic":
+            return NegacyclicRequest(ring=ring, values=values)
+        other = [rng.randrange(q) for _ in range(n)]
+        return FheOpRequest(ring=ring, op="multiply", a=values, b=other,
+                            native=args.native)
+    q = find_ntt_prime(n, 32)
+    params = NttParams(n, q)
+    if workload == "ntt":
+        return NttRequest(params=params,
+                          values=[rng.randrange(q) for _ in range(n)])
+    inputs = [[rng.randrange(q) for _ in range(n)]
+              for _ in range(args.count)]
+    if workload == "batch":
+        return BatchRequest(params=params, inputs=inputs)
+    return MultiBankRequest(params=params, inputs=inputs)
+
+
+def _print_cache_info(simulator: Simulator) -> None:
+    info = simulator.cache_info()
+    print(f"backend        : {info['backend']}")
+    for cache in ("program", "schedule"):
+        stats = info[cache]
+        print(f"{cache + ' cache':<15}: entries={stats['entries']} "
+              f"hits={stats['hits']} misses={stats['misses']}")
 
 
 def _cmd_run(args) -> int:
-    driver, params, q = _make_driver(args)
-    rng = random.Random(args.seed)
-    values = [rng.randrange(q) for _ in range(args.n)]
-    result = driver.run_ntt(values, params)
-    print(result.summary())
+    if args.workload not in CLI_WORKLOADS:
+        registered = ", ".join(workload_names())
+        print(f"unknown workload {args.workload!r}; CLI workloads: "
+              f"{', '.join(CLI_WORKLOADS)} (registered: {registered})",
+              file=sys.stderr)
+        return 2
+    simulator = Simulator(_make_config(args))
+    with ExitStack() as stack:
+        if args.backend:
+            stack.enter_context(use_backend(args.backend))
+        response = simulator.run(_build_request(args))
+        print(response.summary())
+        if args.cache_info:
+            print(f"run caches     : program {response.cache['program']}, "
+                  f"schedule {response.cache['schedule']}")
+            print(f"wall time      : {response.wall_time_s * 1e3:.2f} ms")
+            _print_cache_info(simulator)
     return 0
 
 
 def _cmd_trace(args) -> int:
-    driver, params, _ = _make_driver(args)
-    commands = driver.map_commands(params)
+    q = find_ntt_prime(args.n, 32)
+    driver = NttPimDriver(_make_config(args))
+    commands = driver.map_commands(NttParams(args.n, q))
     print(trace_summary(commands))
     print(format_trace(commands[:args.head]))
     if len(commands) > args.head:
@@ -99,8 +163,21 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     subs = parser.add_subparsers(dest="command", required=True)
 
-    run_p = subs.add_parser("run", help="simulate one NTT")
+    run_p = subs.add_parser(
+        "run", help="simulate one workload through the repro.api facade")
+    run_p.add_argument("workload", nargs="?", default="ntt",
+                       help=f"workload name (default ntt; one of "
+                            f"{', '.join(CLI_WORKLOADS)})")
     _add_run_args(run_p)
+    run_p.add_argument("--backend", choices=BACKENDS, default=None,
+                       help="compute backend for this run "
+                            "(default: current repro.arith.vector choice)")
+    run_p.add_argument("--cache-info", action="store_true",
+                       help="print program/schedule cache statistics")
+    run_p.add_argument("--count", type=int, default=4,
+                       help="polynomials for batch/multibank (default 4)")
+    run_p.add_argument("--native", action="store_true",
+                       help="fhe: use the native merged negacyclic mapping")
 
     trace_p = subs.add_parser("trace", help="dump a command trace")
     _add_run_args(trace_p)

@@ -1,10 +1,18 @@
-"""Library-wide exception types."""
+"""Library-wide exception types and deprecation helper."""
 
-__all__ = ["ReproError", "MappingError", "TimingViolation", "FunctionalMismatch"]
+import warnings
+
+__all__ = ["ReproError", "MappingError", "TimingViolation",
+           "FunctionalMismatch", "RequestValidationError", "warn_deprecated"]
 
 
 class ReproError(Exception):
     """Base class for all library errors."""
+
+
+class RequestValidationError(ReproError, ValueError):
+    """A :mod:`repro.api` request carries malformed or inconsistent
+    parameters (wrong value count, empty batch, unknown FHE op, ...)."""
 
 
 class MappingError(ReproError):
@@ -18,3 +26,13 @@ class TimingViolation(ReproError):
 
 class FunctionalMismatch(ReproError):
     """The PIM-computed result disagrees with the golden-model NTT."""
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit the library's standard :class:`DeprecationWarning`.
+
+    ``stacklevel=3`` attributes the warning to the caller of the
+    deprecated shim, not to the shim itself.
+    """
+    warnings.warn(f"{old} is deprecated; use {new} instead",
+                  DeprecationWarning, stacklevel=3)

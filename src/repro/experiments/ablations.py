@@ -18,12 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from ..api import MultiBankRequest, NttRequest, Simulator
 from ..arith.primes import find_ntt_prime
 from ..arith.roots import NttParams
 from ..mapping.mapper import MapperOptions
 from ..pim.params import PimParams
-from ..sim.driver import NttPimDriver, SimConfig
-from ..sim.multibank import run_multibank
+from ..sim.driver import SimConfig
 from .report import format_table
 
 __all__ = ["AblationResult", "run_ablations", "BankScalingResult",
@@ -85,7 +85,7 @@ def run_ablations(ns: Sequence[int] = DEFAULT_NS, nb: int = 6,
             config = SimConfig(pim=PimParams(nb_buffers=nb),
                                mapper_options=opts,
                                functional=functional, verify=functional)
-            run = NttPimDriver(config).run_ntt([0] * n, params)
+            run = Simulator(config).run(NttRequest(params=params))
             result.latency_us[(n, name)] = run.latency_us
             result.activations[(n, name)] = run.activations
     return result
@@ -122,7 +122,8 @@ def run_bank_scaling(n: int = 1024, banks: Sequence[int] = (1, 2, 4, 8),
     for b in banks:
         config = SimConfig(pim=PimParams(nb_buffers=nb),
                            functional=functional, verify=functional)
-        mb = run_multibank([[0] * n] * b, params, config)
-        result.speedup[b] = mb.speedup
-        result.efficiency[b] = mb.efficiency
+        mb = Simulator(config).run(
+            MultiBankRequest(params=params, inputs=[[0] * n] * b))
+        result.speedup[b] = mb.metrics["speedup"]
+        result.efficiency[b] = mb.metrics["efficiency"]
     return result

@@ -17,12 +17,13 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from ..api import NttRequest, Simulator
 from ..arith.primes import find_ntt_prime
 from ..arith.roots import NttParams
 from ..cost.area import cu_area_mm2
 from ..dram.timing import HBM2E_ARCH
 from ..pim.params import PimParams
-from ..sim.driver import NttPimDriver, SimConfig
+from ..sim.driver import SimConfig
 from .report import format_table
 
 __all__ = ["DseResult", "run_row_size_sweep", "run_atom_size_sweep"]
@@ -78,7 +79,7 @@ def run_row_size_sweep(n: int = 2048,
         arch = dataclasses.replace(HBM2E_ARCH, columns_per_row=cols)
         config = SimConfig(arch=arch, pim=PimParams(nb_buffers=nb),
                            functional=False, verify=False)
-        run = NttPimDriver(config).run_ntt([0] * n, params)
+        run = Simulator(config).run(NttRequest(params=params))
         result.latency_us[cols] = run.latency_us
         result.activations[cols] = run.activations
         result.area_mm2[cols] = cu_area_mm2(nb)
@@ -97,7 +98,7 @@ def run_atom_size_sweep(n: int = 2048,
                                    columns_per_row=1024 // ab)
         config = SimConfig(arch=arch, pim=PimParams(nb_buffers=nb),
                            functional=False, verify=False)
-        run = NttPimDriver(config).run_ntt([0] * n, params)
+        run = Simulator(config).run(NttRequest(params=params))
         result.latency_us[ab] = run.latency_us
         result.activations[ab] = run.activations
         result.area_mm2[ab] = cu_area_mm2(nb, atom_words=ab // 4)

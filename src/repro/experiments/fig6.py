@@ -11,12 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from ..arith.primes import DEFAULT_PRIME_32
+from ..api import ProgramRequest, Simulator
 from ..dram.commands import CommandType
-from ..dram.engine import TimingEngine
-from ..dram.timing import HBM2E_ARCH, HBM2E_TIMING
 from ..mapping.program import ProgramBuilder
 from ..pim.params import PimParams
+from ..sim.driver import SimConfig
 from .report import format_table
 
 __all__ = ["Fig6Result", "run_fig6"]
@@ -62,9 +61,10 @@ class Fig6Result:
 
 
 def _simulate(builder: ProgramBuilder, nb: int):
-    engine = TimingEngine(HBM2E_TIMING, HBM2E_ARCH,
-                          compute=PimParams(nb_buffers=max(nb, 1)).compute_timing())
-    return engine.simulate(builder.build())
+    simulator = Simulator(SimConfig(pim=PimParams(nb_buffers=max(nb, 1)),
+                                    functional=False, verify=False))
+    response = simulator.run(ProgramRequest(commands=builder.build()))
+    return response.raw  # the ScheduleResult of the micro-study window
 
 
 def _intra_atom_window(nb: int) -> ProgramBuilder:

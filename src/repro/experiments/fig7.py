@@ -10,11 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from ..api import NttRequest, Simulator
 from ..arith.primes import find_ntt_prime
 from ..arith.roots import NttParams
 from ..baselines.cpu import CpuNttModel
 from ..pim.params import PimParams
-from ..sim.driver import NttPimDriver, SimConfig
+from ..sim.driver import SimConfig
 from .report import ascii_log_plot, format_table
 
 __all__ = ["Fig7Result", "run_fig7", "DEFAULT_NS", "DEFAULT_NBS"]
@@ -106,7 +107,7 @@ def run_fig7(ns: Sequence[int] = DEFAULT_NS,
         for nb in nbs:
             config = SimConfig(pim=PimParams(nb_buffers=nb),
                                functional=functional, verify=functional)
-            run = NttPimDriver(config).run_ntt([0] * n, params)
+            run = Simulator(config).run(NttRequest(params=params))
             result.pim_us[(n, nb)] = run.latency_us
             result.pim_activations[(n, nb)] = run.activations
         result.cpu_us[n] = cpu.latency_us(n)

@@ -12,11 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from ..api import NttRequest, Simulator
 from ..arith.primes import find_ntt_prime
 from ..arith.roots import NttParams
 from ..baselines.cpu import CpuNttModel
 from ..pim.params import PimParams
-from ..sim.driver import NttPimDriver, SimConfig
+from ..sim.driver import SimConfig
 from .report import ascii_log_plot, format_table
 
 __all__ = ["Fig8Result", "run_fig8", "DEFAULT_FREQS"]
@@ -86,8 +87,7 @@ def run_fig8(ns: Sequence[int] = DEFAULT_NS,
     for n in ns:
         params = NttParams(n, q)
         for f in freqs:
-            config = base.at_frequency(f)
-            run = NttPimDriver(config).run_ntt([0] * n, params)
+            run = Simulator(base.at_frequency(f)).run(NttRequest(params=params))
             result.pim_us[(n, f)] = run.latency_us
         result.cpu_us[n] = cpu.latency_us(n)
     return result

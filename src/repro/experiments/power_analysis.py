@@ -12,11 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from ..api import NttRequest, Simulator
 from ..arith.primes import find_ntt_prime
 from ..arith.roots import NttParams
 from ..cost.power import PowerModel
 from ..pim.params import PimParams
-from ..sim.driver import NttPimDriver, SimConfig
+from ..sim.driver import SimConfig
 from .report import format_table
 
 __all__ = ["PowerResult", "run_power_analysis"]
@@ -66,8 +67,9 @@ def run_power_analysis(ns: Sequence[int] = (256, 1024, 4096),
     config = SimConfig(pim=PimParams(nb_buffers=nb),
                        functional=False, verify=False)
     model = PowerModel(config.energy, config.timing)
+    simulator = Simulator(config)
     for n in ns:
-        run = NttPimDriver(config).run_ntt([0] * n, NttParams(n, q))
+        run = simulator.run(NttRequest(params=NttParams(n, q)))
         stats = run.schedule.stats
         result.avg_power_mw[n] = model.average_power_mw(stats)
         b = model.breakdown(stats)

@@ -7,7 +7,8 @@ host passes, matching the paper's CPU-side bit-reversal assumption.
 
 :class:`PimFheAccelerator` keeps an account of simulated PIM time and
 energy, so examples can report "what the PIM did" for an end-to-end
-homomorphic workload.
+homomorphic workload.  The facade's ``fhe`` workload
+(:class:`repro.api.FheOpRequest`) is built on this class.
 """
 
 from __future__ import annotations
@@ -73,12 +74,12 @@ class PimFheAccelerator:
     def forward(self, coefficients: Sequence[int]) -> List[int]:
         """Negacyclic forward transform on the PIM."""
         if self.native:
-            result = self.driver.run_negacyclic_ntt(coefficients, self.ring)
+            result = self.driver._run_negacyclic_ntt(coefficients, self.ring)
             self._record(result)
             return result.output
         q = self.ring.q
         scaled = mod_mul_vec(coefficients, self._psi_powers, q)
-        result = self.driver.run_ntt(scaled, self.cyclic)
+        result = self.driver._run_ntt(scaled, self.cyclic)
         self._record(result)
         return result.output
 
@@ -86,13 +87,13 @@ class PimFheAccelerator:
         """Negacyclic inverse transform (PIM transform; 1/N — and in the
         paper-faithful mode psi^-i — applied host-side)."""
         if self.native:
-            result = self.driver.run_negacyclic_intt(values, self.ring)
+            result = self.driver._run_negacyclic_intt(values, self.ring)
             self._record(result)
             return result.output
         q = self.ring.q
         inv_params = NttParams(self.cyclic.n, q, self.cyclic.omega_inv)
-        result = self.driver.run_ntt_with_params(values, inv_params,
-                                                 verify_against=None)
+        result = self.driver._run_ntt_with_params(values, inv_params,
+                                                  verify_against=None)
         self._record(result)
         return mod_mul_vec(result.output, self._inv_scale, q)
 

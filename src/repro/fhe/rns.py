@@ -23,7 +23,7 @@ from ..arith.primes import ntt_prime_candidates
 from ..ntt.negacyclic import NegacyclicParams, negacyclic_intt, negacyclic_ntt
 from ..pim.params import PimParams
 from ..sim.driver import SimConfig
-from ..sim.multibank import run_multibank
+from ..sim.multibank import _run_multibank
 
 __all__ = ["RnsBasis", "RnsPolynomial", "PimRnsMultiplier"]
 
@@ -149,7 +149,7 @@ class PimRnsMultiplier:
             arch=self.config.arch, timing=self.config.timing,
             pim=self.config.pim, energy=self.config.energy,
             functional=False, verify=False)
-        mb = run_multibank(rep_inputs, rep_ring, timing_cfg)
+        mb = _run_multibank(rep_inputs, rep_ring, timing_cfg)
         self.total_cycles += mb.cycles
         self.rounds += 1
         # Function: exact per-limb software transforms (the functional

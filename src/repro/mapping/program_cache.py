@@ -18,7 +18,7 @@ mutate commands obtained from this cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..arith.roots import NttParams
 from ..dram.commands import Command
@@ -40,10 +40,20 @@ _misses = 0
 
 @dataclass(frozen=True)
 class CachedProgram:
-    """One lowered NTT invocation, plus the mapper facts the driver needs."""
+    """One lowered NTT invocation, plus the mapper facts the driver needs.
+
+    ``key`` is the program-cache key the program was generated under — a
+    compact, exact stand-in for the command tuple's content (the program
+    is a deterministic function of the key), which downstream caches
+    (the schedule cache) use to avoid re-hashing thousands of commands
+    per lookup.  ``None`` (e.g. a hand-built program) means "no compact
+    key": consumers must fall back to structural keying, never share a
+    sentinel.
+    """
 
     commands: Tuple[Command, ...]
     result_base_row: int
+    key: Optional[tuple] = None
 
 
 _cache: Dict[tuple, CachedProgram] = {}
@@ -77,7 +87,7 @@ def cyclic_program(ntt: NttParams, arch: ArchParams, pim: PimParams,
     else:
         mapper = NttMapper(ntt, arch, pim, base_row, bank, options=options)
     return _insert(key, CachedProgram(tuple(mapper.generate()),
-                                      mapper.result_base_row))
+                                      mapper.result_base_row, key))
 
 
 def negacyclic_program(ring: NegacyclicParams, arch: ArchParams,
@@ -95,7 +105,7 @@ def negacyclic_program(ring: NegacyclicParams, arch: ArchParams,
     mapper = NegacyclicNttMapper(ring, arch, pim, base_row, bank,
                                  inverse=inverse)
     return _insert(key, CachedProgram(tuple(mapper.generate()),
-                                      mapper.result_base_row))
+                                      mapper.result_base_row, key))
 
 
 def program_cache_info() -> Dict[str, int]:

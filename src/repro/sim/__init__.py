@@ -2,7 +2,13 @@
 bank-level parallelism."""
 
 from .batch import BatchResult, concat_programs, run_batch
-from .driver import NttPimDriver, SimConfig
+from .driver import (
+    NttPimDriver,
+    SimConfig,
+    cached_schedule,
+    clear_schedule_cache,
+    schedule_cache_info,
+)
 from .host import MemoryRequest, MemoryResponse, PimMemoryController, RequestType
 from .multibank import MultiBankResult, interleave_programs, run_multibank
 from .results import NttRunResult
@@ -14,6 +20,9 @@ __all__ = [
     "run_batch",
     "NttPimDriver",
     "SimConfig",
+    "cached_schedule",
+    "clear_schedule_cache",
+    "schedule_cache_info",
     "MemoryRequest",
     "MemoryResponse",
     "PimMemoryController",

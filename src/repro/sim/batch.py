@@ -18,12 +18,12 @@ from typing import List, Sequence
 from ..arith.bitrev import bit_reverse_permute
 from ..arith.roots import NttParams
 from ..dram.commands import Command, CommandType
-from ..dram.engine import ScheduleResult, TimingEngine
-from ..errors import FunctionalMismatch
+from ..dram.engine import ScheduleResult
+from ..errors import FunctionalMismatch, warn_deprecated
 from ..mapping.program_cache import cyclic_program
 from ..ntt.reference import ntt as reference_ntt
 from ..pim.bank_pim import PimBank
-from .driver import SimConfig
+from .driver import SimConfig, cached_schedule
 
 __all__ = ["BatchResult", "concat_programs", "run_batch"]
 
@@ -57,6 +57,10 @@ class BatchResult:
     schedule: ScheduleResult
     single_cycles: int
     verified: bool
+    #: Per-polynomial transform outputs (populated on functional runs).
+    outputs: List[List[int]] = dataclasses.field(default_factory=list)
+    #: Executed butterfly µ-ops across the batch (functional runs).
+    bu_ops: int = 0
 
     @property
     def cycles(self) -> int:
@@ -75,6 +79,15 @@ class BatchResult:
 
 def run_batch(inputs: Sequence[Sequence[int]], params: NttParams,
               config: SimConfig | None = None) -> BatchResult:
+    """Deprecated shim — use
+    ``repro.api.Simulator(config).run(BatchRequest(...))``."""
+    warn_deprecated("repro.sim.batch.run_batch",
+                    "repro.api.Simulator.run(BatchRequest(...))")
+    return _run_batch(inputs, params, config)
+
+
+def _run_batch(inputs: Sequence[Sequence[int]], params: NttParams,
+               config: SimConfig | None = None) -> BatchResult:
     """Run ``len(inputs)`` NTTs back-to-back in one bank.
 
     Each polynomial occupies its own row region so results stay resident
@@ -88,20 +101,28 @@ def run_batch(inputs: Sequence[Sequence[int]], params: NttParams,
     # Per-slot programs differ only in base row; each is memoized, so a
     # repeated batch (or a bigger batch reusing earlier slots) maps for free.
     programs = [
-        list(cyclic_program(params, config.arch, config.pim,
-                            config.base_row + i * rows_each,
-                            options=config.mapper_options).commands)
+        cyclic_program(params, config.arch, config.pim,
+                       config.base_row + i * rows_each,
+                       options=config.mapper_options)
         for i in range(count)
     ]
-    merged = concat_programs(programs)
+    merged = concat_programs([p.commands for p in programs])
 
-    engine = TimingEngine(config.timing, config.arch,
-                          compute=config.pim.compute_timing(),
-                          energy=config.energy)
-    schedule = engine.simulate(merged)
-    single = engine.simulate(programs[0])
+    # Shared schedule cache: ``merged`` is a fresh list on every call,
+    # but its content is a pure function of the component programs, so
+    # the merge recipe over their keys is an exact (and cheap) cache key.
+    compute = config.pim.compute_timing()
+    keys = [p.key for p in programs]
+    merged_key = (("concat", tuple(keys), True)
+                  if all(k is not None for k in keys) else None)
+    schedule = cached_schedule(merged, config.timing, config.arch,
+                               compute, config.energy, key=merged_key)
+    single = cached_schedule(programs[0].commands, config.timing, config.arch,
+                             compute, config.energy, key=programs[0].key)
 
     verified = False
+    outputs: List[List[int]] = []
+    bu_ops = 0
     if config.functional:
         bank = PimBank(config.arch, config.pim)
         bank.set_parameters(params.q)
@@ -109,12 +130,15 @@ def run_batch(inputs: Sequence[Sequence[int]], params: NttParams,
             bank.load_polynomial(config.base_row + i * rows_each,
                                  bit_reverse_permute(list(values)))
         bank.run(merged)
+        bu_ops = bank.cu.bu_ops
+        outputs = [bank.read_polynomial(config.base_row + i * rows_each,
+                                        params.n)
+                   for i in range(count)]
         if config.verify:
             for i, values in enumerate(inputs):
-                got = bank.read_polynomial(config.base_row + i * rows_each,
-                                           params.n)
-                if got != reference_ntt(values, params):
+                if outputs[i] != reference_ntt(values, params):
                     raise FunctionalMismatch(f"batch element {i} wrong")
             verified = True
     return BatchResult(count=count, schedule=schedule,
-                       single_cycles=single.total_cycles, verified=verified)
+                       single_cycles=single.total_cycles, verified=verified,
+                       outputs=outputs, bu_ops=bu_ops)

@@ -22,7 +22,7 @@ from ..dram.commands import Command
 from ..dram.energy import EnergyParams, HBM2E_ENERGY
 from ..dram.engine import TimingEngine
 from ..dram.timing import HBM2E_ARCH, HBM2E_TIMING, ArchParams, TimingParams
-from ..errors import FunctionalMismatch
+from ..errors import FunctionalMismatch, warn_deprecated
 from ..mapping.mapper import MapperOptions, NttMapper
 from ..mapping.program_cache import cyclic_program, negacyclic_program
 from ..mapping.single_buffer import SingleBufferMapper
@@ -33,8 +33,8 @@ from ..pim.bank_pim import PimBank
 from ..pim.params import PimParams
 from .results import NttRunResult
 
-__all__ = ["SimConfig", "NttPimDriver", "VERIFY_DEFAULT",
-           "clear_schedule_cache"]
+__all__ = ["SimConfig", "NttPimDriver", "VERIFY_DEFAULT", "cached_schedule",
+           "schedule_cache_info", "clear_schedule_cache"]
 
 
 class _VerifyDefault:
@@ -51,34 +51,65 @@ VERIFY_DEFAULT = _VerifyDefault()
 
 
 # -- schedule cache ------------------------------------------------------------
-# The timing engine is deterministic: the same command tuple under the
+# The timing engine is deterministic: the same command sequence under the
 # same (timing, arch, compute, energy) parameters always produces the
-# same schedule.  Programs coming out of the program cache are shared
-# tuples, so their identity is a sound cache key *as long as the cache
-# holds a strong reference to the keyed tuple* (preventing id reuse).
+# same schedule.  Keys are *structural*, never identity-based: either
+# the command tuple's own content (commands are frozen dataclasses that
+# hash and compare by value), or — cheaper — the generating-parameter
+# key of a memoized program, which determines the command content
+# exactly (that determinism is the premise of the program cache).  The
+# batch and multi-bank mergers build fresh lists on every call, yet hit
+# the same entries via keys derived from their components' keys.
 # Cached ScheduleResults are shared between runs — treat them as
 # immutable.
 _MAX_SCHEDULES = 128
 _schedule_cache: dict = {}
+_schedule_hits = 0
+_schedule_misses = 0
 
 
-def _cached_schedule(commands, timing, arch, compute, energy):
-    key = (id(commands), timing, arch, compute, energy)
-    hit = _schedule_cache.get(key)
-    if hit is not None and hit[0] is commands:
-        return hit[1]
+def cached_schedule(commands, timing, arch, compute, energy, key=None):
+    """Memoized ``TimingEngine(...).simulate(commands)``.
+
+    ``key`` is an exact stand-in for the command content (e.g. a
+    :class:`~repro.mapping.program_cache.CachedProgram` key, or a merge
+    recipe over such keys) that avoids hashing thousands of commands per
+    lookup; when ``None``, the command tuple itself is the key.
+    """
+    global _schedule_hits, _schedule_misses
+    cache_key = (key if key is not None else tuple(commands),
+                 timing, arch, compute, energy)
+    hit = _schedule_cache.get(cache_key)
+    if hit is not None:
+        _schedule_hits += 1
+        return hit
+    _schedule_misses += 1
     schedule = TimingEngine(timing, arch, compute=compute,
                             energy=energy).simulate(commands)
     if len(_schedule_cache) >= _MAX_SCHEDULES:
         for stale in list(_schedule_cache)[: _MAX_SCHEDULES // 4]:
             del _schedule_cache[stale]
-    _schedule_cache[key] = (commands, schedule)
+    _schedule_cache[cache_key] = schedule
     return schedule
 
 
+# Backwards-compatible internal alias (pre-facade name).
+_cached_schedule = cached_schedule
+
+
+def schedule_cache_info() -> dict:
+    """Schedule-cache statistics (mirrors
+    :func:`repro.mapping.program_cache.program_cache_info`)."""
+    return {"entries": len(_schedule_cache), "hits": _schedule_hits,
+            "misses": _schedule_misses}
+
+
 def clear_schedule_cache() -> None:
-    """Empty the schedule cache (test isolation)."""
+    """Empty the schedule cache and reset statistics (test isolation)."""
+    global _schedule_hits, _schedule_misses
     _schedule_cache.clear()
+    _schedule_hits = 0
+    _schedule_misses = 0
 
 
 @dataclass(frozen=True)
@@ -104,7 +135,13 @@ class SimConfig:
 
 
 class NttPimDriver:
-    """Runs NTT invocations against a simulated PIM bank."""
+    """Runs NTT invocations against a simulated PIM bank.
+
+    This is the engine room of the facade layer: :class:`repro.api.Simulator`
+    is the supported public entry point, and dispatches into the private
+    ``_run_*`` implementations here.  The public ``run_*`` methods remain
+    as thin deprecation shims producing identical results.
+    """
 
     def __init__(self, config: Optional[SimConfig] = None):
         self.config = config or SimConfig()
@@ -130,6 +167,13 @@ class NttPimDriver:
         return list(self._program(ntt, bank).commands)
 
     def run_ntt(self, values: Sequence[int], ntt: NttParams) -> NttRunResult:
+        """Deprecated shim — use
+        ``repro.api.Simulator(config).run(NttRequest(...))``."""
+        warn_deprecated("NttPimDriver.run_ntt",
+                        "repro.api.Simulator.run(NttRequest(...))")
+        return self._run_ntt(values, ntt)
+
+    def _run_ntt(self, values: Sequence[int], ntt: NttParams) -> NttRunResult:
         """Simulate one forward NTT of ``values`` (natural order).
 
         Returns timing, energy and the transformed data; raises
@@ -142,8 +186,9 @@ class NttPimDriver:
         program = self._program(ntt)
         commands = program.commands
 
-        schedule = _cached_schedule(commands, cfg.timing, cfg.arch,
-                                    cfg.pim.compute_timing(), cfg.energy)
+        schedule = cached_schedule(commands, cfg.timing, cfg.arch,
+                                   cfg.pim.compute_timing(), cfg.energy,
+                                   key=program.key)
 
         output: List[int] = []
         verified = False
@@ -172,6 +217,15 @@ class NttPimDriver:
     def run_negacyclic_ntt(self, values: Sequence[int],
                            ring: NegacyclicParams,
                            inverse: bool = False) -> NttRunResult:
+        """Deprecated shim — use
+        ``repro.api.Simulator(config).run(NegacyclicRequest(...))``."""
+        warn_deprecated("NttPimDriver.run_negacyclic_ntt",
+                        "repro.api.Simulator.run(NegacyclicRequest(...))")
+        return self._run_negacyclic_ntt(values, ring, inverse=inverse)
+
+    def _run_negacyclic_ntt(self, values: Sequence[int],
+                            ring: NegacyclicParams,
+                            inverse: bool = False) -> NttRunResult:
         """Native merged negacyclic transform (extension; see
         :mod:`repro.mapping.negacyclic_mapper`).
 
@@ -185,8 +239,9 @@ class NttPimDriver:
         program = negacyclic_program(ring, cfg.arch, cfg.pim, cfg.base_row,
                                      inverse=inverse)
         commands = program.commands
-        schedule = _cached_schedule(commands, cfg.timing, cfg.arch,
-                                    cfg.pim.compute_timing(), cfg.energy)
+        schedule = cached_schedule(commands, cfg.timing, cfg.arch,
+                                   cfg.pim.compute_timing(), cfg.energy,
+                                   key=program.key)
         output: List[int] = []
         verified = False
         bu_ops = 0
@@ -214,20 +269,35 @@ class NttPimDriver:
 
     def run_negacyclic_intt(self, values: Sequence[int],
                             ring: NegacyclicParams) -> NttRunResult:
+        """Deprecated shim — use ``repro.api.Simulator(config).run(
+        NegacyclicRequest(..., inverse=True))``."""
+        warn_deprecated("NttPimDriver.run_negacyclic_intt",
+                        "repro.api.Simulator.run(NegacyclicRequest(...))")
+        return self._run_negacyclic_intt(values, ring)
+
+    def _run_negacyclic_intt(self, values: Sequence[int],
+                             ring: NegacyclicParams) -> NttRunResult:
         """Inverse merged transform including the host-side 1/N scale."""
         from ..arith.modmath import mod_inverse, mod_scale_vec
-        result = self.run_negacyclic_ntt(values, ring, inverse=True)
+        result = self._run_negacyclic_ntt(values, ring, inverse=True)
         n_inv = mod_inverse(ring.n, ring.q)
         result.output = mod_scale_vec(result.output, n_inv, ring.q)
         return result
 
     def run_intt(self, values: Sequence[int], ntt: NttParams) -> NttRunResult:
+        """Deprecated shim — use ``repro.api.Simulator(config).run(
+        NttRequest(..., inverse=True))``."""
+        warn_deprecated("NttPimDriver.run_intt",
+                        "repro.api.Simulator.run(NttRequest(..., inverse=True))")
+        return self._run_intt(values, ntt)
+
+    def _run_intt(self, values: Sequence[int], ntt: NttParams) -> NttRunResult:
         """Inverse transform: same machine, inverse twiddles; the final
         1/N scaling is an element-wise pass the host (or an FHE pipeline's
         next element-wise stage) absorbs — as in the compared works."""
         from ..arith.modmath import mod_scale_vec
-        result = self.run_ntt_with_params(values, ntt.inverse(),
-                                          verify_against=None)
+        result = self._run_ntt_with_params(values, ntt.inverse(),
+                                           verify_against=None)
         result.output = mod_scale_vec(result.output, ntt.n_inv, ntt.q)
         return result
 
@@ -235,7 +305,20 @@ class NttPimDriver:
             self, values: Sequence[int], ntt: NttParams,
             verify_against: Optional[List[int]] | _VerifyDefault = VERIFY_DEFAULT,
     ) -> NttRunResult:
-        """Like :meth:`run_ntt` but with custom verification data.
+        """Deprecated shim — use ``repro.api.Simulator(config).run(
+        NttRequest(...))``.  Custom expected-output verification has no
+        facade equivalent: run with ``SimConfig(verify=False)`` and
+        compare ``response.values`` yourself."""
+        warn_deprecated("NttPimDriver.run_ntt_with_params",
+                        "repro.api.Simulator.run(NttRequest(...))")
+        return self._run_ntt_with_params(values, ntt,
+                                         verify_against=verify_against)
+
+    def _run_ntt_with_params(
+            self, values: Sequence[int], ntt: NttParams,
+            verify_against: Optional[List[int]] | _VerifyDefault = VERIFY_DEFAULT,
+    ) -> NttRunResult:
+        """Like :meth:`_run_ntt` but with custom verification data.
 
         ``verify_against`` is :data:`VERIFY_DEFAULT` (check against the
         golden reference NTT), ``None`` (skip verification), or the
@@ -246,11 +329,12 @@ class NttPimDriver:
                 isinstance(verify_against, str) and verify_against == "default"):
             # The string is the legacy spelling of the sentinel; honour it
             # rather than treating it as expected-output data.
-            return self.run_ntt(values, ntt)
+            return self._run_ntt(values, ntt)
         program = self._program(ntt)
         commands = program.commands
-        schedule = _cached_schedule(commands, cfg.timing, cfg.arch,
-                                    cfg.pim.compute_timing(), cfg.energy)
+        schedule = cached_schedule(commands, cfg.timing, cfg.arch,
+                                   cfg.pim.compute_timing(), cfg.energy,
+                                   key=program.key)
         output: List[int] = []
         bu_ops = 0
         verified = False

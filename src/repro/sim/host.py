@@ -9,7 +9,7 @@ write *response* signals completion.
 This module models that protocol: plain reads/writes move data in and
 out of the bank (through untimed host access, standing in for ordinary
 DRAM traffic), and :class:`PimMemoryController` serves NTT_INVOKE
-requests by running the mapping + simulation stack.
+requests through the :class:`repro.api.Simulator` facade.
 """
 
 from __future__ import annotations
@@ -21,7 +21,7 @@ from typing import List, Optional
 from ..arith.bitrev import bit_reverse_permute
 from ..arith.roots import NttParams
 from ..errors import MappingError
-from .driver import NttPimDriver, SimConfig
+from .driver import SimConfig
 from .results import NttRunResult
 
 __all__ = ["RequestType", "MemoryRequest", "MemoryResponse",
@@ -117,17 +117,23 @@ class PimMemoryController:
             # The stored data is the bit-reversed image; recover natural
             # order for the driver's host-side step (an involution).
             values = bit_reverse_permute(values)
+        # Imported here, not at module top: repro.sim is an engine-room
+        # package of the facade, so the dependency must stay one-way at
+        # import time (repro.api -> repro.sim).
+        from ..api import NttRequest, Simulator
+
         config = SimConfig(
             arch=self.config.arch, timing=self.config.timing,
             pim=self.config.pim, energy=self.config.energy,
             base_row=base_row, verify=self.config.verify,
             functional=self.config.functional,
             mapper_options=self.config.mapper_options)
-        driver = NttPimDriver(config)
         try:
-            run = driver.run_ntt(values, params)
+            response = Simulator(config).run(
+                NttRequest(params=params, values=tuple(values)))
         except MappingError as exc:
             return MemoryResponse(ok=False, detail=str(exc))
+        run = response.raw
         if run.output:
             self._write_words(request.address, run.output)
         return MemoryResponse(ok=True, data=run.output, run=run)

@@ -15,11 +15,12 @@ from typing import List, Sequence
 from ..arith.bitrev import bit_reverse_permute
 from ..arith.roots import NttParams
 from ..dram.commands import Command
-from ..dram.engine import ScheduleResult, TimingEngine
-from ..errors import FunctionalMismatch
+from ..dram.engine import ScheduleResult
+from ..errors import FunctionalMismatch, warn_deprecated
+from ..mapping.program_cache import cyclic_program
 from ..ntt.reference import ntt as reference_ntt
 from ..pim.bank_pim import PimBank
-from .driver import NttPimDriver, SimConfig
+from .driver import SimConfig, cached_schedule
 
 __all__ = ["interleave_programs", "MultiBankResult", "run_multibank"]
 
@@ -57,6 +58,10 @@ class MultiBankResult:
     schedule: ScheduleResult
     single_bank_cycles: int
     verified: bool
+    #: Per-bank transform outputs (populated on functional runs).
+    outputs: List[List[int]] = dataclasses.field(default_factory=list)
+    #: Executed butterfly µ-ops across all banks (functional runs).
+    bu_ops: int = 0
 
     @property
     def cycles(self) -> int:
@@ -80,24 +85,42 @@ class MultiBankResult:
 
 def run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
                   config: SimConfig | None = None) -> MultiBankResult:
+    """Deprecated shim — use
+    ``repro.api.Simulator(config).run(MultiBankRequest(...))``."""
+    warn_deprecated("repro.sim.multibank.run_multibank",
+                    "repro.api.Simulator.run(MultiBankRequest(...))")
+    return _run_multibank(inputs, ntt, config)
+
+
+def _run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
+                   config: SimConfig | None = None) -> MultiBankResult:
     """Run ``len(inputs)`` independent NTTs, one per bank."""
     config = config or SimConfig()
     banks = len(inputs)
     if banks < 1:
         raise ValueError("need at least one bank's worth of input")
-    driver = NttPimDriver(config)
-    # map_commands is memoized per (params, config, bank): repeated rounds
+    # Programs are memoized per (params, config, bank): repeated rounds
     # over the same shape (e.g. every RNS limb round) reuse the programs.
-    programs = [driver.map_commands(ntt, bank=k) for k in range(banks)]
-    merged = interleave_programs(programs)
+    programs = [cyclic_program(ntt, config.arch, config.pim, config.base_row,
+                               k, config.mapper_options)
+                for k in range(banks)]
+    merged = interleave_programs([p.commands for p in programs])
 
-    engine = TimingEngine(config.timing, config.arch,
-                          compute=config.pim.compute_timing(),
-                          energy=config.energy)
-    schedule = engine.simulate(merged)
-    single = engine.simulate(programs[0])
+    # Shared schedule cache: ``merged`` is a fresh list on every call,
+    # but its content is a pure function of the component programs, so
+    # the merge recipe over their keys is an exact (and cheap) cache key.
+    compute = config.pim.compute_timing()
+    keys = [p.key for p in programs]
+    merged_key = (("interleave", tuple(keys))
+                  if all(k is not None for k in keys) else None)
+    schedule = cached_schedule(merged, config.timing, config.arch,
+                               compute, config.energy, key=merged_key)
+    single = cached_schedule(programs[0].commands, config.timing, config.arch,
+                             compute, config.energy, key=programs[0].key)
 
     verified = False
+    outputs: List[List[int]] = []
+    bu_ops = 0
     if config.functional:
         bank_models = []
         for values in inputs:
@@ -108,13 +131,15 @@ def run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
             bank_models.append(bank)
         for cmd in merged:
             bank_models[cmd.bank].execute(cmd)
+        bu_ops = sum(bank.cu.bu_ops for bank in bank_models)
+        outputs = [bank.read_polynomial(config.base_row, ntt.n)
+                   for bank in bank_models]
         if config.verify:
-            for values, bank in zip(inputs, bank_models):
-                got = bank.read_polynomial(config.base_row, ntt.n)
+            for values, got in zip(inputs, outputs):
                 if got != reference_ntt(values, ntt):
                     raise FunctionalMismatch("multi-bank NTT result wrong")
             verified = True
 
     return MultiBankResult(banks=banks, schedule=schedule,
                            single_bank_cycles=single.total_cycles,
-                           verified=verified)
+                           verified=verified, outputs=outputs, bu_ops=bu_ops)

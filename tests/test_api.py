@@ -1,0 +1,369 @@
+"""Tests for the repro.api facade: registry round-trip, request
+validation, response-envelope equality with the legacy entry points,
+shared schedule caching, run_many grouping and deprecation shims."""
+
+import random
+import warnings
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.api import (
+    BatchRequest,
+    FheOpRequest,
+    MultiBankRequest,
+    NegacyclicRequest,
+    NttRequest,
+    ProgramRequest,
+    SimRequest,
+    SimResponse,
+    Simulator,
+    UnknownWorkloadError,
+    get_workload,
+    register_workload,
+    unregister_workload,
+    workload_names,
+)
+from repro.arith import NttParams, find_ntt_prime
+from repro.errors import RequestValidationError
+from repro.ntt import NegacyclicParams
+from repro.pim import PimParams
+from repro.sim import NttPimDriver, SimConfig, schedule_cache_info
+from repro.sim.batch import run_batch
+from repro.sim.multibank import run_multibank
+
+N = 256
+Q = find_ntt_prime(N, 32)
+QN = find_ntt_prime(N, 32, negacyclic=True)
+PARAMS = NttParams(N, Q)
+RING = NegacyclicParams(N, QN)
+
+
+def _data(seed=0, q=Q, n=N):
+    rng = random.Random(seed)
+    return [rng.randrange(q) for _ in range(n)]
+
+
+def _legacy(call, *args, **kwargs):
+    """Run a deprecated entry point, swallowing its warning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return call(*args, **kwargs)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = workload_names()
+        for name in ("ntt", "negacyclic", "batch", "multibank", "fhe",
+                     "program"):
+            assert name in names
+
+    def test_round_trip_custom_workload(self):
+        @dataclass(frozen=True)
+        class EchoRequest(SimRequest):
+            workload: ClassVar[str] = "echo-test"
+            payload: int = 0
+
+        @register_workload("echo-test")
+        def run_echo(config, request):
+            return SimResponse(workload="echo-test",
+                               values=[request.payload])
+
+        try:
+            assert "echo-test" in workload_names()
+            response = Simulator().run(EchoRequest(payload=42))
+            assert response.values == [42]
+            assert response.workload == "echo-test"
+            # The envelope is stamped even for third-party workloads.
+            assert response.backend in ("python", "numpy")
+            assert "schedule" in response.cache
+        finally:
+            unregister_workload("echo-test")
+        assert "echo-test" not in workload_names()
+
+    def test_duplicate_registration_rejected(self):
+        @register_workload("dup-test")
+        def first(config, request):  # pragma: no cover - never run
+            return None
+
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                @register_workload("dup-test")
+                def second(config, request):  # pragma: no cover
+                    return None
+
+            # replace=True is the explicit override.
+            @register_workload("dup-test", replace=True)
+            def third(config, request):  # pragma: no cover
+                return None
+
+            assert get_workload("dup-test") is third
+        finally:
+            unregister_workload("dup-test")
+
+    def test_unknown_workload(self):
+        with pytest.raises(UnknownWorkloadError, match="no-such-workload"):
+            get_workload("no-such-workload")
+
+    def test_unknown_workload_message_unmangled(self):
+        try:
+            get_workload("no-such-workload")
+        except UnknownWorkloadError as exc:
+            # Must not inherit KeyError's repr-quoting __str__.
+            assert str(exc).startswith("unknown workload")
+
+
+class TestValidation:
+    def test_ntt_wrong_length(self):
+        with pytest.raises(RequestValidationError, match="expected 256"):
+            Simulator().run(NttRequest(params=PARAMS, values=[1, 2, 3]))
+
+    def test_negacyclic_wrong_length(self):
+        with pytest.raises(RequestValidationError):
+            Simulator().run(NegacyclicRequest(ring=RING, values=[0] * 7))
+
+    def test_batch_empty(self):
+        with pytest.raises(RequestValidationError, match="at least one"):
+            Simulator().run(BatchRequest(params=PARAMS, inputs=[]))
+
+    def test_multibank_ragged(self):
+        with pytest.raises(RequestValidationError, match="bank 1"):
+            Simulator().run(MultiBankRequest(
+                params=PARAMS, inputs=[[0] * N, [0] * (N - 1)]))
+
+    def test_fhe_unknown_op(self):
+        with pytest.raises(RequestValidationError, match="unknown FHE op"):
+            Simulator().run(FheOpRequest(ring=RING, op="divide", a=[0] * N))
+
+    def test_fhe_wrong_ring_type(self):
+        with pytest.raises(RequestValidationError, match="NegacyclicParams"):
+            Simulator().run(FheOpRequest(ring=PARAMS, op="forward",
+                                         a=[0] * N))
+
+    def test_fhe_multiply_needs_b(self):
+        with pytest.raises(RequestValidationError, match="second operand"):
+            Simulator().run(FheOpRequest(ring=RING, op="multiply", a=[0] * N))
+
+    def test_program_empty(self):
+        with pytest.raises(RequestValidationError):
+            Simulator().run(ProgramRequest(commands=()))
+
+    def test_requests_are_frozen(self):
+        request = NttRequest(params=PARAMS, values=_data())
+        with pytest.raises(AttributeError):
+            request.inverse = True
+        assert isinstance(request.values, tuple)
+
+
+class TestLegacyEquivalence:
+    """The facade and the deprecated entry points are bit-identical."""
+
+    def test_ntt_matches_driver(self):
+        x = _data(1)
+        legacy = _legacy(NttPimDriver().run_ntt, x, PARAMS)
+        response = Simulator().run(NttRequest(params=PARAMS, values=x))
+        assert response.values == legacy.output
+        assert response.cycles == legacy.cycles
+        assert response.energy_nj == legacy.energy_nj
+        assert response.command_count == legacy.command_count
+        assert response.counters["bu_ops"] == legacy.bu_ops
+        assert response.activations == legacy.activations
+        assert response.verified and legacy.verified
+
+    def test_intt_matches_driver(self):
+        x = _data(2)
+        legacy = _legacy(NttPimDriver().run_intt, x, PARAMS)
+        response = Simulator().run(NttRequest(params=PARAMS, values=x,
+                                              inverse=True))
+        assert response.values == legacy.output
+        assert response.cycles == legacy.cycles
+
+    def test_negacyclic_matches_driver(self):
+        x = _data(3, q=QN)
+        legacy = _legacy(NttPimDriver().run_negacyclic_ntt, x, RING)
+        response = Simulator().run(NegacyclicRequest(ring=RING, values=x))
+        assert response.values == legacy.output
+        assert response.cycles == legacy.cycles
+        assert response.energy_nj == legacy.energy_nj
+        assert response.verified
+
+    def test_batch_matches_run_batch(self):
+        inputs = [_data(4), _data(5)]
+        legacy = _legacy(run_batch, inputs, PARAMS)
+        response = Simulator().run(BatchRequest(params=PARAMS, inputs=inputs))
+        assert response.cycles == legacy.cycles
+        assert response.metrics["amortization"] == legacy.amortization
+        assert response.outputs == legacy.outputs
+        assert response.verified and legacy.verified
+
+    def test_multibank_matches_run_multibank(self):
+        inputs = [_data(6), _data(7), _data(8)]
+        legacy = _legacy(run_multibank, inputs, PARAMS)
+        response = Simulator().run(MultiBankRequest(params=PARAMS,
+                                                    inputs=inputs))
+        assert response.cycles == legacy.cycles
+        assert response.metrics["speedup"] == legacy.speedup
+        assert response.metrics["efficiency"] == legacy.efficiency
+        assert response.outputs == legacy.outputs
+        # Per-bank outputs match individual driver runs.
+        for values, out in zip(inputs, response.outputs):
+            single = _legacy(NttPimDriver().run_ntt, values, PARAMS)
+            assert out == single.output
+
+
+class TestScheduleCache:
+    def test_batch_hits_schedule_cache_on_repeat(self):
+        simulator = Simulator()
+        inputs = [_data(10), _data(11)]
+        simulator.run(BatchRequest(params=PARAMS, inputs=inputs))
+        again = simulator.run(BatchRequest(params=PARAMS, inputs=inputs))
+        # Both the merged and the single-shot schedules hit.
+        assert again.cache["schedule"]["hits"] >= 2
+        assert again.cache["schedule"]["misses"] == 0
+        assert again.cache["program"]["misses"] == 0
+
+    def test_multibank_hits_schedule_cache_on_repeat(self):
+        simulator = Simulator()
+        inputs = [_data(12), _data(13)]
+        simulator.run(MultiBankRequest(params=PARAMS, inputs=inputs))
+        again = simulator.run(MultiBankRequest(params=PARAMS, inputs=inputs))
+        assert again.cache["schedule"]["hits"] >= 2
+        assert again.cache["schedule"]["misses"] == 0
+
+    def test_structural_key_shared_across_paths(self):
+        """A single-bank NTT and a batch's first slot share one schedule."""
+        simulator = Simulator()
+        x = _data(14)
+        simulator.run(NttRequest(params=PARAMS, values=x))
+        batch = simulator.run(BatchRequest(params=PARAMS, inputs=[x]))
+        # The batch's single-shot reference schedule is the same program
+        # the plain run cached — a structural (not identity) hit.
+        assert batch.cache["schedule"]["hits"] >= 1
+
+    def test_cache_info_shape(self):
+        info = Simulator().cache_info()
+        assert info["backend"] in ("python", "numpy")
+        for cache in ("program", "schedule"):
+            assert set(info[cache]) == {"entries", "hits", "misses"}
+        assert schedule_cache_info()["entries"] >= 0
+
+
+class TestRunMany:
+    def test_grouped_outputs_match_individual_runs(self):
+        simulator = Simulator()
+        inputs = [_data(i) for i in range(20, 23)]
+        requests = [NttRequest(params=PARAMS, values=x) for x in inputs]
+        responses = simulator.run_many(requests)
+        assert len(responses) == 3
+        for x, response in zip(inputs, responses):
+            single = simulator.run(NttRequest(params=PARAMS, values=x))
+            assert response.values == single.values
+            assert response.metrics["group_banks"] == 3
+        assert [r.metrics["bank"] for r in responses] == [0, 1, 2]
+
+    def test_grouped_energy_and_counters_split_per_bank(self):
+        """Summing run_many responses must not overcount the group."""
+        simulator = Simulator()
+        inputs = [_data(i) for i in range(24, 27)]
+        requests = [NttRequest(params=PARAMS, values=x) for x in inputs]
+        responses = simulator.run_many(requests)
+        group = responses[0].raw  # shared MultiBankResult
+        total_nj = sum(r.energy_nj for r in responses)
+        assert total_nj == pytest.approx(group.schedule.energy_nj)
+        assert (sum(r.command_count for r in responses)
+                == len(group.schedule.timings))
+        assert (sum(r.counters["ACT"] for r in responses)
+                == group.schedule.stats.activations)
+
+    def test_mixed_requests_keep_order(self):
+        simulator = Simulator()
+        x = _data(30)
+        requests = [
+            NttRequest(params=PARAMS, values=x),
+            NegacyclicRequest(ring=RING, values=_data(31, q=QN)),
+            NttRequest(params=PARAMS, values=x),
+        ]
+        responses = simulator.run_many(requests)
+        assert [r.workload for r in responses] == ["ntt", "negacyclic", "ntt"]
+        assert responses[0].values == responses[2].values
+
+    def test_max_banks_chunking(self):
+        simulator = Simulator(SimConfig(functional=False, verify=False))
+        requests = [NttRequest(params=PARAMS) for _ in range(5)]
+        responses = simulator.run_many(requests, max_banks=2)
+        banks = [r.metrics.get("group_banks") for r in responses]
+        # 5 = 2 + 2 + 1: two pairs grouped, the leftover runs alone.
+        assert banks.count(2) == 4 and banks.count(None) == 1
+
+    def test_group_disabled(self):
+        simulator = Simulator(SimConfig(functional=False, verify=False))
+        responses = simulator.run_many(
+            [NttRequest(params=PARAMS)] * 3, group=False)
+        assert all("group_banks" not in r.metrics for r in responses)
+
+
+class TestFheWorkload:
+    def test_multiply_verified_against_software(self):
+        a, b = _data(40, q=QN), _data(41, q=QN)
+        response = Simulator().run(FheOpRequest(ring=RING, op="multiply",
+                                                a=a, b=b))
+        from repro.ntt import naive_negacyclic_convolution
+        assert response.values == naive_negacyclic_convolution(a, b, QN)
+        assert response.verified
+        assert response.metrics["transforms"] == 3
+        assert response.cycles > 0 and response.energy_nj > 0
+
+    def test_native_equals_hosted(self):
+        a, b = _data(42, q=QN), _data(43, q=QN)
+        hosted = Simulator().run(FheOpRequest(ring=RING, op="multiply",
+                                              a=a, b=b, native=False))
+        native = Simulator().run(FheOpRequest(ring=RING, op="multiply",
+                                              a=a, b=b, native=True))
+        assert hosted.values == native.values
+
+
+class TestDeprecationShims:
+    def test_driver_run_ntt_warns(self):
+        with pytest.warns(DeprecationWarning, match="Simulator"):
+            NttPimDriver().run_ntt(_data(50), PARAMS)
+
+    def test_driver_run_intt_warns(self):
+        with pytest.warns(DeprecationWarning):
+            NttPimDriver().run_intt(_data(51), PARAMS)
+
+    def test_driver_negacyclic_warns(self):
+        with pytest.warns(DeprecationWarning):
+            NttPimDriver().run_negacyclic_ntt(_data(52, q=QN), RING)
+
+    def test_run_batch_warns(self):
+        with pytest.warns(DeprecationWarning, match="BatchRequest"):
+            run_batch([_data(53)], PARAMS)
+
+    def test_run_multibank_warns(self):
+        with pytest.warns(DeprecationWarning, match="MultiBankRequest"):
+            run_multibank([_data(54)], PARAMS)
+
+    def test_run_ntt_with_params_warns(self):
+        with pytest.warns(DeprecationWarning):
+            NttPimDriver().run_ntt_with_params(_data(55), PARAMS,
+                                               verify_against=None)
+
+
+class TestResponseEnvelope:
+    def test_metadata_fields(self):
+        response = Simulator().run(NttRequest(params=PARAMS, values=_data()))
+        assert response.backend in ("python", "numpy")
+        assert response.wall_time_s > 0
+        assert response.request.params is PARAMS
+        assert response.latency_ns == pytest.approx(
+            response.latency_us * 1000.0)
+        assert response.schedule is not None
+        assert "ACT" in response.counters
+
+    def test_summary_mentions_shape_and_workload(self):
+        response = Simulator().run(NttRequest(params=PARAMS, values=_data()))
+        line = response.summary()
+        assert f"N={N:>5}" in line
+        assert "[ntt]" in line
+        assert "verified=yes" in line

@@ -39,3 +39,47 @@ class TestCli:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestCliFacade:
+    """The generic ``run <workload>`` subcommand and its facade flags."""
+
+    def test_run_explicit_ntt_workload(self, capsys):
+        assert main(["run", "ntt", "-n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "[ntt]" in out and "verified=yes" in out
+
+    def test_run_with_backend_flag(self, capsys):
+        assert main(["run", "ntt", "-n", "256", "--backend", "python"]) == 0
+        assert "verified=yes" in capsys.readouterr().out
+
+    def test_run_with_cache_info(self, capsys):
+        assert main(["run", "ntt", "-n", "256", "--cache-info"]) == 0
+        out = capsys.readouterr().out
+        assert "program cache" in out
+        assert "schedule cache" in out
+        assert "backend" in out
+
+    def test_run_batch_workload(self, capsys):
+        assert main(["run", "batch", "-n", "256", "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[batch]" in out and "amortization" in out
+
+    def test_run_multibank_workload(self, capsys):
+        assert main(["run", "multibank", "-n", "256", "--count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[multibank]" in out and "speedup" in out
+
+    def test_run_negacyclic_workload(self, capsys):
+        assert main(["run", "negacyclic", "-n", "256"]) == 0
+        assert "[negacyclic]" in capsys.readouterr().out
+
+    def test_run_fhe_workload(self, capsys):
+        assert main(["run", "fhe", "-n", "256", "--native"]) == 0
+        out = capsys.readouterr().out
+        assert "[fhe]" in out and "transforms" in out
+
+    def test_run_unknown_workload_errors(self, capsys):
+        assert main(["run", "not-a-workload", "-n", "256"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err and "ntt" in err

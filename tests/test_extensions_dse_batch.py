@@ -12,7 +12,7 @@ from repro.fhe import RlweParams, RlweScheme
 from repro.ntt import naive_negacyclic_convolution
 from repro.pim import PimParams
 from repro.sim import SimConfig
-from repro.sim.batch import concat_programs, run_batch
+from repro.sim.batch import _run_batch, concat_programs
 
 Q = find_ntt_prime(2048, 32)
 
@@ -53,7 +53,7 @@ class TestBatch:
         params = NttParams(n, Q)
         rng = random.Random(1)
         inputs = [[rng.randrange(Q) for _ in range(n)] for _ in range(3)]
-        result = run_batch(inputs, params)
+        result = _run_batch(inputs, params)
         assert result.verified
         assert result.count == 3
 
@@ -61,14 +61,14 @@ class TestBatch:
         n = 512
         params = NttParams(n, Q)
         config = SimConfig(functional=False, verify=False)
-        result = run_batch([[0] * n] * 4, params, config)
+        result = _run_batch([[0] * n] * 4, params, config)
         # Back-to-back transforms must not be slower per transform than
         # single-shot (and the PARAM amortization gives a sliver back).
         assert result.amortization >= 0.98
 
     def test_empty_batch_rejected(self):
         with pytest.raises(ValueError):
-            run_batch([], NttParams(256, Q))
+            _run_batch([], NttParams(256, Q))
 
     def test_concat_skips_duplicate_params(self):
         prog = [Command(CommandType.PARAM_WRITE, payload_words=6),

@@ -28,7 +28,7 @@ class TestEndToEndAgreement:
         x = [rng.randrange(Q32) for _ in range(n)]
         golden = ntt(x, params)
         assert numpy_ntt(x, params) == golden
-        result = NttPimDriver().run_ntt(x, params)
+        result = NttPimDriver()._run_ntt(x, params)
         assert result.output == golden
 
     def test_pim_convolution_pipeline(self):
@@ -39,10 +39,10 @@ class TestEndToEndAgreement:
         a = [rng.randrange(Q32) for _ in range(n)]
         b = [rng.randrange(Q32) for _ in range(n)]
         driver = NttPimDriver()
-        fa = driver.run_ntt(a, params).output
-        fb = driver.run_ntt(b, params).output
+        fa = driver._run_ntt(a, params).output
+        fb = driver._run_ntt(b, params).output
         prod = [(x * y) % Q32 for x, y in zip(fa, fb)]
-        got = driver.run_intt(prod, params).output
+        got = driver._run_intt(prod, params).output
         assert got == cyclic_convolution(a, b, params)
 
     @pytest.mark.parametrize("bits", [14, 16, 30, 32])
@@ -53,7 +53,7 @@ class TestEndToEndAgreement:
         params = NttParams(n, q)
         rng = random.Random(bits)
         x = [rng.randrange(q) for _ in range(n)]
-        result = NttPimDriver().run_ntt(x, params)
+        result = NttPimDriver()._run_ntt(x, params)
         assert result.verified
 
     def test_multiple_moduli_same_machine(self):
@@ -65,7 +65,7 @@ class TestEndToEndAgreement:
             params = NttParams(n, q)
             rng = random.Random(q)
             x = [rng.randrange(q) for _ in range(n)]
-            assert driver.run_ntt(x, params).verified
+            assert driver._run_ntt(x, params).verified
 
 
 class TestSchedulePropertiesAcrossConfigs:
@@ -73,7 +73,7 @@ class TestSchedulePropertiesAcrossConfigs:
     def test_commands_and_cycles_consistent(self, nb):
         config = SimConfig(pim=PimParams(nb_buffers=nb),
                            functional=False, verify=False)
-        run = NttPimDriver(config).run_ntt([0] * 1024, NttParams(1024, Q32))
+        run = NttPimDriver(config)._run_ntt([0] * 1024, NttParams(1024, Q32))
         # Bus occupies one cycle per command: makespan >= command count.
         assert run.cycles >= run.command_count
         # All issues strictly ordered (in-order bus).
@@ -82,7 +82,7 @@ class TestSchedulePropertiesAcrossConfigs:
 
     def test_energy_scales_with_work(self):
         config = SimConfig(functional=False, verify=False)
-        runs = [NttPimDriver(config).run_ntt([0] * n, NttParams(n, Q32))
+        runs = [NttPimDriver(config)._run_ntt([0] * n, NttParams(n, Q32))
                 for n in (256, 1024, 4096)]
         energies = [r.energy_nj for r in runs]
         assert energies == sorted(energies)
@@ -118,7 +118,7 @@ def test_property_pim_matches_golden(log_n, nb, seed):
     rng = random.Random(seed)
     x = [rng.randrange(Q32) for _ in range(n)]
     config = SimConfig(pim=PimParams(nb_buffers=nb))
-    result = NttPimDriver(config).run_ntt(x, params)
+    result = NttPimDriver(config)._run_ntt(x, params)
     assert result.verified
 
 
@@ -134,8 +134,8 @@ def test_property_pim_roundtrip(log_n, seed):
     rng = random.Random(seed)
     x = [rng.randrange(Q32) for _ in range(n)]
     driver = NttPimDriver()
-    fwd = driver.run_ntt(x, params)
-    back = driver.run_intt(fwd.output, params)
+    fwd = driver._run_ntt(x, params)
+    back = driver._run_intt(fwd.output, params)
     assert back.output == x
 
 
@@ -153,4 +153,4 @@ def test_property_ablations_preserve_function(nb, options):
     rng = random.Random(nb)
     x = [rng.randrange(Q32) for _ in range(n)]
     config = SimConfig(pim=PimParams(nb_buffers=nb), mapper_options=options)
-    assert NttPimDriver(config).run_ntt(x, params).verified
+    assert NttPimDriver(config)._run_ntt(x, params).verified

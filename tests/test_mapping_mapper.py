@@ -91,7 +91,7 @@ class TestProtocolLegality:
         rng = random.Random(n * 100 + nb)
         x = [rng.randrange(Q) for _ in range(n)]
         config = SimConfig(pim=PimParams(nb_buffers=nb))
-        result = NttPimDriver(config).run_ntt(x, NttParams(n, Q))
+        result = NttPimDriver(config)._run_ntt(x, NttParams(n, Q))
         assert result.verified
         assert result.output == reference_ntt(x, NttParams(n, Q))
 
@@ -100,7 +100,7 @@ class TestProtocolLegality:
         rng = random.Random(n)
         x = [rng.randrange(Q) for _ in range(n)]
         config = SimConfig(pim=PimParams(nb_buffers=1))
-        result = NttPimDriver(config).run_ntt(x, NttParams(n, Q))
+        result = NttPimDriver(config)._run_ntt(x, NttParams(n, Q))
         assert result.verified
 
     def test_nonzero_base_row(self):
@@ -108,7 +108,7 @@ class TestProtocolLegality:
         n = 512
         x = [rng.randrange(Q) for _ in range(n)]
         config = SimConfig(pim=PimParams(nb_buffers=2), base_row=100)
-        result = NttPimDriver(config).run_ntt(x, NttParams(n, Q))
+        result = NttPimDriver(config)._run_ntt(x, NttParams(n, Q))
         assert result.verified
 
 
@@ -119,7 +119,7 @@ class TestAblationVariants:
         x = [rng.randrange(Q) for _ in range(n)]
         config = SimConfig(pim=PimParams(nb_buffers=2),
                            mapper_options=MapperOptions(in_place_update=False))
-        result = NttPimDriver(config).run_ntt(x, NttParams(n, Q))
+        result = NttPimDriver(config)._run_ntt(x, NttParams(n, Q))
         assert result.verified
 
     def test_out_of_place_result_row_parity(self):
@@ -144,7 +144,7 @@ class TestAblationVariants:
         x = [rng.randrange(Q) for _ in range(n)]
         config = SimConfig(pim=PimParams(nb_buffers=6),
                            mapper_options=MapperOptions(group_same_row=False))
-        result = NttPimDriver(config).run_ntt(x, NttParams(n, Q))
+        result = NttPimDriver(config)._run_ntt(x, NttParams(n, Q))
         assert result.verified
 
     def test_out_of_place_requires_space(self):
@@ -183,7 +183,7 @@ class TestLatencyShape:
         for nb in (2, 4, 6):
             config = SimConfig(pim=PimParams(nb_buffers=nb),
                                functional=False, verify=False)
-            run = NttPimDriver(config).run_ntt([0] * 2048, NttParams(2048, Q))
+            run = NttPimDriver(config)._run_ntt([0] * 2048, NttParams(2048, Q))
             latencies.append(run.cycles)
         assert latencies == sorted(latencies, reverse=True)
 
@@ -192,7 +192,7 @@ class TestLatencyShape:
         for nb in (1, 2):
             config = SimConfig(pim=PimParams(nb_buffers=nb),
                                functional=False, verify=False)
-            runs[nb] = NttPimDriver(config).run_ntt(
+            runs[nb] = NttPimDriver(config)._run_ntt(
                 [0] * 512, NttParams(512, Q)).cycles
         assert runs[1] > 7 * runs[2]
 
@@ -200,6 +200,6 @@ class TestLatencyShape:
         """The Fig. 7 kink: N=512 costs >2x N=256 (inter-row onset)."""
         config = SimConfig(pim=PimParams(nb_buffers=2),
                            functional=False, verify=False)
-        t256 = NttPimDriver(config).run_ntt([0] * 256, NttParams(256, Q)).cycles
-        t512 = NttPimDriver(config).run_ntt([0] * 512, NttParams(512, Q)).cycles
+        t256 = NttPimDriver(config)._run_ntt([0] * 256, NttParams(256, Q)).cycles
+        t512 = NttPimDriver(config)._run_ntt([0] * 512, NttParams(512, Q)).cycles
         assert t512 > 2.2 * t256

@@ -69,7 +69,7 @@ class TestMultiBufferForecast:
         pim = PimParams(nb_buffers=nb)
         forecast = forecast_multi_buffer(n, HBM2E_ARCH, pim)
         config = SimConfig(pim=pim, functional=False, verify=False)
-        run = NttPimDriver(config).run_ntt([0] * n, NttParams(n, Q))
+        run = NttPimDriver(config)._run_ntt([0] * n, NttParams(n, Q))
         counts = run.schedule.stats.command_counts
         assert counts.get("ACT", 0) == forecast.activations
         assert counts.get("CU_READ", 0) == forecast.cu_reads
@@ -84,7 +84,7 @@ class TestSingleBufferForecast:
         forecast = forecast_single_buffer(n, HBM2E_ARCH)
         config = SimConfig(pim=PimParams(nb_buffers=1),
                            functional=False, verify=False)
-        run = NttPimDriver(config).run_ntt([0] * n, NttParams(n, Q))
+        run = NttPimDriver(config)._run_ntt([0] * n, NttParams(n, Q))
         counts = run.schedule.stats.command_counts
         scalar = sum(counts.get(k, 0) for k in
                      ("LOAD_SCALAR", "BU_SCALAR", "STORE_SCALAR"))

@@ -83,7 +83,7 @@ class TestGoldilocksModulus:
         rng = random.Random(0)
         x = [rng.randrange(self.GOLDILOCKS) for _ in range(n)]
         drv = NttPimDriver(SimConfig(pim=PimParams(nb_buffers=2)))
-        result = drv.run_ntt(x, params)
+        result = drv._run_ntt(x, params)
         assert result.verified
 
     def test_montgomery_radix_widens(self):

@@ -128,7 +128,7 @@ class TestNegacyclicMapping:
         rng = random.Random(n + nb)
         x = [rng.randrange(p.q) for _ in range(n)]
         drv = NttPimDriver(SimConfig(pim=PimParams(nb_buffers=nb)))
-        assert drv.run_negacyclic_ntt(x, p).verified
+        assert drv._run_negacyclic_ntt(x, p).verified
 
     @pytest.mark.parametrize("n", [64, 512])
     def test_inverse_roundtrip_on_pim(self, n):
@@ -136,8 +136,8 @@ class TestNegacyclicMapping:
         rng = random.Random(n)
         x = [rng.randrange(p.q) for _ in range(n)]
         drv = NttPimDriver(SimConfig())
-        fwd = drv.run_negacyclic_ntt(x, p)
-        back = drv.run_negacyclic_intt(fwd.output, p)
+        fwd = drv._run_negacyclic_ntt(x, p)
+        back = drv._run_negacyclic_intt(fwd.output, p)
         assert back.verified
         assert back.output == x
 
@@ -148,10 +148,10 @@ class TestNegacyclicMapping:
         a = [rng.randrange(p.q) for _ in range(n)]
         b = [rng.randrange(p.q) for _ in range(n)]
         drv = NttPimDriver(SimConfig(pim=PimParams(nb_buffers=4)))
-        fa = drv.run_negacyclic_ntt(a, p).output
-        fb = drv.run_negacyclic_ntt(b, p).output
+        fa = drv._run_negacyclic_ntt(a, p).output
+        fb = drv._run_negacyclic_ntt(b, p).output
         prod = [(x * y) % p.q for x, y in zip(fa, fb)]
-        got = drv.run_negacyclic_intt(prod, p).output
+        got = drv._run_negacyclic_intt(prod, p).output
         assert got == naive_negacyclic_convolution(a, b, p.q)
 
     def test_uses_c1n_and_constant_zeta_c2(self):
@@ -183,8 +183,8 @@ class TestNegacyclicMapping:
         p = ring(n)
         from repro.arith import NttParams
         drv = NttPimDriver(SimConfig(functional=False, verify=False))
-        nega = drv.run_negacyclic_ntt([0] * n, p)
-        cyc = drv.run_ntt([0] * n, NttParams(n, p.q))
+        nega = drv._run_negacyclic_ntt([0] * n, p)
+        cyc = drv._run_ntt([0] * n, NttParams(n, p.q))
         assert 0.9 <= nega.cycles / cyc.cycles <= 1.2
 
 
@@ -220,4 +220,4 @@ def test_property_native_negacyclic_verified(log_n, seed):
     rng = random.Random(seed)
     x = [rng.randrange(p.q) for _ in range(n)]
     drv = NttPimDriver(SimConfig(pim=PimParams(nb_buffers=4)))
-    assert drv.run_negacyclic_ntt(x, p).verified
+    assert drv._run_negacyclic_ntt(x, p).verified

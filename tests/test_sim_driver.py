@@ -18,17 +18,17 @@ class TestRunNtt:
         rng = random.Random(1)
         n = 256
         x = [rng.randrange(Q) for _ in range(n)]
-        result = NttPimDriver().run_ntt(x, NttParams(n, Q))
+        result = NttPimDriver()._run_ntt(x, NttParams(n, Q))
         assert result.verified
         assert result.n == n
         assert result.output == ntt(x, NttParams(n, Q))
 
     def test_wrong_length_rejected(self):
         with pytest.raises(ValueError):
-            NttPimDriver().run_ntt([1, 2, 3], NttParams(256, Q))
+            NttPimDriver()._run_ntt([1, 2, 3], NttParams(256, Q))
 
     def test_result_metrics_consistent(self):
-        result = NttPimDriver().run_ntt([0] * 256, NttParams(256, Q))
+        result = NttPimDriver()._run_ntt([0] * 256, NttParams(256, Q))
         assert result.cycles > 0
         assert result.latency_us == pytest.approx(result.latency_ns / 1000)
         assert result.energy_nj > 0
@@ -38,20 +38,20 @@ class TestRunNtt:
 
     def test_functional_off_skips_data(self):
         config = SimConfig(functional=False, verify=False)
-        result = NttPimDriver(config).run_ntt([0] * 256, NttParams(256, Q))
+        result = NttPimDriver(config)._run_ntt([0] * 256, NttParams(256, Q))
         assert result.output == []
         assert not result.verified
         assert result.cycles > 0
 
     def test_timing_identical_with_and_without_functional(self):
-        on = NttPimDriver(SimConfig()).run_ntt([0] * 512, NttParams(512, Q))
-        off = NttPimDriver(SimConfig(functional=False, verify=False)).run_ntt(
+        on = NttPimDriver(SimConfig())._run_ntt([0] * 512, NttParams(512, Q))
+        off = NttPimDriver(SimConfig(functional=False, verify=False))._run_ntt(
             [0] * 512, NttParams(512, Q))
         assert on.cycles == off.cycles
 
     def test_bu_op_count_matches_theory(self):
         n = 512
-        result = NttPimDriver().run_ntt([0] * n, NttParams(n, Q))
+        result = NttPimDriver()._run_ntt([0] * n, NttParams(n, Q))
         # N/2 * log N butterflies exactly — full data reuse, no recompute.
         assert result.bu_ops == (n // 2) * 9
 
@@ -61,7 +61,7 @@ class TestRunNtt:
         params = NttParams(n, Q)
         driver = NttPimDriver()
         with pytest.raises(FunctionalMismatch):
-            driver.run_ntt_with_params([0] * n + [], params,
+            driver._run_ntt_with_params([0] * n + [], params,
                                        verify_against=[1] * n)
 
 
@@ -72,8 +72,8 @@ class TestInverse:
         params = NttParams(n, Q)
         x = [rng.randrange(Q) for _ in range(n)]
         driver = NttPimDriver()
-        fwd = driver.run_ntt(x, params)
-        inv = driver.run_intt(fwd.output, params)
+        fwd = driver._run_ntt(x, params)
+        inv = driver._run_intt(fwd.output, params)
         assert inv.output == x
 
     def test_intt_matches_reference(self):
@@ -81,7 +81,7 @@ class TestInverse:
         n = 512
         params = NttParams(n, Q)
         y = [rng.randrange(Q) for _ in range(n)]
-        inv = NttPimDriver().run_intt(y, params)
+        inv = NttPimDriver()._run_intt(y, params)
         assert inv.output == intt(y, params)
 
 
@@ -90,8 +90,8 @@ class TestFrequencyScaling:
         base = SimConfig(pim=PimParams(nb_buffers=2),
                          functional=False, verify=False)
         n, params = 2048, NttParams(2048, Q)
-        t1200 = NttPimDriver(base).run_ntt([0] * n, params)
-        t300 = NttPimDriver(base.at_frequency(300.0)).run_ntt([0] * n, params)
+        t1200 = NttPimDriver(base)._run_ntt([0] * n, params)
+        t300 = NttPimDriver(base.at_frequency(300.0))._run_ntt([0] * n, params)
         slowdown = t300.latency_ns / t1200.latency_ns
         assert 1.0 < slowdown < 2.5  # paper: ~1.65x for a 4x clock drop
 

@@ -7,7 +7,8 @@ import pytest
 from repro.arith import NttParams, find_ntt_prime
 from repro.dram import Command, CommandType
 from repro.pim import PimParams
-from repro.sim import NttPimDriver, SimConfig, interleave_programs, run_multibank
+from repro.sim import NttPimDriver, SimConfig, interleave_programs
+from repro.sim.multibank import _run_multibank
 
 Q = find_ntt_prime(1024, 32)
 
@@ -46,7 +47,7 @@ class TestMultiBankRuns:
         n = 256
         params = NttParams(n, Q)
         inputs = [[rng.randrange(Q) for _ in range(n)] for _ in range(2)]
-        result = run_multibank(inputs, params)
+        result = _run_multibank(inputs, params)
         assert result.verified
         assert result.banks == 2
 
@@ -55,7 +56,7 @@ class TestMultiBankRuns:
         params = NttParams(n, Q)
         config = SimConfig(pim=PimParams(nb_buffers=2),
                            functional=False, verify=False)
-        result = run_multibank([[0] * n] * 4, params, config)
+        result = _run_multibank([[0] * n] * 4, params, config)
         assert result.speedup > 3.0
         assert 0.75 <= result.efficiency <= 1.01
 
@@ -63,24 +64,24 @@ class TestMultiBankRuns:
         n = 256
         params = NttParams(n, Q)
         config = SimConfig(functional=False, verify=False)
-        result = run_multibank([[0] * n], params, config)
+        result = _run_multibank([[0] * n], params, config)
         assert result.speedup == pytest.approx(1.0)
 
     def test_parallel_not_slower_than_serial(self):
         n = 256
         params = NttParams(n, Q)
         config = SimConfig(functional=False, verify=False)
-        parallel = run_multibank([[0] * n] * 8, params, config)
+        parallel = _run_multibank([[0] * n] * 8, params, config)
         assert parallel.cycles < 8 * parallel.single_bank_cycles
 
     def test_empty_input_rejected(self):
         with pytest.raises(ValueError):
-            run_multibank([], NttParams(256, Q))
+            _run_multibank([], NttParams(256, Q))
 
     def test_different_data_per_bank(self):
         rng = random.Random(2)
         n = 256
         params = NttParams(n, Q)
         inputs = [[rng.randrange(Q) for _ in range(n)] for _ in range(3)]
-        result = run_multibank(inputs, params)
+        result = _run_multibank(inputs, params)
         assert result.verified  # each bank independently checked

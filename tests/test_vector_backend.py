@@ -222,7 +222,7 @@ class TestDriverBothBackends:
         rng = random.Random(5)
         x = [rng.randrange(Q_SMALL) for _ in range(n)]
         with use_backend(backend):
-            result = NttPimDriver().run_ntt(x, params)
+            result = NttPimDriver()._run_ntt(x, params)
         assert result.verified
 
     def test_run_ntt_outputs_identical(self):
@@ -230,7 +230,7 @@ class TestDriverBothBackends:
         params = NttParams(n, Q_SMALL)
         rng = random.Random(6)
         x = [rng.randrange(Q_SMALL) for _ in range(n)]
-        py, np_ = both_backends(lambda: NttPimDriver().run_ntt(x, params))
+        py, np_ = both_backends(lambda: NttPimDriver()._run_ntt(x, params))
         assert py.output == np_.output
         assert py.bu_ops == np_.bu_ops
         assert py.schedule.total_cycles == np_.schedule.total_cycles
@@ -243,7 +243,7 @@ class TestDriverBothBackends:
         rng = random.Random(8)
         x = [rng.randrange(q) for _ in range(n)]
         with use_backend(backend):
-            result = NttPimDriver().run_negacyclic_ntt(x, ring)
+            result = NttPimDriver()._run_negacyclic_ntt(x, ring)
         assert result.verified
 
     def test_verify_default_sentinel(self):
@@ -252,10 +252,10 @@ class TestDriverBothBackends:
         rng = random.Random(9)
         x = [rng.randrange(Q_SMALL) for _ in range(n)]
         driver = NttPimDriver()
-        implicit = driver.run_ntt_with_params(x, params)
-        explicit = driver.run_ntt_with_params(x, params,
+        implicit = driver._run_ntt_with_params(x, params)
+        explicit = driver._run_ntt_with_params(x, params,
                                               verify_against=VERIFY_DEFAULT)
-        unverified = driver.run_ntt_with_params(x, params, verify_against=None)
+        unverified = driver._run_ntt_with_params(x, params, verify_against=None)
         assert implicit.verified and explicit.verified
         assert not unverified.verified
         assert implicit.output == explicit.output == unverified.output
