@@ -1,0 +1,148 @@
+"""Timing-engine throughput: legacy per-command loop vs compiled stream.
+
+Measures commands/sec of ``TimingEngine.simulate`` (the ground-truth
+per-command loop) against ``TimingEngine.simulate_stream`` (the SoA
+compiled-stream loop) on fixed NTT command programs, plus the one-time
+stream compile cost and the end-to-end functional ``run_ntt`` speedup of
+the stream-routed driver over the legacy per-command bank — and merges
+the measurements into ``BENCH_kernels.json`` at the repo root.
+
+Non-gating when run directly —
+
+    PYTHONPATH=src python benchmarks/bench_timing_engine.py
+
+and a CI smoke target (reduced size) asserting the stream engine is
+bit-identical to — and not slower than — the legacy loop:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_timing_engine.py -s
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from pathlib import Path
+
+from bench_backend_speedup import _best_of, merge_sections
+
+from repro.arith import NttParams, bit_reverse_permute, find_ntt_prime
+from repro.dram import (
+    HBM2E_ARCH,
+    HBM2E_TIMING,
+    TimingEngine,
+    compile_stream,
+)
+from repro.pim.bank_pim import PimBank
+from repro.sim.driver import NttPimDriver
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_kernels.json"
+
+
+def run(ns=(1024, 4096), repeats: int = 5,
+        out_path: Path = DEFAULT_OUT) -> dict:
+    section = {}
+    for n in ns:
+        q = find_ntt_prime(n, 32)
+        params = NttParams(n, q)
+        driver = NttPimDriver()
+        commands = driver.map_commands(params)
+        engine = TimingEngine(HBM2E_TIMING, HBM2E_ARCH,
+                              compute=driver.config.pim.compute_timing())
+
+        compile_start = time.perf_counter()
+        stream = compile_stream(commands, HBM2E_ARCH)
+        compile_s = time.perf_counter() - compile_start
+
+        legacy_s = _best_of(lambda: engine.simulate(commands), repeats)
+        stream_s = _best_of(lambda: engine.simulate_stream(stream), repeats)
+
+        # End-to-end functional execution: stream-fused bank vs the
+        # legacy per-command bank on the same program and data.
+        rng = random.Random(n)
+        data = bit_reverse_permute([rng.randrange(q) for _ in range(n)])
+
+        def run_bank(use_stream: bool):
+            bank = PimBank(driver.config.arch, driver.config.pim)
+            bank.set_parameters(q)
+            bank.load_polynomial(0, list(data))
+            if use_stream:
+                bank.run_stream(stream)
+            else:
+                bank.run(commands)
+
+        bank_legacy_s = _best_of(lambda: run_bank(False), max(repeats // 2, 2))
+        bank_stream_s = _best_of(lambda: run_bank(True), max(repeats // 2, 2))
+
+        section[str(n)] = {
+            "commands": len(commands),
+            "compile_s": compile_s,
+            "engine_legacy_s": legacy_s,
+            "engine_stream_s": stream_s,
+            "engine_legacy_cmds_per_s": len(commands) / legacy_s,
+            "engine_stream_cmds_per_s": len(commands) / stream_s,
+            "engine_speedup": legacy_s / stream_s,
+            "bank_legacy_s": bank_legacy_s,
+            "bank_stream_s": bank_stream_s,
+            "bank_speedup": bank_legacy_s / bank_stream_s,
+        }
+    merge_sections(out_path, {"timing_engine": section})
+    return {"timing_engine": section}
+
+
+def _format(results: dict) -> str:
+    lines = ["timing engine: legacy per-command loop vs compiled stream:"]
+    for n, entry in results["timing_engine"].items():
+        lines.append(
+            f"  N={n:>5s}  {entry['commands']:>6d} cmds  "
+            f"engine {entry['engine_legacy_cmds_per_s'] / 1e6:5.2f} -> "
+            f"{entry['engine_stream_cmds_per_s'] / 1e6:5.2f} Mcmd/s "
+            f"({entry['engine_speedup']:4.1f}x)  "
+            f"bank {entry['bank_legacy_s'] * 1e3:7.2f} -> "
+            f"{entry['bank_stream_s'] * 1e3:6.2f} ms "
+            f"({entry['bank_speedup']:4.1f}x)  "
+            f"compile {entry['compile_s'] * 1e3:6.1f} ms")
+    return "\n".join(lines)
+
+
+def test_stream_engine_smoke(show, tmp_path):
+    """CI smoke: on a fixed program the stream engine must match the
+    legacy loop bit for bit and must not be slower (generous, non-flaky
+    threshold — the measured speedup is several-fold)."""
+    n = 512
+    q = find_ntt_prime(n, 32)
+    driver = NttPimDriver()
+    commands = driver.map_commands(NttParams(n, q))
+    engine = TimingEngine(HBM2E_TIMING, HBM2E_ARCH,
+                          compute=driver.config.pim.compute_timing())
+    stream = compile_stream(commands, HBM2E_ARCH)
+    legacy = engine.simulate(commands)
+    streamed = engine.simulate_stream(stream)
+    assert streamed.timings == legacy.timings
+    assert streamed.stats == legacy.stats
+    assert streamed.energy_nj == legacy.energy_nj
+
+    legacy_s = _best_of(lambda: engine.simulate(commands), 3)
+    stream_s = _best_of(lambda: engine.simulate_stream(stream), 3)
+    show(f"N={n}: legacy {legacy_s * 1e3:.2f} ms, "
+         f"stream {stream_s * 1e3:.2f} ms "
+         f"({legacy_s / stream_s:.1f}x)")
+    # "Not slower" with generous headroom against CI timer noise.
+    assert stream_s <= legacy_s * 1.5
+
+    results = run(ns=(256,), repeats=2,
+                  out_path=tmp_path / "BENCH_kernels.json")
+    assert results["timing_engine"]["256"]["engine_speedup"] > 0
+
+
+def main(argv=None) -> int:
+    ns = tuple(int(a) for a in (argv or sys.argv[1:])) or (1024, 4096)
+    results = run(ns=ns)
+    print(_format(results))
+    print(f"updated {DEFAULT_OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

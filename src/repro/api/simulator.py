@@ -28,6 +28,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..arith.vector import get_backend
+from ..dram.stream import clear_stream_cache, stream_cache_info
 from ..mapping.program_cache import (
     clear_program_cache,
     program_cache_info,
@@ -64,12 +65,14 @@ class Simulator:
         request.validate()
         handler = get_workload(request.workload)
         prog_before = program_cache_info()
+        stream_before = stream_cache_info()
         sched_before = schedule_cache_info()
         start = time.perf_counter()
         response = handler(self.config, request)
         response.wall_time_s = time.perf_counter() - start
         response.cache = {
             "program": _delta(prog_before, program_cache_info()),
+            "stream": _delta(stream_before, stream_cache_info()),
             "schedule": _delta(sched_before, schedule_cache_info()),
         }
         response.backend = get_backend()
@@ -169,11 +172,13 @@ class Simulator:
         return {
             "backend": get_backend(),
             "program": program_cache_info(),
+            "stream": stream_cache_info(),
             "schedule": schedule_cache_info(),
         }
 
     @staticmethod
     def clear_caches() -> None:
-        """Empty the program and schedule caches (test isolation)."""
+        """Empty the program, stream and schedule caches (test isolation)."""
         clear_program_cache()
+        clear_stream_cache()
         clear_schedule_cache()

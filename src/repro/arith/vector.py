@@ -16,7 +16,7 @@ Overflow safety
 ---------------
 
 ``uint64`` lane products overflow once ``q >= 2**32``, so the multiply
-kernel runs in three regimes:
+kernel runs in four regimes:
 
 * ``q < 2**32`` — the product of two reduced operands fits in 64 bits;
   plain ``(a * b) % q``.
@@ -25,6 +25,11 @@ kernel runs in three regimes:
   limb splitting (:func:`_mul_u64`) and reduced with a vectorized REDC,
   mirroring :func:`repro.arith.montgomery.montgomery_reduce` word for
   word.
+* any ``q < 2**61`` (covering the even moduli Montgomery cannot) —
+  Barrett reduction of the 128-bit product: the quotient is estimated
+  with the precomputed ``mu = floor(2**(2k) / q)`` through shifted limb
+  products, and the remainder recovered modulo ``2**(k+3)`` with at
+  most three conditional subtractions.
 * anything else — no lane support (:func:`lanes_supported` is False);
   callers fall back to the Python path.
 
@@ -74,6 +79,12 @@ __all__ = [
     "c2_atom_arr",
     "c1n_atom",
     "c1n_atom_arr",
+    "c1_stack_wpack",
+    "c1_stack_arr",
+    "c2_stack_wpack",
+    "c2_stack_arr",
+    "c1n_stack_zpack",
+    "c1n_stack_arr",
     "omega_power_array",
     "clear_caches",
 ]
@@ -83,6 +94,7 @@ BACKENDS = ("python", "numpy")
 _MASK32 = (1 << 32) - 1
 _DIRECT_LIMIT = 1 << 32   # below: reduced lane products fit in uint64
 _LANE_LIMIT = 1 << 63     # below (odd q): Montgomery lane path
+_BARRETT_LIMIT = 1 << 61  # below (any q): Barrett-split lane path
 
 
 def _default_backend() -> str:
@@ -127,7 +139,7 @@ def lanes_supported(q: int) -> bool:
     """True when the uint64 lane kernels are exact for modulus ``q``."""
     if not HAS_NUMPY or q <= 0:
         return False
-    return q < _DIRECT_LIMIT or (q < _LANE_LIMIT and q % 2 == 1)
+    return q < _BARRETT_LIMIT or (q < _LANE_LIMIT and q % 2 == 1)
 
 
 def numpy_active(q: int) -> bool:
@@ -194,6 +206,45 @@ def _mulmod_mont(a, b, q: int):
     return _redc(hi2, lo2, q_u64, neg_qinv)     # a*b mod q
 
 
+@lru_cache(maxsize=None)
+def _barrett_constants(q: int):
+    """Per-modulus Barrett constants for ``q < 2**61`` as uint64 scalars.
+
+    ``mu = floor(2**(2k) / q)`` with ``k = q.bit_length()``; since
+    ``2**(k-1) <= q``, ``mu < 2**(k+1) <= 2**62`` fits a uint64.  The
+    shift pairs extract ``t >> (k-1)`` and ``x >> (k+1)`` from (hi, lo)
+    128-bit pairs, and the mask reduces modulo ``2**(k+3)`` — wide
+    enough to hold the remainder estimate ``t - q3*q < 4q``.
+    """
+    k = q.bit_length()
+    mu = (1 << (2 * k)) // q
+    mask = (1 << min(k + 3, 64)) - 1
+    return (np.uint64(mu), np.uint64(k - 1), np.uint64(65 - k),
+            np.uint64(k + 1), np.uint64(63 - k), np.uint64(mask))
+
+
+def _mulmod_barrett(a, b, q: int):
+    """``a * b mod q`` on uint64 lanes for any ``q < 2**61`` (the even and
+    otherwise non-Montgomery moduli) via Barrett splitting.
+
+    The 128-bit product ``t`` is kept as a (hi, lo) limb pair; the
+    quotient estimate ``q3 = ((t >> (k-1)) * mu) >> (k+1)`` satisfies
+    ``floor(t/q) - 3 <= q3 <= floor(t/q)``, so the remainder is
+    recovered exactly from ``t - q3*q`` modulo ``2**(k+3)`` with three
+    conditional subtractions.  All intermediates stay below 2**64.
+    """
+    mu, sh_lo, sh_hi, sh2_lo, sh2_hi, mask = _barrett_constants(q)
+    q_u64 = np.uint64(q)
+    hi, lo = _mul_u64(a, b)
+    q1 = (hi << sh_hi) | (lo >> sh_lo)          # floor(t / 2**(k-1))
+    h2, l2 = _mul_u64(q1, mu)
+    q3 = (h2 << sh2_hi) | (l2 >> sh2_lo)        # floor(q1 * mu / 2**(k+1))
+    r = (lo - q3 * q_u64) & mask                # t - q3*q  (mod 2**(k+3))
+    r = np.where(r >= q_u64, r - q_u64, r)
+    r = np.where(r >= q_u64, r - q_u64, r)
+    return np.where(r >= q_u64, r - q_u64, r)
+
+
 def mod_add_arr(a, b, q: int):
     """Lane-wise ``(a + b) mod q`` for reduced uint64 operands."""
     return (a + b) % _u64(q)
@@ -208,12 +259,16 @@ def mod_sub_arr(a, b, q: int):
 def mod_mul_arr(a, b, q: int):
     """Lane-wise ``(a * b) mod q`` for reduced uint64 operands.
 
-    Requires :func:`lanes_supported`\\ ``(q)``; picks the direct or the
-    Montgomery regime by modulus width.
+    Requires :func:`lanes_supported`\\ ``(q)``; picks the direct,
+    Montgomery or Barrett regime by modulus width and parity.
     """
     if q < _DIRECT_LIMIT:
         return (a * b) % _u64(q)
-    return _mulmod_mont(a, b, q)
+    if q % 2 == 1 and q < _LANE_LIMIT:
+        return _mulmod_mont(a, b, q)
+    if q < _BARRETT_LIMIT:
+        return _mulmod_barrett(a, b, q)
+    raise ValueError(f"no uint64 lane support for modulus {q}")
 
 
 def _as_lanes(xs: Sequence[int], q: int):
@@ -300,9 +355,11 @@ def _geom_run_arr(first: int, step: int, count: int, q: int):
 def clear_caches() -> None:
     """Drop all memoized twiddle/constant material (test isolation)."""
     _mont_constants.cache_clear()
+    _barrett_constants.cache_clear()
     omega_power_array.cache_clear()
     _merged_zeta_arrays.cache_clear()
     _geom_run_arr.cache_clear()
+    _c1_stage_steps.cache_clear()
 
 
 # -- whole-transform kernels ---------------------------------------------------
@@ -466,6 +523,124 @@ def c1n_atom(words: Sequence[int], q: int, zetas: Sequence[int],
              gs: bool = False) -> List[int]:
     """List-API form of :func:`c1n_atom_arr`."""
     return c1n_atom_arr(_as_lanes(words, q), q, zetas, gs=gs).tolist()
+
+
+# -- stacked PIM kernels (fused macro-ops of the compiled command stream) ------
+#
+# The ``*_stack_arr`` kernels run one whole fused group of same-type
+# compute commands — e.g. every C1 of a butterfly-stage pass — as a
+# single vectorized call on a ``(k, Na)`` array of atom rows.  Row ``j``
+# computes exactly what the ``j``-th command's per-atom kernel would,
+# so the stacked path is bit-identical to ``k`` separate calls.  The
+# ``*_wpack``/``*_zpack`` helpers prebuild the per-row twiddle material
+# (cached per compiled stream and modulus by the executor).
+
+@lru_cache(maxsize=4096)
+def _c1_stage_steps(q: int, omega0: int, log_na: int):
+    """Per-stage lane steps of one C1: stage ``s`` uses ``g^(Na / 2^s)``,
+    derived from ``g = omega0`` by repeated squaring (exactly the CU's
+    TFG derivation, which is an exact mod-mul either datapath)."""
+    steps = [0] * (log_na + 1)
+    steps[log_na] = omega0 % q
+    for s in range(log_na - 1, 0, -1):
+        steps[s] = (steps[s + 1] * steps[s + 1]) % q
+    return tuple(steps)
+
+
+def c1_stack_wpack(q: int, omegas: Sequence[int], na: int):
+    """Per-stage twiddle matrices for a fused C1 group: one ``(k, m)``
+    array per stage (collapsed to ``(1, m)`` when every row shares the
+    same generator — the common case of a whole stage pass)."""
+    log_na = na.bit_length() - 1
+    rows = [_c1_stage_steps(q, omega0, log_na) for omega0 in omegas]
+    uniform = all(r == rows[0] for r in rows)
+    pack = []
+    for s in range(1, log_na + 1):
+        m = 1 << (s - 1)
+        if uniform:
+            w = _geom_run_arr(1, rows[0][s], m, q)[None, :]
+        else:
+            w = np.stack([_geom_run_arr(1, r[s], m, q) for r in rows])
+        pack.append(w)
+    return tuple(pack)
+
+
+def c1_stack_arr(x, q: int, wpack):
+    """Stacked form of :func:`c1_atom_arr`: ``x`` is ``(k, Na)``, one
+    atom per row; ``wpack`` comes from :func:`c1_stack_wpack`."""
+    k, na = x.shape
+    x = x % _u64(q)
+    log_na = na.bit_length() - 1
+    for s in range(1, log_na + 1):
+        m = 1 << (s - 1)
+        w = wpack[s - 1]
+        xr = x.reshape(k, -1, 2 * m)
+        a = xr[:, :, :m].copy()
+        t = mod_mul_arr(w[:, None, :], xr[:, :, m:], q)
+        xr[:, :, :m] = mod_add_arr(a, t, q)
+        xr[:, :, m:] = mod_sub_arr(a, t, q)
+    return x
+
+
+def c2_stack_wpack(q: int, omega0s: Sequence[int], r_omegas: Sequence[int],
+                   na: int):
+    """``(k, Na)`` twiddle matrix for a fused C2 group: row ``j`` is the
+    TFG's geometric run of the ``j``-th command."""
+    return np.stack([_geom_run_arr(omega0, r_omega, na, q)
+                     for omega0, r_omega in zip(omega0s, r_omegas)])
+
+
+def c2_stack_arr(p, s, q: int, w, gs: bool = False):
+    """Stacked form of :func:`c2_atom_arr`: ``p``/``s``/``w`` are
+    ``(k, Na)`` — the P legs, S legs and lane twiddles of ``k`` fused
+    C2 commands."""
+    q_u64 = _u64(q)
+    p = p % q_u64
+    s = s % q_u64
+    if q < _DIRECT_LIMIT:
+        if gs:
+            return (p + s) % q_u64, ((p + (q_u64 - s)) % q_u64 * w) % q_u64
+        t = (w * s) % q_u64
+        return (p + t) % q_u64, (p + (q_u64 - t)) % q_u64
+    if gs:
+        return (mod_add_arr(p, s, q),
+                mod_mul_arr(mod_sub_arr(p, s, q), w, q))
+    t = mod_mul_arr(w, s, q)
+    return mod_add_arr(p, t, q), mod_sub_arr(p, t, q)
+
+
+def c1n_stack_zpack(q: int, zetas_rows: Sequence[Sequence[int]]):
+    """``(k, Na-1)`` reduced block-zeta matrix for a fused C1N group."""
+    return np.array([[z % q for z in zs] for zs in zetas_rows],
+                    dtype=np.uint64)
+
+
+def c1n_stack_arr(x, q: int, z2d, gs: bool = False):
+    """Stacked form of :func:`c1n_atom_arr`: ``x`` is ``(k, Na)``,
+    ``z2d`` the matching zeta matrix from :func:`c1n_stack_zpack`.
+    Zeta consumption order per row matches the per-atom kernel."""
+    k, na = x.shape
+    x = x % _u64(q)
+    log_na = na.bit_length() - 1
+    lengths = ([na >> s for s in range(1, log_na + 1)] if not gs
+               else [1 << s for s in range(log_na)])
+    idx = 0
+    for length in lengths:
+        blocks = na // (2 * length)
+        z = z2d[:, idx:idx + blocks]
+        idx += blocks
+        xr = x.reshape(k, blocks, 2 * length)
+        a = xr[:, :, :length].copy()
+        if gs:
+            b = xr[:, :, length:].copy()
+            xr[:, :, :length] = mod_add_arr(a, b, q)
+            xr[:, :, length:] = mod_mul_arr(mod_sub_arr(a, b, q),
+                                            z[:, :, None], q)
+        else:
+            t = mod_mul_arr(z[:, :, None], xr[:, :, length:], q)
+            xr[:, :, :length] = mod_add_arr(a, t, q)
+            xr[:, :, length:] = mod_sub_arr(a, t, q)
+    return x
 
 
 def merged_negacyclic_inverse(values: Sequence[int], n: int, q: int,

@@ -98,7 +98,7 @@ def _build_request(args):
 def _print_cache_info(simulator: Simulator) -> None:
     info = simulator.cache_info()
     print(f"backend        : {info['backend']}")
-    for cache in ("program", "schedule"):
+    for cache in ("program", "stream", "schedule"):
         stats = info[cache]
         print(f"{cache + ' cache':<15}: entries={stats['entries']} "
               f"hits={stats['hits']} misses={stats['misses']}")
@@ -119,6 +119,7 @@ def _cmd_run(args) -> int:
         print(response.summary())
         if args.cache_info:
             print(f"run caches     : program {response.cache['program']}, "
+                  f"stream {response.cache['stream']}, "
                   f"schedule {response.cache['schedule']}")
             print(f"wall time      : {response.wall_time_s * 1e3:.2f} ms")
             _print_cache_info(simulator)

@@ -8,6 +8,14 @@ from .energy import EnergyAccount, EnergyParams, HBM2E_ENERGY
 from .engine import CommandTiming, ComputeTiming, ScheduleResult, TimingEngine
 from .refresh import RefreshOverhead, RefreshParams, refresh_overhead
 from .stats import SimStats
+from .stream import (
+    CommandStream,
+    FunctionalPlan,
+    cached_stream,
+    clear_stream_cache,
+    compile_stream,
+    stream_cache_info,
+)
 from .timing import HBM2E_ARCH, HBM2E_TIMING, ArchParams, TimingParams
 
 __all__ = [
@@ -27,6 +35,12 @@ __all__ = [
     "RefreshParams",
     "refresh_overhead",
     "SimStats",
+    "CommandStream",
+    "FunctionalPlan",
+    "cached_stream",
+    "clear_stream_cache",
+    "compile_stream",
+    "stream_cache_info",
     "HBM2E_ARCH",
     "HBM2E_TIMING",
     "ArchParams",

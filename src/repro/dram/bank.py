@@ -85,6 +85,22 @@ class BankStorage:
         self._row_buffer[col * na:(col + 1) * na] = np.asarray(words,
                                                                dtype=np.uint64)
 
+    # -- compiled-stream back-door -------------------------------------------
+    def atoms_view(self) -> np.ndarray:
+        """``(rows, columns, Na)`` uint64 view of the cell array.
+
+        The compiled-stream executor gathers/scatters whole fused groups
+        of atoms through this view, bypassing the row buffer: the stream
+        compiler has already proven (symbolically, at compile time) that
+        every column access in the program hits its ACT'd row and that
+        every row is precharged again, under which the row buffer is an
+        exact mirror of the open row — so direct cell access is
+        observably identical.
+        """
+        return self._cells.reshape(self.arch.rows_per_bank,
+                                   self.arch.columns_per_row,
+                                   self.arch.words_per_atom)
+
     # -- host back-door (loading inputs / reading results) -------------------
     def host_write_words(self, row: int, start_word: int, words: List[int]) -> None:
         """Direct array write, bypassing timing — models the input data

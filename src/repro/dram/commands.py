@@ -24,7 +24,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-__all__ = ["CommandType", "Command"]
+__all__ = ["CommandType", "Command", "CODE_CTYPES", "CTYPE_CODES"]
 
 
 class CommandType(enum.Enum):
@@ -72,6 +72,14 @@ _COMPUTE_TYPES = frozenset((CommandType.C1, CommandType.C2, CommandType.C1N,
                             CommandType.LOAD_SCALAR, CommandType.BU_SCALAR,
                             CommandType.STORE_SCALAR))
 _WRITE_LIKE_TYPES = frozenset((CommandType.WR, CommandType.CU_WRITE))
+
+#: Canonical integer encoding of the command vocabulary — the single
+#: source of truth shared by the compiled stream's SoA ctype column,
+#: the stream engine's bincount/latency tables, and ComputeTiming.
+#: ``CODE_CTYPES[code]`` is the type for a code; ``CTYPE_CODES`` the
+#: inverse map.
+CODE_CTYPES: Tuple[CommandType, ...] = tuple(CommandType)
+CTYPE_CODES = {ctype: code for code, ctype in enumerate(CODE_CTYPES)}
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,7 @@ off-chip ones because no I/O drivers toggle.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from .commands import CommandType
 from .stats import SimStats
@@ -58,9 +59,44 @@ class EnergyParams:
     def command_energy(self, ctype: CommandType) -> float:
         return self._energy_table[ctype]
 
+    def counts_energy_pj(self, command_counts: Dict[str, int]) -> float:
+        """Dynamic energy of a run from its per-type command counts.
+
+        Sums ``count * energy`` in canonical :class:`CommandType` order,
+        so the result is independent of both command order and the
+        counts dict's insertion order — the legacy per-command engine
+        and the compiled-stream engine share this accumulation and stay
+        bit-identical.
+        """
+        total = 0.0
+        for ctype in CommandType:
+            count = command_counts.get(ctype.value)
+            if count:
+                total += self._energy_table[ctype] * count
+        return total
+
+    def run_energy_nj(self, dynamic_pj: float, total_cycles: int,
+                      timing: TimingParams) -> float:
+        """Combine dynamic energy with the background power integrated
+        over the run — the one place the static-energy formula lives."""
+        ns = timing.cycles_to_ns(total_cycles)
+        static_pj = self.static_mw * ns  # mW * ns = pJ
+        return (dynamic_pj + static_pj) / 1000.0
+
+    def total_nj(self, command_counts: Dict[str, int], total_cycles: int,
+                 timing: TimingParams) -> float:
+        """Dynamic + static energy for a whole run, in nanojoules."""
+        return self.run_energy_nj(self.counts_energy_pj(command_counts),
+                                  total_cycles, timing)
+
 
 class EnergyAccount:
-    """Accumulates energy for one simulation run."""
+    """Per-command energy accumulator.
+
+    The engines now account energy from command counts
+    (:meth:`EnergyParams.total_nj`); this incremental form remains for
+    external consumers tallying ad-hoc command sequences.
+    """
 
     def __init__(self, params: EnergyParams):
         self.params = params
@@ -71,9 +107,7 @@ class EnergyAccount:
 
     def total_nj(self, total_cycles: int, timing: TimingParams) -> float:
         """Dynamic + static energy for a run of ``total_cycles``."""
-        ns = timing.cycles_to_ns(total_cycles)
-        static_pj = self.params.static_mw * ns  # mW * ns = pJ
-        return (self.dynamic_pj + static_pj) / 1000.0
+        return self.params.run_energy_nj(self.dynamic_pj, total_cycles, timing)
 
 
 #: Calibrated defaults (see EXPERIMENTS.md for the calibration run).
@@ -82,8 +116,9 @@ HBM2E_ENERGY = EnergyParams()
 
 def stats_energy_nj(stats: SimStats, energy: EnergyParams,
                     timing: TimingParams) -> float:
-    """Energy of a run reconstructed from its command counts alone."""
-    account = EnergyAccount(energy)
-    for name, count in stats.command_counts.items():
-        account.dynamic_pj += energy.command_energy(CommandType(name)) * count
-    return account.total_nj(stats.total_cycles, timing)
+    """Energy of a run reconstructed from its command counts alone.
+
+    Uses the same canonical-order accumulation as the engines, so this
+    reconstruction matches a run's ``energy_nj`` bit for bit.
+    """
+    return energy.total_nj(stats.command_counts, stats.total_cycles, timing)

@@ -22,11 +22,13 @@ every timing run doubles as a protocol check of the mapping algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+import numpy as np
 
 from ..errors import MappingError
-from .commands import Command, CommandType
-from .energy import EnergyAccount, EnergyParams, HBM2E_ENERGY
+from .commands import CODE_CTYPES, Command, CommandType
+from .energy import EnergyParams, HBM2E_ENERGY
 from .stats import SimStats
 from .timing import ArchParams, TimingParams
 
@@ -66,14 +68,26 @@ class ComputeTiming:
             CommandType.STORE_SCALAR: self.store_scalar_cycles,
             CommandType.BU_SCALAR: self.bu_scalar_cycles,
         })
+        # Same latencies indexed by the compiled stream's integer ctype
+        # code; 0 for non-compute types.
+        object.__setattr__(self, "_code_latencies", tuple(
+            self._latency_table.get(ct, 0) for ct in CODE_CTYPES))
 
     def latency(self, ctype: CommandType) -> int:
         return self._latency_table[ctype]
 
+    def code_latencies(self) -> tuple:
+        """Latency per stream ctype code (the stream engine's table)."""
+        return self._code_latencies
 
-@dataclass(frozen=True)
-class CommandTiming:
-    """When one command issued and when its effect completed."""
+
+class CommandTiming(NamedTuple):
+    """When one command issued and when its effect completed.
+
+    A named tuple rather than a dataclass: the engines materialize one
+    per command, and ``list(map(CommandTiming, issues, completes))``
+    over a whole program runs at C speed.
+    """
 
     issue: int
     complete: int
@@ -124,10 +138,15 @@ class TimingEngine:
         self.energy = energy or HBM2E_ENERGY
 
     def simulate(self, commands: Sequence[Command]) -> ScheduleResult:
+        """Reference per-command simulation loop (the ground-truth path).
+
+        :meth:`simulate_stream` consumes a compiled
+        :class:`~repro.dram.stream.CommandStream` instead and produces
+        bit-identical results at a fraction of the per-command cost.
+        """
         timing = self.timing
         compute = self.compute
         banks: Dict[int, _BankState] = {}
-        account = EnergyAccount(self.energy)
         stats = SimStats()
         timings: List[CommandTiming] = []
         bus_free = 0
@@ -141,9 +160,9 @@ class TimingEngine:
             bank = banks.setdefault(cmd.bank, _BankState())
             earliest = bus_free
             for dep in cmd.deps:
-                if dep >= index:
+                if dep >= index or dep < 0:
                     raise MappingError(
-                        f"command {index} depends on later command {dep}")
+                        f"command {index} has invalid dependency {dep}")
                 earliest = max(earliest, timings[dep].complete)
 
             ctype = cmd.ctype
@@ -202,11 +221,165 @@ class TimingEngine:
             bus_free = t + 1
             stats.bus_busy_cycles += 1
             stats.record(ctype)
-            account.add_command(ctype)
             timings.append(CommandTiming(issue=t, complete=complete))
             end = max(end, complete)
 
         stats.total_cycles = end
-        energy_nj = account.total_nj(end, timing)
+        energy_nj = self.energy.total_nj(stats.command_counts, end, timing)
         return ScheduleResult(timings=timings, stats=stats,
                               timing_params=timing, energy_nj=energy_nj)
+
+    def simulate_stream(self, stream) -> ScheduleResult:
+        """Simulate a compiled :class:`~repro.dram.stream.CommandStream`.
+
+        Bit-identical to :meth:`simulate` on the stream's command list,
+        but the hot loop reads pre-decoded SoA columns (small-int
+        category/code dispatch, flat dependency ranges, list-indexed
+        per-bank state) instead of touching one :class:`Command` object
+        per step, and stats/energy come from an ``np.bincount`` over the
+        ctype column instead of per-command ``record()`` calls.
+        """
+        timing = self.timing
+        n = stream.n
+        cats = stream.cats_l
+        codes = stream.codes_l
+        rows = stream.rows_l
+        banks = stream.banks_l
+        deps = stream.deps_l
+        write_like = stream.write_like_l
+        lat_code = self.compute.code_latencies()
+        nb = stream.nbanks
+
+        # Per-bank integer state, indexed by the stream's compact bank
+        # ids.  The closed-row sentinel is None (not -1): row numbers
+        # are not validated here, so any int — negative included — must
+        # behave exactly as in the legacy loop.
+        open_row = [None] * nb
+        next_act = [0] * nb
+        next_col = [0] * nb
+        next_pre = [0] * nb
+        cu_free = [0] * nb
+        issues = [0] * n
+        completes = [0] * n
+        bus_free = 0
+        end = 0
+        last_act = -10**9
+        act_history: List[int] = []
+
+        trrd = timing.trrd
+        tfaw = timing.tfaw
+        trcd = timing.trcd
+        tras = timing.tras
+        trp = timing.trp
+        tccd = timing.tccd
+        twr = timing.twr
+        read_done = timing.read_to_data
+        write_done = timing.write_to_data
+
+        for i in range(n):
+            b = banks[i]
+            earliest = bus_free
+            for d in deps[i]:
+                if d >= i or d < 0:
+                    raise MappingError(
+                        f"command {i} has invalid dependency {d}")
+                c = completes[d]
+                if c > earliest:
+                    earliest = c
+
+            cat = cats[i]
+            if cat == 2:  # column command
+                row = rows[i]
+                if open_row[b] != row:
+                    name = _CODE_NAMES[codes[i]]
+                    if open_row[b] is None:
+                        raise MappingError(
+                            f"cmd {i}: {name} with no open row")
+                    raise MappingError(
+                        f"cmd {i}: {name} to row {row} but row "
+                        f"{open_row[b]} is open")
+                t = next_col[b]
+                if earliest > t:
+                    t = earliest
+                next_col[b] = t + tccd
+                if write_like[i]:
+                    complete = t + write_done
+                    guard = complete + twr
+                    if guard > next_pre[b]:
+                        next_pre[b] = guard
+                else:
+                    complete = t + read_done
+
+            elif cat == 3:  # compute / PARAM_WRITE
+                latency = lat_code[codes[i]]
+                t = cu_free[b]
+                if earliest > t:
+                    t = earliest
+                cu_free[b] = t + latency
+                complete = t + latency
+
+            elif cat == 0:  # ACT
+                if open_row[b] is not None:
+                    raise MappingError(
+                        f"cmd {i}: ACT row {rows[i]} while row "
+                        f"{open_row[b]} is open")
+                t = next_act[b]
+                if earliest > t:
+                    t = earliest
+                guard = last_act + trrd
+                if guard > t:
+                    t = guard
+                if len(act_history) >= 4:
+                    guard = act_history[-4] + tfaw
+                    if guard > t:
+                        t = guard
+                last_act = t
+                act_history.append(t)
+                if len(act_history) > 8:
+                    del act_history[:-4]
+                open_row[b] = rows[i]
+                next_col[b] = t + trcd
+                next_pre[b] = t + tras
+                complete = t + trcd
+
+            else:  # PRE
+                if open_row[b] is None:
+                    raise MappingError(f"cmd {i}: PRE with no open row")
+                t = next_pre[b]
+                if earliest > t:
+                    t = earliest
+                open_row[b] = None
+                guard = t + trp
+                if guard > next_act[b]:
+                    next_act[b] = guard
+                complete = t
+
+            bus_free = t + 1
+            issues[i] = t
+            completes[i] = complete
+            if complete > end:
+                end = complete
+
+        counts = np.bincount(stream.codes, minlength=len(_CODE_NAMES))
+        command_counts = {name: int(counts[code])
+                          for code, name in enumerate(_CODE_NAMES)
+                          if counts[code]}
+        stats = SimStats(
+            command_counts=command_counts,
+            total_cycles=end,
+            bus_busy_cycles=n,
+            cu_busy_cycles=sum(int(counts[code]) * lat_code[code]
+                               for code in _COMPUTE_CODES if counts[code]),
+        )
+        energy_nj = self.energy.total_nj(command_counts, end, timing)
+        timings = list(map(CommandTiming, issues, completes))
+        return ScheduleResult(timings=timings, stats=stats,
+                              timing_params=timing, energy_nj=energy_nj)
+
+
+# Derived views of the canonical command encoding (commands.CODE_CTYPES)
+# — the same tables the stream compiler populates its codes column from.
+_CODE_NAMES = tuple(ct.value for ct in CODE_CTYPES)
+_COMPUTE_CODES = tuple(
+    code for code, ct in enumerate(CODE_CTYPES)
+    if ct.is_compute or ct is CommandType.PARAM_WRITE)

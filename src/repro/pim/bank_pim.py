@@ -10,9 +10,12 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from ..arith import vector
 from ..dram.bank import BankStorage
 from ..dram.commands import Command, CommandType
+from ..dram.stream import CommandStream
 from ..dram.timing import ArchParams
 from ..errors import MappingError
 from .buffers import AtomBufferFile
@@ -154,10 +157,112 @@ class PimBank:
         handler(cmd)
 
     def run(self, commands: Sequence[Command]) -> None:
-        """Apply a whole program in order."""
+        """Apply a whole program in order (the ground-truth path)."""
         dispatch = self._dispatch
         for cmd in commands:
             dispatch[cmd.ctype](cmd)
+
+    # -- compiled-stream execution --------------------------------------------
+    def _stream_fusable(self, stream: CommandStream) -> bool:
+        """Fused macro-ops need a plan and lane support for the modulus
+        the program will compute under (the staged one when the program
+        latches its own parameters, else the currently loaded one)."""
+        if stream.plan is None or vector.get_backend() != "numpy":
+            return False
+        if stream.plan.max_buffer >= self.buffers.count:
+            # Out-of-range buffer: the legacy loop raises at the
+            # offending command, before any data effect.
+            return False
+        if stream.plan.has_param:
+            # The loaded modulus may still cover compute groups scheduled
+            # before the first PARAM_WRITE, so it must be lane-safe too.
+            return (self.pending_q is not None
+                    and vector.lanes_supported(self.pending_q)
+                    and (self.cu.q is None
+                         or vector.lanes_supported(self.cu.q)))
+        return self.cu.q is not None and vector.lanes_supported(self.cu.q)
+
+    def run_stream(self, stream: CommandStream) -> None:
+        """Apply a compiled program via its fused macro-ops.
+
+        Each plan op executes one whole dependency-depth group — e.g.
+        every C1 of a butterfly-stage pass as a single stacked
+        :class:`~repro.pim.cu.ComputeUnit` call, every CU_READ/CU_WRITE
+        burst as one fancy-indexed gather/scatter against the cell
+        array.  Data results, CU µ-op counters and raised errors are
+        identical to :meth:`run` on ``stream.commands``; programs
+        without a plan (or moduli outside the lane kernels) fall back
+        to that loop.
+        """
+        plan = stream.plan
+        if not self._stream_fusable(stream):
+            self.run(stream.commands)
+            return
+        cells = self.storage.atoms_view()
+        buffers = self.buffers
+        cu = self.cu
+        fuse_cache = stream.fuse_cache
+        na = self.arch.words_per_atom
+        vals: List = [None] * plan.n_virtual
+        for buf, vid in plan.init_versions:
+            vals[vid] = buffers.peek_array(buf)
+
+        for index, op in enumerate(plan.ops):
+            kind = op[0]
+            if kind == "read":
+                _, rows_a, cols_a, vouts = op
+                atoms = cells[rows_a, cols_a]  # (k, Na) gather copy
+                for j, vid in enumerate(vouts):
+                    vals[vid] = atoms[j]
+            elif kind == "write":
+                _, rows_a, cols_a, vins = op
+                cells[rows_a, cols_a] = np.stack([vals[v] for v in vins])
+            elif kind == "c2":
+                _, pins, sins, pouts, souts, omega0s, r_omegas, gs = op
+                cache_key = (index, cu._require_modulus())
+                w2d = fuse_cache.get(cache_key)
+                if w2d is None:
+                    w2d = fuse_cache[cache_key] = vector.c2_stack_wpack(
+                        cache_key[1], omega0s, r_omegas, na)
+                p_out, s_out = cu.execute_c2_stack(
+                    np.stack([vals[v] for v in pins]),
+                    np.stack([vals[v] for v in sins]), w2d, gs=gs)
+                for j, vid in enumerate(pouts):
+                    vals[vid] = p_out[j]
+                for j, vid in enumerate(souts):
+                    vals[vid] = s_out[j]
+            elif kind == "c1":
+                _, vins, vouts, omegas = op
+                cache_key = (index, cu._require_modulus())
+                wpack = fuse_cache.get(cache_key)
+                if wpack is None:
+                    wpack = fuse_cache[cache_key] = vector.c1_stack_wpack(
+                        cache_key[1], omegas, na)
+                out = cu.execute_c1_stack(np.stack([vals[v] for v in vins]),
+                                          wpack)
+                for j, vid in enumerate(vouts):
+                    vals[vid] = out[j]
+            elif kind == "c1n":
+                _, vins, vouts, zetas_rows, gs = op
+                cache_key = (index, cu._require_modulus())
+                z2d = fuse_cache.get(cache_key)
+                if z2d is None:
+                    z2d = fuse_cache[cache_key] = vector.c1n_stack_zpack(
+                        cache_key[1], zetas_rows)
+                out = cu.execute_c1n_stack(np.stack([vals[v] for v in vins]),
+                                           z2d, gs=gs)
+                for j, vid in enumerate(vouts):
+                    vals[vid] = out[j]
+            else:  # param
+                if self.pending_q is None:
+                    raise MappingError("PARAM_WRITE with no staged parameters")
+                cu.set_modulus(self.pending_q)
+
+        # Restore the physical buffer file to its end-of-program state
+        # (copies: the winning versions are views into shared group
+        # results, and write_array takes ownership).
+        for buf, vid in plan.final_versions:
+            buffers.write_array(buf, vals[vid].copy())
 
     # -- host data path -------------------------------------------------------
     def load_polynomial(self, base_row: int, values: List[int]) -> None:

@@ -213,6 +213,50 @@ class ComputeUnit:
         self.twiddles_generated += na - 1
         return x
 
+    # -- stacked execution (fused compiled-stream macro-ops) -------------------
+    #
+    # One call runs a whole fused group of k same-type commands on
+    # (k, Na) arrays via the stacked repro.arith.vector kernels —
+    # bit-identical to k per-atom calls, with the µ-op counters advanced
+    # by exactly k times the per-command numpy-path amounts.  Callers
+    # (PimBank.run_stream) only take these paths when the lane kernels
+    # cover the loaded modulus.
+
+    def execute_c1_stack(self, x2d, wpack):
+        """``k`` fused C1 commands; ``wpack`` from
+        :func:`repro.arith.vector.c1_stack_wpack`."""
+        q = self._require_modulus()
+        k = len(x2d)
+        flies = (self.atom_words // 2) * self.log_atom_words * k
+        self.bu_ops += flies
+        self.load_uops += 2 * flies
+        self.store_uops += 2 * flies
+        self.twiddles_generated += flies
+        return vector.c1_stack_arr(x2d, q, wpack)
+
+    def execute_c2_stack(self, p2d, s2d, w2d, gs: bool = False):
+        """``k`` fused C2 commands; ``w2d`` from
+        :func:`repro.arith.vector.c2_stack_wpack`."""
+        q = self._require_modulus()
+        lanes = self.atom_words * len(p2d)
+        self.bu_ops += lanes
+        self.load_uops += 2 * lanes
+        self.store_uops += 2 * lanes
+        self.twiddles_generated += lanes
+        return vector.c2_stack_arr(p2d, s2d, q, w2d, gs=gs)
+
+    def execute_c1n_stack(self, x2d, z2d, gs: bool = False):
+        """``k`` fused C1N commands; ``z2d`` from
+        :func:`repro.arith.vector.c1n_stack_zpack`."""
+        q = self._require_modulus()
+        k = len(x2d)
+        flies = (self.atom_words // 2) * self.log_atom_words * k
+        self.bu_ops += flies
+        self.load_uops += 2 * flies
+        self.store_uops += 2 * flies
+        self.twiddles_generated += (self.atom_words - 1) * k
+        return vector.c1n_stack_arr(x2d, q, z2d, gs=gs)
+
     # -- scalar micro-ops (Nb=1 degenerate mapping) ---------------------------
     def load_scalar(self, value: int) -> None:
         """reg_a <- buffer lane (via the crossbar)."""

@@ -19,6 +19,7 @@ from ..arith.bitrev import bit_reverse_permute
 from ..arith.roots import NttParams
 from ..dram.commands import Command, CommandType
 from ..dram.engine import ScheduleResult
+from ..dram.stream import cached_stream
 from ..errors import FunctionalMismatch, warn_deprecated
 from ..mapping.program_cache import cyclic_program
 from ..ntt.reference import ntt as reference_ntt
@@ -108,14 +109,16 @@ def _run_batch(inputs: Sequence[Sequence[int]], params: NttParams,
     ]
     merged = concat_programs([p.commands for p in programs])
 
-    # Shared schedule cache: ``merged`` is a fresh list on every call,
-    # but its content is a pure function of the component programs, so
-    # the merge recipe over their keys is an exact (and cheap) cache key.
+    # Shared stream/schedule caches: ``merged`` is a fresh list on every
+    # call, but its content is a pure function of the component
+    # programs, so the merge recipe over their keys is an exact (and
+    # cheap) cache key — the batch compiles to a stream once per shape.
     compute = config.pim.compute_timing()
     keys = [p.key for p in programs]
     merged_key = (("concat", tuple(keys), True)
                   if all(k is not None for k in keys) else None)
-    schedule = cached_schedule(merged, config.timing, config.arch,
+    merged_stream = cached_stream(merged, config.arch, key=merged_key)
+    schedule = cached_schedule(merged_stream, config.timing, config.arch,
                                compute, config.energy, key=merged_key)
     single = cached_schedule(programs[0].commands, config.timing, config.arch,
                              compute, config.energy, key=programs[0].key)
@@ -129,7 +132,7 @@ def _run_batch(inputs: Sequence[Sequence[int]], params: NttParams,
         for i, values in enumerate(inputs):
             bank.load_polynomial(config.base_row + i * rows_each,
                                  bit_reverse_permute(list(values)))
-        bank.run(merged)
+        bank.run_stream(merged_stream)
         bu_ops = bank.cu.bu_ops
         outputs = [bank.read_polynomial(config.base_row + i * rows_each,
                                         params.n)

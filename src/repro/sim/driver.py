@@ -21,6 +21,7 @@ from ..arith.roots import NttParams
 from ..dram.commands import Command
 from ..dram.energy import EnergyParams, HBM2E_ENERGY
 from ..dram.engine import TimingEngine
+from ..dram.stream import CommandStream, cached_stream
 from ..dram.timing import HBM2E_ARCH, HBM2E_TIMING, ArchParams, TimingParams
 from ..errors import FunctionalMismatch, warn_deprecated
 from ..mapping.mapper import MapperOptions, NttMapper
@@ -69,7 +70,12 @@ _schedule_misses = 0
 
 
 def cached_schedule(commands, timing, arch, compute, energy, key=None):
-    """Memoized ``TimingEngine(...).simulate(commands)``.
+    """Memoized stream-compiled ``TimingEngine`` simulation.
+
+    ``commands`` is a command sequence or an already-compiled
+    :class:`~repro.dram.stream.CommandStream`.  Cold lookups compile the
+    program (via the shared stream cache) and run the engine's
+    vectorized stream loop — bit-identical to ``simulate(commands)``.
 
     ``key`` is an exact stand-in for the command content (e.g. a
     :class:`~repro.mapping.program_cache.CachedProgram` key, or a merge
@@ -77,6 +83,10 @@ def cached_schedule(commands, timing, arch, compute, energy, key=None):
     lookup; when ``None``, the command tuple itself is the key.
     """
     global _schedule_hits, _schedule_misses
+    if isinstance(commands, CommandStream):
+        stream, commands = commands, commands.commands
+    else:
+        stream = None
     cache_key = (key if key is not None else tuple(commands),
                  timing, arch, compute, energy)
     hit = _schedule_cache.get(cache_key)
@@ -84,8 +94,10 @@ def cached_schedule(commands, timing, arch, compute, energy, key=None):
         _schedule_hits += 1
         return hit
     _schedule_misses += 1
+    if stream is None:
+        stream = cached_stream(commands, arch, key=key)
     schedule = TimingEngine(timing, arch, compute=compute,
-                            energy=energy).simulate(commands)
+                            energy=energy).simulate_stream(stream)
     if len(_schedule_cache) >= _MAX_SCHEDULES:
         for stale in list(_schedule_cache)[: _MAX_SCHEDULES // 4]:
             del _schedule_cache[stale]
@@ -185,8 +197,9 @@ class NttPimDriver:
             raise ValueError(f"expected {ntt.n} values, got {len(values)}")
         program = self._program(ntt)
         commands = program.commands
+        stream = cached_stream(commands, cfg.arch, key=program.key)
 
-        schedule = cached_schedule(commands, cfg.timing, cfg.arch,
+        schedule = cached_schedule(stream, cfg.timing, cfg.arch,
                                    cfg.pim.compute_timing(), cfg.energy,
                                    key=program.key)
 
@@ -198,7 +211,7 @@ class NttPimDriver:
             bank.set_parameters(ntt.q)
             # Host-side bit reversal, then data is "already in memory".
             bank.load_polynomial(cfg.base_row, bit_reverse_permute(list(values)))
-            bank.run(commands)
+            bank.run_stream(stream)
             output = bank.read_polynomial(program.result_base_row, ntt.n)
             bu_ops = bank.cu.bu_ops
             if cfg.verify:
@@ -239,7 +252,8 @@ class NttPimDriver:
         program = negacyclic_program(ring, cfg.arch, cfg.pim, cfg.base_row,
                                      inverse=inverse)
         commands = program.commands
-        schedule = cached_schedule(commands, cfg.timing, cfg.arch,
+        stream = cached_stream(commands, cfg.arch, key=program.key)
+        schedule = cached_schedule(stream, cfg.timing, cfg.arch,
                                    cfg.pim.compute_timing(), cfg.energy,
                                    key=program.key)
         output: List[int] = []
@@ -249,7 +263,7 @@ class NttPimDriver:
             bank = PimBank(cfg.arch, cfg.pim)
             bank.set_parameters(ring.q)
             bank.load_polynomial(cfg.base_row, [v % ring.q for v in values])
-            bank.run(commands)
+            bank.run_stream(stream)
             output = bank.read_polynomial(program.result_base_row, ring.n)
             bu_ops = bank.cu.bu_ops
             if cfg.verify:
@@ -332,7 +346,8 @@ class NttPimDriver:
             return self._run_ntt(values, ntt)
         program = self._program(ntt)
         commands = program.commands
-        schedule = cached_schedule(commands, cfg.timing, cfg.arch,
+        stream = cached_stream(commands, cfg.arch, key=program.key)
+        schedule = cached_schedule(stream, cfg.timing, cfg.arch,
                                    cfg.pim.compute_timing(), cfg.energy,
                                    key=program.key)
         output: List[int] = []
@@ -342,7 +357,7 @@ class NttPimDriver:
             bank = PimBank(cfg.arch, cfg.pim)
             bank.set_parameters(ntt.q)
             bank.load_polynomial(cfg.base_row, bit_reverse_permute(list(values)))
-            bank.run(commands)
+            bank.run_stream(stream)
             output = bank.read_polynomial(program.result_base_row, ntt.n)
             bu_ops = bank.cu.bu_ops
             if verify_against is not None:

@@ -16,6 +16,7 @@ from ..arith.bitrev import bit_reverse_permute
 from ..arith.roots import NttParams
 from ..dram.commands import Command
 from ..dram.engine import ScheduleResult
+from ..dram.stream import cached_stream
 from ..errors import FunctionalMismatch, warn_deprecated
 from ..mapping.program_cache import cyclic_program
 from ..ntt.reference import ntt as reference_ntt
@@ -122,15 +123,19 @@ def _run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
     outputs: List[List[int]] = []
     bu_ops = 0
     if config.functional:
+        # Banks are functionally independent, so each executes its own
+        # per-bank compiled stream (cached per (params, config, bank))
+        # — equivalent to replaying the round-robin merge command by
+        # command, minus the interleaving overhead.
         bank_models = []
-        for values in inputs:
+        for values, program in zip(inputs, programs):
             bank = PimBank(config.arch, config.pim)
             bank.set_parameters(ntt.q)
             bank.load_polynomial(config.base_row,
                                  bit_reverse_permute(list(values)))
+            bank.run_stream(cached_stream(program.commands, config.arch,
+                                          key=program.key))
             bank_models.append(bank)
-        for cmd in merged:
-            bank_models[cmd.bank].execute(cmd)
         bu_ops = sum(bank.cu.bu_ops for bank in bank_models)
         outputs = [bank.read_polynomial(config.base_row, ntt.n)
                    for bank in bank_models]

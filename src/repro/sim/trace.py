@@ -7,7 +7,8 @@ diffed, inspected, or replayed by external tools.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from collections import Counter
+from typing import Iterable, Optional, Sequence
 
 from ..dram.commands import Command, CommandType
 from ..dram.engine import CommandTiming
@@ -25,11 +26,11 @@ def format_trace(commands: Sequence[Command],
     """
     if timings is not None and len(timings) != len(commands):
         raise ValueError("timings and commands differ in length")
-    lines: List[str] = []
-    for i, cmd in enumerate(commands):
-        prefix = f"{timings[i].issue:>10}  " if timings is not None else ""
-        lines.append(f"{prefix}bank{cmd.bank}  {cmd.describe()}")
-    return "\n".join(lines)
+    if timings is None:
+        return "\n".join(f"bank{cmd.bank}  {cmd.describe()}"
+                         for cmd in commands)
+    return "\n".join(f"{t.issue:>10}  bank{cmd.bank}  {cmd.describe()}"
+                     for cmd, t in zip(commands, timings))
 
 
 def parse_trace_line(line: str) -> dict:
@@ -59,11 +60,7 @@ def parse_trace_line(line: str) -> dict:
 
 def trace_summary(commands: Iterable[Command]) -> str:
     """One-line histogram of a program's command mix."""
-    counts = {}
-    total = 0
-    for cmd in commands:
-        counts[cmd.ctype.value] = counts.get(cmd.ctype.value, 0) + 1
-        total += 1
-    ordered = sorted(counts.items(), key=lambda kv: -kv[1])
-    body = ", ".join(f"{name}={count}" for name, count in ordered)
-    return f"{total} commands: {body}"
+    counts = Counter(cmd.ctype.value for cmd in commands)
+    body = ", ".join(f"{name}={count}"
+                     for name, count in counts.most_common())
+    return f"{sum(counts.values())} commands: {body}"

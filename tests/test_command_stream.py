@@ -1,0 +1,249 @@
+"""Compiled command streams: SoA compilation, the fused functional
+plan, and its bit-exact equivalence with the legacy per-command bank."""
+
+import pytest
+
+from repro.api import NttRequest, Simulator
+from repro.arith import NttParams, find_ntt_prime, use_backend
+from repro.arith.bitrev import bit_reverse_permute
+from repro.dram import (
+    Command,
+    CommandType,
+    HBM2E_ARCH,
+    cached_stream,
+    clear_stream_cache,
+    compile_stream,
+    stream_cache_info,
+)
+from repro.errors import MappingError
+from repro.mapping.program_cache import cyclic_program, negacyclic_program
+from repro.ntt import NegacyclicParams
+from repro.pim.bank_pim import PimBank
+from repro.pim.params import PimParams
+from repro.sim.driver import NttPimDriver, SimConfig
+
+
+def _fresh_banks(config, q):
+    a = PimBank(config.arch, config.pim)
+    b = PimBank(config.arch, config.pim)
+    for bank in (a, b):
+        bank.set_parameters(q)
+    return a, b
+
+
+def _counters(bank):
+    cu = bank.cu
+    return (cu.bu_ops, cu.load_uops, cu.store_uops, cu.twiddles_generated)
+
+
+class TestCompilation:
+    def test_soa_columns_mirror_commands(self):
+        n = 256
+        q = find_ntt_prime(n, 32)
+        cmds = NttPimDriver().map_commands(NttParams(n, q))
+        stream = compile_stream(cmds, HBM2E_ARCH)
+        assert stream.n == len(cmds)
+        assert stream.commands == tuple(cmds)
+        for i in (0, 1, len(cmds) // 2, len(cmds) - 1):
+            cmd = cmds[i]
+            assert stream.codes_l[i] == list(CommandType).index(cmd.ctype)
+            assert stream.rows[i] == (-1 if cmd.row is None else cmd.row)
+            assert stream.cols[i] == (-1 if cmd.col is None else cmd.col)
+            assert stream.deps_l[i] == cmd.deps
+        # Flat dependency ranges reconstruct every command's deps.
+        for i, cmd in enumerate(cmds):
+            lo, hi = int(stream.dep_start[i]), int(stream.dep_end[i])
+            assert tuple(stream.dep_flat[lo:hi]) == cmd.deps
+
+    def test_mapper_program_gets_fused_plan(self):
+        n = 1024
+        q = find_ntt_prime(n, 32)
+        cmds = NttPimDriver().map_commands(NttParams(n, q))
+        stream = compile_stream(cmds, HBM2E_ARCH)
+        assert stream.plan is not None, stream.fallback_reason
+        # The whole point: thousands of commands collapse into a handful
+        # of stacked macro-ops (one per butterfly-stage pass per type).
+        assert len(stream.plan.ops) < len(cmds) // 50
+
+    def test_scalar_programs_fall_back(self):
+        n = 64
+        q = find_ntt_prime(n, 32)
+        config = SimConfig(pim=PimParams(nb_buffers=1))
+        cmds = NttPimDriver(config).map_commands(NttParams(n, q))
+        stream = compile_stream(cmds, HBM2E_ARCH)
+        assert stream.plan is None
+        assert "per-command" in stream.fallback_reason
+
+    def test_protocol_violations_fall_back(self):
+        bad = [Command(CommandType.ACT, row=3),
+               Command(CommandType.ACT, row=4)]
+        stream = compile_stream(bad, HBM2E_ARCH)
+        assert stream.plan is None
+        # ... and the fallback raises exactly like the legacy loop.
+        bank = PimBank(HBM2E_ARCH, PimParams())
+        with pytest.raises(MappingError):
+            bank.run_stream(stream)
+
+    def test_wrong_zeta_count_falls_back_with_legacy_error(self):
+        # The CU rejects a wrong-size C1N payload with MappingError; the
+        # plan must not fuse such programs into broadcastable kernels.
+        cmds = [Command(CommandType.ACT, row=0),
+                Command(CommandType.CU_READ, row=0, col=0, buf=0),
+                Command(CommandType.PRE),
+                Command(CommandType.C1N, buf=0,
+                        zetas=tuple(range(1, 9)))]  # 8 zetas, Na-1 = 7
+        stream = compile_stream(cmds, HBM2E_ARCH)
+        assert stream.plan is None
+        assert "zetas" in stream.fallback_reason
+        bank = PimBank(HBM2E_ARCH, PimParams())
+        bank.set_parameters(find_ntt_prime(16, 32))
+        with pytest.raises(MappingError):
+            bank.run_stream(stream)
+
+    def test_out_of_range_buffer_falls_back_without_side_effects(self):
+        # legacy raises at the offending command with no data effect;
+        # the fused path must not scatter into cells first.
+        q = find_ntt_prime(16, 32)
+        cmds = [Command(CommandType.ACT, row=0),
+                Command(CommandType.CU_READ, row=0, col=0, buf=7),
+                Command(CommandType.CU_WRITE, row=0, col=1, buf=7),
+                Command(CommandType.PRE)]
+        stream = compile_stream(cmds, HBM2E_ARCH)
+        assert stream.plan is not None  # structurally fine for wider banks
+        import numpy as np
+        cells = {}
+        for name, run in (("legacy", lambda b: b.run(cmds)),
+                          ("fused", lambda b: b.run_stream(stream))):
+            bank = PimBank(HBM2E_ARCH, PimParams(nb_buffers=2))
+            bank.set_parameters(q)
+            bank.load_polynomial(0, list(range(1, 257)))
+            with pytest.raises(MappingError, match="out of range"):
+                run(bank)
+            bank.storage.precharge()  # close the row the error left open
+            cells[name] = np.array(bank.storage.host_read_polynomial(0, 256))
+        assert (cells["fused"] == cells["legacy"]).all()
+
+    def test_compute_before_param_raises_mapping_error(self):
+        # Legacy error parity: a compute command ahead of the program's
+        # PARAM_WRITE must fail like the per-command loop does.
+        cmds = [Command(CommandType.C1, buf=0, omega0=3),
+                Command(CommandType.PARAM_WRITE, payload_words=6)]
+        stream = compile_stream(cmds, HBM2E_ARCH)
+        bank = PimBank(HBM2E_ARCH, PimParams())
+        bank.set_parameters(find_ntt_prime(16, 32))
+        with pytest.raises(MappingError, match="before PARAM_WRITE"):
+            bank.run_stream(stream)
+
+    def test_open_row_at_end_falls_back(self):
+        stream = compile_stream([Command(CommandType.ACT, row=3)], HBM2E_ARCH)
+        assert stream.plan is None
+        assert "open" in stream.fallback_reason
+
+    def test_stream_cache_shares_structural_keys(self):
+        clear_stream_cache()
+        n = 256
+        q = find_ntt_prime(n, 32)
+        config = SimConfig()
+        program = cyclic_program(NttParams(n, q), config.arch, config.pim)
+        first = cached_stream(program.commands, config.arch, key=program.key)
+        # A fresh (content-identical) command list with the same key hits.
+        again = cached_stream(list(program.commands), config.arch,
+                              key=program.key)
+        assert again is first
+        info = stream_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+
+class TestFusedExecutionEquivalence:
+    @pytest.mark.parametrize("n,nb", [(256, 2), (1024, 2), (512, 4)])
+    def test_cyclic_matches_legacy_bank(self, n, nb):
+        q = find_ntt_prime(n, 32)
+        config = SimConfig(pim=PimParams(nb_buffers=nb))
+        program = cyclic_program(NttParams(n, q), config.arch, config.pim)
+        stream = compile_stream(program.commands, config.arch)
+        assert stream.plan is not None, stream.fallback_reason
+        legacy, fused = _fresh_banks(config, q)
+        data = bit_reverse_permute([(7 * i + 3) % q for i in range(n)])
+        for bank in (legacy, fused):
+            bank.load_polynomial(0, list(data))
+        legacy.run(program.commands)
+        fused.run_stream(stream)
+        assert (fused.read_polynomial(program.result_base_row, n)
+                == legacy.read_polynomial(program.result_base_row, n))
+        assert _counters(fused) == _counters(legacy)
+        # The physical buffer file is restored to its end-of-run state.
+        for b in range(nb):
+            assert fused.buffers.read(b) == legacy.buffers.read(b)
+
+    @pytest.mark.parametrize("inverse", [False, True])
+    def test_negacyclic_matches_legacy_bank(self, inverse):
+        n = 256
+        ring = NegacyclicParams(n, find_ntt_prime(n, 32, negacyclic=True))
+        config = SimConfig()
+        program = negacyclic_program(ring, config.arch, config.pim,
+                                     inverse=inverse)
+        stream = compile_stream(program.commands, config.arch)
+        assert stream.plan is not None, stream.fallback_reason
+        legacy, fused = _fresh_banks(config, ring.q)
+        data = [(11 * i + 5) % ring.q for i in range(n)]
+        for bank in (legacy, fused):
+            bank.load_polynomial(0, list(data))
+        legacy.run(program.commands)
+        fused.run_stream(stream)
+        assert (fused.read_polynomial(program.result_base_row, n)
+                == legacy.read_polynomial(program.result_base_row, n))
+        assert _counters(fused) == _counters(legacy)
+
+    def test_python_backend_falls_back_to_ground_truth(self):
+        n = 256
+        q = find_ntt_prime(n, 32)
+        config = SimConfig()
+        program = cyclic_program(NttParams(n, q), config.arch, config.pim)
+        stream = compile_stream(program.commands, config.arch)
+        data = bit_reverse_permute([(5 * i + 1) % q for i in range(n)])
+        outputs = {}
+        for backend in ("python", "numpy"):
+            with use_backend(backend):
+                bank = PimBank(config.arch, config.pim)
+                bank.set_parameters(q)
+                bank.load_polynomial(0, list(data))
+                bank.run_stream(stream)
+                outputs[backend] = bank.read_polynomial(
+                    program.result_base_row, n)
+        assert outputs["python"] == outputs["numpy"]
+
+    def test_unsupported_modulus_falls_back(self):
+        # A modulus past every lane regime still runs (scalar path).
+        n = 16
+        q = find_ntt_prime(n, 64)
+        assert q >= 1 << 63
+        config = SimConfig()
+        program = cyclic_program(NttParams(n, q), config.arch, config.pim)
+        stream = compile_stream(program.commands, config.arch)
+        bank = PimBank(config.arch, config.pim)
+        bank.set_parameters(q)
+        data = bit_reverse_permute([(3 * i + 2) % q for i in range(n)])
+        bank.load_polynomial(0, list(data))
+        bank.run_stream(stream)  # must not touch the stacked kernels
+        legacy = PimBank(config.arch, config.pim)
+        legacy.set_parameters(q)
+        legacy.load_polynomial(0, list(data))
+        legacy.run(program.commands)
+        assert (bank.read_polynomial(program.result_base_row, n)
+                == legacy.read_polynomial(program.result_base_row, n))
+
+
+class TestFacadeIntegration:
+    def test_stream_cache_surfaces_in_facade(self):
+        Simulator.clear_caches()
+        n = 256
+        q = find_ntt_prime(n, 32)
+        sim = Simulator()
+        response = sim.run(NttRequest(params=NttParams(n, q)))
+        assert response.verified
+        assert response.cache["stream"]["misses"] >= 1
+        again = sim.run(NttRequest(params=NttParams(n, q)))
+        assert again.cache["stream"]["misses"] == 0
+        info = sim.cache_info()
+        assert info["stream"]["entries"] >= 1
+        assert info["stream"]["hits"] >= 1

@@ -1,5 +1,6 @@
 """Property/fuzz tests of the timing engine on randomly generated but
-protocol-legal command programs."""
+protocol-legal command programs, including bit-identity of the compiled
+command-stream engine against the legacy per-command loop."""
 
 import random
 
@@ -13,42 +14,76 @@ from repro.dram import (
     HBM2E_ARCH,
     HBM2E_TIMING,
     TimingEngine,
+    cached_stream,
+    clear_stream_cache,
+    compile_stream,
+    stream_cache_info,
+)
+from repro.sim.driver import (
+    cached_schedule,
+    clear_schedule_cache,
+    schedule_cache_info,
 )
 
 
-def _random_legal_program(seed: int, length: int):
-    """Generate a random DRAM/PIM program that obeys open-row rules."""
+def _random_legal_program(seed: int, length: int, banks: int = 1,
+                          with_deps: bool = False):
+    """Generate a random DRAM/PIM program that obeys open-row rules.
+
+    With ``banks > 1`` commands spread over several banks (each with its
+    own open-row state); with ``with_deps`` commands carry random
+    backward dependency edges, exercising the engines' stall logic.
+    """
     rng = random.Random(seed)
     cmds = []
-    open_row = None
+    open_row = [None] * banks
     cmds.append(Command(CommandType.PARAM_WRITE, payload_words=6))
+
+    def deps():
+        if not with_deps or len(cmds) < 2 or rng.random() < 0.5:
+            return ()
+        count = rng.randrange(1, 3)
+        return tuple(sorted({rng.randrange(len(cmds))
+                             for _ in range(count)}))
+
     for _ in range(length):
-        choices = []
-        if open_row is None:
-            choices = ["act"]
+        bank = rng.randrange(banks)
+        if open_row[bank] is None:
+            op = "act"
         else:
-            choices = ["rd", "wr", "c1", "c2", "pre", "rd", "wr"]
-        op = rng.choice(choices)
+            op = rng.choice(["rd", "wr", "c1", "c2", "c1n", "pre",
+                             "rd", "wr"])
+        row = open_row[bank]
         if op == "act":
-            open_row = rng.randrange(64)
-            cmds.append(Command(CommandType.ACT, row=open_row))
+            open_row[bank] = rng.randrange(64)
+            cmds.append(Command(CommandType.ACT, bank=bank,
+                                row=open_row[bank], deps=deps()))
         elif op == "pre":
-            cmds.append(Command(CommandType.PRE))
-            open_row = None
+            cmds.append(Command(CommandType.PRE, bank=bank, deps=deps()))
+            open_row[bank] = None
         elif op == "rd":
-            cmds.append(Command(CommandType.CU_READ, row=open_row,
-                                col=rng.randrange(32), buf=rng.randrange(2)))
+            cmds.append(Command(CommandType.CU_READ, bank=bank, row=row,
+                                col=rng.randrange(32), buf=rng.randrange(2),
+                                deps=deps()))
         elif op == "wr":
-            cmds.append(Command(CommandType.CU_WRITE, row=open_row,
-                                col=rng.randrange(32), buf=rng.randrange(2)))
+            cmds.append(Command(CommandType.CU_WRITE, bank=bank, row=row,
+                                col=rng.randrange(32), buf=rng.randrange(2),
+                                deps=deps()))
         elif op == "c1":
-            cmds.append(Command(CommandType.C1, buf=rng.randrange(2),
-                                omega0=3))
+            cmds.append(Command(CommandType.C1, bank=bank,
+                                buf=rng.randrange(2), omega0=3, deps=deps()))
+        elif op == "c1n":
+            cmds.append(Command(CommandType.C1N, bank=bank,
+                                buf=rng.randrange(2),
+                                zetas=tuple(rng.randrange(1, 97)
+                                            for _ in range(7)),
+                                gs=rng.random() < 0.5, deps=deps()))
         elif op == "c2":
-            cmds.append(Command(CommandType.C2, buf=0, buf2=1,
-                                omega0=3, r_omega=5))
-    if open_row is not None:
-        cmds.append(Command(CommandType.PRE))
+            cmds.append(Command(CommandType.C2, bank=bank, buf=0, buf2=1,
+                                omega0=3, r_omega=5, deps=deps()))
+    for bank in range(banks):
+        if open_row[bank] is not None:
+            cmds.append(Command(CommandType.PRE, bank=bank))
     return cmds
 
 
@@ -80,6 +115,78 @@ def test_property_slower_timing_never_faster(seed):
                           trcd=20, twr=22, tccd=4)
     slow = TimingEngine(slow_params, HBM2E_ARCH).simulate(cmds)
     assert slow.total_cycles >= fast.total_cycles
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       length=st.integers(min_value=1, max_value=150),
+       banks=st.integers(min_value=1, max_value=4),
+       with_deps=st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_property_stream_engine_bit_identical(seed, length, banks, with_deps):
+    """The compiled-stream engine reproduces the legacy per-command loop
+    bit for bit: per-command issue/complete timings, stats counters and
+    energy_nj — across banks, dependency edges and every command type
+    the generator emits."""
+    cmds = _random_legal_program(seed, length, banks=banks,
+                                 with_deps=with_deps)
+    engine = TimingEngine(HBM2E_TIMING, HBM2E_ARCH, compute=ComputeTiming())
+    legacy = engine.simulate(cmds)
+    stream = compile_stream(cmds, HBM2E_ARCH)
+    streamed = engine.simulate_stream(stream)
+    assert streamed.timings == legacy.timings
+    assert streamed.stats == legacy.stats
+    assert streamed.energy_nj == legacy.energy_nj
+    assert streamed.total_cycles == legacy.total_cycles
+
+
+def test_stream_engine_negative_row_parity():
+    """Negative ACT rows are pathological but constructible; both
+    engines must treat them identically (no sentinel collisions)."""
+    engine = TimingEngine(HBM2E_TIMING, HBM2E_ARCH, compute=ComputeTiming())
+    ok = [Command(CommandType.ACT, row=-1), Command(CommandType.PRE)]
+    legacy = engine.simulate(ok)
+    streamed = engine.simulate_stream(compile_stream(ok, HBM2E_ARCH))
+    assert streamed.timings == legacy.timings
+    bad = [Command(CommandType.ACT, row=-1), Command(CommandType.ACT, row=5)]
+    import pytest
+    from repro.errors import MappingError
+    with pytest.raises(MappingError, match="while row -1 is open"):
+        engine.simulate(bad)
+    with pytest.raises(MappingError, match="while row -1 is open"):
+        engine.simulate_stream(compile_stream(bad, HBM2E_ARCH))
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=10, deadline=None)
+def test_property_stream_roundtrips_through_schedule_cache(seed):
+    """Stream compilation shares the schedule cache's structural keys:
+    the same program hits both caches on replay, and the cached schedule
+    equals a direct legacy simulation."""
+    cmds = _random_legal_program(seed, 90, banks=2, with_deps=True)
+    clear_schedule_cache()
+    clear_stream_cache()
+    compute = ComputeTiming()
+    from repro.dram.energy import HBM2E_ENERGY
+    first = cached_schedule(cmds, HBM2E_TIMING, HBM2E_ARCH, compute,
+                            HBM2E_ENERGY)
+    assert stream_cache_info()["misses"] == 1
+    assert schedule_cache_info()["misses"] == 1
+    again = cached_schedule(cmds, HBM2E_TIMING, HBM2E_ARCH, compute,
+                            HBM2E_ENERGY)
+    assert again is first  # schedule cache hit, no recompute
+    assert schedule_cache_info()["hits"] == 1
+    # A fresh schedule under a different timing recompiles nothing: the
+    # stream comes back from its own cache.
+    clear_schedule_cache()
+    cached_schedule(cmds, HBM2E_TIMING, HBM2E_ARCH, compute, HBM2E_ENERGY)
+    assert stream_cache_info()["hits"] >= 1
+    stream = cached_stream(cmds, HBM2E_ARCH)
+    assert stream.commands == tuple(cmds)
+    legacy = TimingEngine(HBM2E_TIMING, HBM2E_ARCH,
+                          compute=compute).simulate(cmds)
+    assert first.timings == legacy.timings
+    assert first.stats == legacy.stats
+    assert first.energy_nj == legacy.energy_nj
 
 
 @given(seed=st.integers(min_value=0, max_value=2**31))

@@ -34,13 +34,15 @@ from repro.ntt import (
 from repro.pim import ComputeUnit
 from repro.sim.driver import NttPimDriver, VERIFY_DEFAULT
 
-# Moduli spanning the three lane regimes: direct uint64 products,
-# Montgomery splitting (products overflow 64 bits), and near the 63-bit
-# lane ceiling.
+# Moduli spanning the four lane regimes: direct uint64 products,
+# Montgomery splitting (products overflow 64 bits), near the 63-bit
+# Montgomery ceiling, and the even/large moduli of the Barrett regime.
 Q_SMALL = 12289                       # 14-bit
 Q_32 = find_ntt_prime(64, 32)         # near 2^32: products graze 2^64
 Q_WIDE = find_ntt_prime(64, 60)       # 60-bit: Montgomery lane regime
 Q_EDGE = find_ntt_prime(64, 63)       # just under the 2^63 lane ceiling
+Q_EVEN = (1 << 40) + 2                # wide and even: Barrett regime
+Q_EVEN_EDGE = (1 << 61) - 2           # just under the 2^61 Barrett ceiling
 
 
 def both_backends(fn):
@@ -73,13 +75,16 @@ class TestBackendSelector:
         assert vector.lanes_supported(Q_WIDE)
         assert vector.lanes_supported(Q_EDGE)
         assert not vector.lanes_supported(1 << 63)     # too wide
-        assert not vector.lanes_supported((1 << 40) + 2)  # wide and even
+        assert vector.lanes_supported(Q_EVEN)          # even: Barrett regime
+        assert vector.lanes_supported(Q_EVEN_EDGE)
+        assert not vector.lanes_supported((1 << 61) + 2)  # even past Barrett
         assert vector.lanes_supported((1 << 20) + 2)   # even but direct regime
 
 
 @given(seed=st.integers(min_value=0, max_value=2**31),
-       q=st.sampled_from([3, 17, Q_SMALL, Q_32, Q_WIDE, Q_EDGE,
-                          (1 << 32) - 5, (1 << 62) + 57]))
+       q=st.sampled_from([3, 17, Q_SMALL, Q_32, Q_WIDE, Q_EDGE, Q_EVEN,
+                          Q_EVEN_EDGE, (1 << 32) - 5, (1 << 32) - 4,
+                          (1 << 62) + 57]))
 @settings(max_examples=60, deadline=None)
 def test_property_elementwise_ops_match(seed, q):
     """mod_{add,sub,mul}_vec agree lane for lane on random operands,
@@ -112,6 +117,37 @@ def test_scale_vec_matches():
     c = rng.randrange(q)
     py, np_ = both_backends(lambda: mod_scale_vec(xs, c, q))
     assert py == np_ == [(x * c) % q for x in xs]
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       bits=st.integers(min_value=33, max_value=60))
+@settings(max_examples=60, deadline=None)
+def test_property_barrett_regime_matches(seed, bits):
+    """The Barrett lane path (even/large moduli past the Montgomery
+    regime) is bit-exact against the Python ground truth, including the
+    worst-case operands ``q - 1``."""
+    rng = random.Random(seed)
+    q = rng.randrange(1 << (bits - 1), 1 << bits)
+    if q % 2:
+        q += 1  # force the even (Barrett-only) regime
+    assert vector.lanes_supported(q)
+    xs = [rng.randrange(q) for _ in range(29)] + [q - 1, q - 1, 0]
+    ys = [rng.randrange(q) for _ in range(29)] + [q - 1, 1, q - 1]
+    py, np_ = both_backends(lambda: mod_mul_vec(xs, ys, q))
+    assert py == np_
+    assert py == [x * y % q for x, y in zip(xs, ys)]
+
+
+def test_barrett_edge_moduli():
+    """Exhaustive corners at the Barrett ceiling and regime boundaries."""
+    for q in (Q_EVEN, Q_EVEN_EDGE, (1 << 32) + 2, (1 << 33) - 2,
+              (1 << 50) + 4, (1 << 60) + 6):
+        assert vector.lanes_supported(q)
+        xs = [q - 1, q - 1, q - 2, 1, 0, q // 2, q // 2 + 1]
+        ys = [q - 1, 1, q - 2, q - 1, q - 1, q // 2, q // 2]
+        py, np_ = both_backends(lambda q=q, xs=xs, ys=ys:
+                                mod_mul_vec(xs, ys, q))
+        assert py == np_ == [x * y % q for x, y in zip(xs, ys)]
 
 
 class TestNttEquivalence:
