@@ -206,21 +206,59 @@ class FheOpRequest(SimRequest):
 
 @dataclass(frozen=True)
 class ProgramRequest(SimRequest):
-    """Time a raw command program (the Fig. 5/6 micro-study windows).
+    """Run a raw command program (the Fig. 5/6 micro-study windows).
 
-    The program runs through the timing engine only (no functional
-    model); buffer depth and clocking come from the simulator's
+    By default the program runs through the timing engine only; buffer
+    depth and clocking come from the simulator's
     :class:`~repro.sim.driver.SimConfig`.
+
+    With ``functional=True`` the program also executes on the
+    functional bank model: ``memory`` rows are host-written first
+    (``(base_row, words)`` pairs, exactly as the Sec. IV.A protocol
+    leaves the input "already in memory"), ``modulus`` is staged for
+    the program's PARAM_WRITE, and after execution the bank-resident
+    ``read_rows`` window (``(base_row, length)``) is read back into
+    ``SimResponse.values`` — the same envelope shape every other
+    workload returns.
     """
 
     workload: ClassVar[str] = "program"
 
     commands: Tuple[Command, ...] = ()
     label: str = ""
+    functional: bool = False
+    modulus: Optional[int] = None
+    #: Host-preloaded bank rows: ``(base_row, words)`` pairs.
+    memory: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
+    #: Result window to read back: ``(base_row, length)``.
+    read_rows: Optional[Tuple[int, int]] = None
 
     def __post_init__(self):
         object.__setattr__(self, "commands", tuple(self.commands))
+        object.__setattr__(
+            self, "memory",
+            tuple((int(row), tuple(words)) for row, words in self.memory))
+        if self.read_rows is not None:
+            object.__setattr__(self, "read_rows", tuple(self.read_rows))
 
     def validate(self) -> None:
         if len(self.commands) < 1:
             raise RequestValidationError("need at least one command")
+        if not self.functional:
+            if self.modulus is not None or self.memory or self.read_rows:
+                raise RequestValidationError(
+                    "modulus/memory/read_rows require functional=True")
+            return
+        if self.modulus is not None and self.modulus < 2:
+            raise RequestValidationError("modulus must be >= 2")
+        for row, words in self.memory:
+            if row < 0:
+                raise RequestValidationError("memory base_row must be >= 0")
+            if not words:
+                raise RequestValidationError(
+                    f"memory row {row}: need at least one word")
+        if self.read_rows is not None:
+            base, length = self.read_rows
+            if base < 0 or length < 1:
+                raise RequestValidationError(
+                    "read_rows must be a (base_row >= 0, length >= 1) pair")

@@ -24,8 +24,9 @@ banks (the Sec. VI.A deployment) before running the rest individually.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..arith.vector import get_backend
 from ..dram.stream import clear_stream_cache, stream_cache_info
@@ -41,6 +42,7 @@ from ..sim.driver import (
 from .registry import get_workload
 from .requests import MultiBankRequest, NttRequest, SimRequest
 from .response import SimResponse
+from .workloads import precompile_request
 
 __all__ = ["Simulator"]
 
@@ -82,7 +84,8 @@ class Simulator:
     # -- bulk path --------------------------------------------------------------
     def run_many(self, requests: Iterable[SimRequest], *,
                  max_banks: int = 8,
-                 group: bool = True) -> List[SimResponse]:
+                 group: bool = True,
+                 pipeline: bool = False) -> List[SimResponse]:
         """Run every request; responses come back in input order.
 
         With ``group=True`` (default), forward :class:`NttRequest`\\ s of
@@ -95,14 +98,98 @@ class Simulator:
         ``run_many`` responses stay physical.
         (``metrics["group_banks"]``/``metrics["bank"]`` tell the story;
         ``raw`` holds the full group result.)
+
+        ``pipeline=True`` overlaps the next dispatch group's compile
+        (program + stream + schedule warm-up on the thread-safe caches)
+        with the current group's execution — see :meth:`run_many_iter`,
+        the streaming form this method drains.  Off by default: the
+        overlap measures GIL-bound (see :mod:`repro.serve.workers`),
+        roughly break-even on cold caches and a small net cost warm.
+        """
+        reqs = list(requests)
+        responses: List[Optional[SimResponse]] = [None] * len(reqs)
+        for i, response in self.run_many_iter(reqs, max_banks=max_banks,
+                                              group=group, pipeline=pipeline):
+            responses[i] = response
+        return responses
+
+    def run_many_iter(self, requests: Iterable[SimRequest], *,
+                      max_banks: int = 8,
+                      group: bool = True,
+                      pipeline: bool = False
+                      ) -> Iterator[Tuple[int, SimResponse]]:
+        """Streaming :meth:`run_many`: yield ``(index, response)`` pairs
+        as each dispatch unit completes instead of barriering on the
+        whole list.
+
+        Requests are first partitioned into *dispatch units* — bank
+        groups of same-shape forward NTTs (up to ``max_banks`` each) and
+        pass-through singles.  Units execute in order; opting into
+        ``pipeline=True`` warms the compile side of unit *k+1* (command
+        program, compiled stream, timing schedule — all deterministic,
+        thread-safe caches) on a background thread while unit *k* runs
+        (measured roughly break-even under the GIL — see
+        :mod:`repro.serve.workers`).  Responses are identical to
+        :meth:`run` of each request alone (values bit for bit; grouped
+        units report group timing and per-bank shares, as in
+        :meth:`run_many`).
         """
         reqs = list(requests)
         # Validate up front so a malformed request fails with its own
         # message instead of surfacing as a synthetic group's error.
         for req in reqs:
             req.validate()
-        responses: List[Optional[SimResponse]] = [None] * len(reqs)
+        units = self._dispatch_units(reqs, max_banks=max_banks, group=group)
 
+        compile_thread: Optional[threading.Thread] = None
+        for k, (indices, merged) in enumerate(units):
+            if compile_thread is not None:
+                compile_thread.join()
+                compile_thread = None
+            if pipeline and k + 1 < len(units):
+                compile_thread = threading.Thread(
+                    target=precompile_request,
+                    args=(self.config, units[k + 1][1]),
+                    name="repro-pipelined-compile", daemon=True)
+                compile_thread.start()
+            try:
+                if len(indices) == 1:
+                    yield indices[0], self.run(merged)
+                else:
+                    grouped = self.run(merged)
+                    for slot, i in enumerate(indices):
+                        yield i, self._split_group(grouped, reqs[i], slot,
+                                                   len(indices))
+            except BaseException:
+                if compile_thread is not None:
+                    compile_thread.join()
+                raise
+        if compile_thread is not None:
+            compile_thread.join()
+
+    @staticmethod
+    def merge_forward_ntts(requests: List[NttRequest]) -> MultiBankRequest:
+        """The one merge rule for a same-shape forward-NTT group — one
+        bank per request, ``values=None`` zero-filled.  Shared by
+        :meth:`run_many` grouping and the serve layer's batching
+        scheduler, so the two can never drift apart."""
+        params = requests[0].params
+        inputs = tuple(r.values if r.values is not None else (0,) * params.n
+                       for r in requests)
+        return MultiBankRequest(params=params, inputs=inputs)
+
+    @staticmethod
+    def _dispatch_units(reqs: List[SimRequest], *, max_banks: int,
+                        group: bool) -> List[Tuple[Tuple[int, ...],
+                                                   SimRequest]]:
+        """Partition requests into dispatch units: ``(indices, request)``
+        where a multi-index unit is a merged :class:`MultiBankRequest`
+        over same-shape forward NTTs and every other unit passes the
+        original request through.  Bank groups come first (in order of
+        first appearance), then the remaining requests in input order —
+        the same execution order ``run_many`` always had."""
+        units: List[Tuple[Tuple[int, ...], SimRequest]] = []
+        grouped_indices = set()
         if group and max_banks > 1:
             groups: Dict[Tuple[int, int, int], List[int]] = {}
             for i, req in enumerate(reqs):
@@ -115,21 +202,13 @@ class Simulator:
                 for chunk in chunks:
                     if len(chunk) < 2:
                         continue  # a lone leftover runs individually
-                    params = reqs[chunk[0]].params
-                    inputs = tuple(
-                        reqs[i].values if reqs[i].values is not None
-                        else (0,) * params.n
-                        for i in chunk)
-                    grouped = self.run(MultiBankRequest(params=params,
-                                                        inputs=inputs))
-                    for slot, i in enumerate(chunk):
-                        responses[i] = self._split_group(grouped, reqs[i],
-                                                         slot, len(chunk))
-
+                    units.append((tuple(chunk), Simulator.merge_forward_ntts(
+                        [reqs[i] for i in chunk])))
+                    grouped_indices.update(chunk)
         for i, req in enumerate(reqs):
-            if responses[i] is None:
-                responses[i] = self.run(req)
-        return responses
+            if i not in grouped_indices:
+                units.append(((i,), req))
+        return units
 
     @staticmethod
     def _split_group(grouped: SimResponse, request: NttRequest,

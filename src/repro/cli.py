@@ -6,6 +6,9 @@ Subcommands::
                      (ntt | negacyclic | batch | multibank | fhe;
                      --backend picks the compute backend, --cache-info
                      prints program/schedule cache statistics)
+    serve            drive synthetic open-loop traffic through the
+                     repro.serve layer (batching scheduler, shards,
+                     worker pool) and print the telemetry rollup
     trace            dump the DRAM command trace for one NTT
     fig6 / fig7 / fig8 / table2 / table3 / ablations / banks
                      regenerate one experiment
@@ -126,6 +129,41 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Imported here: the serving layer sits above the facade and only
+    # this subcommand needs it.
+    from .serve import LoadGenerator, SimServer, make_scenario
+
+    try:
+        scenario = make_scenario(args.scenario)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    config = SimConfig(verify=not args.no_verify)
+    load = LoadGenerator(scenario, rate_rps=args.rate, count=args.requests,
+                         seed=args.seed,
+                         high_priority_fraction=args.high_priority,
+                         deadline_us=args.deadline_us)
+    server = SimServer(config, scheduler=args.scheduler,
+                       window_us=args.window_us, max_banks=args.max_banks,
+                       num_shards=args.shards, max_depth=args.depth,
+                       workers=args.workers, pipeline=not args.no_pipeline)
+    import time as _time
+    start = _time.perf_counter()
+    results = server.serve(load.requests())
+    wall_s = _time.perf_counter() - start
+    print(f"scenario       : {scenario.name} ({scenario.description})")
+    print(f"offered load   : {args.rate:.0f} req/s, "
+          f"{args.requests} requests, seed {args.seed}")
+    print(f"server         : scheduler={args.scheduler} "
+          f"window={args.window_us:.0f}us max_banks={args.max_banks} "
+          f"shards={args.shards} workers={args.workers}")
+    print(server.telemetry.summary())
+    print(f"host wall time : {wall_s * 1e3:.1f} ms "
+          f"({len(results) / wall_s:.0f} req/s functional simulation)")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     q = find_ntt_prime(args.n, 32)
     driver = NttPimDriver(_make_config(args))
@@ -180,6 +218,39 @@ def main(argv=None) -> int:
     run_p.add_argument("--native", action="store_true",
                        help="fhe: use the native merged negacyclic mapping")
 
+    serve_p = subs.add_parser(
+        "serve", help="drive synthetic traffic through the serving layer")
+    serve_p.add_argument("--scenario", default="skewed",
+                         help="shape mix: uniform | skewed | fhe "
+                              "(default skewed)")
+    serve_p.add_argument("--rate", type=float, default=150000.0,
+                         help="offered load in requests per simulated "
+                              "second (default 150000)")
+    serve_p.add_argument("--requests", type=int, default=100,
+                         help="number of requests to generate (default 100)")
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument("--scheduler", choices=("batching", "sequential"),
+                         default="batching")
+    serve_p.add_argument("--window-us", type=float, default=50.0,
+                         help="batching window in simulated us (default 50)")
+    serve_p.add_argument("--max-banks", type=int, default=8,
+                         help="largest dispatch group (default 8)")
+    serve_p.add_argument("--shards", type=int, default=1,
+                         help="simulated channels/devices (default 1)")
+    serve_p.add_argument("--depth", type=int, default=256,
+                         help="admission-control queue depth (default 256)")
+    serve_p.add_argument("--workers", choices=("inline", "thread"),
+                         default="inline",
+                         help="execution backend (default inline)")
+    serve_p.add_argument("--high-priority", type=float, default=0.0,
+                         help="fraction of requests at priority 1")
+    serve_p.add_argument("--deadline-us", type=float, default=None,
+                         help="per-request deadline in simulated us")
+    serve_p.add_argument("--no-pipeline", action="store_true",
+                         help="disable compile/execute pipelining")
+    serve_p.add_argument("--no-verify", action="store_true",
+                         help="skip golden-model verification per NTT")
+
     trace_p = subs.add_parser("trace", help="dump a command trace")
     _add_run_args(trace_p)
     trace_p.add_argument("--head", type=int, default=40,
@@ -194,6 +265,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "all":

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._cache import ArtifactCache
 from .commands import CODE_CTYPES, CTYPE_CODES, Command, CommandType
 from .timing import ArchParams
 
@@ -401,46 +402,41 @@ def compile_stream(commands: Sequence[Command],
 # Keyed exactly like the driver's schedule cache: a compact structural
 # key (program-cache key or a merge recipe over such keys) when the
 # caller has one, else the command tuple itself — plus the geometry the
-# plan was validated against.
+# plan was validated against.  Thread-safe via the shared ArtifactCache
+# (locked lookup/stats/eviction, compilation outside the lock, one
+# canonical stream per key).
 
 _MAX_STREAMS = 128
-_stream_cache: dict = {}
-_stream_hits = 0
-_stream_misses = 0
+_stream_cache = ArtifactCache(_MAX_STREAMS)
 
 
-def cached_stream(commands: Sequence[Command], arch: ArchParams,
-                  key=None) -> CommandStream:
+def cached_stream(commands, arch: ArchParams, key=None) -> CommandStream:
     """Memoized :func:`compile_stream`.
 
     ``key`` is an exact stand-in for the command content (see
     :func:`repro.sim.driver.cached_schedule`); merged batch/multibank
     programs hit the same entries via their merge-recipe keys.
+
+    ``commands`` may be a command sequence or a zero-argument callable
+    producing one.  With a callable *and* a ``key``, a cache hit never
+    materializes the commands at all — the batch/multi-bank mergers
+    pass their (pure-Python, thousands-of-commands) merge as the
+    callable, so warm shapes skip the merge work entirely.
     """
-    global _stream_hits, _stream_misses
+    if callable(commands) and key is None:
+        commands = commands()
     cache_key = ((key if key is not None else tuple(commands)), arch)
-    hit = _stream_cache.get(cache_key)
-    if hit is not None:
-        _stream_hits += 1
-        return hit
-    _stream_misses += 1
-    stream = compile_stream(commands, arch)
-    if len(_stream_cache) >= _MAX_STREAMS:
-        for stale in list(_stream_cache)[: _MAX_STREAMS // 4]:
-            del _stream_cache[stale]
-    _stream_cache[cache_key] = stream
-    return stream
+    return _stream_cache.get_or_create(
+        cache_key,
+        lambda: compile_stream(commands() if callable(commands)
+                               else commands, arch))
 
 
 def stream_cache_info() -> Dict[str, int]:
     """Stream-cache statistics (mirrors the program/schedule caches)."""
-    return {"entries": len(_stream_cache), "hits": _stream_hits,
-            "misses": _stream_misses}
+    return _stream_cache.info()
 
 
 def clear_stream_cache() -> None:
     """Empty the stream cache and reset statistics (test isolation)."""
-    global _stream_hits, _stream_misses
     _stream_cache.clear()
-    _stream_hits = 0
-    _stream_misses = 0

@@ -13,12 +13,20 @@ simulator mutates a command after construction: the timing engine and
 the functional bank only read fields, and the batch/multi-bank mergers
 rewrite dependencies via ``dataclasses.replace`` (fresh copies).  Do not
 mutate commands obtained from this cache.
+
+The cache is thread-safe via the shared :class:`repro._cache.ArtifactCache`
+(locked lookup/statistics/eviction, generation outside the lock, one
+canonical entry per key), so the serving layer's worker pool
+(:mod:`repro.serve.workers`) and the facade's pipelined compile thread
+cannot corrupt statistics or race the eviction scan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
+
+from .._cache import ArtifactCache
 
 from ..arith.roots import NttParams
 from ..dram.commands import Command
@@ -33,9 +41,6 @@ __all__ = ["CachedProgram", "cyclic_program", "negacyclic_program",
            "program_cache_info", "clear_program_cache"]
 
 _MAX_ENTRIES = 512
-
-_hits = 0
-_misses = 0
 
 
 @dataclass(frozen=True)
@@ -56,17 +61,7 @@ class CachedProgram:
     key: Optional[tuple] = None
 
 
-_cache: Dict[tuple, CachedProgram] = {}
-
-
-def _insert(key: tuple, value: CachedProgram) -> CachedProgram:
-    if len(_cache) >= _MAX_ENTRIES:
-        # Evict oldest entries (insertion order) — programs are cheap to
-        # regenerate; the cap only bounds memory during huge DSE sweeps.
-        for stale in list(_cache)[: _MAX_ENTRIES // 4]:
-            del _cache[stale]
-    _cache[key] = value
-    return value
+_cache = ArtifactCache(_MAX_ENTRIES)
 
 
 def cyclic_program(ntt: NttParams, arch: ArchParams, pim: PimParams,
@@ -74,48 +69,42 @@ def cyclic_program(ntt: NttParams, arch: ArchParams, pim: PimParams,
                    options: MapperOptions = MapperOptions()) -> CachedProgram:
     """The command program of one cyclic NTT (Nb >= 2 row-centric mapping,
     or the Nb = 1 single-buffer mapping), memoized."""
-    global _hits, _misses
     key = ("cyclic", ntt.n, ntt.q, ntt.omega, arch, pim, base_row, bank,
            options)
-    hit = _cache.get(key)
-    if hit is not None:
-        _hits += 1
-        return hit
-    _misses += 1
-    if pim.nb_buffers == 1:
-        mapper = SingleBufferMapper(ntt, arch, pim, base_row, bank)
-    else:
-        mapper = NttMapper(ntt, arch, pim, base_row, bank, options=options)
-    return _insert(key, CachedProgram(tuple(mapper.generate()),
-                                      mapper.result_base_row, key))
+
+    def generate() -> CachedProgram:
+        if pim.nb_buffers == 1:
+            mapper = SingleBufferMapper(ntt, arch, pim, base_row, bank)
+        else:
+            mapper = NttMapper(ntt, arch, pim, base_row, bank,
+                               options=options)
+        return CachedProgram(tuple(mapper.generate()),
+                             mapper.result_base_row, key)
+
+    return _cache.get_or_create(key, generate)
 
 
 def negacyclic_program(ring: NegacyclicParams, arch: ArchParams,
                        pim: PimParams, base_row: int = 0, bank: int = 0,
                        inverse: bool = False) -> CachedProgram:
     """The command program of one merged negacyclic transform, memoized."""
-    global _hits, _misses
     key = ("negacyclic", ring.n, ring.q, ring.psi, arch, pim, base_row, bank,
            inverse)
-    hit = _cache.get(key)
-    if hit is not None:
-        _hits += 1
-        return hit
-    _misses += 1
-    mapper = NegacyclicNttMapper(ring, arch, pim, base_row, bank,
-                                 inverse=inverse)
-    return _insert(key, CachedProgram(tuple(mapper.generate()),
-                                      mapper.result_base_row, key))
+
+    def generate() -> CachedProgram:
+        mapper = NegacyclicNttMapper(ring, arch, pim, base_row, bank,
+                                     inverse=inverse)
+        return CachedProgram(tuple(mapper.generate()),
+                             mapper.result_base_row, key)
+
+    return _cache.get_or_create(key, generate)
 
 
 def program_cache_info() -> Dict[str, int]:
     """Cache statistics (for benchmarks and diagnostics)."""
-    return {"entries": len(_cache), "hits": _hits, "misses": _misses}
+    return _cache.info()
 
 
 def clear_program_cache() -> None:
     """Empty the cache and reset statistics (test isolation)."""
-    global _hits, _misses
     _cache.clear()
-    _hits = 0
-    _misses = 0

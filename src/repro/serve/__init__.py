@@ -1,0 +1,70 @@
+"""Sharded, batching serving layer over the :mod:`repro.api` facade.
+
+The ROADMAP's north star is a system that serves heavy NTT traffic;
+this package is the layer between "a stream of incoming requests" and
+the one-shot facade::
+
+    from repro.serve import LoadGenerator, SimServer, make_scenario
+
+    server = SimServer(max_banks=8, window_us=50.0)
+    load = LoadGenerator(make_scenario("skewed"), rate_rps=50_000,
+                         count=200, seed=0)
+    results = server.serve(load.requests())
+    print(server.telemetry.summary())
+
+Pieces (each its own module):
+
+* :mod:`~repro.serve.queueing` — admission-controlled priority queue of
+  :class:`ServeRequest`\\ s (arrival time, priority, deadline).
+* :mod:`~repro.serve.scheduler` — the batching scheduler: window
+  coalescing of same-shape NTTs into multi-bank dispatches, sharding of
+  distinct shapes across simulated channels.
+* :mod:`~repro.serve.workers` — inline/thread worker pool pipelining
+  group *k+1*'s compile under group *k*'s execution.
+* :mod:`~repro.serve.telemetry` — per-request records and session
+  rollups (throughput, p50/p99 latency, occupancy, energy).
+* :mod:`~repro.serve.loadgen` — deterministic Poisson load over named
+  scenario mixes (``uniform`` / ``skewed`` / ``fhe``).
+* :mod:`~repro.serve.server` — :class:`SimServer`, the loop tying them
+  together.
+
+Scheduling changes *when* work runs, never *what it computes*: every
+response is bit-identical to a standalone ``Simulator.run`` of the same
+request.
+"""
+
+from .loadgen import SCENARIOS, LoadGenerator, Scenario, make_scenario
+from .queueing import RequestQueue, ServeRequest
+from .scheduler import BatchingScheduler, DispatchUnit, sequential_policy, shape_key
+from .server import ServeResult, SimServer
+from .telemetry import RequestRecord, Telemetry, percentile
+from .workers import (
+    WORKER_BACKENDS,
+    InlineWorkerPool,
+    ThreadWorkerPool,
+    WorkerPool,
+    make_pool,
+)
+
+__all__ = [
+    "ServeRequest",
+    "RequestQueue",
+    "BatchingScheduler",
+    "DispatchUnit",
+    "sequential_policy",
+    "shape_key",
+    "WorkerPool",
+    "InlineWorkerPool",
+    "ThreadWorkerPool",
+    "WORKER_BACKENDS",
+    "make_pool",
+    "RequestRecord",
+    "Telemetry",
+    "percentile",
+    "Scenario",
+    "LoadGenerator",
+    "SCENARIOS",
+    "make_scenario",
+    "ServeResult",
+    "SimServer",
+]

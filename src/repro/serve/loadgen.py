@@ -1,0 +1,160 @@
+"""Synthetic open-loop load generation for serving experiments.
+
+Arrivals are open-loop Poisson (exponential inter-arrival gaps from a
+seeded RNG — clients do not wait for responses, so the server sees the
+offered rate whether or not it keeps up), over named *scenario mixes*
+of request shapes:
+
+* ``uniform``  — equal thirds of N=256/512/1024 forward NTTs: shape
+  diversity, exercises sharding.
+* ``skewed``   — 90% one hot shape (N=512), 10% N=256: the
+  batching-friendly traffic an FHE service actually sees (every limb of
+  every ciphertext shares one ring), and the benchmark's headline mix.
+* ``fhe``      — forward NTTs mixed with native negacyclic transforms
+  and full FHE ring multiplies: batchable and unbatchable work
+  interleaved, the worst case for a batching window.
+
+Everything is deterministic given ``seed``: the same scenario, rate and
+count replay the same requests with the same arrival times, priorities
+and values — the closed-form property the serving experiments and CI
+assertions rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..api.requests import FheOpRequest, NegacyclicRequest, NttRequest, SimRequest
+from ..arith.primes import find_ntt_prime
+from ..arith.roots import NttParams
+from ..ntt.negacyclic import NegacyclicParams
+from .queueing import ServeRequest
+
+__all__ = ["Scenario", "LoadGenerator", "SCENARIOS", "make_scenario"]
+
+
+@lru_cache(maxsize=None)
+def _ntt_params(n: int) -> NttParams:
+    return NttParams(n, find_ntt_prime(n, 32))
+
+
+@lru_cache(maxsize=None)
+def _ring_params(n: int) -> NegacyclicParams:
+    return NegacyclicParams(n, find_ntt_prime(n, 32, negacyclic=True))
+
+
+def _ntt_maker(n: int) -> Callable[[random.Random], SimRequest]:
+    def make(rng: random.Random) -> SimRequest:
+        params = _ntt_params(n)
+        return NttRequest(params=params,
+                          values=tuple(rng.randrange(params.q)
+                                       for _ in range(n)))
+    return make
+
+
+def _negacyclic_maker(n: int) -> Callable[[random.Random], SimRequest]:
+    def make(rng: random.Random) -> SimRequest:
+        ring = _ring_params(n)
+        return NegacyclicRequest(ring=ring,
+                                 values=tuple(rng.randrange(ring.q)
+                                              for _ in range(n)))
+    return make
+
+
+def _fhe_maker(n: int) -> Callable[[random.Random], SimRequest]:
+    def make(rng: random.Random) -> SimRequest:
+        ring = _ring_params(n)
+        return FheOpRequest(
+            ring=ring, op="multiply",
+            a=tuple(rng.randrange(ring.q) for _ in range(n)),
+            b=tuple(rng.randrange(ring.q) for _ in range(n)))
+    return make
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A weighted mix of request factories."""
+
+    name: str
+    description: str
+    #: ``(weight, factory)`` pairs; weights need not be normalized.
+    mix: Tuple[Tuple[float, Callable[[random.Random], SimRequest]], ...]
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "uniform": Scenario(
+        name="uniform",
+        description="equal thirds of N=256/512/1024 forward NTTs",
+        mix=((1.0, _ntt_maker(256)), (1.0, _ntt_maker(512)),
+             (1.0, _ntt_maker(1024)))),
+    "skewed": Scenario(
+        name="skewed",
+        description="90% N=512 forward NTTs, 10% N=256 (hot-shape FHE "
+                    "traffic; the batching benchmark's mix)",
+        mix=((9.0, _ntt_maker(512)), (1.0, _ntt_maker(256)))),
+    "fhe": Scenario(
+        name="fhe",
+        description="60% N=512 forward NTTs, 25% native negacyclic "
+                    "N=256, 15% full FHE ring multiplies N=256",
+        mix=((6.0, _ntt_maker(512)), (2.5, _negacyclic_maker(256)),
+             (1.5, _fhe_maker(256)))),
+}
+
+
+def make_scenario(name: str) -> Scenario:
+    """The named scenario, with the known names in the error message."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r}; known: {known}") \
+            from None
+
+
+class LoadGenerator:
+    """Deterministic open-loop Poisson arrival stream over a scenario.
+
+    ``rate_rps`` is the offered rate in requests per *simulated* second;
+    ``high_priority_fraction`` marks that share of requests priority 1
+    (the rest 0); ``deadline_us`` optionally stamps every request with
+    ``arrival + deadline_us``.
+    """
+
+    def __init__(self, scenario: Scenario, *, rate_rps: float,
+                 count: int, seed: int = 0,
+                 high_priority_fraction: float = 0.0,
+                 deadline_us: Optional[float] = None):
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be > 0")
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if not 0.0 <= high_priority_fraction <= 1.0:
+            raise ValueError("high_priority_fraction must be in [0, 1]")
+        self.scenario = scenario
+        self.rate_rps = rate_rps
+        self.count = count
+        self.seed = seed
+        self.high_priority_fraction = high_priority_fraction
+        self.deadline_us = deadline_us
+
+    def requests(self) -> List[ServeRequest]:
+        """The full arrival list, sorted by arrival time, ids 1..count."""
+        rng = random.Random(self.seed)
+        weights = [w for w, _ in self.scenario.mix]
+        makers = [m for _, m in self.scenario.mix]
+        mean_gap_us = 1e6 / self.rate_rps
+        now_us = 0.0
+        out: List[ServeRequest] = []
+        for request_id in range(1, self.count + 1):
+            now_us += rng.expovariate(1.0) * mean_gap_us
+            maker = rng.choices(makers, weights=weights, k=1)[0]
+            priority = int(rng.random() < self.high_priority_fraction)
+            deadline = (now_us + self.deadline_us
+                        if self.deadline_us is not None else None)
+            out.append(ServeRequest(request=maker(rng), arrival_us=now_us,
+                                    priority=priority, deadline_us=deadline,
+                                    request_id=request_id))
+        return out

@@ -1,0 +1,111 @@
+"""Admission-controlled request queue of the serving layer.
+
+The paper's host protocol (Sec. IV.A, :mod:`repro.sim.host`) delivers
+one NTT invocation at a time; a serving deployment sees a *stream* of
+them.  :class:`RequestQueue` is the front door of that stream: each
+incoming :class:`ServeRequest` (a facade request plus arrival time,
+priority and an optional deadline) is admitted or rejected at arrival
+(bounded queue depth — the backpressure signal a real memory-request
+front-end gives), waits in priority order, and leaves when the
+batching scheduler dispatches it.
+
+The queue is thread-safe (one lock around every mutation) so the
+worker pool and a submitting thread can share it; the deterministic
+discrete-event planner in :mod:`repro.serve.scheduler` drives it
+single-threaded.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..api.requests import SimRequest
+from ..sim.driver import SimConfig
+
+__all__ = ["ServeRequest", "RequestQueue"]
+
+
+@dataclass
+class ServeRequest:
+    """One entry of the serving stream.
+
+    ``arrival_us`` is simulated (virtual) time — the serving layer is a
+    discrete-event model over the simulated machine, so latencies and
+    throughput come out in device time, not host wall clock.  ``config``
+    optionally overrides the server's :class:`SimConfig` for this
+    request (requests only batch with others under the *same* effective
+    config — the merged program depends on it).
+    """
+
+    request: SimRequest
+    arrival_us: float = 0.0
+    #: Higher wins when the backlog forces a choice.
+    priority: int = 0
+    #: Absolute virtual-time deadline; ``None`` means best-effort.
+    deadline_us: Optional[float] = None
+    request_id: int = 0
+    config: Optional[SimConfig] = None
+
+
+class RequestQueue:
+    """Bounded, priority-ordered waiting room between arrivals and the
+    batching scheduler."""
+
+    def __init__(self, max_depth: int = 256):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._waiting: List[ServeRequest] = []
+        self._ids = itertools.count(1)
+        self.admitted = 0
+        self.rejected = 0
+        self.removed = 0
+
+    def next_id(self) -> int:
+        """A fresh request id (used when the caller did not assign one)."""
+        return next(self._ids)
+
+    # -- admission ---------------------------------------------------------------
+    def offer(self, sreq: ServeRequest) -> bool:
+        """Admit ``sreq`` unless the queue is full.
+
+        Admission control happens *at arrival*: a full queue rejects
+        immediately (the response a loaded server owes its clients)
+        rather than growing without bound.
+        """
+        with self._lock:
+            if len(self._waiting) >= self.max_depth:
+                self.rejected += 1
+                return False
+            self.admitted += 1
+            self._waiting.append(sreq)
+            return True
+
+    def remove(self, sreq: ServeRequest) -> None:
+        """Take one waiting request out (dispatched or expired)."""
+        with self._lock:
+            self._waiting.remove(sreq)
+            self.removed += 1
+
+    # -- inspection --------------------------------------------------------------
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._waiting)
+
+    def waiting(self) -> List[ServeRequest]:
+        """Snapshot of the backlog, priority-ordered (highest priority
+        first, FIFO within a priority level)."""
+        with self._lock:
+            return sorted(self._waiting,
+                          key=lambda s: (-s.priority, s.arrival_us,
+                                         s.request_id))
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"depth": len(self._waiting), "admitted": self.admitted,
+                    "rejected": self.rejected, "removed": self.removed,
+                    "max_depth": self.max_depth}

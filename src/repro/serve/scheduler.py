@@ -1,0 +1,218 @@
+"""Batching scheduler: coalesce, shard, dispatch.
+
+The scheduler is the serving layer's core idea: a stream of single-NTT
+invocations is *mergeable work*.  Same-shape forward
+:class:`~repro.api.NttRequest`\\ s arriving within a batching window
+coalesce into one multi-bank dispatch — exactly the Sec. VI.A
+deployment, built from the PR 2 merge recipes, so the merged program,
+compiled stream and timing schedule all come out of the shared caches
+once per shape.  Distinct shapes are *sharded* across simulated
+channels/devices: each shard owns its own command bus and bank set, so
+two shapes serve concurrently in device time.
+
+Planning is a deterministic discrete-event walk over virtual time
+(:meth:`BatchingScheduler.plan`): admission happens at arrival against
+the bounded queue, a group closes when its window elapses or it fills
+``max_banks``, and requests whose deadline passes while still queued
+expire before dispatch.  Group membership and dispatch times depend
+only on arrivals and the window — never on service times — which keeps
+the plan exact while execution is pipelined underneath
+(:mod:`repro.serve.server`).
+
+Results are bit-identical to sequential facade calls: a dispatch group
+runs as a :class:`~repro.api.MultiBankRequest`, whose per-bank
+functional execution is the same per-request compiled stream a
+standalone ``Simulator.run`` replays.
+
+``sequential_policy()`` degenerates the same machinery into the naive
+baseline (window 0, one request per dispatch) the benchmark compares
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..api.requests import NttRequest
+from ..sim.driver import SimConfig
+from .queueing import RequestQueue, ServeRequest
+from .telemetry import RequestRecord, STATUS_EXPIRED, STATUS_REJECTED, Telemetry
+
+__all__ = ["DispatchUnit", "BatchingScheduler", "sequential_policy",
+           "shape_key"]
+
+
+def shape_key(sreq: ServeRequest,
+              default_config: SimConfig) -> Optional[tuple]:
+    """The coalescing key, or ``None`` when the request cannot batch.
+
+    Only forward cyclic NTTs merge (the multi-bank recipe); the
+    effective :class:`SimConfig` is part of the key because the merged
+    program depends on it — a per-request config override only batches
+    with requests under the same override.
+    """
+    request = sreq.request
+    if type(request) is NttRequest and not request.inverse:
+        config = sreq.config if sreq.config is not None else default_config
+        return ("ntt", request.params.n, request.params.q,
+                request.params.omega, config)
+    return None
+
+
+@dataclass
+class DispatchUnit:
+    """One scheduler decision: these requests run together, here."""
+
+    seq: int
+    members: List[ServeRequest]
+    #: Virtual time the group closed (left the queue).
+    ready_us: float
+    shard: int
+    #: Coalescing key (``None`` for pass-through singles).
+    shape: Optional[tuple] = None
+    #: Effective priority: a group serves at its most urgent member's.
+    priority: int = 0
+
+    @property
+    def banks(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class _OpenGroup:
+    shape: tuple
+    close_at: float
+    members: List[ServeRequest] = field(default_factory=list)
+
+
+class BatchingScheduler:
+    """Window-based coalescing with round-robin shape→shard placement."""
+
+    def __init__(self, *, window_us: float = 50.0, max_banks: int = 8,
+                 num_shards: int = 1):
+        if window_us < 0:
+            raise ValueError("window_us must be >= 0")
+        if max_banks < 1:
+            raise ValueError("max_banks must be >= 1")
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.window_us = window_us
+        self.max_banks = max_banks
+        self.num_shards = num_shards
+        # Stable placement: shapes (and unbatchable singles) take shards
+        # round-robin in order of first appearance — deterministic given
+        # the arrival order, unlike hash()-based routing.
+        self._shard_of: Dict[tuple, int] = {}
+        self._next_shard = 0
+
+    def _route(self, shape: Optional[tuple], request_id: int) -> int:
+        if shape is None:
+            # Unbatchable singles need no persistent placement (their
+            # ids never recur) — plain round-robin, nothing stored.
+            shard = self._next_shard % self.num_shards
+            self._next_shard += 1
+            return shard
+        shard = self._shard_of.get(shape)
+        if shard is None:
+            shard = self._next_shard % self.num_shards
+            self._next_shard += 1
+            self._shard_of[shape] = shard
+        return shard
+
+    # -- planning ---------------------------------------------------------------
+    def plan(self, arrivals: List[ServeRequest], queue: RequestQueue,
+             default_config: SimConfig,
+             telemetry: Optional[Telemetry] = None
+             ) -> Tuple[List[DispatchUnit], List[RequestRecord]]:
+        """Deterministic discrete-event walk over the arrival stream.
+
+        Returns ``(units, dropped)``: the dispatch plan plus records for
+        requests that never reached a shard (admission rejections and
+        queued-past-deadline expiries).  ``arrivals`` must be sorted by
+        ``(arrival_us, request_id)``.
+        """
+        units: List[DispatchUnit] = []
+        dropped: List[RequestRecord] = []
+        open_groups: Dict[tuple, _OpenGroup] = {}
+        i = 0
+
+        def close_group(group: _OpenGroup, now_us: float) -> None:
+            open_groups.pop(group.shape, None)
+            live: List[ServeRequest] = []
+            for member in group.members:
+                queue.remove(member)
+                if (member.deadline_us is not None
+                        and member.deadline_us < now_us):
+                    dropped.append(RequestRecord(
+                        request_id=member.request_id,
+                        workload=member.request.workload,
+                        status=STATUS_EXPIRED, priority=member.priority,
+                        arrival_us=member.arrival_us,
+                        deadline_us=member.deadline_us,
+                        deadline_missed=True))
+                else:
+                    live.append(member)
+            if telemetry is not None:
+                telemetry.sample_depth(now_us, queue.depth())
+            if not live:
+                return
+            units.append(DispatchUnit(
+                seq=len(units), members=live, ready_us=now_us,
+                shard=self._route(group.shape, live[0].request_id),
+                shape=group.shape,
+                priority=max(m.priority for m in live)))
+            if telemetry is not None:
+                telemetry.note_group(len(live))
+
+        while i < len(arrivals) or open_groups:
+            next_arrival = (arrivals[i].arrival_us if i < len(arrivals)
+                            else float("inf"))
+            closing = (min(open_groups.values(), key=lambda g: g.close_at)
+                       if open_groups else None)
+            if closing is not None and closing.close_at <= next_arrival:
+                close_group(closing, closing.close_at)
+                continue
+
+            sreq = arrivals[i]
+            i += 1
+            now_us = sreq.arrival_us
+            if not queue.offer(sreq):
+                dropped.append(RequestRecord(
+                    request_id=sreq.request_id,
+                    workload=sreq.request.workload,
+                    status=STATUS_REJECTED, priority=sreq.priority,
+                    arrival_us=now_us, deadline_us=sreq.deadline_us))
+                continue
+            if telemetry is not None:
+                telemetry.sample_depth(now_us, queue.depth())
+            shape = shape_key(sreq, default_config)
+            if shape is None or self.max_banks == 1:
+                # Unbatchable (or batching disabled): dispatch alone,
+                # immediately — holding it in a window buys nothing.
+                queue.remove(sreq)
+                units.append(DispatchUnit(
+                    seq=len(units), members=[sreq], ready_us=now_us,
+                    shard=self._route(None, sreq.request_id),
+                    priority=sreq.priority))
+                if telemetry is not None:
+                    telemetry.note_group(1)
+                    telemetry.sample_depth(now_us, queue.depth())
+                continue
+            group = open_groups.get(shape)
+            if group is None:
+                group = _OpenGroup(shape=shape,
+                                   close_at=now_us + self.window_us)
+                open_groups[shape] = group
+            group.members.append(sreq)
+            if len(group.members) >= self.max_banks:
+                close_group(group, now_us)
+        return units, dropped
+
+
+def sequential_policy(num_shards: int = 1) -> BatchingScheduler:
+    """The naive baseline: no window, no coalescing — every request is
+    its own dispatch, served in arrival order.  Same machinery, so the
+    benchmark's comparison isolates *batching*, nothing else."""
+    return BatchingScheduler(window_us=0.0, max_banks=1,
+                             num_shards=num_shards)

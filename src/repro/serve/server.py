@@ -1,0 +1,263 @@
+"""`SimServer`: the serving loop over the Simulator facade.
+
+::
+
+    arrivals ──> RequestQueue ──> BatchingScheduler ──> shard 0 ─┐
+                 (admission,      (window coalescing,   shard 1 ─┼─> stream
+                  priorities,      multi-bank merge,      ...    │   engine
+                  deadlines)       shape→shard routing) shard S ─┘
+                                                            │
+                        WorkerPool (inline | thread) ───────┘
+                        pipelines group k+1's compile
+                        under group k's execution
+
+Two clocks run side by side.  *Virtual* (simulated-device) time drives
+everything a client would measure: arrivals, batching windows, shard
+backlogs, latencies, throughput — a deterministic discrete-event model
+whose service times are the timing engine's schedule latencies.  *Host*
+wall-clock time is how long the functional simulation takes to chew
+through the plan; the worker pool only optimizes the latter and can
+never change the former.
+
+Planning (group membership, dispatch times, drops) depends only on
+arrivals and the window — never on service times — so the plan is fixed
+before execution begins and execution can be pipelined freely.  Every
+response is bit-identical to a standalone ``Simulator.run`` of the same
+request: a dispatch group executes as a
+:class:`~repro.api.MultiBankRequest` whose per-bank streams are the
+same compiled programs a solo run replays
+(``benchmarks/bench_serve.py`` asserts this on every run).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..api.requests import SimRequest
+from ..api.simulator import Simulator
+from ..api.workloads import precompile_request
+from ..sim.driver import SimConfig
+from .queueing import RequestQueue, ServeRequest
+from .scheduler import BatchingScheduler, DispatchUnit, sequential_policy
+from .telemetry import RequestRecord, Telemetry
+from .workers import make_pool
+
+__all__ = ["ServeResult", "SimServer"]
+
+
+@dataclass
+class ServeResult:
+    """One served request: its record, and the response (``None`` when
+    admission rejected it or its deadline expired in the queue)."""
+
+    record: RequestRecord
+    response: Optional[object] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.response is not None
+
+
+class SimServer:
+    """Async-style serving layer bound to one default :class:`SimConfig`.
+
+    ``scheduler`` is ``"batching"`` (default), ``"sequential"`` (the
+    naive baseline: no coalescing) or a :class:`BatchingScheduler`
+    instance.  ``workers`` picks the execution backend (``"inline"`` or
+    ``"thread"``); ``pipeline`` overlaps the next dispatch group's
+    compile with the current group's execution when the backend is
+    concurrent.
+    """
+
+    def __init__(self, config: Optional[SimConfig] = None, *,
+                 scheduler: Union[str, BatchingScheduler] = "batching",
+                 window_us: float = 50.0,
+                 max_banks: int = 8,
+                 num_shards: int = 1,
+                 max_depth: int = 256,
+                 workers: str = "inline",
+                 worker_threads: int = 2,
+                 pipeline: bool = True):
+        self.config = config or SimConfig()
+        if isinstance(scheduler, BatchingScheduler):
+            self.scheduler = scheduler
+        elif scheduler == "batching":
+            self.scheduler = BatchingScheduler(
+                window_us=window_us, max_banks=max_banks,
+                num_shards=num_shards)
+        elif scheduler == "sequential":
+            self.scheduler = sequential_policy(num_shards)
+        else:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; choose 'batching', "
+                f"'sequential' or pass a BatchingScheduler")
+        self.queue = RequestQueue(max_depth=max_depth)
+        self.telemetry = Telemetry()
+        self.workers = workers
+        self.worker_threads = worker_threads
+        self.pipeline = pipeline
+        # Session virtual clock: monotonic across serve() calls, so a
+        # sequence of call()s reads as serial traffic in the telemetry.
+        self._clock_us = 0.0
+
+    # -- public entry points -----------------------------------------------------
+    def serve(self, requests: Iterable[Union[ServeRequest, SimRequest]]
+              ) -> List[ServeResult]:
+        """Serve a whole arrival stream; results come back in *input*
+        order, one per request (including drops), so
+        ``zip(requests, results)`` always correlates.
+
+        The server's virtual clock is monotonic across calls: each
+        call's arrivals (and deadlines) are offset to start where the
+        previous call ended, so session telemetry over many calls —
+        e.g. a :class:`~repro.sim.host.PimMemoryController` issuing one
+        ``call()`` per NTT_INVOKE — reads as the serial traffic it is.
+        Unassigned (0) or duplicate request ids are replaced with fresh
+        ones (two concatenated ``LoadGenerator`` streams both number
+        from 1); results stay positional either way.
+        """
+        offset = self._clock_us
+        sreqs: List[ServeRequest] = []
+        seen_ids = set()
+        for item in requests:
+            if not isinstance(item, ServeRequest):
+                item = ServeRequest(request=item)
+            item.request.validate()
+            changes = {}
+            if offset:
+                changes["arrival_us"] = item.arrival_us + offset
+                if item.deadline_us is not None:
+                    changes["deadline_us"] = item.deadline_us + offset
+            request_id = item.request_id
+            if request_id == 0 or request_id in seen_ids:
+                request_id = self.queue.next_id()
+                while request_id in seen_ids:
+                    request_id = self.queue.next_id()
+                changes["request_id"] = request_id
+            seen_ids.add(request_id)
+            # Copy-on-write keeps the caller's ServeRequest untouched.
+            sreqs.append(dataclasses.replace(item, **changes)
+                         if changes else item)
+        arrivals = sorted(sreqs, key=lambda s: (s.arrival_us, s.request_id))
+
+        cache_before = Simulator(self.config).cache_info()
+        units, dropped = self.scheduler.plan(arrivals, self.queue,
+                                             self.config, self.telemetry)
+        results: Dict[int, ServeResult] = {}
+        for record in dropped:
+            self.telemetry.add(record)
+            results[record.request_id] = ServeResult(record=record)
+
+        by_shard: Dict[int, List[DispatchUnit]] = {}
+        for unit in units:
+            by_shard.setdefault(unit.shard, []).append(unit)
+        with make_pool(self.workers, self.worker_threads) as pool:
+            for shard in sorted(by_shard):
+                self._run_shard(shard, by_shard[shard], pool, results)
+
+        # Advance the session clock past everything this call touched.
+        clock = max((s.arrival_us for s in sreqs), default=offset)
+        clock = max([clock] + [r.record.completion_us
+                               for r in results.values() if r.ok])
+        self._clock_us = max(self._clock_us, clock)
+
+        # Session-wide cache rollup: accumulate this call's deltas onto
+        # the running totals (entries is a point-in-time gauge).
+        cache_after = Simulator(self.config).cache_info()
+        session = self.telemetry.cache
+        for name in ("program", "stream", "schedule"):
+            entry = session.setdefault(name, {"hits": 0, "misses": 0})
+            entry["hits"] += (cache_after[name]["hits"]
+                              - cache_before[name]["hits"])
+            entry["misses"] += (cache_after[name]["misses"]
+                                - cache_before[name]["misses"])
+            entry["entries"] = cache_after[name]["entries"]
+        return [results[s.request_id] for s in sreqs]
+
+    def call(self, request: SimRequest, *,
+             config: Optional[SimConfig] = None,
+             priority: int = 0):
+        """Serve one request synchronously through the full queue →
+        scheduler → shard path and return its facade ``SimResponse``
+        (the :class:`repro.sim.host.PimMemoryController` route)."""
+        result = self.serve([ServeRequest(request=request, priority=priority,
+                                          config=config)])[0]
+        return result.response
+
+    # -- execution ---------------------------------------------------------------
+    def _effective_config(self, unit: DispatchUnit) -> SimConfig:
+        override = unit.members[0].config
+        return override if override is not None else self.config
+
+    def _merged_request(self, unit: DispatchUnit) -> SimRequest:
+        if unit.banks == 1:
+            return unit.members[0].request
+        return Simulator.merge_forward_ntts(
+            [m.request for m in unit.members])
+
+    def _execute(self, unit: DispatchUnit):
+        return Simulator(self._effective_config(unit)).run(
+            self._merged_request(unit))
+
+    def _run_shard(self, shard: int, pending: List[DispatchUnit],
+                   pool, results: Dict[int, ServeResult]) -> None:
+        """Serve one shard's dispatch list in virtual time.
+
+        Units wait at the shard until it frees up; among the ready ones
+        the most urgent (priority, then FIFO) serves first.  Execution
+        order within the shard is exactly this service order; the
+        pipelined compile below warms the unit most likely to serve
+        next (highest priority, then earliest — exact whenever that
+        unit is ready by the time this one completes).
+        """
+        pending = list(pending)
+        now_us = 0.0
+        while pending:
+            ready = [u for u in pending if u.ready_us <= now_us]
+            if not ready:
+                now_us = min(u.ready_us for u in pending)
+                continue
+            unit = max(ready, key=lambda u: (u.priority, -u.seq))
+            pending.remove(unit)
+
+            execution = pool.submit(self._execute, unit)
+            if self.pipeline and pool.concurrent and pending:
+                # Warm the compile caches for the likely-next unit
+                # while this one executes (thread backend only) —
+                # service order is priority-first, so mirror it.
+                nxt = min(pending,
+                          key=lambda u: (-u.priority, u.ready_us, u.seq))
+                pool.submit(precompile_request, self._effective_config(nxt),
+                            self._merged_request(nxt))
+            grouped = execution.result()
+
+            start_us = max(now_us, unit.ready_us)
+            completion_us = start_us + grouped.latency_us
+            now_us = completion_us
+            banks = unit.banks
+            for slot, member in enumerate(unit.members):
+                if banks == 1:
+                    response = grouped
+                else:
+                    response = Simulator._split_group(
+                        grouped, member.request, slot, banks)
+                record = RequestRecord(
+                    request_id=member.request_id,
+                    workload=member.request.workload,
+                    priority=member.priority,
+                    arrival_us=member.arrival_us,
+                    dispatch_us=unit.ready_us,
+                    start_us=start_us,
+                    completion_us=completion_us,
+                    deadline_us=member.deadline_us,
+                    deadline_missed=(member.deadline_us is not None
+                                     and completion_us > member.deadline_us),
+                    group_banks=banks,
+                    shard=shard,
+                    cycles=grouped.cycles // banks,
+                    energy_nj=grouped.energy_nj / banks)
+                self.telemetry.add(record)
+                results[member.request_id] = ServeResult(record=record,
+                                                         response=response)

@@ -1,0 +1,184 @@
+"""Session/telemetry layer of the serving subsystem.
+
+Every request that passes through :class:`repro.serve.server.SimServer`
+leaves a :class:`RequestRecord` — arrival/dispatch/start/completion
+virtual times, queue wait, batch occupancy, shard, simulated
+cycles/energy share — and the server samples queue depth at every
+arrival/dispatch event.  :meth:`Telemetry.snapshot` rolls those up into
+the numbers a serving dashboard would plot: throughput (requests per
+simulated second), p50/p99 latency, mean batch occupancy, admission
+and deadline counts, cycle/energy totals and cache hit rates.
+
+Thread-safe: records may be appended from worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["RequestRecord", "Telemetry", "percentile",
+           "STATUS_OK", "STATUS_REJECTED", "STATUS_EXPIRED"]
+
+#: Terminal states of a served request.
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"   # admission control turned it away
+STATUS_EXPIRED = "expired"     # deadline passed while still queued
+
+
+def percentile(values: List[float], p: float) -> float:
+    """The ``p``-th percentile (0..100) with linear interpolation —
+    matches ``numpy.percentile`` for the sizes telemetry sees, without
+    requiring the array round-trip."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (p / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class RequestRecord:
+    """Per-request serving facts (virtual / simulated time throughout)."""
+
+    request_id: int
+    workload: str = ""
+    status: str = STATUS_OK
+    priority: int = 0
+    arrival_us: float = 0.0
+    #: When the scheduler closed the request's dispatch group.
+    dispatch_us: float = 0.0
+    #: When the shard actually began serving the group.
+    start_us: float = 0.0
+    completion_us: float = 0.0
+    deadline_us: Optional[float] = None
+    deadline_missed: bool = False
+    #: Members in the request's dispatch group (1 = unbatched).
+    group_banks: int = 1
+    shard: int = 0
+    #: This request's share of simulated cycles / energy (per-bank split
+    #: for grouped dispatches, so sums over records stay physical).
+    cycles: int = 0
+    energy_nj: float = 0.0
+
+    @property
+    def latency_us(self) -> float:
+        """Arrival-to-completion — what the client experienced."""
+        return self.completion_us - self.arrival_us
+
+    @property
+    def queue_wait_us(self) -> float:
+        """Arrival-to-service-start (window wait + shard backlog)."""
+        return self.start_us - self.arrival_us
+
+    @property
+    def service_us(self) -> float:
+        return self.completion_us - self.start_us
+
+
+class Telemetry:
+    """Accumulates records and event samples for one serving session."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.records: List[RequestRecord] = []
+        #: ``(virtual_time_us, queue_depth)`` at every queue event.
+        self.depth_samples: List[tuple] = []
+        #: Dispatch-group sizes, one entry per dispatched group.
+        self.occupancies: List[int] = []
+        #: ``{"program": {...}, "stream": {...}, "schedule": {...}}``
+        #: hit/miss deltas over the session (set by the server).
+        self.cache: Dict[str, Dict[str, int]] = {}
+
+    def add(self, record: RequestRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    def sample_depth(self, now_us: float, depth: int) -> None:
+        with self._lock:
+            self.depth_samples.append((now_us, depth))
+
+    def note_group(self, banks: int) -> None:
+        with self._lock:
+            self.occupancies.append(banks)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.records.clear()
+            self.depth_samples.clear()
+            self.occupancies.clear()
+            self.cache = {}
+
+    # -- rollups -----------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """The session rollup (all times in simulated microseconds)."""
+        with self._lock:
+            records = list(self.records)
+            depth_samples = list(self.depth_samples)
+            occupancies = list(self.occupancies)
+            cache = {k: dict(v) for k, v in self.cache.items()}
+        done = [r for r in records if r.status == STATUS_OK]
+        latencies = [r.latency_us for r in done]
+        waits = [r.queue_wait_us for r in done]
+        makespan_us = (max(r.completion_us for r in done) -
+                       min(r.arrival_us for r in done)) if done else 0.0
+        snapshot: Dict[str, object] = {
+            "requests": len(records),
+            "completed": len(done),
+            "rejected": sum(r.status == STATUS_REJECTED for r in records),
+            "expired": sum(r.status == STATUS_EXPIRED for r in records),
+            "deadline_missed": sum(r.deadline_missed for r in done),
+            "makespan_us": makespan_us,
+            "throughput_rps": (len(done) / (makespan_us * 1e-6)
+                               if makespan_us > 0 else 0.0),
+            "latency_p50_us": percentile(latencies, 50.0),
+            "latency_p99_us": percentile(latencies, 99.0),
+            "latency_mean_us": (sum(latencies) / len(latencies)
+                                if latencies else 0.0),
+            "queue_wait_p50_us": percentile(waits, 50.0),
+            "queue_wait_p99_us": percentile(waits, 99.0),
+            "max_queue_depth": max((d for _, d in depth_samples), default=0),
+            "dispatches": len(occupancies),
+            "mean_batch_occupancy": (sum(occupancies) / len(occupancies)
+                                     if occupancies else 0.0),
+            "total_cycles": sum(r.cycles for r in done),
+            "total_energy_nj": sum(r.energy_nj for r in done),
+        }
+        if cache:
+            snapshot["cache"] = cache
+            lookups = sum(c.get("hits", 0) + c.get("misses", 0)
+                          for c in cache.values())
+            hits = sum(c.get("hits", 0) for c in cache.values())
+            snapshot["cache_hit_rate"] = hits / lookups if lookups else 0.0
+        return snapshot
+
+    def summary(self) -> str:
+        """Multi-line human report (the ``repro serve`` CLI output)."""
+        s = self.snapshot()
+        lines = [
+            f"requests       : {s['requests']} "
+            f"(completed={s['completed']} rejected={s['rejected']} "
+            f"expired={s['expired']} deadline_missed={s['deadline_missed']})",
+            f"throughput     : {s['throughput_rps']:.1f} req/s over "
+            f"{s['makespan_us'] / 1e3:.2f} ms simulated",
+            f"latency        : p50={s['latency_p50_us']:.2f} us  "
+            f"p99={s['latency_p99_us']:.2f} us  "
+            f"mean={s['latency_mean_us']:.2f} us",
+            f"queue wait     : p50={s['queue_wait_p50_us']:.2f} us  "
+            f"p99={s['queue_wait_p99_us']:.2f} us  "
+            f"max depth={s['max_queue_depth']}",
+            f"batching       : {s['dispatches']} dispatches, "
+            f"mean occupancy {s['mean_batch_occupancy']:.2f}",
+            f"device totals  : {s['total_cycles']} cycles, "
+            f"{s['total_energy_nj']:.1f} nJ",
+        ]
+        if "cache_hit_rate" in s:
+            lines.append(f"compile caches : "
+                         f"{s['cache_hit_rate'] * 100:.1f}% hit rate")
+        return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Worker-pool backends of the serving layer.
+
+One interface, two executors:
+
+* :class:`InlineWorkerPool` — runs work on the calling thread.  The
+  deterministic default.
+* :class:`ThreadWorkerPool` — a small thread pool, used to *pipeline*
+  the compile side of dispatch group *k+1*
+  (:func:`repro.api.workloads.precompile_request`: command program,
+  compiled stream, timing schedule — all thread-safe caches) under the
+  functional execution of group *k*.
+
+Whether threads help is measured rather than assumed — and on CPython
+they do not: the functional hot loops are *integer* NumPy ufuncs,
+which hold the GIL throughout (unlike float BLAS kernels), and the
+compile side is GIL-bound pure Python, so overlapping them buys
+nothing.  ``benchmarks/bench_serve.py`` records the measured
+inline-vs-thread wall clock in ``BENCH_serve.json`` (``pipeline``
+section): with warm caches the thread backend is break-even (the
+pipelined compile is a cache hit, a no-op); on cold caches it is
+~1.3-1.6x *slower* — the compile contends with the execution thread
+for the GIL instead of hiding under it.  That is why ``inline`` is the
+default and the thread backend exists as the measured-and-documented
+alternative behind the same interface (it becomes interesting on
+free-threaded builds or if the kernels move to GIL-releasing
+extensions).  Executors never change results: every artifact the
+compile side produces is a pure function of ``(request shape,
+config)``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable
+
+__all__ = ["WorkerPool", "InlineWorkerPool", "ThreadWorkerPool",
+           "WORKER_BACKENDS", "make_pool"]
+
+
+class WorkerPool:
+    """Executor interface the server codes against."""
+
+    #: Whether submitted tasks can actually overlap (pipelining works).
+    concurrent: bool = False
+
+    def submit(self, fn: Callable, *args) -> "Future":
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release resources; the pool is unusable afterwards."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False
+
+
+class InlineWorkerPool(WorkerPool):
+    """Runs every task synchronously on the submitting thread."""
+
+    concurrent = False
+
+    def submit(self, fn: Callable, *args) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # pragma: no cover - propagated via result()
+            future.set_exception(exc)
+        return future
+
+
+class ThreadWorkerPool(WorkerPool):
+    """A bounded thread pool (default 2: one executing, one compiling)."""
+
+    concurrent = True
+
+    def __init__(self, workers: int = 2):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve")
+
+    def submit(self, fn: Callable, *args) -> Future:
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+#: Registered worker backends of the ``repro serve`` CLI.
+WORKER_BACKENDS = ("inline", "thread")
+
+
+def make_pool(kind: str, workers: int = 2) -> WorkerPool:
+    """Build the named worker backend (``inline`` or ``thread``)."""
+    if kind == "inline":
+        return InlineWorkerPool()
+    if kind == "thread":
+        return ThreadWorkerPool(workers)
+    raise ValueError(f"unknown worker backend {kind!r}; "
+                     f"choose from {WORKER_BACKENDS}")

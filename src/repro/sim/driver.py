@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from .._cache import ArtifactCache
 from ..arith.bitrev import bit_reverse_permute
 from ..arith.roots import NttParams
 from ..dram.commands import Command
@@ -62,11 +63,11 @@ VERIFY_DEFAULT = _VerifyDefault()
 # batch and multi-bank mergers build fresh lists on every call, yet hit
 # the same entries via keys derived from their components' keys.
 # Cached ScheduleResults are shared between runs — treat them as
-# immutable.
+# immutable.  Thread-safe via the shared ArtifactCache (locked
+# lookup/stats/eviction, simulation outside the lock, one canonical
+# ScheduleResult per key).
 _MAX_SCHEDULES = 128
-_schedule_cache: dict = {}
-_schedule_hits = 0
-_schedule_misses = 0
+_schedule_cache = ArtifactCache(_MAX_SCHEDULES)
 
 
 def cached_schedule(commands, timing, arch, compute, energy, key=None):
@@ -82,27 +83,20 @@ def cached_schedule(commands, timing, arch, compute, energy, key=None):
     recipe over such keys) that avoids hashing thousands of commands per
     lookup; when ``None``, the command tuple itself is the key.
     """
-    global _schedule_hits, _schedule_misses
     if isinstance(commands, CommandStream):
         stream, commands = commands, commands.commands
     else:
         stream = None
     cache_key = (key if key is not None else tuple(commands),
                  timing, arch, compute, energy)
-    hit = _schedule_cache.get(cache_key)
-    if hit is not None:
-        _schedule_hits += 1
-        return hit
-    _schedule_misses += 1
-    if stream is None:
-        stream = cached_stream(commands, arch, key=key)
-    schedule = TimingEngine(timing, arch, compute=compute,
-                            energy=energy).simulate_stream(stream)
-    if len(_schedule_cache) >= _MAX_SCHEDULES:
-        for stale in list(_schedule_cache)[: _MAX_SCHEDULES // 4]:
-            del _schedule_cache[stale]
-    _schedule_cache[cache_key] = schedule
-    return schedule
+
+    def simulate():
+        compiled = (stream if stream is not None
+                    else cached_stream(commands, arch, key=key))
+        return TimingEngine(timing, arch, compute=compute,
+                            energy=energy).simulate_stream(compiled)
+
+    return _schedule_cache.get_or_create(cache_key, simulate)
 
 
 # Backwards-compatible internal alias (pre-facade name).
@@ -112,16 +106,12 @@ _cached_schedule = cached_schedule
 def schedule_cache_info() -> dict:
     """Schedule-cache statistics (mirrors
     :func:`repro.mapping.program_cache.program_cache_info`)."""
-    return {"entries": len(_schedule_cache), "hits": _schedule_hits,
-            "misses": _schedule_misses}
+    return _schedule_cache.info()
 
 
 def clear_schedule_cache() -> None:
     """Empty the schedule cache and reset statistics (test isolation)."""
-    global _schedule_hits, _schedule_misses
     _schedule_cache.clear()
-    _schedule_hits = 0
-    _schedule_misses = 0
 
 
 @dataclass(frozen=True)

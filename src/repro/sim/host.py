@@ -9,7 +9,12 @@ write *response* signals completion.
 This module models that protocol: plain reads/writes move data in and
 out of the bank (through untimed host access, standing in for ordinary
 DRAM traffic), and :class:`PimMemoryController` serves NTT_INVOKE
-requests through the :class:`repro.api.Simulator` facade.
+requests through the :class:`repro.api.Simulator` facade — or, when
+constructed with a :class:`repro.serve.SimServer`, through the serving
+layer's full queue → scheduler → shard path, so host-protocol traffic
+shares admission control, telemetry and the batching machinery with
+every other client of the server.  Both routes produce bit-identical
+data results.
 """
 
 from __future__ import annotations
@@ -68,10 +73,19 @@ class PimMemoryController:
     Data written via WRITE persists across requests (it is "already in
     the memory" when the NTT arrives); NTT_INVOKE overwrites it with the
     transform result, as the paper's host protocol specifies.
+
+    ``server`` optionally routes NTT invocations through a
+    :class:`repro.serve.SimServer` (queue, batching scheduler, shards,
+    telemetry) instead of a direct facade call; the data result is
+    bit-identical either way.  The per-request :class:`SimConfig`
+    (base row from the request address) rides along as the serve
+    layer's config override.
     """
 
-    def __init__(self, config: SimConfig | None = None):
+    def __init__(self, config: SimConfig | None = None, server=None):
         self.config = config or SimConfig()
+        #: Optional :class:`repro.serve.SimServer` the NTT path uses.
+        self.server = server
         self._words_per_row = self.config.arch.words_per_row
         # Host-visible backing store (word address space of one bank).
         self._memory = {}
@@ -118,8 +132,9 @@ class PimMemoryController:
             # order for the driver's host-side step (an involution).
             values = bit_reverse_permute(values)
         # Imported here, not at module top: repro.sim is an engine-room
-        # package of the facade, so the dependency must stay one-way at
-        # import time (repro.api -> repro.sim).
+        # package of the facade and the serving layer, so the dependency
+        # must stay one-way at import time (repro.api/repro.serve ->
+        # repro.sim).
         from ..api import NttRequest, Simulator
 
         config = SimConfig(
@@ -128,9 +143,12 @@ class PimMemoryController:
             base_row=base_row, verify=self.config.verify,
             functional=self.config.functional,
             mapper_options=self.config.mapper_options)
+        ntt_request = NttRequest(params=params, values=tuple(values))
         try:
-            response = Simulator(config).run(
-                NttRequest(params=params, values=tuple(values)))
+            if self.server is not None:
+                response = self.server.call(ntt_request, config=config)
+            else:
+                response = Simulator(config).run(ntt_request)
         except MappingError as exc:
             return MemoryResponse(ok=False, detail=str(exc))
         run = response.raw

@@ -23,7 +23,8 @@ from ..ntt.reference import ntt as reference_ntt
 from ..pim.bank_pim import PimBank
 from .driver import SimConfig, cached_schedule
 
-__all__ = ["interleave_programs", "MultiBankResult", "run_multibank"]
+__all__ = ["interleave_programs", "compile_multibank", "MultiBankResult",
+           "run_multibank"]
 
 
 def interleave_programs(programs: Sequence[List[Command]]) -> List[Command]:
@@ -93,11 +94,14 @@ def run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
     return _run_multibank(inputs, ntt, config)
 
 
-def _run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
-                   config: SimConfig | None = None) -> MultiBankResult:
-    """Run ``len(inputs)`` independent NTTs, one per bank."""
-    config = config or SimConfig()
-    banks = len(inputs)
+def compile_multibank(ntt: NttParams, banks: int, config: SimConfig):
+    """Compile the ``banks``-way interleaved program for one shape.
+
+    Returns ``(programs, merged_stream, merged_key)``.  Everything is
+    memoized (program / stream caches), so this doubles as the *warm-up*
+    step the streaming ``run_many`` and the serving layer's worker pool
+    run for group *k+1* while group *k* executes.
+    """
     if banks < 1:
         raise ValueError("need at least one bank's worth of input")
     # Programs are memoized per (params, config, bank): repeated rounds
@@ -105,16 +109,28 @@ def _run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
     programs = [cyclic_program(ntt, config.arch, config.pim, config.base_row,
                                k, config.mapper_options)
                 for k in range(banks)]
-    merged = interleave_programs([p.commands for p in programs])
-
-    # Shared schedule cache: ``merged`` is a fresh list on every call,
-    # but its content is a pure function of the component programs, so
-    # the merge recipe over their keys is an exact (and cheap) cache key.
-    compute = config.pim.compute_timing()
+    # The merged list's content is a pure function of the component
+    # programs, so the merge recipe over their keys is an exact (and
+    # cheap) shared-cache key — and the merge itself runs lazily, only
+    # when the stream cache misses on that key.
     keys = [p.key for p in programs]
     merged_key = (("interleave", tuple(keys))
                   if all(k is not None for k in keys) else None)
-    schedule = cached_schedule(merged, config.timing, config.arch,
+    merged_stream = cached_stream(
+        lambda: interleave_programs([p.commands for p in programs]),
+        config.arch, key=merged_key)
+    return programs, merged_stream, merged_key
+
+
+def _run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
+                   config: SimConfig | None = None) -> MultiBankResult:
+    """Run ``len(inputs)`` independent NTTs, one per bank."""
+    config = config or SimConfig()
+    banks = len(inputs)
+    programs, merged_stream, merged_key = compile_multibank(ntt, banks,
+                                                            config)
+    compute = config.pim.compute_timing()
+    schedule = cached_schedule(merged_stream, config.timing, config.arch,
                                compute, config.energy, key=merged_key)
     single = cached_schedule(programs[0].commands, config.timing, config.arch,
                              compute, config.energy, key=programs[0].key)

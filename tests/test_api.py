@@ -367,3 +367,114 @@ class TestResponseEnvelope:
         assert f"N={N:>5}" in line
         assert "[ntt]" in line
         assert "verified=yes" in line
+
+
+class TestStreamingRunMany:
+    def _requests(self, count=5):
+        return [NttRequest(params=PARAMS, values=_data(60 + i))
+                for i in range(count)]
+
+    def test_iter_yields_every_index_once(self):
+        simulator = Simulator(SimConfig(verify=False))
+        requests = self._requests()
+        pairs = list(simulator.run_many_iter(requests, max_banks=2))
+        assert sorted(i for i, _ in pairs) == list(range(len(requests)))
+
+    def test_iter_matches_run_many(self):
+        simulator = Simulator(SimConfig(verify=False))
+        requests = self._requests()
+        collected = {}
+        for i, response in simulator.run_many_iter(requests, max_banks=2):
+            collected[i] = response
+        barriered = simulator.run_many(requests, max_banks=2)
+        for i, expected in enumerate(barriered):
+            assert collected[i].values == expected.values
+            assert collected[i].cycles == expected.cycles
+            assert collected[i].metrics.get("group_banks") == \
+                expected.metrics.get("group_banks")
+
+    def test_pipeline_off_is_equivalent(self):
+        simulator = Simulator(SimConfig(verify=False))
+        requests = self._requests(4)
+        plain = simulator.run_many(requests, pipeline=False)
+        piped = simulator.run_many(requests, pipeline=True)
+        assert [r.values for r in plain] == [r.values for r in piped]
+
+    def test_groups_stream_before_later_units_run(self):
+        """The first dispatch unit's responses arrive from the iterator
+        before later units execute — no whole-list barrier."""
+        simulator = Simulator(SimConfig(verify=False))
+        requests = self._requests(4) + [
+            NegacyclicRequest(ring=RING, values=_data(70, q=QN))]
+        iterator = simulator.run_many_iter(requests, max_banks=4)
+        first_indices = [next(iterator)[0] for _ in range(4)]
+        assert sorted(first_indices) == [0, 1, 2, 3]  # the bank group
+        index, response = next(iterator)
+        assert index == 4 and response.workload == "negacyclic"
+
+    def test_iter_validates_everything_up_front(self):
+        simulator = Simulator(SimConfig(verify=False))
+        requests = self._requests(2) + [
+            NttRequest(params=PARAMS, values=(1, 2, 3))]
+        with pytest.raises(RequestValidationError):
+            # Error surfaces at the first next(), before any run.
+            next(simulator.run_many_iter(requests))
+
+
+class TestProgramFunctional:
+    def _program(self):
+        return NttPimDriver()._program(PARAMS)
+
+    def test_functional_program_transforms_bank_data(self):
+        from repro.arith import bit_reverse_permute
+        from repro.ntt import ntt as reference_ntt
+        prog = self._program()
+        values = _data(80)
+        request = ProgramRequest(
+            commands=prog.commands, functional=True, modulus=Q,
+            memory=((0, tuple(bit_reverse_permute(values))),),
+            read_rows=(prog.result_base_row, N), label="fn-window")
+        response = Simulator().run(request)
+        assert response.values == reference_ntt(values, PARAMS)
+        assert response.counters.get("bu_ops", 0) > 0
+        assert response.metrics["label"] == "fn-window"
+        assert response.cycles > 0  # timing still reported
+
+    def test_timing_only_default_unchanged(self):
+        response = Simulator().run(
+            ProgramRequest(commands=self._program().commands))
+        assert response.values == []
+        assert "bu_ops" not in response.counters
+
+    def test_functional_fields_require_functional_flag(self):
+        commands = self._program().commands
+        for bad in (dict(modulus=Q), dict(read_rows=(0, N)),
+                    dict(memory=((0, (1, 2)),))):
+            with pytest.raises(RequestValidationError,
+                               match="functional=True"):
+                Simulator().run(ProgramRequest(commands=commands, **bad))
+
+    def test_functional_validation(self):
+        commands = self._program().commands
+        with pytest.raises(RequestValidationError, match="modulus"):
+            Simulator().run(ProgramRequest(commands=commands,
+                                           functional=True, modulus=1))
+        with pytest.raises(RequestValidationError, match="read_rows"):
+            Simulator().run(ProgramRequest(commands=commands,
+                                           functional=True,
+                                           read_rows=(0, 0)))
+        with pytest.raises(RequestValidationError, match="base_row"):
+            Simulator().run(ProgramRequest(commands=commands,
+                                           functional=True,
+                                           memory=((-1, (1,)),)))
+
+    def test_config_functional_switch_gates_execution(self):
+        """SimConfig(functional=False) keeps a functional request
+        timing-only (the sweep idiom wins)."""
+        prog = self._program()
+        request = ProgramRequest(
+            commands=prog.commands, functional=True, modulus=Q,
+            memory=((0, tuple(_data(81))),), read_rows=(prog.result_base_row, N))
+        response = Simulator(SimConfig(functional=False,
+                                       verify=False)).run(request)
+        assert response.values == []

@@ -1,0 +1,403 @@
+"""Tests for the repro.serve subsystem: queue, scheduler, workers,
+telemetry, load generation and the end-to-end server.
+
+The load-bearing property throughout: scheduling changes *when* work
+runs, never *what it computes* — every served response must be bit-
+identical to a standalone ``Simulator.run`` of the same request.
+"""
+
+import random
+
+import pytest
+
+from repro.api import NegacyclicRequest, NttRequest, Simulator
+from repro.arith import NttParams, find_ntt_prime
+from repro.ntt.negacyclic import NegacyclicParams
+from repro.serve import (
+    BatchingScheduler,
+    LoadGenerator,
+    RequestQueue,
+    ServeRequest,
+    SimServer,
+    Telemetry,
+    make_scenario,
+    percentile,
+    sequential_policy,
+    shape_key,
+)
+from repro.sim.driver import SimConfig
+
+N = 256
+Q = find_ntt_prime(N, 32)
+PARAMS = NttParams(N, Q)
+NOVERIFY = SimConfig(verify=False)
+
+
+def ntt_request(seed: int, params: NttParams = PARAMS) -> NttRequest:
+    rng = random.Random(seed)
+    return NttRequest(params=params,
+                      values=tuple(rng.randrange(params.q)
+                                   for _ in range(params.n)))
+
+
+def nega_request(seed: int) -> NegacyclicRequest:
+    ring = NegacyclicParams(N, find_ntt_prime(N, 32, negacyclic=True))
+    rng = random.Random(seed)
+    return NegacyclicRequest(ring=ring,
+                             values=tuple(rng.randrange(ring.q)
+                                          for _ in range(ring.n)))
+
+
+class TestRequestQueue:
+    def test_admission_control_rejects_when_full(self):
+        queue = RequestQueue(max_depth=2)
+        a = ServeRequest(request=ntt_request(0), request_id=1)
+        b = ServeRequest(request=ntt_request(1), request_id=2)
+        c = ServeRequest(request=ntt_request(2), request_id=3)
+        assert queue.offer(a) and queue.offer(b)
+        assert not queue.offer(c)
+        stats = queue.stats()
+        assert stats == {"depth": 2, "admitted": 2, "rejected": 1,
+                         "removed": 0, "max_depth": 2}
+        queue.remove(a)
+        assert queue.offer(c)
+
+    def test_waiting_orders_by_priority_then_fifo(self):
+        queue = RequestQueue()
+        low = ServeRequest(request=ntt_request(0), arrival_us=0.0,
+                           priority=0, request_id=1)
+        high = ServeRequest(request=ntt_request(1), arrival_us=5.0,
+                            priority=3, request_id=2)
+        low2 = ServeRequest(request=ntt_request(2), arrival_us=1.0,
+                            priority=0, request_id=3)
+        for s in (low, high, low2):
+            queue.offer(s)
+        assert [s.request_id for s in queue.waiting()] == [2, 1, 3]
+
+    def test_max_depth_validation(self):
+        with pytest.raises(ValueError):
+            RequestQueue(max_depth=0)
+
+
+class TestShapeKey:
+    def test_forward_ntts_of_same_shape_share_a_key(self):
+        a = ServeRequest(request=ntt_request(0))
+        b = ServeRequest(request=ntt_request(1))
+        assert shape_key(a, NOVERIFY) == shape_key(b, NOVERIFY)
+
+    def test_inverse_and_negacyclic_do_not_batch(self):
+        inv = ServeRequest(request=NttRequest(params=PARAMS, inverse=True))
+        neg = ServeRequest(request=nega_request(0))
+        assert shape_key(inv, NOVERIFY) is None
+        assert shape_key(neg, NOVERIFY) is None
+
+    def test_config_override_separates_groups(self):
+        plain = ServeRequest(request=ntt_request(0))
+        override = ServeRequest(request=ntt_request(1),
+                                config=SimConfig(verify=True))
+        assert shape_key(plain, NOVERIFY) != shape_key(override, NOVERIFY)
+
+
+def _plan(scheduler, sreqs, max_depth=256, telemetry=None):
+    queue = RequestQueue(max_depth=max_depth)
+    return scheduler.plan(sorted(sreqs, key=lambda s: (s.arrival_us,
+                                                       s.request_id)),
+                          queue, NOVERIFY, telemetry)
+
+
+class TestBatchingSchedulerPlan:
+    def test_same_shape_within_window_coalesces(self):
+        sched = BatchingScheduler(window_us=50.0, max_banks=8)
+        sreqs = [ServeRequest(request=ntt_request(i), arrival_us=float(i),
+                              request_id=i + 1) for i in range(5)]
+        units, dropped = _plan(sched, sreqs)
+        assert not dropped
+        assert len(units) == 1
+        assert units[0].banks == 5
+        # The group closed when the head's window elapsed.
+        assert units[0].ready_us == pytest.approx(0.0 + 50.0)
+
+    def test_full_group_dispatches_before_window(self):
+        sched = BatchingScheduler(window_us=1000.0, max_banks=4)
+        sreqs = [ServeRequest(request=ntt_request(i), arrival_us=float(i),
+                              request_id=i + 1) for i in range(6)]
+        units, _ = _plan(sched, sreqs)
+        assert [u.banks for u in units] == [4, 2]
+        assert units[0].ready_us == pytest.approx(3.0)  # filled at 4th arrival
+
+    def test_window_closure_starts_a_fresh_group(self):
+        sched = BatchingScheduler(window_us=10.0, max_banks=8)
+        sreqs = [ServeRequest(request=ntt_request(0), arrival_us=0.0,
+                              request_id=1),
+                 ServeRequest(request=ntt_request(1), arrival_us=100.0,
+                              request_id=2)]
+        units, _ = _plan(sched, sreqs)
+        assert [u.banks for u in units] == [1, 1]
+        assert units[0].ready_us == pytest.approx(10.0)
+        assert units[1].ready_us == pytest.approx(110.0)
+
+    def test_unbatchable_requests_dispatch_immediately(self):
+        sched = BatchingScheduler(window_us=50.0, max_banks=8)
+        sreqs = [ServeRequest(request=nega_request(0), arrival_us=3.0,
+                              request_id=1)]
+        units, _ = _plan(sched, sreqs)
+        assert len(units) == 1 and units[0].ready_us == pytest.approx(3.0)
+
+    def test_sequential_policy_never_groups(self):
+        sreqs = [ServeRequest(request=ntt_request(i), arrival_us=float(i),
+                              request_id=i + 1) for i in range(4)]
+        units, _ = _plan(sequential_policy(), sreqs)
+        assert [u.banks for u in units] == [1, 1, 1, 1]
+        assert [u.ready_us for u in units] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_deadline_expiry_while_queued(self):
+        sched = BatchingScheduler(window_us=100.0, max_banks=8)
+        sreqs = [ServeRequest(request=ntt_request(0), arrival_us=0.0,
+                              request_id=1),
+                 ServeRequest(request=ntt_request(1), arrival_us=1.0,
+                              deadline_us=20.0, request_id=2)]
+        units, dropped = _plan(sched, sreqs)
+        assert len(units) == 1 and units[0].banks == 1
+        assert [r.request_id for r in dropped] == [2]
+        assert dropped[0].status == "expired"
+
+    def test_admission_rejection_recorded(self):
+        sched = BatchingScheduler(window_us=1000.0, max_banks=8)
+        sreqs = [ServeRequest(request=ntt_request(i), arrival_us=float(i),
+                              request_id=i + 1) for i in range(4)]
+        units, dropped = _plan(sched, sreqs, max_depth=2)
+        assert [r.request_id for r in dropped] == [3, 4]
+        assert all(r.status == "rejected" for r in dropped)
+        assert len(units) == 1 and units[0].banks == 2
+
+    def test_distinct_shapes_shard_round_robin(self):
+        sched = BatchingScheduler(window_us=10.0, max_banks=8, num_shards=2)
+        big = NttParams(512, find_ntt_prime(512, 32))
+        sreqs = [ServeRequest(request=ntt_request(0), arrival_us=0.0,
+                              request_id=1),
+                 ServeRequest(request=ntt_request(1, big), arrival_us=1.0,
+                              request_id=2)]
+        units, _ = _plan(sched, sreqs)
+        assert sorted(u.shard for u in units) == [0, 1]
+
+
+class TestSimServer:
+    def _load(self, count=40, rate=300_000, seed=2):
+        return LoadGenerator(make_scenario("skewed"), rate_rps=rate,
+                             count=count, seed=seed).requests()
+
+    def test_batching_responses_bit_identical_to_standalone(self):
+        sreqs = self._load()
+        server = SimServer(NOVERIFY, max_banks=8, window_us=50.0)
+        results = server.serve(sreqs)
+        solo = Simulator(NOVERIFY)
+        grouped = 0
+        for sreq, result in zip(sreqs, results):
+            assert result.ok
+            assert result.response.values == solo.run(sreq.request).values
+            if result.record.group_banks > 1:
+                grouped += 1
+                assert result.response.metrics["group_banks"] == \
+                    result.record.group_banks
+        assert grouped > len(sreqs) // 2  # the skewed mix really batches
+
+    def test_sequential_responses_bit_identical_to_standalone(self):
+        sreqs = self._load(count=20)
+        server = SimServer(NOVERIFY, scheduler="sequential")
+        results = server.serve(sreqs)
+        solo = Simulator(NOVERIFY)
+        for sreq, result in zip(sreqs, results):
+            assert result.response.values == solo.run(sreq.request).values
+            assert result.record.group_banks == 1
+
+    def test_batching_beats_sequential_under_overload(self):
+        sreqs = self._load(count=60, rate=400_000)
+        batching = SimServer(NOVERIFY, max_banks=8, window_us=50.0)
+        batching.serve(sreqs)
+        sequential = SimServer(NOVERIFY, scheduler="sequential")
+        sequential.serve(self._load(count=60, rate=400_000))
+        b = batching.telemetry.snapshot()
+        s = sequential.telemetry.snapshot()
+        assert b["throughput_rps"] >= 2.0 * s["throughput_rps"]
+        assert b["latency_p99_us"] < s["latency_p99_us"]
+
+    def test_thread_workers_match_inline(self):
+        sreqs = self._load(count=30)
+        inline = SimServer(NOVERIFY, workers="inline")
+        threaded = SimServer(NOVERIFY, workers="thread")
+        res_i = inline.serve(sreqs)
+        res_t = threaded.serve(self._load(count=30))
+        for a, b in zip(res_i, res_t):
+            assert a.response.values == b.response.values
+            assert a.record.completion_us == b.record.completion_us
+            assert a.record.start_us == b.record.start_us
+
+    def test_priority_served_first_under_backlog(self):
+        # Three unbatchable requests on one shard: the shard is busy
+        # with the first when #2 (prio 0) and #3 (prio 5) are ready, so
+        # the urgent one overtakes.
+        sreqs = [ServeRequest(request=nega_request(i), arrival_us=float(i),
+                              priority=p, request_id=i + 1)
+                 for i, p in ((0, 0), (1, 0), (2, 5))]
+        server = SimServer(NOVERIFY)
+        results = server.serve(sreqs)
+        by_id = {r.record.request_id: r.record for r in results}
+        assert by_id[3].completion_us < by_id[2].completion_us
+        assert by_id[2].queue_wait_us > by_id[3].queue_wait_us
+
+    def test_deadline_missed_flag_and_expiry(self):
+        sreqs = [ServeRequest(request=ntt_request(0), arrival_us=0.0,
+                              deadline_us=1.0, request_id=1),
+                 ServeRequest(request=ntt_request(1), arrival_us=0.5,
+                              deadline_us=10_000.0, request_id=2)]
+        server = SimServer(NOVERIFY, window_us=5.0)
+        results = server.serve(sreqs)
+        # #1's deadline passed before its window closed -> expired.
+        assert not results[0].ok
+        assert results[0].record.status == "expired"
+        # #2 made it, comfortably.
+        assert results[1].ok and not results[1].record.deadline_missed
+
+    def test_rejected_requests_get_record_without_response(self):
+        sreqs = [ServeRequest(request=ntt_request(i), arrival_us=float(i),
+                              request_id=i + 1) for i in range(5)]
+        server = SimServer(NOVERIFY, max_depth=2, window_us=1000.0)
+        results = server.serve(sreqs)
+        statuses = [r.record.status for r in results]
+        assert statuses.count("rejected") == 3
+        assert all(r.response is None
+                   for r in results if r.record.status == "rejected")
+        assert server.telemetry.snapshot()["rejected"] == 3
+
+    def test_call_matches_facade_run(self):
+        request = ntt_request(9)
+        server = SimServer()  # default config: verify on
+        response = server.call(request)
+        assert response.verified
+        assert response.values == Simulator().run(request).values
+        assert server.telemetry.snapshot()["completed"] == 1
+
+    def test_energy_rollup_stays_physical(self):
+        sreqs = [ServeRequest(request=ntt_request(i), arrival_us=0.0,
+                              request_id=i + 1) for i in range(4)]
+        server = SimServer(NOVERIFY, window_us=10.0, max_banks=4)
+        results = server.serve(sreqs)
+        group = results[0].response.raw  # the MultiBankResult
+        total = server.telemetry.snapshot()["total_energy_nj"]
+        assert total == pytest.approx(group.schedule.energy_nj)
+
+    def test_cache_rollup_accumulates_across_calls(self):
+        """telemetry.cache holds session-wide deltas, not just the last
+        call's: the first call misses, the warm second call hits, and
+        both show up."""
+        server = SimServer(NOVERIFY)
+        Simulator.clear_caches()
+        server.call(ntt_request(20))
+        server.call(ntt_request(21))  # same shape: pure cache hits
+        cache = server.telemetry.cache
+        assert cache["program"]["misses"] >= 1   # first call compiled
+        assert cache["program"]["hits"] >= 1     # second call reused
+        assert server.telemetry.snapshot()["cache_hit_rate"] > 0
+
+    def test_single_routing_does_not_grow_scheduler_state(self):
+        sreqs = [ServeRequest(request=nega_request(i), arrival_us=float(i),
+                              request_id=i + 1) for i in range(6)]
+        server = SimServer(NOVERIFY, num_shards=2)
+        server.serve(sreqs)
+        # Unbatchable singles take round-robin shards without leaving
+        # per-request residue in the placement map.
+        assert len(server.scheduler._shard_of) == 0
+
+    def test_duplicate_request_ids_reassigned(self):
+        """Two concatenated LoadGenerator streams both number 1..count;
+        serve() must keep results positional and ids unique instead of
+        silently cross-wiring responses."""
+        first = self._load(count=8, seed=11)
+        second = self._load(count=8, seed=12)
+        combined = first + second
+        server = SimServer(NOVERIFY)
+        results = server.serve(combined)
+        assert len(results) == 16
+        ids = [r.record.request_id for r in results]
+        assert len(set(ids)) == 16
+        solo = Simulator(NOVERIFY)
+        for sreq, result in zip(combined, results):
+            assert result.response.values == solo.run(sreq.request).values
+        # The caller's own objects were not renumbered (copy-on-write).
+        assert [s.request_id for s in second] == list(range(1, 9))
+
+    def test_virtual_clock_monotonic_across_calls(self):
+        """Sequential call()s (the host-controller route) must read as
+        serial traffic: completions advance, makespan spans the whole
+        session, throughput is not inflated."""
+        server = SimServer(NOVERIFY)
+        completions = []
+        for seed in range(3):
+            server.call(ntt_request(seed))
+            completions.append(server.telemetry.records[-1].completion_us)
+        assert completions == sorted(completions)
+        assert len(set(completions)) == 3
+        snapshot = server.telemetry.snapshot()
+        single = server.telemetry.records[0].latency_us
+        assert snapshot["makespan_us"] >= 2.5 * single
+        assert snapshot["throughput_rps"] < 1.5e6 / single
+
+    def test_sharding_overlaps_distinct_shapes(self):
+        big = NttParams(512, find_ntt_prime(512, 32))
+        sreqs = [ServeRequest(request=ntt_request(i), arrival_us=0.0,
+                              request_id=i + 1) for i in range(2)]
+        sreqs += [ServeRequest(request=ntt_request(i, big), arrival_us=0.0,
+                               request_id=i + 3) for i in range(2)]
+        one = SimServer(NOVERIFY, num_shards=1, window_us=5.0)
+        two = SimServer(NOVERIFY, num_shards=2, window_us=5.0)
+        m1 = max(r.record.completion_us for r in one.serve(sreqs))
+        m2 = max(r.record.completion_us for r in two.serve(sreqs))
+        assert m2 < m1  # the second channel absorbed one shape
+
+
+class TestLoadGenerator:
+    def test_deterministic_given_seed(self):
+        gen = lambda: LoadGenerator(make_scenario("uniform"),  # noqa: E731
+                                    rate_rps=10_000, count=20, seed=5)
+        a, b = gen().requests(), gen().requests()
+        assert [s.arrival_us for s in a] == [s.arrival_us for s in b]
+        assert [s.request for s in a] == [s.request for s in b]
+
+    def test_mean_arrival_gap_tracks_rate(self):
+        load = LoadGenerator(make_scenario("uniform"), rate_rps=1000.0,
+                             count=400, seed=0)
+        sreqs = load.requests()
+        mean_gap = sreqs[-1].arrival_us / len(sreqs)
+        assert mean_gap == pytest.approx(1000.0, rel=0.2)  # 1/rate = 1ms
+
+    def test_skewed_mix_is_skewed(self):
+        sreqs = LoadGenerator(make_scenario("skewed"), rate_rps=1000.0,
+                              count=100, seed=1).requests()
+        n512 = sum(s.request.params.n == 512 for s in sreqs)
+        assert n512 > 75
+
+    def test_priorities_and_deadlines_stamped(self):
+        sreqs = LoadGenerator(make_scenario("uniform"), rate_rps=1000.0,
+                              count=50, seed=3, high_priority_fraction=0.5,
+                              deadline_us=123.0).requests()
+        assert 0 < sum(s.priority for s in sreqs) < 50
+        assert all(s.deadline_us == pytest.approx(s.arrival_us + 123.0)
+                   for s in sreqs)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            make_scenario("nope")
+
+
+class TestTelemetry:
+    def test_percentile_interpolates(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 50.0) == pytest.approx(25.0)
+        assert percentile(values, 99.0) == pytest.approx(39.7)
+        assert percentile([], 50.0) == 0.0
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_snapshot_empty_session(self):
+        snapshot = Telemetry().snapshot()
+        assert snapshot["requests"] == 0
+        assert snapshot["throughput_rps"] == 0.0
