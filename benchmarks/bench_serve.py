@@ -6,16 +6,21 @@ Per rate and scheduler it records simulated throughput (req/s) and
 p50/p99 latency, plus the host-side wall clock of the functional
 simulation; a ``pipeline`` section measures the inline vs thread worker
 backends (how much compile/execute overlap buys under the GIL — see
-:mod:`repro.serve.workers`).  Results land in ``BENCH_serve.json`` at
-the repo root.
+:mod:`repro.serve.workers`), and a ``shards`` section sweeps shard
+counts under the shared-bus vs independent-channel contention models
+(bus utilization included — the README's shard-scaling table).
+Results land in ``BENCH_serve.json`` at the repo root.
 
 Non-gating when run directly —
 
     PYTHONPATH=src python benchmarks/bench_serve.py
 
-and a CI smoke target (the ``serve-smoke`` job) asserting that every
-batched response is bit-identical to a standalone ``Simulator.run`` of
-the same request and that batching sustains at least twice the naive
+and a CI smoke target (the ``serve-smoke`` / ``bench-trajectory``
+jobs) asserting that every batched response — forward, inverse and
+negacyclic transforms alike — is bit-identical to a standalone
+``Simulator.run`` of the same request, that the live
+``submit()/poll()/drain()`` surface reproduces the offline ``serve()``
+results exactly, and that batching sustains at least twice the naive
 sequential throughput on the overloaded skewed mix:
 
     PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -s
@@ -50,16 +55,27 @@ MAX_BANKS = 8
 CONFIG = SimConfig(verify=False)
 
 
-def _load(rate: float) -> LoadGenerator:
-    return LoadGenerator(make_scenario(SCENARIO), rate_rps=rate,
-                         count=COUNT, seed=SEED)
+#: Shard-scaling sweep: shard counts x bus models, on the shape-diverse
+#: uniform mix far past saturation (so shards actually contend).
+SHARD_COUNTS = (1, 2, 4)
+SHARD_RATE = 3_000_000
+SHARD_SCENARIO = "uniform"
 
 
-def _serve(scheduler: str, rate: float, workers: str = "inline"):
+def _load(rate: float, scenario: str = SCENARIO,
+          count: int = COUNT) -> LoadGenerator:
+    return LoadGenerator(make_scenario(scenario), rate_rps=rate,
+                         count=count, seed=SEED)
+
+
+def _serve(scheduler: str, rate: float, workers: str = "inline",
+           scenario: str = SCENARIO, num_shards: int = 1,
+           bus: str = "shared"):
     server = SimServer(CONFIG, scheduler=scheduler, window_us=WINDOW_US,
-                       max_banks=MAX_BANKS, workers=workers)
+                       max_banks=MAX_BANKS, workers=workers,
+                       num_shards=num_shards, bus=bus, max_depth=4096)
     start = time.perf_counter()
-    results = server.serve(_load(rate).requests())
+    results = server.serve(_load(rate, scenario).requests())
     wall_s = time.perf_counter() - start
     return server, results, wall_s
 
@@ -101,6 +117,31 @@ def run(out_path: Path = DEFAULT_OUT) -> dict:
         "thread_over_inline": thread_wall / inline_wall,
     }
 
+    # Shard scaling under the two cross-shard bus models: the shared
+    # command bus charges every dispatch its compiled stream's command
+    # count, so the curve bends as utilization climbs; the independent
+    # model is the optimistic per-channel upper bound.
+    shards_section: dict = {
+        "description": f"{SHARD_SCENARIO} mix at {SHARD_RATE} req/s "
+                       f"(overload), {COUNT} requests; throughput and "
+                       f"bus utilization per shard count and bus model",
+    }
+    for bus in ("independent", "shared"):
+        entry = {}
+        for shards in SHARD_COUNTS:
+            server, _, _ = _serve("batching", SHARD_RATE,
+                                  scenario=SHARD_SCENARIO,
+                                  num_shards=shards, bus=bus)
+            snap = server.telemetry.snapshot()
+            entry[str(shards)] = {
+                "throughput_rps": snap["throughput_rps"],
+                "latency_p99_us": snap["latency_p99_us"],
+                "bus_utilization": snap["bus_utilization"],
+                "bus_wait_p99_us": snap["bus_wait_p99_us"],
+            }
+        shards_section[bus] = entry
+    section["shards"] = shards_section
+
     out_path.write_text(json.dumps({"serve": section}, indent=2) + "\n")
     return {"serve": section}
 
@@ -124,6 +165,17 @@ def _format(results: dict) -> str:
         f"  pipeline wall: inline {pipe['inline_wall_s'] * 1e3:.0f} ms, "
         f"thread {pipe['thread_wall_s'] * 1e3:.0f} ms "
         f"(thread/inline {pipe['thread_over_inline']:.2f})")
+    shards = section["shards"]
+    lines.append(f"shard scaling ({SHARD_SCENARIO} mix, overload), "
+                 f"independent vs shared bus:")
+    for count in SHARD_COUNTS:
+        ind = shards["independent"][str(count)]
+        sha = shards["shared"][str(count)]
+        lines.append(
+            f"  shards={count}:  ind {ind['throughput_rps'] / 1e3:6.1f}k rps"
+            f" | shared {sha['throughput_rps'] / 1e3:6.1f}k rps "
+            f"bus={sha['bus_utilization'] * 100:4.1f}% "
+            f"wait p99={sha['bus_wait_p99_us']:5.1f}us")
     return "\n".join(lines)
 
 
@@ -155,6 +207,61 @@ def test_serve_smoke(show):
     assert b["mean_batch_occupancy"] > 2.0
 
 
+def test_generalized_batching_bit_identical(show):
+    """CI gate: the full batchable transform zoo — forward/inverse
+    cyclic NTTs and forward/inverse negacyclic transforms — coalesces
+    into multi-bank dispatches whose per-request responses are
+    bit-identical to standalone facade runs."""
+    load_requests = _load(rate=RATES[-1], scenario="mixed").requests()
+    server = SimServer(CONFIG, window_us=WINDOW_US, max_banks=MAX_BANKS)
+    results = server.serve(load_requests)
+    solo = Simulator(CONFIG)
+    grouped_by_kind = {}
+    for sreq, result in zip(load_requests, results):
+        assert result.ok
+        assert result.response.values == solo.run(sreq.request).values, (
+            f"request {sreq.request_id} ({sreq.request.workload}): merged "
+            f"response diverges from standalone Simulator.run")
+        if result.record.group_banks > 1:
+            req = sreq.request
+            kind = (req.workload, req.inverse)
+            grouped_by_kind[kind] = grouped_by_kind.get(kind, 0) + 1
+    # Every kind actually merged (not just passed through solo).
+    assert set(grouped_by_kind) == {("ntt", False), ("ntt", True),
+                                    ("negacyclic", False),
+                                    ("negacyclic", True)}
+    show("generalized batching: merged group members per kind: "
+         + ", ".join(f"{w}{'-inv' if i else ''}={c}"
+                     for (w, i), c in sorted(grouped_by_kind.items())))
+
+
+def test_live_surface_bit_identical_to_offline(show):
+    """CI gate: driving the server through submit()/poll()/drain()
+    reproduces the offline serve() plan and results exactly — same
+    values, same virtual-time records."""
+    offline = SimServer(CONFIG, window_us=WINDOW_US, max_banks=MAX_BANKS)
+    off_results = offline.serve(_load(RATES[-1], "mixed").requests())
+    live = SimServer(CONFIG, window_us=WINDOW_US, max_banks=MAX_BANKS)
+    outstanding = []
+    polled = 0
+    for sreq in _load(RATES[-1], "mixed").stream():
+        outstanding.append(live.submit(sreq))
+        if live.poll(outstanding[0]) is not None:
+            outstanding.pop(0)
+            polled += 1
+    live_results = live.drain()
+    assert len(live_results) == len(off_results)
+    for off, lv in zip(off_results, live_results):
+        assert lv.response.values == off.response.values
+        assert lv.record.completion_us == off.record.completion_us
+        assert lv.record.start_us == off.record.start_us
+        assert lv.record.shard == off.record.shard
+        assert lv.record.group_banks == off.record.group_banks
+    assert polled > 0  # the live client really saw results mid-stream
+    show(f"live surface: {len(live_results)} requests bit-identical to "
+         f"offline serve(), {polled} observed via poll() mid-stream")
+
+
 def test_bench_serve_writes_json(show, tmp_path):
     out = tmp_path / "BENCH_serve.json"
     results = run(out_path=out)
@@ -163,6 +270,13 @@ def test_bench_serve_writes_json(show, tmp_path):
     assert set(written["serve"]["rates"]) == {str(r) for r in RATES}
     top = written["serve"]["rates"][str(RATES[-1])]
     assert top["throughput_speedup"] >= 2.0
+    shards = written["serve"]["shards"]
+    # The shared bus reports real utilization and can only be slower
+    # than (or equal to) independent channels at every shard count.
+    for count in SHARD_COUNTS:
+        assert shards["shared"][str(count)]["bus_utilization"] > 0.0
+        assert (shards["shared"][str(count)]["throughput_rps"]
+                <= shards["independent"][str(count)]["throughput_rps"] + 1e-6)
 
 
 if __name__ == "__main__":

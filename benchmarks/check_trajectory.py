@@ -1,0 +1,92 @@
+"""Regression gate over the committed benchmark trajectory.
+
+Reads the freshly (re)generated ``BENCH_kernels.json`` and
+``BENCH_serve.json`` and fails if a headline number fell below its
+committed floor:
+
+* serving: batching must sustain >= 2x the naive sequential throughput
+  at the overloaded top rate (measured ~3.3x);
+* stream engine: the compiled-stream timing loop and the fused
+  functional bank must not be slower than the legacy per-command loops
+  (measured ~4x / ~7x; the floor is 1.0 with headroom for CI noise);
+* shared bus: the contention model must report real utilization and
+  never beat the independent-channel upper bound.
+
+Run by the ``bench-trajectory`` CI job after executing both benches::
+
+    PYTHONPATH=src python benchmarks/bench_timing_engine.py
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    python benchmarks/check_trajectory.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Committed floors (generous vs the measured values — they gate
+#: regressions, not noise).
+SERVE_SPEEDUP_FLOOR = 2.0
+ENGINE_SPEEDUP_FLOOR = 1.0
+BANK_SPEEDUP_FLOOR = 1.0
+
+
+def check(kernels_path: Path = REPO_ROOT / "BENCH_kernels.json",
+          serve_path: Path = REPO_ROOT / "BENCH_serve.json") -> list:
+    failures = []
+
+    serve = json.loads(serve_path.read_text())["serve"]
+    top_rate = max(serve["rates"], key=int)
+    speedup = serve["rates"][top_rate]["throughput_speedup"]
+    print(f"serve: batching speedup at {top_rate} req/s = {speedup:.2f}x "
+          f"(floor {SERVE_SPEEDUP_FLOOR}x)")
+    if speedup < SERVE_SPEEDUP_FLOOR:
+        failures.append(
+            f"batching speedup {speedup:.2f}x fell below the committed "
+            f"{SERVE_SPEEDUP_FLOOR}x floor")
+
+    shards = serve.get("shards", {})
+    for count, entry in shards.get("shared", {}).items():
+        if not isinstance(entry, dict):
+            continue
+        independent = shards["independent"][count]
+        print(f"serve: shards={count} shared {entry['throughput_rps']:.0f} "
+              f"rps (bus {entry['bus_utilization'] * 100:.1f}%) vs "
+              f"independent {independent['throughput_rps']:.0f} rps")
+        if entry["bus_utilization"] <= 0.0:
+            failures.append(f"shards={count}: shared bus reports no "
+                            f"utilization")
+        if entry["throughput_rps"] > independent["throughput_rps"] + 1e-6:
+            failures.append(f"shards={count}: shared-bus throughput beats "
+                            f"the independent upper bound")
+
+    engine = json.loads(kernels_path.read_text())["timing_engine"]
+    for n, entry in engine.items():
+        print(f"engine: N={n} stream {entry['engine_speedup']:.2f}x, "
+              f"fused bank {entry['bank_speedup']:.2f}x (floors "
+              f"{ENGINE_SPEEDUP_FLOOR}/{BANK_SPEEDUP_FLOOR})")
+        if entry["engine_speedup"] < ENGINE_SPEEDUP_FLOOR:
+            failures.append(f"N={n}: stream engine slower than the legacy "
+                            f"loop ({entry['engine_speedup']:.2f}x)")
+        if entry["bank_speedup"] < BANK_SPEEDUP_FLOOR:
+            failures.append(f"N={n}: fused functional bank slower than the "
+                            f"per-command bank ({entry['bank_speedup']:.2f}x)")
+    return failures
+
+
+def main() -> int:
+    failures = check()
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench trajectory ok: every committed floor holds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

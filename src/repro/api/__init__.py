@@ -41,7 +41,7 @@ from .requests import (
     SimRequest,
 )
 from .response import SimResponse
-from .simulator import Simulator
+from .simulator import Simulator, merge_key
 
 # Importing the handlers registers the built-in workloads.
 from . import workloads as _workloads  # noqa: F401  (registration side effect)
@@ -61,4 +61,5 @@ __all__ = [
     "ProgramRequest",
     "SimResponse",
     "Simulator",
+    "merge_key",
 ]

@@ -143,24 +143,48 @@ class BatchRequest(SimRequest):
 
 @dataclass(frozen=True)
 class MultiBankRequest(SimRequest):
-    """One independent NTT per bank on the shared command bus
-    (Sec. VI.A / Conclusion — the RNS-limb-per-bank deployment)."""
+    """One independent transform per bank on the shared command bus
+    (Sec. VI.A / Conclusion — the RNS-limb-per-bank deployment).
+
+    The per-bank transform is a cyclic NTT (``params``) or a merged
+    negacyclic transform (``ring``) — exactly one of the two — and
+    ``inverse=True`` runs the inverse transform including the host-side
+    1/N scale, so every bank's output is bit-identical to the matching
+    single-request :class:`NttRequest` / :class:`NegacyclicRequest`
+    run.  This is the dispatch shape the serving layer's batching
+    scheduler coalesces all three transform kinds into.
+    """
 
     workload: ClassVar[str] = "multibank"
 
-    params: NttParams
+    params: Optional[NttParams] = None
     inputs: Tuple[Tuple[int, ...], ...] = ()
+    inverse: bool = False
+    ring: Optional[NegacyclicParams] = None
 
     def __post_init__(self):
         object.__setattr__(self, "inputs", _freeze_nested(self.inputs))
 
+    @property
+    def n(self) -> int:
+        """Per-bank polynomial length of whichever kind is set."""
+        return self.ring.n if self.ring is not None else self.params.n
+
     def validate(self) -> None:
+        if (self.params is None) == (self.ring is None):
+            raise RequestValidationError(
+                "set exactly one of params (cyclic) or ring (negacyclic)")
+        if self.ring is not None and not isinstance(self.ring,
+                                                    NegacyclicParams):
+            raise RequestValidationError("ring must be a NegacyclicParams")
+        if self.params is not None and not isinstance(self.params, NttParams):
+            raise RequestValidationError("params must be an NttParams")
         if len(self.inputs) < 1:
             raise RequestValidationError("need at least one bank's input")
         for i, row in enumerate(self.inputs):
-            if len(row) != self.params.n:
+            if len(row) != self.n:
                 raise RequestValidationError(
-                    f"bank {i}: expected {self.params.n} values, "
+                    f"bank {i}: expected {self.n} values, "
                     f"got {len(row)}")
 
 

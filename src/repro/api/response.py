@@ -33,8 +33,8 @@ class SimResponse:
     latency_us: float = 0.0
     energy_nj: float = 0.0
     verified: bool = False
-    #: Commands issued on the bus (0 when the workload has no single
-    #: program, e.g. FHE ops spanning several transforms).
+    #: Commands issued on the bus (summed across transforms for
+    #: workloads spanning several programs, e.g. FHE ops).
     command_count: int = 0
     #: µ-op / command counters: per-CommandType issue counts (``"ACT"``,
     #: ``"C2"``, ...) plus ``"bu_ops"`` — executed butterfly operations.

@@ -40,11 +40,36 @@ from ..sim.driver import (
     schedule_cache_info,
 )
 from .registry import get_workload
-from .requests import MultiBankRequest, NttRequest, SimRequest
+from .requests import (
+    MultiBankRequest,
+    NegacyclicRequest,
+    NttRequest,
+    SimRequest,
+)
 from .response import SimResponse
 from .workloads import precompile_request
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "merge_key"]
+
+
+def merge_key(request: SimRequest) -> Optional[tuple]:
+    """The transform-shape coalescing key of a mergeable request, or
+    ``None`` when the request cannot join a multi-bank dispatch.
+
+    Requests with equal keys run the *same* per-bank command program,
+    so a group of them merges into one :class:`MultiBankRequest` (see
+    :meth:`Simulator.merge_requests`).  All three transform kinds
+    coalesce: forward and inverse cyclic NTTs, and forward and inverse
+    merged negacyclic transforms.  Everything else (batch, FHE ops, raw
+    programs) passes through unmerged.
+    """
+    if type(request) is NttRequest:
+        p = request.params
+        return ("ntt", p.n, p.q, p.omega, request.inverse)
+    if type(request) is NegacyclicRequest:
+        r = request.ring
+        return ("negacyclic", r.n, r.q, r.psi, request.inverse)
+    return None
 
 
 def _delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
@@ -88,9 +113,10 @@ class Simulator:
                  pipeline: bool = False) -> List[SimResponse]:
         """Run every request; responses come back in input order.
 
-        With ``group=True`` (default), forward :class:`NttRequest`\\ s of
-        the same transform shape are dispatched together, one per bank,
-        in chunks of up to ``max_banks``.  Each grouped response carries
+        With ``group=True`` (default), mergeable requests of the same
+        transform shape (:func:`merge_key`: forward/inverse cyclic
+        NTTs, forward/inverse negacyclic transforms) are dispatched
+        together, one per bank, in chunks of up to ``max_banks``.  Each grouped response carries
         that request's own output values; cycles/latency are the group's
         completion time under the shared command bus (what the request
         actually experienced), while energy, command and µ-op counters
@@ -168,15 +194,30 @@ class Simulator:
             compile_thread.join()
 
     @staticmethod
-    def merge_forward_ntts(requests: List[NttRequest]) -> MultiBankRequest:
-        """The one merge rule for a same-shape forward-NTT group — one
-        bank per request, ``values=None`` zero-filled.  Shared by
+    def merge_requests(requests: List[SimRequest]) -> MultiBankRequest:
+        """The one merge rule for a same-shape transform group — one
+        bank per request, ``values=None`` zero-filled.  All members
+        must share a :func:`merge_key` (forward/inverse cyclic NTTs, or
+        forward/inverse negacyclic transforms).  Shared by
         :meth:`run_many` grouping and the serve layer's batching
         scheduler, so the two can never drift apart."""
-        params = requests[0].params
-        inputs = tuple(r.values if r.values is not None else (0,) * params.n
+        head = requests[0]
+        if type(head) is NttRequest:
+            n = head.params.n
+            inputs = tuple(r.values if r.values is not None else (0,) * n
+                           for r in requests)
+            return MultiBankRequest(params=head.params, inputs=inputs,
+                                    inverse=head.inverse)
+        n = head.ring.n
+        inputs = tuple(r.values if r.values is not None else (0,) * n
                        for r in requests)
-        return MultiBankRequest(params=params, inputs=inputs)
+        return MultiBankRequest(ring=head.ring, inputs=inputs,
+                                inverse=head.inverse)
+
+    @staticmethod
+    def merge_forward_ntts(requests: List[NttRequest]) -> MultiBankRequest:
+        """Pre-generalization name of :meth:`merge_requests`."""
+        return Simulator.merge_requests(requests)
 
     @staticmethod
     def _dispatch_units(reqs: List[SimRequest], *, max_banks: int,
@@ -184,17 +225,18 @@ class Simulator:
                                                    SimRequest]]:
         """Partition requests into dispatch units: ``(indices, request)``
         where a multi-index unit is a merged :class:`MultiBankRequest`
-        over same-shape forward NTTs and every other unit passes the
-        original request through.  Bank groups come first (in order of
-        first appearance), then the remaining requests in input order —
-        the same execution order ``run_many`` always had."""
+        over same-shape transforms (grouped by :func:`merge_key`) and
+        every other unit passes the original request through.  Bank
+        groups come first (in order of first appearance), then the
+        remaining requests in input order — the same execution order
+        ``run_many`` always had."""
         units: List[Tuple[Tuple[int, ...], SimRequest]] = []
         grouped_indices = set()
         if group and max_banks > 1:
-            groups: Dict[Tuple[int, int, int], List[int]] = {}
+            groups: Dict[tuple, List[int]] = {}
             for i, req in enumerate(reqs):
-                if type(req) is NttRequest and not req.inverse:
-                    key = (req.params.n, req.params.q, req.params.omega)
+                key = merge_key(req)
+                if key is not None:
                     groups.setdefault(key, []).append(i)
             for idxs in groups.values():
                 chunks = [idxs[i:i + max_banks]
@@ -202,7 +244,7 @@ class Simulator:
                 for chunk in chunks:
                     if len(chunk) < 2:
                         continue  # a lone leftover runs individually
-                    units.append((tuple(chunk), Simulator.merge_forward_ntts(
+                    units.append((tuple(chunk), Simulator.merge_requests(
                         [reqs[i] for i in chunk])))
                     grouped_indices.update(chunk)
         for i, req in enumerate(reqs):
@@ -211,7 +253,7 @@ class Simulator:
         return units
 
     @staticmethod
-    def _split_group(grouped: SimResponse, request: NttRequest,
+    def _split_group(grouped: SimResponse, request: SimRequest,
                      slot: int, banks: int) -> SimResponse:
         """Per-request view of one bank-parallel group response.
 

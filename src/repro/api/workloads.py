@@ -19,7 +19,12 @@ from ..errors import ReproError
 from ..mapping.program_cache import cyclic_program, negacyclic_program
 from ..sim.batch import BatchResult, _run_batch, compile_batch
 from ..sim.driver import NttPimDriver, SimConfig, cached_schedule
-from ..sim.multibank import MultiBankResult, _run_multibank, compile_multibank
+from ..sim.multibank import (
+    MultiBankResult,
+    TransformSpec,
+    _run_multibank,
+    compile_multibank,
+)
 from ..sim.results import NttRunResult
 from .registry import register_workload
 from .requests import (
@@ -33,7 +38,17 @@ from .requests import (
 from .response import SimResponse
 
 __all__ = ["response_from_run", "response_from_schedule",
-           "precompile_request"]
+           "precompile_request", "multibank_spec"]
+
+
+def multibank_spec(request: "MultiBankRequest") -> TransformSpec:
+    """The per-bank :class:`TransformSpec` of a multi-bank request —
+    the one place the request's kind fields lower into the engine room."""
+    return TransformSpec(
+        kind="negacyclic" if request.ring is not None else "ntt",
+        inverse=request.inverse,
+        params=request.params,
+        ring=request.ring)
 
 
 def precompile_request(config: SimConfig, request) -> bool:
@@ -77,9 +92,12 @@ def precompile_request(config: SimConfig, request) -> bool:
             return True
         if type(request) is MultiBankRequest:
             programs, stream, key = compile_multibank(
-                request.params, len(request.inputs), config)
+                multibank_spec(request), len(request.inputs), config)
             warm(stream, key)
             warm(programs[0].commands, programs[0].key)
+            # Functional execution replays every bank's own stream.
+            for program in programs[1:]:
+                cached_stream(program.commands, config.arch, key=program.key)
             return True
         if type(request) is BatchRequest:
             programs, stream, key, _ = compile_batch(
@@ -185,9 +203,11 @@ def run_batch_workload(config: SimConfig,
 @register_workload("multibank")
 def run_multibank_workload(config: SimConfig,
                            request: MultiBankRequest) -> SimResponse:
-    """One NTT per bank on the shared bus (Sec. VI.A / Conclusion)."""
+    """One transform per bank on the shared bus (Sec. VI.A /
+    Conclusion); cyclic forward/inverse or merged negacyclic."""
     result: MultiBankResult = _run_multibank(
-        [list(row) for row in request.inputs], request.params, config)
+        [list(row) for row in request.inputs], multibank_spec(request),
+        config)
     response = response_from_schedule("multibank", result.schedule, raw=result)
     if result.bu_ops:
         response.counters["bu_ops"] = result.bu_ops
@@ -244,6 +264,7 @@ def run_fhe_workload(config: SimConfig, request: FheOpRequest) -> SimResponse:
         latency_us=stats.total_latency_us,
         energy_nj=stats.total_energy_nj,
         verified=verified,
+        command_count=stats.total_commands,
         counters={"ACT": stats.total_activations},
         metrics={"transforms": stats.transforms,
                  "per_transform_us": (stats.total_latency_us

@@ -147,17 +147,35 @@ def _cmd_serve(args) -> int:
     server = SimServer(config, scheduler=args.scheduler,
                        window_us=args.window_us, max_banks=args.max_banks,
                        num_shards=args.shards, max_depth=args.depth,
-                       workers=args.workers, pipeline=not args.no_pipeline)
+                       workers=args.workers, pipeline=not args.no_pipeline,
+                       bus=args.bus)
     import time as _time
     start = _time.perf_counter()
-    results = server.serve(load.requests())
+    if args.live:
+        # Drive the server as a live client: submit each arrival as it
+        # "happens", poll the oldest outstanding id in between (a real
+        # client's interleaved check), drain the tail at the end.
+        outstanding = []
+        polled = 0
+        for sreq in load.stream():
+            outstanding.append(server.submit(sreq))
+            if server.poll(outstanding[0]) is not None:
+                outstanding.pop(0)
+                polled += 1
+        results = server.drain()
+    else:
+        results = server.serve(load.requests())
     wall_s = _time.perf_counter() - start
     print(f"scenario       : {scenario.name} ({scenario.description})")
     print(f"offered load   : {args.rate:.0f} req/s, "
           f"{args.requests} requests, seed {args.seed}")
     print(f"server         : scheduler={args.scheduler} "
           f"window={args.window_us:.0f}us max_banks={args.max_banks} "
-          f"shards={args.shards} workers={args.workers}")
+          f"shards={args.shards} bus={args.bus} workers={args.workers}"
+          f"{' [live submit/poll]' if args.live else ''}")
+    if args.live:
+        print(f"live client    : {polled} results observed via poll() "
+              f"mid-stream, {len(results) - polled} at drain()")
     print(server.telemetry.summary())
     print(f"host wall time : {wall_s * 1e3:.1f} ms "
           f"({len(results) / wall_s:.0f} req/s functional simulation)")
@@ -221,8 +239,12 @@ def main(argv=None) -> int:
     serve_p = subs.add_parser(
         "serve", help="drive synthetic traffic through the serving layer")
     serve_p.add_argument("--scenario", default="skewed",
-                         help="shape mix: uniform | skewed | fhe "
+                         help="shape mix: uniform | skewed | fhe | mixed "
                               "(default skewed)")
+    serve_p.add_argument("--live", action="store_true",
+                         help="drive the server through the online "
+                              "submit()/poll()/drain() surface instead "
+                              "of one offline serve() call")
     serve_p.add_argument("--rate", type=float, default=150000.0,
                          help="offered load in requests per simulated "
                               "second (default 150000)")
@@ -237,6 +259,10 @@ def main(argv=None) -> int:
                          help="largest dispatch group (default 8)")
     serve_p.add_argument("--shards", type=int, default=1,
                          help="simulated channels/devices (default 1)")
+    serve_p.add_argument("--bus", choices=("shared", "independent"),
+                         default="shared",
+                         help="cross-shard command-bus model (default "
+                              "shared: dispatches contend for bus slots)")
     serve_p.add_argument("--depth", type=int, default=256,
                          help="admission-control queue depth (default 256)")
     serve_p.add_argument("--workers", choices=("inline", "thread"),

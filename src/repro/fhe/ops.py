@@ -33,6 +33,9 @@ class PimTransformStats:
     total_latency_us: float = 0.0
     total_energy_nj: float = 0.0
     total_activations: int = 0
+    #: DRAM commands issued across all transforms (the command-bus
+    #: traffic the serving layer's shared-bus model charges).
+    total_commands: int = 0
     per_call_us: List[float] = field(default_factory=list)
 
 
@@ -69,6 +72,7 @@ class PimFheAccelerator:
         self.stats.total_latency_us += result.latency_us
         self.stats.total_energy_nj += result.energy_nj
         self.stats.total_activations += result.activations
+        self.stats.total_commands += result.command_count
         self.stats.per_call_us.append(result.latency_us)
 
     def forward(self, coefficients: Sequence[int]) -> List[int]:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from ..arith.modmath import mod_inverse, mod_pow
+from ..arith.modmath import mod_pow
 from ..dram.commands import Command, CommandType
 from ..dram.timing import ArchParams
 from ..errors import MappingError

@@ -38,7 +38,8 @@ from .negacyclic_mapper import NegacyclicNttMapper
 from .single_buffer import SingleBufferMapper
 
 __all__ = ["CachedProgram", "cyclic_program", "negacyclic_program",
-           "program_cache_info", "clear_program_cache"]
+           "programs_recipe_key", "program_cache_info",
+           "clear_program_cache"]
 
 _MAX_ENTRIES = 512
 
@@ -62,6 +63,22 @@ class CachedProgram:
 
 
 _cache = ArtifactCache(_MAX_ENTRIES)
+
+
+def programs_recipe_key(tag: str, programs, *extra) -> Optional[tuple]:
+    """A merge-recipe cache key over component :class:`CachedProgram` keys.
+
+    A merged command list (batch concat, multi-bank interleave) is a pure
+    function of its component programs plus the merge rule, so
+    ``(tag, component keys, rule parameters)`` is an exact — and cheap —
+    stand-in for the merged content in the stream/schedule caches.
+    ``None`` when any component lacks a compact key (consumers fall back
+    to structural keying).
+    """
+    keys = tuple(p.key for p in programs)
+    if any(k is None for k in keys):
+        return None
+    return (tag, keys) + extra
 
 
 def cyclic_program(ntt: NttParams, arch: ArchParams, pim: PimParams,

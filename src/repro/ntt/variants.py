@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from ..arith.bitrev import bit_reverse, bit_reverse_permute, is_power_of_two
+from ..arith.bitrev import bit_reverse, is_power_of_two
 from ..arith.modmath import mod_pow
 from ..arith.roots import NttParams
 from .reference import ntt as _reference_ntt

@@ -35,8 +35,14 @@ request.
 
 from .loadgen import SCENARIOS, LoadGenerator, Scenario, make_scenario
 from .queueing import RequestQueue, ServeRequest
-from .scheduler import BatchingScheduler, DispatchUnit, sequential_policy, shape_key
-from .server import ServeResult, SimServer
+from .scheduler import (
+    BatchingScheduler,
+    DispatchUnit,
+    PlanSession,
+    sequential_policy,
+    shape_key,
+)
+from .server import BUS_MODELS, ServeResult, SimServer
 from .telemetry import RequestRecord, Telemetry, percentile
 from .workers import (
     WORKER_BACKENDS,
@@ -51,8 +57,10 @@ __all__ = [
     "RequestQueue",
     "BatchingScheduler",
     "DispatchUnit",
+    "PlanSession",
     "sequential_policy",
     "shape_key",
+    "BUS_MODELS",
     "WorkerPool",
     "InlineWorkerPool",
     "ThreadWorkerPool",

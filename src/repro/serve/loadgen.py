@@ -13,6 +13,10 @@ of request shapes:
 * ``fhe``      — forward NTTs mixed with native negacyclic transforms
   and full FHE ring multiplies: batchable and unbatchable work
   interleaved, the worst case for a batching window.
+* ``mixed``    — the full batchable transform zoo: forward and inverse
+  cyclic NTTs plus forward and inverse negacyclic transforms, each
+  kind coalescing into its own dispatch group (the generalized-
+  batching scenario).
 
 Everything is deterministic given ``seed``: the same scenario, rate and
 count replay the same requests with the same arrival times, priorities
@@ -25,7 +29,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..api.requests import FheOpRequest, NegacyclicRequest, NttRequest, SimRequest
 from ..arith.primes import find_ntt_prime
@@ -46,21 +50,27 @@ def _ring_params(n: int) -> NegacyclicParams:
     return NegacyclicParams(n, find_ntt_prime(n, 32, negacyclic=True))
 
 
-def _ntt_maker(n: int) -> Callable[[random.Random], SimRequest]:
+def _ntt_maker(n: int,
+               inverse: bool = False) -> Callable[[random.Random],
+                                                  SimRequest]:
     def make(rng: random.Random) -> SimRequest:
         params = _ntt_params(n)
         return NttRequest(params=params,
                           values=tuple(rng.randrange(params.q)
-                                       for _ in range(n)))
+                                       for _ in range(n)),
+                          inverse=inverse)
     return make
 
 
-def _negacyclic_maker(n: int) -> Callable[[random.Random], SimRequest]:
+def _negacyclic_maker(n: int,
+                      inverse: bool = False) -> Callable[[random.Random],
+                                                         SimRequest]:
     def make(rng: random.Random) -> SimRequest:
         ring = _ring_params(n)
         return NegacyclicRequest(ring=ring,
                                  values=tuple(rng.randrange(ring.q)
-                                              for _ in range(n)))
+                                              for _ in range(n)),
+                                 inverse=inverse)
     return make
 
 
@@ -101,6 +111,14 @@ SCENARIOS: Dict[str, Scenario] = {
                     "N=256, 15% full FHE ring multiplies N=256",
         mix=((6.0, _ntt_maker(512)), (2.5, _negacyclic_maker(256)),
              (1.5, _fhe_maker(256)))),
+    "mixed": Scenario(
+        name="mixed",
+        description="every batchable transform kind at N=512: 40% "
+                    "forward / 25% inverse cyclic NTTs, 20% forward / "
+                    "15% inverse negacyclic transforms",
+        mix=((4.0, _ntt_maker(512)), (2.5, _ntt_maker(512, inverse=True)),
+             (2.0, _negacyclic_maker(512)),
+             (1.5, _negacyclic_maker(512, inverse=True)))),
 }
 
 
@@ -140,21 +158,27 @@ class LoadGenerator:
         self.high_priority_fraction = high_priority_fraction
         self.deadline_us = deadline_us
 
-    def requests(self) -> List[ServeRequest]:
-        """The full arrival list, sorted by arrival time, ids 1..count."""
+    def stream(self) -> Iterator[ServeRequest]:
+        """Yield the arrival stream one request at a time, in arrival
+        order — the *live-client* form: each yielded request can go
+        straight into :meth:`repro.serve.SimServer.submit` as it
+        "happens", while :meth:`requests` is just this stream
+        materialized for the offline ``serve()`` path."""
         rng = random.Random(self.seed)
         weights = [w for w, _ in self.scenario.mix]
         makers = [m for _, m in self.scenario.mix]
         mean_gap_us = 1e6 / self.rate_rps
         now_us = 0.0
-        out: List[ServeRequest] = []
         for request_id in range(1, self.count + 1):
             now_us += rng.expovariate(1.0) * mean_gap_us
             maker = rng.choices(makers, weights=weights, k=1)[0]
             priority = int(rng.random() < self.high_priority_fraction)
             deadline = (now_us + self.deadline_us
                         if self.deadline_us is not None else None)
-            out.append(ServeRequest(request=maker(rng), arrival_us=now_us,
-                                    priority=priority, deadline_us=deadline,
-                                    request_id=request_id))
-        return out
+            yield ServeRequest(request=maker(rng), arrival_us=now_us,
+                               priority=priority, deadline_us=deadline,
+                               request_id=request_id)
+
+    def requests(self) -> List[ServeRequest]:
+        """The full arrival list, sorted by arrival time, ids 1..count."""
+        return list(self.stream())

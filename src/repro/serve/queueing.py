@@ -49,6 +49,12 @@ class ServeRequest:
     request_id: int = 0
     config: Optional[SimConfig] = None
 
+    def effective_config(self, default: SimConfig) -> SimConfig:
+        """This request's config override, or the server's default —
+        the config the merged program (and hence the coalescing key)
+        actually depends on."""
+        return self.config if self.config is not None else default
+
 
 class RequestQueue:
     """Bounded, priority-ordered waiting room between arrivals and the

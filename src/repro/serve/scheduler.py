@@ -1,23 +1,32 @@
 """Batching scheduler: coalesce, shard, dispatch.
 
-The scheduler is the serving layer's core idea: a stream of single-NTT
-invocations is *mergeable work*.  Same-shape forward
-:class:`~repro.api.NttRequest`\\ s arriving within a batching window
-coalesce into one multi-bank dispatch — exactly the Sec. VI.A
-deployment, built from the PR 2 merge recipes, so the merged program,
-compiled stream and timing schedule all come out of the shared caches
-once per shape.  Distinct shapes are *sharded* across simulated
-channels/devices: each shard owns its own command bus and bank set, so
-two shapes serve concurrently in device time.
+The scheduler is the serving layer's core idea: a stream of single
+transform invocations is *mergeable work*.  Same-shape requests
+arriving within a batching window coalesce into one multi-bank
+dispatch — exactly the Sec. VI.A deployment, built from the PR 2 merge
+recipes, so the merged program, compiled stream and timing schedule
+all come out of the shared caches once per shape.  All three transform
+kinds merge: forward and inverse cyclic :class:`~repro.api.NttRequest`\\ s
+and forward and inverse :class:`~repro.api.NegacyclicRequest`\\ s (the
+coalescing key is :func:`repro.api.merge_key` plus the effective
+config).  Distinct shapes are *sharded* across simulated
+channels/devices, which contend for the shared command bus in
+:mod:`repro.serve.server`'s execution model.
 
-Planning is a deterministic discrete-event walk over virtual time
-(:meth:`BatchingScheduler.plan`): admission happens at arrival against
-the bounded queue, a group closes when its window elapses or it fills
-``max_banks``, and requests whose deadline passes while still queued
-expire before dispatch.  Group membership and dispatch times depend
-only on arrivals and the window — never on service times — which keeps
-the plan exact while execution is pipelined underneath
-(:mod:`repro.serve.server`).
+Planning is a deterministic discrete-event walk over virtual time:
+admission happens at arrival against the bounded queue, a group closes
+when its window elapses or it fills ``max_banks``, and requests whose
+deadline passes while still queued expire before dispatch.  Group
+membership and dispatch times depend only on arrivals and the window —
+never on service times — which keeps the plan exact while execution is
+pipelined underneath (:mod:`repro.serve.server`).
+
+The walk itself lives in :class:`PlanSession`, which is *incremental*:
+:meth:`PlanSession.offer` consumes one arrival at a time (closing every
+window that elapses first), so a live client can drive it through
+``SimServer.submit()`` while :meth:`BatchingScheduler.plan` replays a
+whole offline arrival list through the identical code path — the two
+can never diverge.
 
 Results are bit-identical to sequential facade calls: a dispatch group
 runs as a :class:`~repro.api.MultiBankRequest`, whose per-bank
@@ -34,30 +43,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..api.requests import NttRequest
+from ..api.simulator import merge_key
 from ..sim.driver import SimConfig
 from .queueing import RequestQueue, ServeRequest
 from .telemetry import RequestRecord, STATUS_EXPIRED, STATUS_REJECTED, Telemetry
 
-__all__ = ["DispatchUnit", "BatchingScheduler", "sequential_policy",
-           "shape_key"]
+__all__ = ["DispatchUnit", "BatchingScheduler", "PlanSession",
+           "sequential_policy", "shape_key"]
 
 
 def shape_key(sreq: ServeRequest,
               default_config: SimConfig) -> Optional[tuple]:
     """The coalescing key, or ``None`` when the request cannot batch.
 
-    Only forward cyclic NTTs merge (the multi-bank recipe); the
-    effective :class:`SimConfig` is part of the key because the merged
-    program depends on it — a per-request config override only batches
-    with requests under the same override.
+    The transform-shape part comes from :func:`repro.api.merge_key`
+    (forward/inverse cyclic NTTs and negacyclic transforms all merge);
+    the effective :class:`SimConfig` is part of the key because the
+    merged program depends on it — a per-request config override only
+    batches with requests under the same override.
     """
-    request = sreq.request
-    if type(request) is NttRequest and not request.inverse:
-        config = sreq.config if sreq.config is not None else default_config
-        return ("ntt", request.params.n, request.params.q,
-                request.params.omega, config)
-    return None
+    key = merge_key(sreq.request)
+    if key is None:
+        return None
+    return key + (sreq.effective_config(default_config),)
 
 
 @dataclass
@@ -84,6 +92,122 @@ class _OpenGroup:
     shape: tuple
     close_at: float
     members: List[ServeRequest] = field(default_factory=list)
+
+
+class PlanSession:
+    """One incremental planning walk over an arrival stream.
+
+    Feed arrivals in virtual-time order through :meth:`offer`; closed
+    windows append :class:`DispatchUnit`\\ s to :attr:`units` and drops
+    to :attr:`dropped` as they happen, so a consumer (the live server)
+    can execute behind a cursor.  :meth:`flush` closes every still-open
+    window (end of stream).  ``BatchingScheduler.plan`` is exactly
+    ``offer`` in a loop plus ``flush``.
+    """
+
+    def __init__(self, scheduler: "BatchingScheduler", queue: RequestQueue,
+                 default_config: SimConfig,
+                 telemetry: Optional[Telemetry] = None):
+        self.scheduler = scheduler
+        self.queue = queue
+        self.default_config = default_config
+        self.telemetry = telemetry
+        self.units: List[DispatchUnit] = []
+        self.dropped: List[RequestRecord] = []
+        #: Virtual time of the last processed event — arrivals must not
+        #: precede it.
+        self.now_us = 0.0
+        self._open: Dict[tuple, _OpenGroup] = {}
+
+    # -- internal ---------------------------------------------------------------
+    def _close_group(self, group: _OpenGroup, now_us: float) -> None:
+        self._open.pop(group.shape, None)
+        live: List[ServeRequest] = []
+        for member in group.members:
+            self.queue.remove(member)
+            if (member.deadline_us is not None
+                    and member.deadline_us < now_us):
+                self.dropped.append(RequestRecord(
+                    request_id=member.request_id,
+                    workload=member.request.workload,
+                    status=STATUS_EXPIRED, priority=member.priority,
+                    arrival_us=member.arrival_us,
+                    deadline_us=member.deadline_us,
+                    deadline_missed=True))
+            else:
+                live.append(member)
+        if self.telemetry is not None:
+            self.telemetry.sample_depth(now_us, self.queue.depth())
+        if not live:
+            return
+        self.units.append(DispatchUnit(
+            seq=len(self.units), members=live, ready_us=now_us,
+            shard=self.scheduler._route(group.shape, live[0].request_id),
+            shape=group.shape,
+            priority=max(m.priority for m in live)))
+        if self.telemetry is not None:
+            self.telemetry.note_group(len(live))
+
+    # -- the incremental surface ------------------------------------------------
+    def advance(self, now_us: float) -> None:
+        """Move virtual time forward to ``now_us``, closing (in
+        close-time order) every window that elapses on the way."""
+        while self._open:
+            group = min(self._open.values(), key=lambda g: g.close_at)
+            if group.close_at > now_us:
+                break
+            self._close_group(group, group.close_at)
+        self.now_us = max(self.now_us, now_us)
+
+    def offer(self, sreq: ServeRequest) -> None:
+        """Process one arrival (arrivals must be fed in virtual-time
+        order): admission control, then window coalescing or immediate
+        dispatch for unbatchable requests."""
+        if sreq.arrival_us < self.now_us:
+            raise ValueError(
+                f"arrival at {sreq.arrival_us}us precedes the plan clock "
+                f"({self.now_us}us); feed arrivals in order")
+        self.advance(sreq.arrival_us)
+        now_us = sreq.arrival_us
+        if not self.queue.offer(sreq):
+            self.dropped.append(RequestRecord(
+                request_id=sreq.request_id,
+                workload=sreq.request.workload,
+                status=STATUS_REJECTED, priority=sreq.priority,
+                arrival_us=now_us, deadline_us=sreq.deadline_us))
+            return
+        if self.telemetry is not None:
+            self.telemetry.sample_depth(now_us, self.queue.depth())
+        shape = shape_key(sreq, self.default_config)
+        if shape is None or self.scheduler.max_banks == 1:
+            # Unbatchable (or batching disabled): dispatch alone,
+            # immediately — holding it in a window buys nothing.
+            self.queue.remove(sreq)
+            self.units.append(DispatchUnit(
+                seq=len(self.units), members=[sreq], ready_us=now_us,
+                shard=self.scheduler._route(None, sreq.request_id),
+                priority=sreq.priority))
+            if self.telemetry is not None:
+                self.telemetry.note_group(1)
+                self.telemetry.sample_depth(now_us, self.queue.depth())
+            return
+        group = self._open.get(shape)
+        if group is None:
+            group = _OpenGroup(shape=shape,
+                               close_at=now_us + self.scheduler.window_us)
+            self._open[shape] = group
+        group.members.append(sreq)
+        if len(group.members) >= self.scheduler.max_banks:
+            self._close_group(group, now_us)
+
+    def flush(self) -> None:
+        """End of stream: close every remaining window at its close
+        time (in order), advancing the plan clock past them."""
+        while self._open:
+            group = min(self._open.values(), key=lambda g: g.close_at)
+            close_at = group.close_at
+            self._close_group(group, close_at)
+            self.now_us = max(self.now_us, close_at)
 
 
 class BatchingScheduler:
@@ -121,6 +245,11 @@ class BatchingScheduler:
         return shard
 
     # -- planning ---------------------------------------------------------------
+    def begin(self, queue: RequestQueue, default_config: SimConfig,
+              telemetry: Optional[Telemetry] = None) -> PlanSession:
+        """Start an incremental planning walk (the live-server entry)."""
+        return PlanSession(self, queue, default_config, telemetry)
+
     def plan(self, arrivals: List[ServeRequest], queue: RequestQueue,
              default_config: SimConfig,
              telemetry: Optional[Telemetry] = None
@@ -132,82 +261,11 @@ class BatchingScheduler:
         queued-past-deadline expiries).  ``arrivals`` must be sorted by
         ``(arrival_us, request_id)``.
         """
-        units: List[DispatchUnit] = []
-        dropped: List[RequestRecord] = []
-        open_groups: Dict[tuple, _OpenGroup] = {}
-        i = 0
-
-        def close_group(group: _OpenGroup, now_us: float) -> None:
-            open_groups.pop(group.shape, None)
-            live: List[ServeRequest] = []
-            for member in group.members:
-                queue.remove(member)
-                if (member.deadline_us is not None
-                        and member.deadline_us < now_us):
-                    dropped.append(RequestRecord(
-                        request_id=member.request_id,
-                        workload=member.request.workload,
-                        status=STATUS_EXPIRED, priority=member.priority,
-                        arrival_us=member.arrival_us,
-                        deadline_us=member.deadline_us,
-                        deadline_missed=True))
-                else:
-                    live.append(member)
-            if telemetry is not None:
-                telemetry.sample_depth(now_us, queue.depth())
-            if not live:
-                return
-            units.append(DispatchUnit(
-                seq=len(units), members=live, ready_us=now_us,
-                shard=self._route(group.shape, live[0].request_id),
-                shape=group.shape,
-                priority=max(m.priority for m in live)))
-            if telemetry is not None:
-                telemetry.note_group(len(live))
-
-        while i < len(arrivals) or open_groups:
-            next_arrival = (arrivals[i].arrival_us if i < len(arrivals)
-                            else float("inf"))
-            closing = (min(open_groups.values(), key=lambda g: g.close_at)
-                       if open_groups else None)
-            if closing is not None and closing.close_at <= next_arrival:
-                close_group(closing, closing.close_at)
-                continue
-
-            sreq = arrivals[i]
-            i += 1
-            now_us = sreq.arrival_us
-            if not queue.offer(sreq):
-                dropped.append(RequestRecord(
-                    request_id=sreq.request_id,
-                    workload=sreq.request.workload,
-                    status=STATUS_REJECTED, priority=sreq.priority,
-                    arrival_us=now_us, deadline_us=sreq.deadline_us))
-                continue
-            if telemetry is not None:
-                telemetry.sample_depth(now_us, queue.depth())
-            shape = shape_key(sreq, default_config)
-            if shape is None or self.max_banks == 1:
-                # Unbatchable (or batching disabled): dispatch alone,
-                # immediately — holding it in a window buys nothing.
-                queue.remove(sreq)
-                units.append(DispatchUnit(
-                    seq=len(units), members=[sreq], ready_us=now_us,
-                    shard=self._route(None, sreq.request_id),
-                    priority=sreq.priority))
-                if telemetry is not None:
-                    telemetry.note_group(1)
-                    telemetry.sample_depth(now_us, queue.depth())
-                continue
-            group = open_groups.get(shape)
-            if group is None:
-                group = _OpenGroup(shape=shape,
-                                   close_at=now_us + self.window_us)
-                open_groups[shape] = group
-            group.members.append(sreq)
-            if len(group.members) >= self.max_banks:
-                close_group(group, now_us)
-        return units, dropped
+        session = self.begin(queue, default_config, telemetry)
+        for sreq in arrivals:
+            session.offer(sreq)
+        session.flush()
+        return session.units, session.dropped
 
 
 def sequential_policy(num_shards: int = 1) -> BatchingScheduler:

@@ -3,9 +3,9 @@
 ::
 
     arrivals ──> RequestQueue ──> BatchingScheduler ──> shard 0 ─┐
-                 (admission,      (window coalescing,   shard 1 ─┼─> stream
-                  priorities,      multi-bank merge,      ...    │   engine
-                  deadlines)       shape→shard routing) shard S ─┘
+                 (admission,      (window coalescing,   shard 1 ─┼─> shared
+                  priorities,      multi-bank merge,      ...    │   command
+                  deadlines)       shape→shard routing) shard S ─┘   bus
                                                             │
                         WorkerPool (inline | thread) ───────┘
                         pipelines group k+1's compile
@@ -13,26 +13,41 @@
 
 Two clocks run side by side.  *Virtual* (simulated-device) time drives
 everything a client would measure: arrivals, batching windows, shard
-backlogs, latencies, throughput — a deterministic discrete-event model
-whose service times are the timing engine's schedule latencies.  *Host*
-wall-clock time is how long the functional simulation takes to chew
-through the plan; the worker pool only optimizes the latter and can
-never change the former.
+backlogs, bus contention, latencies, throughput — a deterministic
+discrete-event model whose service times are the timing engine's
+schedule latencies.  *Host* wall-clock time is how long the functional
+simulation takes to chew through the plan; the worker pool only
+optimizes the latter and can never change the former.
 
 Planning (group membership, dispatch times, drops) depends only on
 arrivals and the window — never on service times — so the plan is fixed
-before execution begins and execution can be pipelined freely.  Every
-response is bit-identical to a standalone ``Simulator.run`` of the same
-request: a dispatch group executes as a
+before execution begins and execution can be pipelined freely.  That
+same property is what makes the server *live-drivable*: the
+two-phase model replans per window as requests arrive, so
+:meth:`SimServer.submit` / :meth:`SimServer.poll` /
+:meth:`SimServer.drain` expose the identical machinery incrementally —
+an offline :meth:`SimServer.serve` call is literally a submit loop plus
+a drain, and the two produce bit-identical results and records.
+
+Shards contend for the command bus.  Under the default ``bus="shared"``
+model every dispatch occupies the bus for its compiled stream's
+command count (one command per cycle — the Sec. VI.A constraint,
+extended across shards), so shard scaling bends realistically as the
+bus saturates; ``bus="independent"`` restores the optimistic
+independent-channel model for comparison.
+
+Every response is bit-identical to a standalone ``Simulator.run`` of
+the same request: a dispatch group executes as a
 :class:`~repro.api.MultiBankRequest` whose per-bank streams are the
-same compiled programs a solo run replays
+same compiled programs a solo run replays — for forward *and* inverse,
+cyclic *and* negacyclic transforms
 (``benchmarks/bench_serve.py`` asserts this on every run).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..api.requests import SimRequest
@@ -40,11 +55,15 @@ from ..api.simulator import Simulator
 from ..api.workloads import precompile_request
 from ..sim.driver import SimConfig
 from .queueing import RequestQueue, ServeRequest
-from .scheduler import BatchingScheduler, DispatchUnit, sequential_policy
+from .scheduler import BatchingScheduler, DispatchUnit, PlanSession, \
+    sequential_policy
 from .telemetry import RequestRecord, Telemetry
 from .workers import make_pool
 
-__all__ = ["ServeResult", "SimServer"]
+__all__ = ["ServeResult", "SimServer", "BUS_MODELS"]
+
+#: Cross-shard command-bus contention models.
+BUS_MODELS = ("shared", "independent")
 
 
 @dataclass
@@ -60,6 +79,56 @@ class ServeResult:
         return self.response is not None
 
 
+@dataclass
+class _ShardState:
+    """One simulated channel/device: when it frees up, and the
+    dispatched units waiting for it."""
+
+    now_us: float = 0.0
+    backlog: List[DispatchUnit] = field(default_factory=list)
+
+
+class _Session:
+    """One serving session: a planning walk plus its execution state.
+
+    Both entry styles build on it — :meth:`SimServer.serve` feeds a
+    whole sorted arrival list and drains immediately; the live
+    :meth:`SimServer.submit` surface feeds one arrival at a time and
+    settles lazily on :meth:`SimServer.poll`/:meth:`SimServer.drain`.
+    """
+
+    def __init__(self, server: "SimServer"):
+        self.planner: PlanSession = server.scheduler.begin(
+            server.queue, server.config, server.telemetry)
+        #: Session clock offset: arrivals are relative to serve()/first
+        #: submit() and shifted onto the server's monotonic clock.
+        self.offset = server._clock_us
+        #: Request ids in submission order (drain()'s result order).
+        self.order: List[int] = []
+        self.results: Dict[int, ServeResult] = {}
+        self.seen_ids: set = set()
+        self.cache_before = Simulator(server.config).cache_info()
+        self.shards: Dict[int, _ShardState] = {}
+        #: Virtual time the shared command bus frees up.
+        self.bus_free_us = 0.0
+        self.max_arrival_us = self.offset
+        self._unit_cursor = 0
+        self._drop_cursor = 0
+        self._queue = server.queue
+
+    def assign_id(self, request_id: int) -> int:
+        """Keep ``request_id`` if it is set and unseen in this session;
+        otherwise allocate a fresh unique one.  The single id rule both
+        entry styles share — part of the submit-loop == serve()
+        equivalence."""
+        if request_id == 0 or request_id in self.seen_ids:
+            request_id = self._queue.next_id()
+            while request_id in self.seen_ids:
+                request_id = self._queue.next_id()
+        self.seen_ids.add(request_id)
+        return request_id
+
+
 class SimServer:
     """Async-style serving layer bound to one default :class:`SimConfig`.
 
@@ -68,7 +137,8 @@ class SimServer:
     instance.  ``workers`` picks the execution backend (``"inline"`` or
     ``"thread"``); ``pipeline`` overlaps the next dispatch group's
     compile with the current group's execution when the backend is
-    concurrent.
+    concurrent.  ``bus`` picks the cross-shard contention model
+    (``"shared"`` — the default, realistic one — or ``"independent"``).
     """
 
     def __init__(self, config: Optional[SimConfig] = None, *,
@@ -79,7 +149,8 @@ class SimServer:
                  max_depth: int = 256,
                  workers: str = "inline",
                  worker_threads: int = 2,
-                 pipeline: bool = True):
+                 pipeline: bool = True,
+                 bus: str = "shared"):
         self.config = config or SimConfig()
         if isinstance(scheduler, BatchingScheduler):
             self.scheduler = scheduler
@@ -93,16 +164,23 @@ class SimServer:
             raise ValueError(
                 f"unknown scheduler {scheduler!r}; choose 'batching', "
                 f"'sequential' or pass a BatchingScheduler")
+        if bus not in BUS_MODELS:
+            raise ValueError(f"unknown bus model {bus!r}; "
+                             f"choose from {BUS_MODELS}")
         self.queue = RequestQueue(max_depth=max_depth)
         self.telemetry = Telemetry()
         self.workers = workers
         self.worker_threads = worker_threads
         self.pipeline = pipeline
-        # Session virtual clock: monotonic across serve() calls, so a
-        # sequence of call()s reads as serial traffic in the telemetry.
+        self.bus = bus
+        # Session virtual clock: monotonic across serve() calls and
+        # submit() sessions, so a sequence of calls reads as serial
+        # traffic in the telemetry.
         self._clock_us = 0.0
+        #: The open live (submit/poll) session, if any.
+        self._live: Optional[_Session] = None
 
-    # -- public entry points -----------------------------------------------------
+    # -- offline entry points ----------------------------------------------------
     def serve(self, requests: Iterable[Union[ServeRequest, SimRequest]]
               ) -> List[ServeResult]:
         """Serve a whole arrival stream; results come back in *input*
@@ -118,9 +196,12 @@ class SimServer:
         ones (two concatenated ``LoadGenerator`` streams both number
         from 1); results stay positional either way.
         """
-        offset = self._clock_us
+        if self._live is not None:
+            raise RuntimeError("an open submit() session is active; "
+                               "drain() it before calling serve()")
+        session = _Session(self)
+        offset = session.offset
         sreqs: List[ServeRequest] = []
-        seen_ids = set()
         for item in requests:
             if not isinstance(item, ServeRequest):
                 item = ServeRequest(request=item)
@@ -130,51 +211,17 @@ class SimServer:
                 changes["arrival_us"] = item.arrival_us + offset
                 if item.deadline_us is not None:
                     changes["deadline_us"] = item.deadline_us + offset
-            request_id = item.request_id
-            if request_id == 0 or request_id in seen_ids:
-                request_id = self.queue.next_id()
-                while request_id in seen_ids:
-                    request_id = self.queue.next_id()
+            request_id = session.assign_id(item.request_id)
+            if request_id != item.request_id:
                 changes["request_id"] = request_id
-            seen_ids.add(request_id)
             # Copy-on-write keeps the caller's ServeRequest untouched.
             sreqs.append(dataclasses.replace(item, **changes)
                          if changes else item)
-        arrivals = sorted(sreqs, key=lambda s: (s.arrival_us, s.request_id))
-
-        cache_before = Simulator(self.config).cache_info()
-        units, dropped = self.scheduler.plan(arrivals, self.queue,
-                                             self.config, self.telemetry)
-        results: Dict[int, ServeResult] = {}
-        for record in dropped:
-            self.telemetry.add(record)
-            results[record.request_id] = ServeResult(record=record)
-
-        by_shard: Dict[int, List[DispatchUnit]] = {}
-        for unit in units:
-            by_shard.setdefault(unit.shard, []).append(unit)
-        with make_pool(self.workers, self.worker_threads) as pool:
-            for shard in sorted(by_shard):
-                self._run_shard(shard, by_shard[shard], pool, results)
-
-        # Advance the session clock past everything this call touched.
-        clock = max((s.arrival_us for s in sreqs), default=offset)
-        clock = max([clock] + [r.record.completion_us
-                               for r in results.values() if r.ok])
-        self._clock_us = max(self._clock_us, clock)
-
-        # Session-wide cache rollup: accumulate this call's deltas onto
-        # the running totals (entries is a point-in-time gauge).
-        cache_after = Simulator(self.config).cache_info()
-        session = self.telemetry.cache
-        for name in ("program", "stream", "schedule"):
-            entry = session.setdefault(name, {"hits": 0, "misses": 0})
-            entry["hits"] += (cache_after[name]["hits"]
-                              - cache_before[name]["hits"])
-            entry["misses"] += (cache_after[name]["misses"]
-                                - cache_before[name]["misses"])
-            entry["entries"] = cache_after[name]["entries"]
-        return [results[s.request_id] for s in sreqs]
+        for sreq in sorted(sreqs, key=lambda s: (s.arrival_us,
+                                                 s.request_id)):
+            self._ingest(session, sreq)
+        self._drain_session(session)
+        return [session.results[s.request_id] for s in sreqs]
 
     def call(self, request: SimRequest, *,
              config: Optional[SimConfig] = None,
@@ -186,78 +233,252 @@ class SimServer:
                                           config=config)])[0]
         return result.response
 
+    # -- live (online) entry points ----------------------------------------------
+    def submit(self, request: Union[ServeRequest, SimRequest], *,
+               arrival_us: Optional[float] = None,
+               priority: int = 0,
+               deadline_us: Optional[float] = None,
+               config: Optional[SimConfig] = None,
+               request_id: int = 0) -> int:
+        """Submit one request to the live session and return its id.
+
+        This is the incremental form of :meth:`serve`: each submission
+        advances the virtual clock to its arrival time, closing every
+        batching window that elapses on the way (the *replanning* half
+        of the two-phase model); execution catches up lazily on
+        :meth:`poll`/:meth:`drain`.  ``arrival_us`` is relative to the
+        session start, defaults to "now" (the latest event), and is
+        clamped forward — a live client cannot arrive in the past.
+        Results are bit-identical to an offline :meth:`serve` of the
+        same arrival stream.
+
+        Pass either a bare facade request plus keyword scheduling
+        fields, or a fully populated :class:`ServeRequest` — not both:
+        a ``ServeRequest`` carries its own priority/deadline/config/id,
+        so combining it with those keywords raises.
+        """
+        if isinstance(request, ServeRequest):
+            if (priority, deadline_us, config, request_id) != (0, None,
+                                                               None, 0):
+                raise ValueError(
+                    "pass scheduling fields on the ServeRequest itself, "
+                    "not as submit() keywords")
+            if arrival_us is None and request.arrival_us:
+                arrival_us = request.arrival_us
+            priority = request.priority
+            deadline_us = request.deadline_us
+            config = request.config
+            request_id = request.request_id
+            request = request.request
+        request.validate()
+        if self._live is None:
+            self._live = _Session(self)
+        session = self._live
+        arrival = (session.offset + arrival_us if arrival_us is not None
+                   else session.planner.now_us)
+        # Live clients cannot arrive before already-processed events.
+        arrival = max(arrival, session.planner.now_us, session.offset)
+        deadline = (session.offset + deadline_us
+                    if deadline_us is not None else None)
+        request_id = session.assign_id(request_id)
+        self._ingest(session, ServeRequest(
+            request=request, arrival_us=arrival, priority=priority,
+            deadline_us=deadline, request_id=request_id, config=config))
+        return request_id
+
+    def poll(self, request_id: int) -> Optional[ServeResult]:
+        """The live session's result for ``request_id``, or ``None``
+        while it is still queued, in an open window, or waiting for its
+        shard (execution is settled up to the session's virtual clock
+        first).  Rejected/expired requests return a result whose
+        ``response`` is ``None`` (``result.ok`` is false)."""
+        session = self._live
+        if session is None:
+            return None
+        with make_pool("inline") as pool:
+            self._settle(session, pool, horizon_us=session.planner.now_us)
+        return session.results.get(request_id)
+
+    def drain(self) -> List[ServeResult]:
+        """Close the live session: flush every open window, run the
+        backlog to completion, and return every submission's result in
+        submission order (empty if nothing was submitted).
+
+        The session only closes once execution succeeds — if a dispatch
+        raises (e.g. a :class:`FunctionalMismatch` under
+        ``verify=True``), the session survives, already-completed
+        results stay pollable, and ``drain()`` can be retried over the
+        remaining backlog.
+        """
+        session = self._live
+        if session is None:
+            return []
+        self._drain_session(session)
+        self._live = None
+        return [session.results[rid] for rid in session.order]
+
+    # -- session machinery -------------------------------------------------------
+    def _ingest(self, session: _Session, sreq: ServeRequest) -> None:
+        session.order.append(sreq.request_id)
+        session.max_arrival_us = max(session.max_arrival_us, sreq.arrival_us)
+        session.planner.offer(sreq)
+        self._absorb(session)
+
+    def _absorb(self, session: _Session) -> None:
+        """Move newly planned units onto their shards' backlogs and
+        newly dropped requests into results/telemetry."""
+        planner = session.planner
+        for record in planner.dropped[session._drop_cursor:]:
+            self.telemetry.add(record)
+            session.results[record.request_id] = ServeResult(record=record)
+        session._drop_cursor = len(planner.dropped)
+        for unit in planner.units[session._unit_cursor:]:
+            session.shards.setdefault(unit.shard,
+                                      _ShardState()).backlog.append(unit)
+        session._unit_cursor = len(planner.units)
+
+    def _drain_session(self, session: _Session) -> None:
+        """Flush the plan, run every backlog to completion, and fold
+        the session's clock/cache into the server rollups; the caller
+        picks its own ordering out of ``session.results``."""
+        session.planner.flush()
+        self._absorb(session)
+        with make_pool(self.workers, self.worker_threads) as pool:
+            self._settle(session, pool, horizon_us=None)
+
+        # Advance the session clock past everything this session touched.
+        clock = session.max_arrival_us
+        clock = max([clock] + [r.record.completion_us
+                               for r in session.results.values() if r.ok])
+        self._clock_us = max(self._clock_us, clock)
+
+        # Session-wide cache rollup: accumulate this session's deltas
+        # onto the running totals (entries is a point-in-time gauge).
+        cache_after = Simulator(self.config).cache_info()
+        rollup = self.telemetry.cache
+        for name in ("program", "stream", "schedule"):
+            entry = rollup.setdefault(name, {"hits": 0, "misses": 0})
+            entry["hits"] += (cache_after[name]["hits"]
+                              - session.cache_before[name]["hits"])
+            entry["misses"] += (cache_after[name]["misses"]
+                                - session.cache_before[name]["misses"])
+            entry["entries"] = cache_after[name]["entries"]
+
     # -- execution ---------------------------------------------------------------
     def _effective_config(self, unit: DispatchUnit) -> SimConfig:
-        override = unit.members[0].config
-        return override if override is not None else self.config
+        return unit.members[0].effective_config(self.config)
 
     def _merged_request(self, unit: DispatchUnit) -> SimRequest:
         if unit.banks == 1:
             return unit.members[0].request
-        return Simulator.merge_forward_ntts(
-            [m.request for m in unit.members])
+        return Simulator.merge_requests([m.request for m in unit.members])
 
     def _execute(self, unit: DispatchUnit):
         return Simulator(self._effective_config(unit)).run(
             self._merged_request(unit))
 
-    def _run_shard(self, shard: int, pending: List[DispatchUnit],
-                   pool, results: Dict[int, ServeResult]) -> None:
-        """Serve one shard's dispatch list in virtual time.
+    def _settle(self, session: _Session, pool,
+                horizon_us: Optional[float]) -> None:
+        """Run shard backlogs forward in global virtual-time order.
 
-        Units wait at the shard until it frees up; among the ready ones
-        the most urgent (priority, then FIFO) serves first.  Execution
-        order within the shard is exactly this service order; the
-        pipelined compile below warms the unit most likely to serve
-        next (highest priority, then earliest — exact whenever that
-        unit is ready by the time this one completes).
+        Each step commits the shard with the earliest *decision point*
+        (the moment it picks its next unit: its free time, or the next
+        unit's ready time) — that global order is also the order
+        dispatches arbitrate for the shared command bus.  With
+        ``horizon_us`` set (the live path), a decision at or past the
+        horizon is not yet final — a future submission could still
+        close a window and slot a competing unit — so it waits for the
+        clock to move (or for :meth:`drain`, which settles with no
+        horizon).
+
+        Among ready units the most urgent (priority, then FIFO) serves
+        first; the pipelined compile warms the unit most likely to
+        serve next on the concurrent pool backend.
         """
-        pending = list(pending)
-        now_us = 0.0
-        while pending:
-            ready = [u for u in pending if u.ready_us <= now_us]
-            if not ready:
-                now_us = min(u.ready_us for u in pending)
-                continue
+        shards = session.shards
+        while True:
+            chosen = None
+            for shard_id in sorted(shards):
+                state = shards[shard_id]
+                if not state.backlog:
+                    continue
+                ready = [u for u in state.backlog
+                         if u.ready_us <= state.now_us]
+                decision = (state.now_us if ready
+                            else min(u.ready_us for u in state.backlog))
+                if horizon_us is not None and decision >= horizon_us:
+                    continue
+                if chosen is None or (decision, shard_id) < chosen[:2]:
+                    chosen = (decision, shard_id, state)
+            if chosen is None:
+                return
+            decision, shard_id, state = chosen
+            state.now_us = max(state.now_us, decision)
+            ready = [u for u in state.backlog if u.ready_us <= state.now_us]
             unit = max(ready, key=lambda u: (u.priority, -u.seq))
-            pending.remove(unit)
+            state.backlog.remove(unit)
+            try:
+                execution = pool.submit(self._execute, unit)
+                if self.pipeline and pool.concurrent and state.backlog:
+                    # Warm the compile caches for the likely-next unit
+                    # while this one executes (thread backend only) —
+                    # service order is priority-first, so mirror it.
+                    nxt = min(state.backlog,
+                              key=lambda u: (-u.priority, u.ready_us, u.seq))
+                    pool.submit(precompile_request,
+                                self._effective_config(nxt),
+                                self._merged_request(nxt))
+                grouped = execution.result()
+            except BaseException:
+                # Put the unit back so a retried drain() can serve it
+                # (selection keys on (priority, seq), not list order).
+                state.backlog.append(unit)
+                raise
+            self._complete(session, state, shard_id, unit, grouped)
 
-            execution = pool.submit(self._execute, unit)
-            if self.pipeline and pool.concurrent and pending:
-                # Warm the compile caches for the likely-next unit
-                # while this one executes (thread backend only) —
-                # service order is priority-first, so mirror it.
-                nxt = min(pending,
-                          key=lambda u: (-u.priority, u.ready_us, u.seq))
-                pool.submit(precompile_request, self._effective_config(nxt),
-                            self._merged_request(nxt))
-            grouped = execution.result()
-
-            start_us = max(now_us, unit.ready_us)
+    def _complete(self, session: _Session, state: _ShardState,
+                  shard_id: int, unit: DispatchUnit, grouped) -> None:
+        """Price one executed dispatch in virtual time and record every
+        member's outcome."""
+        start_us = max(state.now_us, unit.ready_us)
+        bus_wait_us = 0.0
+        if self.bus == "shared":
+            # One command per cycle on the shared bus: the dispatch
+            # occupies it for its compiled stream's command count, and
+            # stalls until the bus frees if another shard holds it.
+            bus_begin = max(start_us, session.bus_free_us)
+            bus_wait_us = bus_begin - start_us
+            occupancy_us = (grouped.command_count * grouped.latency_us
+                            / grouped.cycles if grouped.cycles else 0.0)
+            session.bus_free_us = bus_begin + occupancy_us
+            self.telemetry.note_bus(occupancy_us)
+            completion_us = bus_begin + grouped.latency_us
+        else:
             completion_us = start_us + grouped.latency_us
-            now_us = completion_us
-            banks = unit.banks
-            for slot, member in enumerate(unit.members):
-                if banks == 1:
-                    response = grouped
-                else:
-                    response = Simulator._split_group(
-                        grouped, member.request, slot, banks)
-                record = RequestRecord(
-                    request_id=member.request_id,
-                    workload=member.request.workload,
-                    priority=member.priority,
-                    arrival_us=member.arrival_us,
-                    dispatch_us=unit.ready_us,
-                    start_us=start_us,
-                    completion_us=completion_us,
-                    deadline_us=member.deadline_us,
-                    deadline_missed=(member.deadline_us is not None
-                                     and completion_us > member.deadline_us),
-                    group_banks=banks,
-                    shard=shard,
-                    cycles=grouped.cycles // banks,
-                    energy_nj=grouped.energy_nj / banks)
-                self.telemetry.add(record)
-                results[member.request_id] = ServeResult(record=record,
-                                                         response=response)
+        state.now_us = completion_us
+        banks = unit.banks
+        for slot, member in enumerate(unit.members):
+            if banks == 1:
+                response = grouped
+            else:
+                response = Simulator._split_group(
+                    grouped, member.request, slot, banks)
+            record = RequestRecord(
+                request_id=member.request_id,
+                workload=member.request.workload,
+                priority=member.priority,
+                arrival_us=member.arrival_us,
+                dispatch_us=unit.ready_us,
+                start_us=start_us,
+                completion_us=completion_us,
+                deadline_us=member.deadline_us,
+                deadline_missed=(member.deadline_us is not None
+                                 and completion_us > member.deadline_us),
+                group_banks=banks,
+                shard=shard_id,
+                bus_wait_us=bus_wait_us,
+                cycles=grouped.cycles // banks,
+                energy_nj=grouped.energy_nj / banks)
+            self.telemetry.add(record)
+            session.results[member.request_id] = ServeResult(
+                record=record, response=response)

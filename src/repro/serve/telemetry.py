@@ -62,6 +62,9 @@ class RequestRecord:
     #: Members in the request's dispatch group (1 = unbatched).
     group_banks: int = 1
     shard: int = 0
+    #: Time the dispatch stalled waiting for the shared command bus
+    #: (0 under the independent-channel model).
+    bus_wait_us: float = 0.0
     #: This request's share of simulated cycles / energy (per-bank split
     #: for grouped dispatches, so sums over records stay physical).
     cycles: int = 0
@@ -92,6 +95,9 @@ class Telemetry:
         self.depth_samples: List[tuple] = []
         #: Dispatch-group sizes, one entry per dispatched group.
         self.occupancies: List[int] = []
+        #: Simulated time the shared command bus was occupied (stays 0
+        #: under the independent-channel model).
+        self.bus_busy_us: float = 0.0
         #: ``{"program": {...}, "stream": {...}, "schedule": {...}}``
         #: hit/miss deltas over the session (set by the server).
         self.cache: Dict[str, Dict[str, int]] = {}
@@ -108,11 +114,18 @@ class Telemetry:
         with self._lock:
             self.occupancies.append(banks)
 
+    def note_bus(self, occupancy_us: float) -> None:
+        """Charge one dispatch's command-bus occupancy (shared-bus
+        contention model)."""
+        with self._lock:
+            self.bus_busy_us += occupancy_us
+
     def reset(self) -> None:
         with self._lock:
             self.records.clear()
             self.depth_samples.clear()
             self.occupancies.clear()
+            self.bus_busy_us = 0.0
             self.cache = {}
 
     # -- rollups -----------------------------------------------------------------
@@ -122,10 +135,12 @@ class Telemetry:
             records = list(self.records)
             depth_samples = list(self.depth_samples)
             occupancies = list(self.occupancies)
+            bus_busy_us = self.bus_busy_us
             cache = {k: dict(v) for k, v in self.cache.items()}
         done = [r for r in records if r.status == STATUS_OK]
         latencies = [r.latency_us for r in done]
         waits = [r.queue_wait_us for r in done]
+        bus_waits = [r.bus_wait_us for r in done]
         makespan_us = (max(r.completion_us for r in done) -
                        min(r.arrival_us for r in done)) if done else 0.0
         snapshot: Dict[str, object] = {
@@ -149,6 +164,10 @@ class Telemetry:
                                      if occupancies else 0.0),
             "total_cycles": sum(r.cycles for r in done),
             "total_energy_nj": sum(r.energy_nj for r in done),
+            "bus_busy_us": bus_busy_us,
+            "bus_utilization": (bus_busy_us / makespan_us
+                                if makespan_us > 0 else 0.0),
+            "bus_wait_p99_us": percentile(bus_waits, 99.0),
         }
         if cache:
             snapshot["cache"] = cache
@@ -178,6 +197,10 @@ class Telemetry:
             f"device totals  : {s['total_cycles']} cycles, "
             f"{s['total_energy_nj']:.1f} nJ",
         ]
+        if s["bus_busy_us"] > 0:
+            lines.append(f"shared bus     : "
+                         f"{s['bus_utilization'] * 100:.1f}% utilized, "
+                         f"wait p99={s['bus_wait_p99_us']:.2f} us")
         if "cache_hit_rate" in s:
             lines.append(f"compile caches : "
                          f"{s['cache_hit_rate'] * 100:.1f}% hit rate")

@@ -21,7 +21,7 @@ from ..dram.commands import Command, CommandType
 from ..dram.engine import ScheduleResult
 from ..dram.stream import cached_stream
 from ..errors import FunctionalMismatch, warn_deprecated
-from ..mapping.program_cache import cyclic_program
+from ..mapping.program_cache import cyclic_program, programs_recipe_key
 from ..ntt.reference import ntt as reference_ntt
 from ..pim.bank_pim import PimBank
 from .driver import SimConfig, cached_schedule
@@ -101,9 +101,7 @@ def compile_batch(params: NttParams, count: int, config: SimConfig):
     # cheap) cache key — and the concat runs lazily, only when the
     # stream cache misses: the batch compiles to a stream once per
     # shape and warm shapes skip the merge work entirely.
-    keys = [p.key for p in programs]
-    merged_key = (("concat", tuple(keys), True)
-                  if all(k is not None for k in keys) else None)
+    merged_key = programs_recipe_key("concat", programs, True)
     merged_stream = cached_stream(
         lambda: concat_programs([p.commands for p in programs]),
         config.arch, key=merged_key)

@@ -5,12 +5,20 @@ polynomial); the paper's architecture runs one per bank.  All banks
 share the command bus (one command per cycle) while row/column timing
 and the CUs are per-bank, so speedup is near-linear until the command
 bus saturates — which this module lets us measure.
+
+The merge is *kind-generic*: a :class:`TransformSpec` names which
+per-bank program every bank runs — forward or inverse cyclic NTT, or
+the merged negacyclic transform — plus how its functional I/O is
+staged (input permutation, host-side 1/N scale, golden reference).
+That one abstraction is what lets the serving layer's batching
+scheduler coalesce negacyclic and inverse traffic exactly like forward
+cyclic NTTs.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..arith.bitrev import bit_reverse_permute
 from ..arith.roots import NttParams
@@ -18,13 +26,103 @@ from ..dram.commands import Command
 from ..dram.engine import ScheduleResult
 from ..dram.stream import cached_stream
 from ..errors import FunctionalMismatch, warn_deprecated
-from ..mapping.program_cache import cyclic_program
+from ..mapping.program_cache import (
+    CachedProgram,
+    cyclic_program,
+    negacyclic_program,
+    programs_recipe_key,
+)
+from ..ntt.negacyclic import NegacyclicParams
+from ..ntt.reference import intt as reference_intt
 from ..ntt.reference import ntt as reference_ntt
 from ..pim.bank_pim import PimBank
 from .driver import SimConfig, cached_schedule
 
-__all__ = ["interleave_programs", "compile_multibank", "MultiBankResult",
-           "run_multibank"]
+__all__ = ["TransformSpec", "interleave_programs", "compile_multibank",
+           "MultiBankResult", "run_multibank"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TransformSpec:
+    """One per-bank transform kind of a multi-bank dispatch.
+
+    ``kind`` is ``"ntt"`` (cyclic, ``params``) or ``"negacyclic"``
+    (merged C1N mapping, ``ring``); ``inverse`` selects the inverse
+    transform, whose final 1/N scale runs host-side exactly as in the
+    standalone driver paths — so a merged dispatch stays bit-identical
+    to per-request ``Simulator.run`` calls.
+    """
+
+    kind: str = "ntt"
+    inverse: bool = False
+    params: Optional[NttParams] = None
+    ring: Optional[NegacyclicParams] = None
+
+    @classmethod
+    def of(cls, params_or_spec) -> "TransformSpec":
+        """Normalize the legacy ``NttParams`` calling convention."""
+        if isinstance(params_or_spec, TransformSpec):
+            return params_or_spec
+        return cls(kind="ntt", params=params_or_spec)
+
+    @property
+    def n(self) -> int:
+        return self.ring.n if self.kind == "negacyclic" else self.params.n
+
+    @property
+    def q(self) -> int:
+        return self.ring.q if self.kind == "negacyclic" else self.params.q
+
+    # -- per-bank artifacts ------------------------------------------------------
+    def program(self, config: SimConfig, bank: int) -> CachedProgram:
+        """The (memoized) command program one bank runs."""
+        if self.kind == "negacyclic":
+            return negacyclic_program(self.ring, config.arch, config.pim,
+                                      config.base_row, bank,
+                                      inverse=self.inverse)
+        ntt = self.params.inverse() if self.inverse else self.params
+        return cyclic_program(ntt, config.arch, config.pim, config.base_row,
+                              bank, config.mapper_options)
+
+    def load_layout(self, values: Sequence[int]) -> List[int]:
+        """Bank-resident input image (the Sec. IV.A host protocol leaves
+        cyclic inputs bit-reversed; the merged negacyclic mapping takes
+        natural order)."""
+        if self.kind == "negacyclic":
+            return [v % self.q for v in values]
+        return bit_reverse_permute(list(values))
+
+    def finalize(self, output: List[int]) -> List[int]:
+        """Host-side epilogue: the inverse transforms' 1/N scale (the
+        same pass the standalone driver paths apply)."""
+        if not self.inverse:
+            return output
+        from ..arith.modmath import mod_scale_vec
+        n_inv = (self.params.n_inv if self.kind == "ntt"
+                 else self.cyclic_params.n_inv)
+        return mod_scale_vec(output, n_inv, self.q)
+
+    @property
+    def cyclic_params(self) -> NttParams:
+        """The cyclic parameter view (negacyclic rings embed one)."""
+        return self.ring.cyclic if self.kind == "negacyclic" else self.params
+
+    def expected(self, values: Sequence[int]) -> List[int]:
+        """Golden model of one bank's *finalized* output."""
+        if self.kind == "negacyclic":
+            from ..ntt.merged import (
+                merged_negacyclic_intt,
+                merged_negacyclic_ntt,
+            )
+            golden = (merged_negacyclic_intt if self.inverse
+                      else merged_negacyclic_ntt)
+            return golden(values, self.ring)
+        if self.inverse:
+            return reference_intt(values, self.params)
+        return reference_ntt(values, self.params)
+
+    def describe(self) -> str:
+        return f"{'inverse ' if self.inverse else ''}{self.kind}"
 
 
 def interleave_programs(programs: Sequence[List[Command]]) -> List[Command]:
@@ -54,7 +152,7 @@ def interleave_programs(programs: Sequence[List[Command]]) -> List[Command]:
 
 @dataclasses.dataclass
 class MultiBankResult:
-    """Outcome of running one NTT per bank concurrently."""
+    """Outcome of running one transform per bank concurrently."""
 
     banks: int
     schedule: ScheduleResult
@@ -94,40 +192,40 @@ def run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
     return _run_multibank(inputs, ntt, config)
 
 
-def compile_multibank(ntt: NttParams, banks: int, config: SimConfig):
+def compile_multibank(spec, banks: int, config: SimConfig):
     """Compile the ``banks``-way interleaved program for one shape.
 
-    Returns ``(programs, merged_stream, merged_key)``.  Everything is
-    memoized (program / stream caches), so this doubles as the *warm-up*
-    step the streaming ``run_many`` and the serving layer's worker pool
-    run for group *k+1* while group *k* executes.
+    ``spec`` is a :class:`TransformSpec` (or bare ``NttParams``, the
+    legacy forward-cyclic spelling).  Returns ``(programs,
+    merged_stream, merged_key)``.  Everything is memoized (program /
+    stream caches), so this doubles as the *warm-up* step the streaming
+    ``run_many`` and the serving layer's worker pool run for group
+    *k+1* while group *k* executes.
     """
     if banks < 1:
         raise ValueError("need at least one bank's worth of input")
-    # Programs are memoized per (params, config, bank): repeated rounds
+    spec = TransformSpec.of(spec)
+    # Programs are memoized per (spec, config, bank): repeated rounds
     # over the same shape (e.g. every RNS limb round) reuse the programs.
-    programs = [cyclic_program(ntt, config.arch, config.pim, config.base_row,
-                               k, config.mapper_options)
-                for k in range(banks)]
+    programs = [spec.program(config, k) for k in range(banks)]
     # The merged list's content is a pure function of the component
     # programs, so the merge recipe over their keys is an exact (and
     # cheap) shared-cache key — and the merge itself runs lazily, only
     # when the stream cache misses on that key.
-    keys = [p.key for p in programs]
-    merged_key = (("interleave", tuple(keys))
-                  if all(k is not None for k in keys) else None)
+    merged_key = programs_recipe_key("interleave", programs)
     merged_stream = cached_stream(
         lambda: interleave_programs([p.commands for p in programs]),
         config.arch, key=merged_key)
     return programs, merged_stream, merged_key
 
 
-def _run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
+def _run_multibank(inputs: Sequence[Sequence[int]], spec,
                    config: SimConfig | None = None) -> MultiBankResult:
-    """Run ``len(inputs)`` independent NTTs, one per bank."""
+    """Run ``len(inputs)`` independent transforms, one per bank."""
     config = config or SimConfig()
+    spec = TransformSpec.of(spec)
     banks = len(inputs)
-    programs, merged_stream, merged_key = compile_multibank(ntt, banks,
+    programs, merged_stream, merged_key = compile_multibank(spec, banks,
                                                             config)
     compute = config.pim.compute_timing()
     schedule = cached_schedule(merged_stream, config.timing, config.arch,
@@ -140,25 +238,26 @@ def _run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
     bu_ops = 0
     if config.functional:
         # Banks are functionally independent, so each executes its own
-        # per-bank compiled stream (cached per (params, config, bank))
+        # per-bank compiled stream (cached per (spec, config, bank))
         # — equivalent to replaying the round-robin merge command by
         # command, minus the interleaving overhead.
         bank_models = []
         for values, program in zip(inputs, programs):
             bank = PimBank(config.arch, config.pim)
-            bank.set_parameters(ntt.q)
-            bank.load_polynomial(config.base_row,
-                                 bit_reverse_permute(list(values)))
+            bank.set_parameters(spec.q)
+            bank.load_polynomial(config.base_row, spec.load_layout(values))
             bank.run_stream(cached_stream(program.commands, config.arch,
                                           key=program.key))
             bank_models.append(bank)
         bu_ops = sum(bank.cu.bu_ops for bank in bank_models)
-        outputs = [bank.read_polynomial(config.base_row, ntt.n)
-                   for bank in bank_models]
+        outputs = [spec.finalize(
+            bank.read_polynomial(program.result_base_row, spec.n))
+            for bank, program in zip(bank_models, programs)]
         if config.verify:
             for values, got in zip(inputs, outputs):
-                if got != reference_ntt(values, ntt):
-                    raise FunctionalMismatch("multi-bank NTT result wrong")
+                if got != spec.expected(values):
+                    raise FunctionalMismatch(
+                        f"multi-bank {spec.describe()} result wrong")
             verified = True
 
     return MultiBankResult(banks=banks, schedule=schedule,

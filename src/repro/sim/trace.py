@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, Optional, Sequence
 
-from ..dram.commands import Command, CommandType
+from ..dram.commands import Command
 from ..dram.engine import CommandTiming
 
 __all__ = ["format_trace", "parse_trace_line", "trace_summary"]

@@ -302,6 +302,77 @@ class TestRunMany:
             [NttRequest(params=PARAMS)] * 3, group=False)
         assert all("group_banks" not in r.metrics for r in responses)
 
+    def test_inverse_and_negacyclic_group_bit_identically(self):
+        simulator = Simulator()
+        requests = (
+            [NttRequest(params=PARAMS, values=_data(40 + i), inverse=True)
+             for i in range(2)]
+            + [NegacyclicRequest(ring=RING, values=_data(50 + i, q=QN))
+               for i in range(2)]
+            + [NegacyclicRequest(ring=RING, values=_data(60 + i, q=QN),
+                                 inverse=True) for i in range(2)])
+        responses = simulator.run_many(requests)
+        for request, response in zip(requests, responses):
+            assert response.metrics["group_banks"] == 2
+            assert response.values == simulator.run(request).values
+
+    def test_forward_and_inverse_never_share_a_group(self):
+        simulator = Simulator(SimConfig(functional=False, verify=False))
+        responses = simulator.run_many(
+            [NttRequest(params=PARAMS),
+             NttRequest(params=PARAMS, inverse=True)])
+        assert all("group_banks" not in r.metrics for r in responses)
+
+
+class TestMultiBankKinds:
+    """The generalized MultiBankRequest: per-bank inverse cyclic and
+    negacyclic transforms, bit-identical to single-request runs."""
+
+    def test_inverse_cyclic_banks_match_single_runs(self):
+        simulator = Simulator()
+        inputs = [_data(70 + i) for i in range(3)]
+        merged = simulator.run(MultiBankRequest(params=PARAMS, inputs=inputs,
+                                                inverse=True))
+        assert merged.verified
+        for values, out in zip(inputs, merged.outputs):
+            solo = simulator.run(NttRequest(params=PARAMS, values=values,
+                                            inverse=True))
+            assert out == solo.values
+
+    @pytest.mark.parametrize("inverse", [False, True])
+    def test_negacyclic_banks_match_single_runs(self, inverse):
+        simulator = Simulator()
+        inputs = [_data(80 + i, q=QN) for i in range(3)]
+        merged = simulator.run(MultiBankRequest(ring=RING, inputs=inputs,
+                                                inverse=inverse))
+        assert merged.verified
+        for values, out in zip(inputs, merged.outputs):
+            solo = simulator.run(NegacyclicRequest(ring=RING, values=values,
+                                                   inverse=inverse))
+            assert out == solo.values
+
+    def test_exactly_one_kind_required(self):
+        with pytest.raises(RequestValidationError, match="exactly one"):
+            MultiBankRequest(inputs=[[0] * N]).validate()
+        with pytest.raises(RequestValidationError, match="exactly one"):
+            MultiBankRequest(params=PARAMS, ring=RING,
+                             inputs=[[0] * N]).validate()
+
+    def test_negacyclic_multibank_precompiles(self):
+        from repro.api.workloads import precompile_request
+        request = MultiBankRequest(ring=RING,
+                                   inputs=[_data(90, q=QN)] * 2,
+                                   inverse=True)
+        config = SimConfig()
+        Simulator.clear_caches()
+        assert precompile_request(config, request)
+        before = Simulator(config).cache_info()
+        Simulator(config).run(request)
+        after = Simulator(config).cache_info()
+        # The real run's compile side was pure cache hits.
+        assert after["program"]["misses"] == before["program"]["misses"]
+        assert after["stream"]["misses"] == before["stream"]["misses"]
+
 
 class TestFheWorkload:
     def test_multiply_verified_against_software(self):

@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from repro.api import NegacyclicRequest, NttRequest, Simulator
+from repro.api import FheOpRequest, NegacyclicRequest, NttRequest, Simulator
 from repro.arith import NttParams, find_ntt_prime
 from repro.ntt.negacyclic import NegacyclicParams
 from repro.serve import (
@@ -40,12 +40,23 @@ def ntt_request(seed: int, params: NttParams = PARAMS) -> NttRequest:
                                    for _ in range(params.n)))
 
 
-def nega_request(seed: int) -> NegacyclicRequest:
-    ring = NegacyclicParams(N, find_ntt_prime(N, 32, negacyclic=True))
+RING = NegacyclicParams(N, find_ntt_prime(N, 32, negacyclic=True))
+
+
+def nega_request(seed: int, inverse: bool = False) -> NegacyclicRequest:
     rng = random.Random(seed)
-    return NegacyclicRequest(ring=ring,
-                             values=tuple(rng.randrange(ring.q)
-                                          for _ in range(ring.n)))
+    return NegacyclicRequest(ring=RING,
+                             values=tuple(rng.randrange(RING.q)
+                                          for _ in range(RING.n)),
+                             inverse=inverse)
+
+
+def fhe_request(seed: int) -> FheOpRequest:
+    """A genuinely unbatchable request (FHE ops span several programs)."""
+    rng = random.Random(seed)
+    return FheOpRequest(ring=RING, op="forward",
+                        a=tuple(rng.randrange(RING.q)
+                                for _ in range(RING.n)))
 
 
 class TestRequestQueue:
@@ -85,11 +96,18 @@ class TestShapeKey:
         b = ServeRequest(request=ntt_request(1))
         assert shape_key(a, NOVERIFY) == shape_key(b, NOVERIFY)
 
-    def test_inverse_and_negacyclic_do_not_batch(self):
+    def test_inverse_and_negacyclic_batch_under_their_own_keys(self):
+        fwd = ServeRequest(request=ntt_request(0))
         inv = ServeRequest(request=NttRequest(params=PARAMS, inverse=True))
         neg = ServeRequest(request=nega_request(0))
-        assert shape_key(inv, NOVERIFY) is None
-        assert shape_key(neg, NOVERIFY) is None
+        neg_inv = ServeRequest(request=nega_request(1, inverse=True))
+        keys = [shape_key(s, NOVERIFY) for s in (fwd, inv, neg, neg_inv)]
+        assert all(k is not None for k in keys)
+        assert len(set(keys)) == 4  # four distinct dispatch groups
+
+    def test_fhe_ops_do_not_batch(self):
+        assert shape_key(ServeRequest(request=fhe_request(0)),
+                         NOVERIFY) is None
 
     def test_config_override_separates_groups(self):
         plain = ServeRequest(request=ntt_request(0))
@@ -138,7 +156,7 @@ class TestBatchingSchedulerPlan:
 
     def test_unbatchable_requests_dispatch_immediately(self):
         sched = BatchingScheduler(window_us=50.0, max_banks=8)
-        sreqs = [ServeRequest(request=nega_request(0), arrival_us=3.0,
+        sreqs = [ServeRequest(request=fhe_request(0), arrival_us=3.0,
                               request_id=1)]
         units, _ = _plan(sched, sreqs)
         assert len(units) == 1 and units[0].ready_us == pytest.approx(3.0)
@@ -236,7 +254,7 @@ class TestSimServer:
         # Three unbatchable requests on one shard: the shard is busy
         # with the first when #2 (prio 0) and #3 (prio 5) are ready, so
         # the urgent one overtakes.
-        sreqs = [ServeRequest(request=nega_request(i), arrival_us=float(i),
+        sreqs = [ServeRequest(request=fhe_request(i), arrival_us=float(i),
                               priority=p, request_id=i + 1)
                  for i, p in ((0, 0), (1, 0), (2, 5))]
         server = SimServer(NOVERIFY)
@@ -300,7 +318,7 @@ class TestSimServer:
         assert server.telemetry.snapshot()["cache_hit_rate"] > 0
 
     def test_single_routing_does_not_grow_scheduler_state(self):
-        sreqs = [ServeRequest(request=nega_request(i), arrival_us=float(i),
+        sreqs = [ServeRequest(request=fhe_request(i), arrival_us=float(i),
                               request_id=i + 1) for i in range(6)]
         server = SimServer(NOVERIFY, num_shards=2)
         server.serve(sreqs)
@@ -355,6 +373,258 @@ class TestSimServer:
         assert m2 < m1  # the second channel absorbed one shape
 
 
+class TestGeneralizedBatching:
+    """Negacyclic and inverse transforms coalesce exactly like forward
+    cyclic NTTs — bit-identical to standalone runs — and mixed-kind
+    windows split into one dispatch group per kind."""
+
+    def _serve_and_check(self, requests, **server_kwargs):
+        sreqs = [ServeRequest(request=r, arrival_us=0.0, request_id=i + 1)
+                 for i, r in enumerate(requests)]
+        server = SimServer(NOVERIFY, window_us=10.0, max_banks=8,
+                           **server_kwargs)
+        results = server.serve(sreqs)
+        solo = Simulator(NOVERIFY)
+        for sreq, result in zip(sreqs, results):
+            assert result.ok
+            assert result.response.values == solo.run(sreq.request).values
+        return results
+
+    def test_inverse_ntts_merge_bit_identically(self):
+        results = self._serve_and_check(
+            [NttRequest(params=PARAMS, values=ntt_request(i).values,
+                        inverse=True) for i in range(4)])
+        assert all(r.record.group_banks == 4 for r in results)
+
+    def test_negacyclic_merges_bit_identically(self):
+        results = self._serve_and_check(
+            [nega_request(i) for i in range(3)])
+        assert all(r.record.group_banks == 3 for r in results)
+
+    def test_inverse_negacyclic_merges_bit_identically(self):
+        results = self._serve_and_check(
+            [nega_request(i, inverse=True) for i in range(3)])
+        assert all(r.record.group_banks == 3 for r in results)
+
+    def test_mixed_kind_window_splits_into_per_kind_groups(self):
+        requests = ([ntt_request(i) for i in range(2)]
+                    + [NttRequest(params=PARAMS,
+                                  values=ntt_request(i + 10).values,
+                                  inverse=True) for i in range(2)]
+                    + [nega_request(i) for i in range(2)]
+                    + [nega_request(i + 10, inverse=True) for i in range(2)]
+                    + [fhe_request(0)])
+        results = self._serve_and_check(requests)
+        # Four two-member groups (one per transform kind) and the FHE
+        # op alone: 8 grouped requests, 1 unbatched.
+        banks = [r.record.group_banks for r in results]
+        assert banks == [2] * 8 + [1]
+
+    def test_grouped_negacyclic_counters_split_per_bank(self):
+        results = self._serve_and_check([nega_request(i) for i in range(4)])
+        group = results[0].response.raw  # the MultiBankResult
+        assert group.banks == 4
+        per_bank = results[0].response.counters
+        assert all(v * 4 == group.schedule.stats.command_counts.get(k, 0)
+                   for k, v in per_bank.items() if k != "bu_ops")
+
+
+class TestLiveSurface:
+    """submit()/poll()/drain(): the online form of serve()."""
+
+    def _load(self, count=30, rate=300_000, seed=7, scenario="mixed"):
+        return LoadGenerator(make_scenario(scenario), rate_rps=rate,
+                             count=count, seed=seed)
+
+    def test_drain_matches_offline_serve_bit_for_bit(self):
+        offline = SimServer(NOVERIFY, window_us=50.0)
+        off = offline.serve(self._load().requests())
+        live = SimServer(NOVERIFY, window_us=50.0)
+        for sreq in self._load().stream():
+            live.submit(sreq)
+        drained = live.drain()
+        assert len(drained) == len(off)
+        for a, b in zip(off, drained):
+            assert b.response.values == a.response.values
+            assert b.record.completion_us == a.record.completion_us
+            assert b.record.start_us == a.record.start_us
+            assert b.record.dispatch_us == a.record.dispatch_us
+            assert b.record.shard == a.record.shard
+            assert b.record.group_banks == a.record.group_banks
+
+    def test_poll_progression(self):
+        """A request is invisible while queued/windowed, then appears
+        with a response once later arrivals push virtual time past its
+        dispatch and service."""
+        server = SimServer(NOVERIFY, window_us=10.0)
+        first = server.submit(ntt_request(0), arrival_us=0.0)
+        assert server.poll(first) is None          # window still open
+        server.submit(ntt_request(1), arrival_us=5.0)
+        assert server.poll(first) is None          # still open (5 < 10)
+        server.submit(ntt_request(2), arrival_us=5_000.0)
+        result = server.poll(first)                # window long closed
+        assert result is not None and result.ok
+        assert result.record.group_banks == 2      # batched with #2
+        drained = server.drain()
+        assert len(drained) == 3
+        assert server.poll(first) is None          # session closed
+
+    def test_poll_unknown_and_empty_drain(self):
+        server = SimServer(NOVERIFY)
+        assert server.poll(1) is None
+        assert server.drain() == []
+
+    def test_submit_rejected_request_polls_failed_result(self):
+        server = SimServer(NOVERIFY, max_depth=1, window_us=1000.0)
+        ids = [server.submit(ntt_request(i), arrival_us=float(i))
+               for i in range(3)]
+        rejected = [server.poll(i) for i in ids[1:]]
+        assert all(r is not None and not r.ok for r in rejected)
+        assert all(r.record.status == "rejected" for r in rejected)
+        results = server.drain()
+        assert results[0].ok
+
+    def test_submit_clamps_past_arrivals(self):
+        server = SimServer(NOVERIFY, window_us=5.0)
+        server.submit(ntt_request(0), arrival_us=100.0)
+        late = server.submit(ntt_request(1), arrival_us=1.0)  # in the past
+        results = server.drain()
+        by_id = {r.record.request_id: r.record for r in results}
+        assert by_id[late].arrival_us >= 100.0
+
+    def test_submit_rejects_kwargs_alongside_serve_request(self):
+        server = SimServer(NOVERIFY)
+        with pytest.raises(ValueError, match="ServeRequest"):
+            server.submit(ServeRequest(request=ntt_request(0)), priority=3)
+        assert server.drain() == []  # nothing was admitted
+
+    def test_drain_survives_execution_error_and_retries(self, monkeypatch):
+        server = SimServer(NOVERIFY, window_us=5.0)
+        request_id = server.submit(ntt_request(0))
+        real_execute = SimServer._execute
+        failures = {"left": 1}
+
+        def flaky(self, unit):
+            if failures["left"]:
+                failures["left"] -= 1
+                raise RuntimeError("transient execution failure")
+            return real_execute(self, unit)
+
+        monkeypatch.setattr(SimServer, "_execute", flaky)
+        with pytest.raises(RuntimeError, match="transient"):
+            server.drain()
+        # The session survived: the retry serves the re-queued unit.
+        results = server.drain()
+        assert len(results) == 1 and results[0].ok
+        assert results[0].record.request_id == request_id
+        assert server.drain() == []  # now closed
+
+    def test_serve_guard_while_live_session_open(self):
+        server = SimServer(NOVERIFY)
+        server.submit(ntt_request(0))
+        with pytest.raises(RuntimeError, match="drain"):
+            server.serve([ServeRequest(request=ntt_request(1))])
+        server.drain()
+        assert server.serve([ServeRequest(request=ntt_request(1))])[0].ok
+
+    def test_clock_monotonic_across_live_and_offline_sessions(self):
+        server = SimServer(NOVERIFY)
+        server.call(ntt_request(0))
+        first_completion = server.telemetry.records[-1].completion_us
+        server.submit(ntt_request(1))
+        server.drain()
+        second_completion = server.telemetry.records[-1].completion_us
+        assert second_completion > first_completion
+
+
+class TestSharedBus:
+    def test_unknown_bus_model_rejected(self):
+        with pytest.raises(ValueError, match="bus model"):
+            SimServer(NOVERIFY, bus="turbo")
+
+    def _two_shape_load(self, per_shape=4):
+        big = NttParams(512, find_ntt_prime(512, 32))
+        sreqs = [ServeRequest(request=ntt_request(i), arrival_us=0.0,
+                              request_id=i + 1) for i in range(per_shape)]
+        sreqs += [ServeRequest(request=ntt_request(i, big), arrival_us=0.0,
+                               request_id=i + 1 + per_shape)
+                  for i in range(per_shape)]
+        return sreqs
+
+    def test_shared_bus_delays_concurrent_shards(self):
+        independent = SimServer(NOVERIFY, num_shards=2, window_us=5.0,
+                                bus="independent")
+        shared = SimServer(NOVERIFY, num_shards=2, window_us=5.0,
+                           bus="shared")
+        m_ind = max(r.record.completion_us
+                    for r in independent.serve(self._two_shape_load()))
+        m_sha = max(r.record.completion_us
+                    for r in shared.serve(self._two_shape_load()))
+        assert m_sha > m_ind  # the second shard stalled for bus slots
+        snap = shared.telemetry.snapshot()
+        assert snap["bus_utilization"] > 0.0
+        assert snap["bus_wait_p99_us"] > 0.0
+        assert independent.telemetry.snapshot()["bus_utilization"] == 0.0
+
+    def test_shared_bus_single_shard_matches_independent(self):
+        """With one shard the bus occupancy always fits under the
+        dispatch latency, so the shared model changes nothing — the
+        PR 4 single-shard numbers are preserved exactly."""
+        a = SimServer(NOVERIFY, num_shards=1, bus="independent")
+        b = SimServer(NOVERIFY, num_shards=1, bus="shared")
+        ra = a.serve(self._two_shape_load())
+        rb = b.serve(self._two_shape_load())
+        for x, y in zip(ra, rb):
+            assert x.record.completion_us == y.record.completion_us
+        assert b.telemetry.snapshot()["bus_utilization"] > 0.0
+
+    def test_fhe_dispatches_charge_the_bus(self):
+        """Multi-program workloads (FHE ops) report their summed command
+        count, so the shared bus sees their traffic too."""
+        server = SimServer(NOVERIFY, bus="shared")
+        result = server.serve([ServeRequest(request=fhe_request(0),
+                                            request_id=1)])[0]
+        assert result.response.command_count > 0
+        assert server.telemetry.snapshot()["bus_utilization"] > 0.0
+
+    def test_shared_bus_responses_stay_bit_identical(self):
+        server = SimServer(NOVERIFY, num_shards=2, window_us=5.0,
+                           bus="shared")
+        sreqs = self._two_shape_load()
+        solo = Simulator(NOVERIFY)
+        for sreq, result in zip(sreqs, server.serve(sreqs)):
+            assert result.response.values == solo.run(sreq.request).values
+
+
+class TestPlanSession:
+    def test_incremental_plan_matches_offline_plan(self):
+        def arrivals():
+            return [ServeRequest(request=ntt_request(i),
+                                 arrival_us=float(i * 7), request_id=i + 1)
+                    for i in range(10)]
+        offline = BatchingScheduler(window_us=20.0, max_banks=3)
+        units, dropped = _plan(offline, arrivals())
+        online = BatchingScheduler(window_us=20.0, max_banks=3)
+        session = online.begin(RequestQueue(), NOVERIFY)
+        for sreq in arrivals():
+            session.offer(sreq)
+        session.flush()
+        assert not dropped and not session.dropped
+        assert [(u.ready_us, [m.request_id for m in u.members], u.shard)
+                for u in units] == \
+               [(u.ready_us, [m.request_id for m in u.members], u.shard)
+                for u in session.units]
+
+    def test_out_of_order_arrival_rejected(self):
+        scheduler = BatchingScheduler(window_us=10.0)
+        session = scheduler.begin(RequestQueue(), NOVERIFY)
+        session.offer(ServeRequest(request=ntt_request(0), arrival_us=50.0,
+                                   request_id=1))
+        with pytest.raises(ValueError, match="precedes"):
+            session.offer(ServeRequest(request=ntt_request(1),
+                                       arrival_us=10.0, request_id=2))
+
+
 class TestLoadGenerator:
     def test_deterministic_given_seed(self):
         gen = lambda: LoadGenerator(make_scenario("uniform"),  # noqa: E731
@@ -383,6 +653,18 @@ class TestLoadGenerator:
         assert 0 < sum(s.priority for s in sreqs) < 50
         assert all(s.deadline_us == pytest.approx(s.arrival_us + 123.0)
                    for s in sreqs)
+
+    def test_stream_equals_requests(self):
+        load = LoadGenerator(make_scenario("mixed"), rate_rps=5_000,
+                             count=25, seed=9)
+        assert list(load.stream()) == load.requests()
+
+    def test_mixed_scenario_covers_every_batchable_kind(self):
+        sreqs = LoadGenerator(make_scenario("mixed"), rate_rps=1000.0,
+                              count=120, seed=4).requests()
+        kinds = {(s.request.workload, s.request.inverse) for s in sreqs}
+        assert kinds == {("ntt", False), ("ntt", True),
+                         ("negacyclic", False), ("negacyclic", True)}
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(ValueError, match="unknown scenario"):
