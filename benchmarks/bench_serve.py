@@ -8,8 +8,11 @@ simulation; a ``pipeline`` section measures the inline vs thread worker
 backends (how much compile/execute overlap buys under the GIL — see
 :mod:`repro.serve.workers`), and a ``shards`` section sweeps shard
 counts under the shared-bus vs independent-channel contention models
-(bus utilization included — the README's shard-scaling table).
-Results land in ``BENCH_serve.json`` at the repo root.
+(bus utilization included — the README's shard-scaling table), and a
+``resilience`` section sweeps injected fault rates x {policies off,
+policies on} and records the availability / true-goodput gap the
+recovery stack buys back.  Results land in ``BENCH_serve.json`` at the
+repo root.
 
 Non-gating when run directly —
 
@@ -61,6 +64,18 @@ SHARD_COUNTS = (1, 2, 4)
 SHARD_RATE = 3_000_000
 SHARD_SCENARIO = "uniform"
 
+#: Resilience sweep: fault rate x {policies off, policies on} on the
+#: chaos mix.  "True goodput" only counts responses that completed,
+#: made their deadline AND bit-match a standalone solo run — so
+#: undetected corruption (policies off) is charged as badput.
+FAULT_RATES = (0.0, 0.1, 0.25)
+FAULT_SEED = 7
+RES_SCENARIO = "chaos"
+RES_RATE = 150_000
+RES_COUNT = 50
+RES_SEED = 3
+RES_DEADLINE_US = 4000.0
+
 
 def _load(rate: float, scenario: str = SCENARIO,
           count: int = COUNT) -> LoadGenerator:
@@ -78,6 +93,41 @@ def _serve(scheduler: str, rate: float, workers: str = "inline",
     results = server.serve(_load(rate, scenario).requests())
     wall_s = time.perf_counter() - start
     return server, results, wall_s
+
+
+def _resilience_run(fault_rate: float, policy: str) -> dict:
+    load = LoadGenerator(make_scenario(RES_SCENARIO), rate_rps=RES_RATE,
+                         count=RES_COUNT, seed=RES_SEED,
+                         high_priority_fraction=0.2,
+                         deadline_us=RES_DEADLINE_US)
+    server = SimServer(CONFIG, window_us=WINDOW_US, max_banks=MAX_BANKS,
+                       num_shards=2, max_depth=4096,
+                       faults=(f"rate:{fault_rate}" if fault_rate else None),
+                       fault_seed=FAULT_SEED, policy=policy)
+    requests = load.requests()
+    results = server.serve(requests)
+    solo = Simulator(CONFIG)
+    good = 0
+    for sreq, result in zip(requests, results):
+        if not result.ok or result.record.deadline_missed:
+            continue
+        if result.response.values == solo.run(sreq.request).values:
+            good += 1
+    snap = server.telemetry.snapshot()
+    res = snap["resilience"]
+    makespan_s = snap["makespan_us"] * 1e-6
+    return {
+        "availability": snap["availability"],
+        "goodput_rps": snap["goodput_rps"],
+        "true_goodput_rps": good / makespan_s if makespan_s > 0 else 0.0,
+        "completed": snap["completed"],
+        "failed": snap["failed"],
+        "faults_injected": sum(res["faults_injected"].values()),
+        "retries": res["retries"],
+        "timeouts": res["timeouts"],
+        "detected_mismatches": res["detected_mismatches"],
+        "breaker_trips": res["breaker_trips"],
+    }
 
 
 def run(out_path: Path = DEFAULT_OUT) -> dict:
@@ -142,6 +192,23 @@ def run(out_path: Path = DEFAULT_OUT) -> dict:
         shards_section[bus] = entry
     section["shards"] = shards_section
 
+    # Resilience: fault rate x policy.  The recovery stack (retries,
+    # timeouts, breakers, detection) must buy goodput back — strictly —
+    # at every nonzero fault rate; at rate 0 the two policies serve the
+    # same plan (timeouts/detection never fire without faults).
+    resilience_section: dict = {
+        "description": f"{RES_SCENARIO} mix at {RES_RATE} req/s, "
+                       f"{RES_COUNT} requests, deadline "
+                       f"{RES_DEADLINE_US:.0f}us, fault seed {FAULT_SEED}; "
+                       f"true goodput counts deadline-met responses that "
+                       f"bit-match a standalone solo run",
+    }
+    for fault_rate in FAULT_RATES:
+        resilience_section[f"{fault_rate:g}"] = {
+            policy: _resilience_run(fault_rate, policy)
+            for policy in ("none", "standard")}
+    section["resilience"] = resilience_section
+
     out_path.write_text(json.dumps({"serve": section}, indent=2) + "\n")
     return {"serve": section}
 
@@ -176,6 +243,19 @@ def _format(results: dict) -> str:
             f" | shared {sha['throughput_rps'] / 1e3:6.1f}k rps "
             f"bus={sha['bus_utilization'] * 100:4.1f}% "
             f"wait p99={sha['bus_wait_p99_us']:5.1f}us")
+    lines.append(f"resilience ({RES_SCENARIO} mix), true goodput "
+                 f"policies off vs on:")
+    for fault_rate in FAULT_RATES:
+        entry = section["resilience"][f"{fault_rate:g}"]
+        off, on = entry["none"], entry["standard"]
+        lines.append(
+            f"  faults={fault_rate:4.2f}:  "
+            f"off {off['true_goodput_rps'] / 1e3:6.1f}k rps "
+            f"avail={off['availability'] * 100:5.1f}% | "
+            f"on {on['true_goodput_rps'] / 1e3:6.1f}k rps "
+            f"avail={on['availability'] * 100:5.1f}% "
+            f"(retries={on['retries']} timeouts={on['timeouts']} "
+            f"detected={on['detected_mismatches']})")
     return "\n".join(lines)
 
 
@@ -262,6 +342,32 @@ def test_live_surface_bit_identical_to_offline(show):
          f"offline serve(), {polled} observed via poll() mid-stream")
 
 
+def test_resilience_policies_recover_goodput(show):
+    """CI gate (the chaos-smoke claim): at every nonzero fault rate the
+    resilience policies buy *true* goodput back — strictly above the
+    policies-off run under the identical fault schedule — and at rate 0
+    the two policies produce identical serving numbers (the policy
+    knobs are inert without faults)."""
+    zero = {policy: _resilience_run(0.0, policy)
+            for policy in ("none", "standard")}
+    assert zero["none"] == zero["standard"]
+    assert zero["none"]["faults_injected"] == 0
+    for fault_rate in [r for r in FAULT_RATES if r > 0]:
+        off = _resilience_run(fault_rate, "none")
+        on = _resilience_run(fault_rate, "standard")
+        assert off["faults_injected"] > 0  # the sweep actually injected
+        assert on["true_goodput_rps"] > off["true_goodput_rps"], (
+            f"fault rate {fault_rate}: policies-on true goodput "
+            f"{on['true_goodput_rps']:.0f} not above policies-off "
+            f"{off['true_goodput_rps']:.0f}")
+        assert on["availability"] >= off["availability"]
+        show(f"resilience @ faults={fault_rate:g}: true goodput "
+             f"off {off['true_goodput_rps'] / 1e3:.1f}k -> "
+             f"on {on['true_goodput_rps'] / 1e3:.1f}k rps, availability "
+             f"{off['availability'] * 100:.1f}% -> "
+             f"{on['availability'] * 100:.1f}%")
+
+
 def test_bench_serve_writes_json(show, tmp_path):
     out = tmp_path / "BENCH_serve.json"
     results = run(out_path=out)
@@ -277,6 +383,14 @@ def test_bench_serve_writes_json(show, tmp_path):
         assert shards["shared"][str(count)]["bus_utilization"] > 0.0
         assert (shards["shared"][str(count)]["throughput_rps"]
                 <= shards["independent"][str(count)]["throughput_rps"] + 1e-6)
+    resilience = written["serve"]["resilience"]
+    for fault_rate in FAULT_RATES:
+        entry = resilience[f"{fault_rate:g}"]
+        if fault_rate > 0:
+            assert (entry["standard"]["true_goodput_rps"]
+                    > entry["none"]["true_goodput_rps"])
+        else:
+            assert entry["standard"] == entry["none"]
 
 
 if __name__ == "__main__":

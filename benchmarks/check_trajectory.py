@@ -10,7 +10,11 @@ committed floor:
   functional bank must not be slower than the legacy per-command loops
   (measured ~4x / ~7x; the floor is 1.0 with headroom for CI noise);
 * shared bus: the contention model must report real utilization and
-  never beat the independent-channel upper bound.
+  never beat the independent-channel upper bound;
+* resilience: under injected faults the recovery policies must keep
+  availability at least ``RESILIENCE_AVAILABILITY_FLOOR`` and hold
+  true goodput strictly above the policies-off run at the same rates
+  (goodput-under-faults floor).
 
 Run by the ``bench-trajectory`` CI job after executing both benches::
 
@@ -32,6 +36,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SERVE_SPEEDUP_FLOOR = 2.0
 ENGINE_SPEEDUP_FLOOR = 1.0
 BANK_SPEEDUP_FLOOR = 1.0
+#: With the standard policy on, availability under every swept fault
+#: rate must stay at/above this (measured 1.0 at rates 0.1 and 0.25).
+RESILIENCE_AVAILABILITY_FLOOR = 0.9
+#: And policies-on true goodput must exceed policies-off by at least
+#: this ratio at every nonzero fault rate (measured ~2.2x / ~1.1x).
+RESILIENCE_GOODPUT_RATIO_FLOOR = 1.0
 
 
 def check(kernels_path: Path = REPO_ROOT / "BENCH_kernels.json",
@@ -62,6 +72,30 @@ def check(kernels_path: Path = REPO_ROOT / "BENCH_kernels.json",
         if entry["throughput_rps"] > independent["throughput_rps"] + 1e-6:
             failures.append(f"shards={count}: shared-bus throughput beats "
                             f"the independent upper bound")
+
+    resilience = serve.get("resilience", {})
+    for rate_key, entry in resilience.items():
+        if not isinstance(entry, dict) or "standard" not in entry:
+            continue
+        off, on = entry["none"], entry["standard"]
+        print(f"serve: faults={rate_key} true goodput off "
+              f"{off['true_goodput_rps']:.0f} rps vs on "
+              f"{on['true_goodput_rps']:.0f} rps, availability "
+              f"{on['availability'] * 100:.1f}% "
+              f"(floor {RESILIENCE_AVAILABILITY_FLOOR * 100:.0f}%)")
+        if float(rate_key) == 0:
+            continue
+        if on["availability"] < RESILIENCE_AVAILABILITY_FLOOR:
+            failures.append(
+                f"faults={rate_key}: policies-on availability "
+                f"{on['availability']:.3f} fell below the "
+                f"{RESILIENCE_AVAILABILITY_FLOOR} floor")
+        if (on["true_goodput_rps"]
+                <= off["true_goodput_rps"] * RESILIENCE_GOODPUT_RATIO_FLOOR):
+            failures.append(
+                f"faults={rate_key}: policies-on true goodput "
+                f"{on['true_goodput_rps']:.0f} rps does not clear the "
+                f"policies-off run ({off['true_goodput_rps']:.0f} rps)")
 
     engine = json.loads(kernels_path.read_text())["timing_engine"]
     for n, entry in engine.items():

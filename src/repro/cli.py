@@ -140,15 +140,28 @@ def _cmd_serve(args) -> int:
         print(exc, file=sys.stderr)
         return 2
     config = SimConfig(verify=not args.no_verify)
+    rate_profile = None
+    if args.burst is not None:
+        peak, start_us, duration_us = args.burst
+        rate_profile = LoadGenerator.burst_profile(
+            args.rate, peak, start_us=start_us, duration_us=duration_us)
     load = LoadGenerator(scenario, rate_rps=args.rate, count=args.requests,
                          seed=args.seed,
                          high_priority_fraction=args.high_priority,
-                         deadline_us=args.deadline_us)
-    server = SimServer(config, scheduler=args.scheduler,
-                       window_us=args.window_us, max_banks=args.max_banks,
-                       num_shards=args.shards, max_depth=args.depth,
-                       workers=args.workers, pipeline=not args.no_pipeline,
-                       bus=args.bus)
+                         deadline_us=args.deadline_us,
+                         rate_profile=rate_profile)
+    try:
+        server = SimServer(config, scheduler=args.scheduler,
+                           window_us=args.window_us,
+                           max_banks=args.max_banks,
+                           num_shards=args.shards, max_depth=args.depth,
+                           workers=args.workers,
+                           pipeline=not args.no_pipeline,
+                           bus=args.bus, faults=args.faults,
+                           fault_seed=args.fault_seed, policy=args.policy)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     import time as _time
     start = _time.perf_counter()
     if args.live:
@@ -173,6 +186,14 @@ def _cmd_serve(args) -> int:
           f"window={args.window_us:.0f}us max_banks={args.max_banks} "
           f"shards={args.shards} bus={args.bus} workers={args.workers}"
           f"{' [live submit/poll]' if args.live else ''}")
+    if args.burst is not None:
+        peak, start_us, duration_us = args.burst
+        print(f"burst overload : {peak:.0f} req/s from {start_us:.0f}us "
+              f"for {duration_us:.0f}us")
+    if server.fault_plan is not None or args.policy != "none":
+        injected = (server.fault_plan.describe()
+                    if server.fault_plan is not None else "none")
+        print(f"resilience     : faults={injected} policy={args.policy}")
     if args.live:
         print(f"live client    : {polled} results observed via poll() "
               f"mid-stream, {len(results) - polled} at drain()")
@@ -276,6 +297,21 @@ def main(argv=None) -> int:
                          help="disable compile/execute pipelining")
     serve_p.add_argument("--no-verify", action="store_true",
                          help="skip golden-model verification per NTT")
+    serve_p.add_argument("--faults", default=None,
+                         help="inject deterministic faults: a profile "
+                              "name (none/transient/degraded/chaos) or "
+                              "'rate:<r>' (default: no injection)")
+    serve_p.add_argument("--fault-seed", type=int, default=0,
+                         help="fault-plan seed (default 0; same seed = "
+                              "bit-identical fault schedule)")
+    serve_p.add_argument("--policy", default="none",
+                         help="resilience policy: none or standard "
+                              "(retries+timeout+breaker+detection; "
+                              "default none)")
+    serve_p.add_argument("--burst", nargs=3, type=float, default=None,
+                         metavar=("PEAK_RPS", "START_US", "DURATION_US"),
+                         help="step the offered rate to PEAK_RPS from "
+                              "START_US for DURATION_US (overload drill)")
 
     trace_p = subs.add_parser("trace", help="dump a command trace")
     _add_run_args(trace_p)

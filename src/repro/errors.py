@@ -3,7 +3,8 @@
 import warnings
 
 __all__ = ["ReproError", "MappingError", "TimingViolation",
-           "FunctionalMismatch", "RequestValidationError", "warn_deprecated"]
+           "FunctionalMismatch", "RequestValidationError",
+           "ServeError", "ShardFailure", "warn_deprecated"]
 
 
 class ReproError(Exception):
@@ -26,6 +27,33 @@ class TimingViolation(ReproError):
 
 class FunctionalMismatch(ReproError):
     """The PIM-computed result disagrees with the golden-model NTT."""
+
+
+class ServeError(ReproError):
+    """The serving layer (:mod:`repro.serve`) failed an operation —
+    queue bookkeeping went inconsistent, or a dispatch's execution
+    raised.  Worker-pool exceptions surface as a :class:`ServeError`
+    (with the original exception as ``__cause__``) so serving callers
+    catch one hierarchy instead of arbitrary executor leaks."""
+
+
+class ShardFailure(ServeError):
+    """One shard failed a dispatch — a transient dispatch failure or a
+    per-dispatch timeout, injected by :class:`repro.serve.FaultPlan` or
+    detected by the resilience layer.  Retryable: the scheduler's retry
+    policy re-dispatches (with backoff) rather than failing the session.
+    """
+
+    def __init__(self, message: str, *, shard: int = 0, seq: int = 0,
+                 kind: str = "transient"):
+        super().__init__(message)
+        #: Shard the dispatch was running on.
+        self.shard = shard
+        #: Dispatch-unit sequence number within the serving session.
+        self.seq = seq
+        #: ``"transient"`` (dispatch failed outright) or ``"timeout"``
+        #: (service exceeded the policy's per-dispatch timeout).
+        self.kind = kind
 
 
 def warn_deprecated(old: str, new: str) -> None:

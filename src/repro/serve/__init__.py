@@ -24,15 +24,31 @@ Pieces (each its own module):
 * :mod:`~repro.serve.telemetry` — per-request records and session
   rollups (throughput, p50/p99 latency, occupancy, energy).
 * :mod:`~repro.serve.loadgen` — deterministic Poisson load over named
-  scenario mixes (``uniform`` / ``skewed`` / ``fhe``).
+  scenario mixes (``uniform`` / ``skewed`` / ``fhe`` / ``mixed`` /
+  ``chaos``), with step arrival-rate profiles for burst overloads.
+* :mod:`~repro.serve.faults` — seeded virtual-time fault injection
+  (:class:`FaultPlan`) and the :class:`ResiliencePolicy` recovery
+  knobs: retries with backoff, timeouts, circuit breakers, online
+  detection, load shedding.
 * :mod:`~repro.serve.server` — :class:`SimServer`, the loop tying them
   together.
 
 Scheduling changes *when* work runs, never *what it computes*: every
 response is bit-identical to a standalone ``Simulator.run`` of the same
-request.
+request — and a zero-rate fault plan plus the neutral policy leave the
+whole stack bit-identical to one without them.
 """
 
+from .faults import (
+    FAULT_PROFILES,
+    POLICIES,
+    FaultDecision,
+    FaultPlan,
+    FaultProfile,
+    ResiliencePolicy,
+    make_fault_plan,
+    make_policy,
+)
 from .loadgen import SCENARIOS, LoadGenerator, Scenario, make_scenario
 from .queueing import RequestQueue, ServeRequest
 from .scheduler import (
@@ -43,7 +59,16 @@ from .scheduler import (
     shape_key,
 )
 from .server import BUS_MODELS, ServeResult, SimServer
-from .telemetry import RequestRecord, Telemetry, percentile
+from .telemetry import (
+    STATUS_EXPIRED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    RequestRecord,
+    Telemetry,
+    percentile,
+)
 from .workers import (
     WORKER_BACKENDS,
     InlineWorkerPool,
@@ -69,6 +94,19 @@ __all__ = [
     "RequestRecord",
     "Telemetry",
     "percentile",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_EXPIRED",
+    "STATUS_FAILED",
+    "STATUS_SHED",
+    "FaultProfile",
+    "FaultDecision",
+    "FaultPlan",
+    "ResiliencePolicy",
+    "FAULT_PROFILES",
+    "POLICIES",
+    "make_fault_plan",
+    "make_policy",
     "Scenario",
     "LoadGenerator",
     "SCENARIOS",

@@ -17,6 +17,14 @@ of request shapes:
   cyclic NTTs plus forward and inverse negacyclic transforms, each
   kind coalescing into its own dispatch group (the generalized-
   batching scenario).
+* ``chaos``    — the resilience drill: every transform kind plus
+  unbatchable FHE ring multiplies, the traffic the fault-injection
+  experiments (:mod:`repro.serve.faults`) run against.
+
+Arrival rates can *step* over virtual time (``rate_profile``): a burst
+or ramp overload — e.g. :meth:`LoadGenerator.burst_profile` — drives
+the graceful-degradation policies (load shedding, window shrinking)
+past their thresholds deterministically.
 
 Everything is deterministic given ``seed``: the same scenario, rate and
 count replay the same requests with the same arrival times, priorities
@@ -119,6 +127,18 @@ SCENARIOS: Dict[str, Scenario] = {
         mix=((4.0, _ntt_maker(512)), (2.5, _ntt_maker(512, inverse=True)),
              (2.0, _negacyclic_maker(512)),
              (1.5, _negacyclic_maker(512, inverse=True)))),
+    "chaos": Scenario(
+        name="chaos",
+        description="the resilience drill: 30% N=512 / 15% N=256 forward "
+                    "NTTs, 15% inverse N=512 NTTs, 15% forward / 10% "
+                    "inverse negacyclic N=256, 15% FHE ring multiplies "
+                    "N=256 (batchable and unbatchable work under fault "
+                    "injection)",
+        mix=((3.0, _ntt_maker(512)), (1.5, _ntt_maker(256)),
+             (1.5, _ntt_maker(512, inverse=True)),
+             (1.5, _negacyclic_maker(256)),
+             (1.0, _negacyclic_maker(256, inverse=True)),
+             (1.5, _fhe_maker(256)))),
 }
 
 
@@ -139,24 +159,62 @@ class LoadGenerator:
     ``high_priority_fraction`` marks that share of requests priority 1
     (the rest 0); ``deadline_us`` optionally stamps every request with
     ``arrival + deadline_us``.
+
+    ``rate_profile`` steps the offered rate over virtual time: sorted
+    ``(start_us, rate_rps)`` pairs, each taking effect at its start
+    time (``rate_rps`` applies before the first step).  A burst or
+    ramp overload is just a profile — see :meth:`burst_profile`.
     """
 
     def __init__(self, scenario: Scenario, *, rate_rps: float,
                  count: int, seed: int = 0,
                  high_priority_fraction: float = 0.0,
-                 deadline_us: Optional[float] = None):
+                 deadline_us: Optional[float] = None,
+                 rate_profile: Optional[Tuple[Tuple[float, float], ...]]
+                 = None):
         if rate_rps <= 0:
             raise ValueError("rate_rps must be > 0")
         if count < 1:
             raise ValueError("count must be >= 1")
         if not 0.0 <= high_priority_fraction <= 1.0:
             raise ValueError("high_priority_fraction must be in [0, 1]")
+        if rate_profile is not None:
+            steps = tuple(rate_profile)
+            starts = [start for start, _ in steps]
+            if starts != sorted(starts):
+                raise ValueError("rate_profile steps must be sorted by "
+                                 "start time")
+            if any(rate <= 0 for _, rate in steps):
+                raise ValueError("rate_profile rates must be > 0")
+            rate_profile = steps
         self.scenario = scenario
         self.rate_rps = rate_rps
         self.count = count
         self.seed = seed
         self.high_priority_fraction = high_priority_fraction
         self.deadline_us = deadline_us
+        self.rate_profile = rate_profile
+
+    @staticmethod
+    def burst_profile(base_rps: float, peak_rps: float, *,
+                      start_us: float, duration_us: float
+                      ) -> Tuple[Tuple[float, float], ...]:
+        """A step overload: ``base_rps`` until ``start_us``, then
+        ``peak_rps`` for ``duration_us``, then back — the arrival shape
+        the graceful-degradation experiments drive."""
+        return ((0.0, base_rps), (start_us, peak_rps),
+                (start_us + duration_us, base_rps))
+
+    def rate_at(self, now_us: float) -> float:
+        """The offered rate in force at virtual time ``now_us``."""
+        rate = self.rate_rps
+        if self.rate_profile is not None:
+            for start_us, step_rate in self.rate_profile:
+                if start_us <= now_us:
+                    rate = step_rate
+                else:
+                    break
+        return rate
 
     def stream(self) -> Iterator[ServeRequest]:
         """Yield the arrival stream one request at a time, in arrival
@@ -167,10 +225,9 @@ class LoadGenerator:
         rng = random.Random(self.seed)
         weights = [w for w, _ in self.scenario.mix]
         makers = [m for _, m in self.scenario.mix]
-        mean_gap_us = 1e6 / self.rate_rps
         now_us = 0.0
         for request_id in range(1, self.count + 1):
-            now_us += rng.expovariate(1.0) * mean_gap_us
+            now_us += rng.expovariate(1.0) * (1e6 / self.rate_at(now_us))
             maker = rng.choices(makers, weights=weights, k=1)[0]
             priority = int(rng.random() < self.high_priority_fraction)
             deadline = (now_us + self.deadline_us

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..api.requests import SimRequest
+from ..errors import ServeError
 from ..sim.driver import SimConfig
 
 __all__ = ["ServeRequest", "RequestQueue"]
@@ -92,10 +93,34 @@ class RequestQueue:
             return True
 
     def remove(self, sreq: ServeRequest) -> None:
-        """Take one waiting request out (dispatched or expired)."""
+        """Take one waiting request out (dispatched or expired).
+
+        Raises :class:`~repro.errors.ServeError` (with the request and
+        queue context a caller can act on) when the request is not
+        waiting — a double dispatch or a bookkeeping bug, not the bare
+        ``ValueError`` a list raises.
+        """
+        if not self.discard(sreq):
+            with self._lock:
+                depth = len(self._waiting)
+            raise ServeError(
+                f"request {sreq.request_id} ({sreq.request.workload}, "
+                f"arrival {sreq.arrival_us}us) is not waiting in the "
+                f"queue (depth {depth}): it was already dispatched, "
+                f"expired, or never admitted")
+
+    def discard(self, sreq: ServeRequest) -> bool:
+        """Idempotent :meth:`remove`: take the request out if it is
+        waiting, report whether anything happened.  The scheduler's
+        removal path uses this so a retried/already-closed group never
+        trips over its own bookkeeping."""
         with self._lock:
-            self._waiting.remove(sreq)
-            self.removed += 1
+            for i, waiting in enumerate(self._waiting):
+                if waiting is sreq:
+                    del self._waiting[i]
+                    self.removed += 1
+                    return True
+            return False
 
     # -- inspection --------------------------------------------------------------
     def depth(self) -> int:

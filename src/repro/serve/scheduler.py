@@ -45,8 +45,15 @@ from typing import Dict, List, Optional, Tuple
 
 from ..api.simulator import merge_key
 from ..sim.driver import SimConfig
+from .faults import ResiliencePolicy
 from .queueing import RequestQueue, ServeRequest
-from .telemetry import RequestRecord, STATUS_EXPIRED, STATUS_REJECTED, Telemetry
+from .telemetry import (
+    RequestRecord,
+    STATUS_EXPIRED,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    Telemetry,
+)
 
 __all__ = ["DispatchUnit", "BatchingScheduler", "PlanSession",
            "sequential_policy", "shape_key"]
@@ -107,11 +114,15 @@ class PlanSession:
 
     def __init__(self, scheduler: "BatchingScheduler", queue: RequestQueue,
                  default_config: SimConfig,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 policy: Optional[ResiliencePolicy] = None):
         self.scheduler = scheduler
         self.queue = queue
         self.default_config = default_config
         self.telemetry = telemetry
+        #: Degradation knobs (load shedding, window shrinking); ``None``
+        #: or a neutral policy leaves planning byte-identical.
+        self.policy = policy
         self.units: List[DispatchUnit] = []
         self.dropped: List[RequestRecord] = []
         #: Virtual time of the last processed event — arrivals must not
@@ -124,7 +135,9 @@ class PlanSession:
         self._open.pop(group.shape, None)
         live: List[ServeRequest] = []
         for member in group.members:
-            self.queue.remove(member)
+            # discard(), not remove(): idempotent, so a group replayed
+            # by the retry path can never trip over its own bookkeeping.
+            self.queue.discard(member)
             if (member.deadline_us is not None
                     and member.deadline_us < now_us):
                 self.dropped.append(RequestRecord(
@@ -169,6 +182,21 @@ class PlanSession:
                 f"({self.now_us}us); feed arrivals in order")
         self.advance(sreq.arrival_us)
         now_us = sreq.arrival_us
+        policy = self.policy
+        if (policy is not None and policy.shed_depth is not None
+                and self.queue.depth() >= policy.shed_depth
+                and sreq.priority < policy.shed_min_priority):
+            # Graceful degradation: past the shedding threshold the
+            # queue's remaining headroom is reserved for urgent traffic;
+            # best-effort arrivals are turned away *before* admission.
+            self.dropped.append(RequestRecord(
+                request_id=sreq.request_id,
+                workload=sreq.request.workload,
+                status=STATUS_SHED, priority=sreq.priority,
+                arrival_us=now_us, deadline_us=sreq.deadline_us))
+            if self.telemetry is not None:
+                self.telemetry.note_shed()
+            return
         if not self.queue.offer(sreq):
             self.dropped.append(RequestRecord(
                 request_id=sreq.request_id,
@@ -193,8 +221,15 @@ class PlanSession:
             return
         group = self._open.get(shape)
         if group is None:
-            group = _OpenGroup(shape=shape,
-                               close_at=now_us + self.scheduler.window_us)
+            window_us = self.scheduler.window_us
+            if (policy is not None and policy.shrink_depth is not None
+                    and self.queue.depth() >= policy.shrink_depth):
+                # Overloaded: close new windows sooner — trade batch
+                # occupancy for queue drain and latency.
+                window_us *= policy.shrink_factor
+                if self.telemetry is not None:
+                    self.telemetry.note_shrunk_window()
+            group = _OpenGroup(shape=shape, close_at=now_us + window_us)
             self._open[shape] = group
         group.members.append(sreq)
         if len(group.members) >= self.scheduler.max_banks:
@@ -246,13 +281,15 @@ class BatchingScheduler:
 
     # -- planning ---------------------------------------------------------------
     def begin(self, queue: RequestQueue, default_config: SimConfig,
-              telemetry: Optional[Telemetry] = None) -> PlanSession:
+              telemetry: Optional[Telemetry] = None,
+              policy: Optional[ResiliencePolicy] = None) -> PlanSession:
         """Start an incremental planning walk (the live-server entry)."""
-        return PlanSession(self, queue, default_config, telemetry)
+        return PlanSession(self, queue, default_config, telemetry, policy)
 
     def plan(self, arrivals: List[ServeRequest], queue: RequestQueue,
              default_config: SimConfig,
-             telemetry: Optional[Telemetry] = None
+             telemetry: Optional[Telemetry] = None,
+             policy: Optional[ResiliencePolicy] = None
              ) -> Tuple[List[DispatchUnit], List[RequestRecord]]:
         """Deterministic discrete-event walk over the arrival stream.
 
@@ -261,7 +298,7 @@ class BatchingScheduler:
         queued-past-deadline expiries).  ``arrivals`` must be sorted by
         ``(arrival_us, request_id)``.
         """
-        session = self.begin(queue, default_config, telemetry)
+        session = self.begin(queue, default_config, telemetry, policy)
         for sreq in arrivals:
             session.offer(sreq)
         session.flush()

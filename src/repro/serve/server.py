@@ -42,6 +42,19 @@ the same request: a dispatch group executes as a
 same compiled programs a solo run replays — for forward *and* inverse,
 cyclic *and* negacyclic transforms
 (``benchmarks/bench_serve.py`` asserts this on every run).
+
+Faults and resilience.  An optional :class:`~repro.serve.FaultPlan`
+(``faults=``/``fault_seed=``) injects deterministic, virtual-time
+faults at the dispatch boundary — transient failures, stalls,
+slowdowns, flipped output words — and a
+:class:`~repro.serve.ResiliencePolicy` (``policy=``) recovers: retries
+with capped exponential backoff under a global budget, per-dispatch
+timeouts, per-shard circuit breakers that route traffic around a
+failing channel, online golden-model detection of corrupted outputs,
+and priority-aware load shedding / window shrinking under overload.
+With no plan (or a zero-rate one) and a neutral policy every code path
+below is byte-for-byte today's behavior — asserted in
+``tests/test_serve_faults.py`` and the chaos-smoke CI job.
 """
 
 from __future__ import annotations
@@ -53,11 +66,21 @@ from typing import Dict, Iterable, List, Optional, Union
 from ..api.requests import SimRequest
 from ..api.simulator import Simulator
 from ..api.workloads import precompile_request
+from ..errors import FunctionalMismatch, ReproError, ServeError, ShardFailure
 from ..sim.driver import SimConfig
+from ..sim.multibank import TransformSpec
+from .faults import (
+    NO_FAULT,
+    FaultPlan,
+    FaultProfile,
+    ResiliencePolicy,
+    make_fault_plan,
+    make_policy,
+)
 from .queueing import RequestQueue, ServeRequest
 from .scheduler import BatchingScheduler, DispatchUnit, PlanSession, \
     sequential_policy
-from .telemetry import RequestRecord, Telemetry
+from .telemetry import STATUS_FAILED, RequestRecord, Telemetry
 from .workers import make_pool
 
 __all__ = ["ServeResult", "SimServer", "BUS_MODELS"]
@@ -80,12 +103,50 @@ class ServeResult:
 
 
 @dataclass
+class _Attempt:
+    """One dispatch attempt of a unit.
+
+    The retry policy re-enqueues the *same* unit with a bumped attempt
+    number and a backoff-delayed ready time; the fault plan draws per
+    attempt, so a re-dispatch sees fresh (in)fortune — exactly how a
+    transient fault behaves."""
+
+    unit: DispatchUnit
+    ready_us: float
+    attempt: int = 1
+
+    @property
+    def seq(self) -> int:
+        return self.unit.seq
+
+    @property
+    def priority(self) -> int:
+        return self.unit.priority
+
+
+@dataclass
+class _Breaker:
+    """One shard's circuit breaker (materializes on its first failure).
+
+    ``closed`` counts consecutive failures; at ``threshold`` the shard
+    opens (serves nothing until ``open_until_us``, traffic reroutes);
+    the first dispatch after the cooldown runs as a ``half_open`` probe
+    whose outcome closes or re-opens the breaker."""
+
+    threshold: int
+    cooldown_us: float
+    consecutive: int = 0
+    state: str = "closed"
+    open_until_us: float = 0.0
+
+
+@dataclass
 class _ShardState:
     """One simulated channel/device: when it frees up, and the
-    dispatched units waiting for it."""
+    dispatch attempts waiting for it."""
 
     now_us: float = 0.0
-    backlog: List[DispatchUnit] = field(default_factory=list)
+    backlog: List[_Attempt] = field(default_factory=list)
 
 
 class _Session:
@@ -99,7 +160,7 @@ class _Session:
 
     def __init__(self, server: "SimServer"):
         self.planner: PlanSession = server.scheduler.begin(
-            server.queue, server.config, server.telemetry)
+            server.queue, server.config, server.telemetry, server.policy)
         #: Session clock offset: arrivals are relative to serve()/first
         #: submit() and shifted onto the server's monotonic clock.
         self.offset = server._clock_us
@@ -112,6 +173,11 @@ class _Session:
         #: Virtual time the shared command bus frees up.
         self.bus_free_us = 0.0
         self.max_arrival_us = self.offset
+        #: Per-shard circuit breakers (created on a shard's first
+        #: failure — a fault-free session never allocates one).
+        self.breakers: Dict[int, _Breaker] = {}
+        #: Remaining session-wide retry budget (``None`` = unlimited).
+        self.retry_budget: Optional[int] = server.policy.retry_budget
         self._unit_cursor = 0
         self._drop_cursor = 0
         self._queue = server.queue
@@ -139,6 +205,15 @@ class SimServer:
     compile with the current group's execution when the backend is
     concurrent.  ``bus`` picks the cross-shard contention model
     (``"shared"`` — the default, realistic one — or ``"independent"``).
+
+    ``faults`` turns on deterministic fault injection: a profile name
+    (``"transient"``/``"degraded"``/``"chaos"``), a ``"rate:<r>"``
+    sweep spec, a :class:`~repro.serve.FaultProfile` or a prebuilt
+    :class:`~repro.serve.FaultPlan`; ``fault_seed`` seeds the plan.
+    ``policy`` picks the :class:`~repro.serve.ResiliencePolicy`
+    (``"none"``/``"standard"`` or an instance).  The defaults — no
+    faults, neutral policy — leave every serving path byte-identical
+    to a server without these parameters.
     """
 
     def __init__(self, config: Optional[SimConfig] = None, *,
@@ -150,7 +225,10 @@ class SimServer:
                  workers: str = "inline",
                  worker_threads: int = 2,
                  pipeline: bool = True,
-                 bus: str = "shared"):
+                 bus: str = "shared",
+                 faults: Union[None, str, FaultProfile, FaultPlan] = None,
+                 fault_seed: int = 0,
+                 policy: Union[str, ResiliencePolicy] = "none"):
         self.config = config or SimConfig()
         if isinstance(scheduler, BatchingScheduler):
             self.scheduler = scheduler
@@ -167,6 +245,12 @@ class SimServer:
         if bus not in BUS_MODELS:
             raise ValueError(f"unknown bus model {bus!r}; "
                              f"choose from {BUS_MODELS}")
+        self.fault_plan = make_fault_plan(faults, fault_seed)
+        if self.fault_plan is not None and not self.fault_plan.active:
+            # A zero-rate plan never draws; drop it so the execution
+            # path below is *literally* the plan-less one.
+            self.fault_plan = None
+        self.policy = make_policy(policy)
         self.queue = RequestQueue(max_depth=max_depth)
         self.telemetry = Telemetry()
         self.workers = workers
@@ -333,8 +417,8 @@ class SimServer:
             session.results[record.request_id] = ServeResult(record=record)
         session._drop_cursor = len(planner.dropped)
         for unit in planner.units[session._unit_cursor:]:
-            session.shards.setdefault(unit.shard,
-                                      _ShardState()).backlog.append(unit)
+            session.shards.setdefault(unit.shard, _ShardState()).backlog \
+                .append(_Attempt(unit=unit, ready_us=unit.ready_us))
         session._unit_cursor = len(planner.units)
 
     def _drain_session(self, session: _Session) -> None:
@@ -349,7 +433,8 @@ class SimServer:
         # Advance the session clock past everything this session touched.
         clock = session.max_arrival_us
         clock = max([clock] + [r.record.completion_us
-                               for r in session.results.values() if r.ok])
+                               for r in session.results.values()
+                               if r.record.completion_us > 0])
         self._clock_us = max(self._clock_us, clock)
 
         # Session-wide cache rollup: accumulate this session's deltas
@@ -394,18 +479,33 @@ class SimServer:
         Among ready units the most urgent (priority, then FIFO) serves
         first; the pipelined compile warms the unit most likely to
         serve next on the concurrent pool backend.
+
+        Faults enter here: each selection draws the unit's
+        :class:`FaultDecision` for its attempt number.  A ``fail`` draw
+        burns the profile's failure cost and goes through the retry
+        path without executing; everything else executes and lets
+        :meth:`_complete` price the (possibly stretched) service time.
+        An open circuit breaker floors its shard's decision point at
+        the cooldown expiry, and :meth:`_route_around` detours queued
+        work to healthy shards first.
         """
         shards = session.shards
         while True:
+            self._route_around(session)
             chosen = None
             for shard_id in sorted(shards):
                 state = shards[shard_id]
                 if not state.backlog:
                     continue
-                ready = [u for u in state.backlog
-                         if u.ready_us <= state.now_us]
+                ready = [a for a in state.backlog
+                         if a.ready_us <= state.now_us]
                 decision = (state.now_us if ready
-                            else min(u.ready_us for u in state.backlog))
+                            else min(a.ready_us for a in state.backlog))
+                breaker = session.breakers.get(shard_id)
+                if breaker is not None and breaker.state == "open":
+                    # An open shard serves nothing until its cooldown
+                    # elapses; its next decision is the half-open probe.
+                    decision = max(decision, breaker.open_until_us)
                 if horizon_us is not None and decision >= horizon_us:
                     continue
                 if chosen is None or (decision, shard_id) < chosen[:2]:
@@ -414,9 +514,30 @@ class SimServer:
                 return
             decision, shard_id, state = chosen
             state.now_us = max(state.now_us, decision)
-            ready = [u for u in state.backlog if u.ready_us <= state.now_us]
-            unit = max(ready, key=lambda u: (u.priority, -u.seq))
-            state.backlog.remove(unit)
+            breaker = session.breakers.get(shard_id)
+            if breaker is not None and breaker.state == "open":
+                # Cooldown elapsed: this dispatch is the probe.
+                breaker.state = "half_open"
+            ready = [a for a in state.backlog if a.ready_us <= state.now_us]
+            attempt = max(ready, key=lambda a: (a.priority, -a.seq))
+            state.backlog.remove(attempt)
+            unit = attempt.unit
+            fault = (self.fault_plan.decide(unit.seq, shard_id,
+                                            attempt.attempt)
+                     if self.fault_plan is not None else NO_FAULT)
+            if fault.fail:
+                self.telemetry.note_fault("fail")
+                start_us = max(state.now_us, attempt.ready_us)
+                cost_us = self.fault_plan.profile.fail_cost_us
+                self._fail(session, state, shard_id, attempt,
+                           start_us=start_us, fail_us=start_us + cost_us,
+                           error=ShardFailure(
+                               f"injected transient failure of dispatch "
+                               f"{unit.seq} (attempt {attempt.attempt}) "
+                               f"on shard {shard_id}",
+                               shard=shard_id, seq=unit.seq,
+                               kind="transient"))
+                continue
             try:
                 execution = pool.submit(self._execute, unit)
                 if self.pipeline and pool.concurrent and state.backlog:
@@ -424,23 +545,44 @@ class SimServer:
                     # while this one executes (thread backend only) —
                     # service order is priority-first, so mirror it.
                     nxt = min(state.backlog,
-                              key=lambda u: (-u.priority, u.ready_us, u.seq))
+                              key=lambda a: (-a.priority, a.ready_us,
+                                             a.seq))
                     pool.submit(precompile_request,
-                                self._effective_config(nxt),
-                                self._merged_request(nxt))
+                                self._effective_config(nxt.unit),
+                                self._merged_request(nxt.unit))
                 grouped = execution.result()
-            except BaseException:
+            except BaseException as exc:
                 # Put the unit back so a retried drain() can serve it
                 # (selection keys on (priority, seq), not list order).
-                state.backlog.append(unit)
-                raise
-            self._complete(session, state, shard_id, unit, grouped)
+                state.backlog.append(attempt)
+                if isinstance(exc, ReproError) or \
+                        not isinstance(exc, Exception):
+                    raise
+                # Arbitrary executor leaks surface as the serving
+                # hierarchy; the original failure rides as __cause__.
+                raise ServeError(
+                    f"dispatch {unit.seq} ({unit.banks} bank(s), shard "
+                    f"{shard_id}) failed in the worker pool: {exc}"
+                ) from exc
+            self._complete(session, state, shard_id, attempt, grouped,
+                           fault)
 
     def _complete(self, session: _Session, state: _ShardState,
-                  shard_id: int, unit: DispatchUnit, grouped) -> None:
-        """Price one executed dispatch in virtual time and record every
-        member's outcome."""
-        start_us = max(state.now_us, unit.ready_us)
+                  shard_id: int, attempt: _Attempt, grouped,
+                  fault=NO_FAULT) -> None:
+        """Price one executed dispatch in virtual time — applying any
+        injected service-time faults plus the policy's timeout and
+        online detection — and record every member's outcome."""
+        unit = attempt.unit
+        policy = self.policy
+        start_us = max(state.now_us, attempt.ready_us)
+        service_us = grouped.latency_us
+        if fault.slowdown != 1.0:
+            self.telemetry.note_fault("slowdown")
+            service_us *= fault.slowdown
+        if fault.stall_us:
+            self.telemetry.note_fault("stall")
+            service_us += fault.stall_us
         bus_wait_us = 0.0
         if self.bus == "shared":
             # One command per cycle on the shared bus: the dispatch
@@ -452,10 +594,45 @@ class SimServer:
                             / grouped.cycles if grouped.cycles else 0.0)
             session.bus_free_us = bus_begin + occupancy_us
             self.telemetry.note_bus(occupancy_us)
-            completion_us = bus_begin + grouped.latency_us
         else:
-            completion_us = start_us + grouped.latency_us
+            bus_begin = start_us
+        completion_us = bus_begin + service_us
+        if policy.timeout_us is not None and service_us > policy.timeout_us:
+            # The dispatch would outlive its service timeout: abort at
+            # the deadline (commands already issued stay charged to the
+            # bus) and let the retry policy re-dispatch it.
+            self.telemetry.note_timeout()
+            self._fail(session, state, shard_id, attempt,
+                       start_us=start_us,
+                       fail_us=bus_begin + policy.timeout_us,
+                       error=ShardFailure(
+                           f"dispatch {unit.seq} (attempt "
+                           f"{attempt.attempt}) exceeded the "
+                           f"{policy.timeout_us:g}us service timeout on "
+                           f"shard {shard_id}",
+                           shard=shard_id, seq=unit.seq, kind="timeout"))
+            return
+        if fault.corrupt:
+            corrupted = self._corrupt(grouped, unit, shard_id,
+                                      attempt.attempt)
+            if corrupted is not None:
+                self.telemetry.note_fault("corrupt")
+                grouped = corrupted
+                if policy.detect and self._mismatch(unit, grouped):
+                    self.telemetry.note_detected()
+                    self._fail(session, state, shard_id, attempt,
+                               start_us=start_us, fail_us=completion_us,
+                               error=FunctionalMismatch(
+                                   f"online golden-model check caught a "
+                                   f"corrupted output of dispatch "
+                                   f"{unit.seq} on shard {shard_id}"))
+                    return
         state.now_us = completion_us
+        breaker = session.breakers.get(shard_id)
+        if breaker is not None:
+            # Any success closes the breaker and resets its count.
+            breaker.consecutive = 0
+            breaker.state = "closed"
         banks = unit.banks
         for slot, member in enumerate(unit.members):
             if banks == 1:
@@ -478,7 +655,162 @@ class SimServer:
                 shard=shard_id,
                 bus_wait_us=bus_wait_us,
                 cycles=grouped.cycles // banks,
-                energy_nj=grouped.energy_nj / banks)
+                energy_nj=grouped.energy_nj / banks,
+                attempts=attempt.attempt)
             self.telemetry.add(record)
             session.results[member.request_id] = ServeResult(
                 record=record, response=response)
+
+    # -- resilience machinery ----------------------------------------------------
+    def _fail(self, session: _Session, state: _ShardState, shard_id: int,
+              attempt: _Attempt, *, start_us: float, fail_us: float,
+              error: ReproError) -> None:
+        """One dispatch attempt failed at ``fail_us``: run the breaker
+        bookkeeping, then either retry (budgeted, capped-exponential
+        backoff in virtual time) or record every member as failed."""
+        state.now_us = fail_us
+        self._note_failure(session, shard_id, fail_us)
+        policy = self.policy
+        if (attempt.attempt <= policy.max_retries
+                and (session.retry_budget is None
+                     or session.retry_budget > 0)):
+            if session.retry_budget is not None:
+                session.retry_budget -= 1
+            self.telemetry.note_retry()
+            backoff_us = policy.backoff_us(attempt.attempt)
+            attempt.attempt += 1
+            attempt.ready_us = fail_us + backoff_us
+            state.backlog.append(attempt)
+            return
+        unit = attempt.unit
+        for member in unit.members:
+            record = RequestRecord(
+                request_id=member.request_id,
+                workload=member.request.workload,
+                status=STATUS_FAILED,
+                priority=member.priority,
+                arrival_us=member.arrival_us,
+                dispatch_us=unit.ready_us,
+                start_us=start_us,
+                completion_us=fail_us,
+                deadline_us=member.deadline_us,
+                deadline_missed=(member.deadline_us is not None
+                                 and fail_us > member.deadline_us),
+                group_banks=unit.banks,
+                shard=shard_id,
+                attempts=attempt.attempt,
+                error=str(error))
+            self.telemetry.add(record)
+            session.results[member.request_id] = ServeResult(record=record)
+
+    def _note_failure(self, session: _Session, shard_id: int,
+                      now_us: float) -> None:
+        """Circuit-breaker bookkeeping for one failure on ``shard_id``."""
+        threshold = self.policy.breaker_threshold
+        if threshold <= 0:
+            return
+        breaker = session.breakers.get(shard_id)
+        if breaker is None:
+            breaker = _Breaker(threshold=threshold,
+                               cooldown_us=self.policy.breaker_cooldown_us)
+            session.breakers[shard_id] = breaker
+        breaker.consecutive += 1
+        if (breaker.state == "half_open"
+                or breaker.consecutive >= breaker.threshold):
+            # A failed half-open probe re-opens immediately; a closed
+            # breaker opens at K consecutive failures.
+            breaker.state = "open"
+            breaker.open_until_us = now_us + breaker.cooldown_us
+            self.telemetry.note_breaker_trip()
+
+    def _route_around(self, session: _Session) -> None:
+        """Detour backlog off open-breaker shards when a healthy shard
+        could *start* it sooner.  The scheduler's shape→shard placement
+        stays put — only already-dispatched work routes around, and
+        only while the breaker is open."""
+        if not session.breakers:
+            return
+        shards = session.shards
+        for shard_id in sorted(list(shards)):
+            breaker = session.breakers.get(shard_id)
+            if breaker is None or breaker.state != "open":
+                continue
+            state = shards[shard_id]
+            for attempt in list(state.backlog):
+                blocked_us = max(attempt.ready_us, breaker.open_until_us)
+                best = None
+                for alt_id in range(self.scheduler.num_shards):
+                    if alt_id == shard_id:
+                        continue
+                    alt_breaker = session.breakers.get(alt_id)
+                    if (alt_breaker is not None
+                            and alt_breaker.state == "open"):
+                        continue
+                    alt_state = shards.get(alt_id)
+                    alt_start = max(attempt.ready_us,
+                                    alt_state.now_us if alt_state else 0.0)
+                    if alt_start < blocked_us and (
+                            best is None or (alt_start, alt_id) < best):
+                        best = (alt_start, alt_id)
+                if best is not None:
+                    state.backlog.remove(attempt)
+                    shards.setdefault(best[1], _ShardState()) \
+                        .backlog.append(attempt)
+                    self.telemetry.note_reroute()
+
+    def _corrupt(self, grouped, unit: DispatchUnit, shard_id: int,
+                 attempt_no: int):
+        """A copy of ``grouped`` with one deterministically chosen
+        output word bit-flipped (``None`` when there is nothing to
+        flip — e.g. a response with no output image)."""
+        outputs = [list(bank) for bank in grouped.outputs]
+        values = list(grouped.values)
+        if outputs and outputs[0]:
+            slot, idx = self.fault_plan.corrupt_index(
+                unit.seq, shard_id, attempt_no, len(outputs),
+                len(outputs[0]))
+            bank = outputs[slot]
+            bank[idx % len(bank)] ^= 1
+        elif values:
+            _, idx = self.fault_plan.corrupt_index(
+                unit.seq, shard_id, attempt_no, 1, len(values))
+            values[idx] ^= 1
+        else:
+            return None
+        return dataclasses.replace(grouped, values=values, outputs=outputs)
+
+    def _mismatch(self, unit: DispatchUnit, grouped) -> bool:
+        """Online golden-model check: does any member's served output
+        diverge from the reference transform?  Only transform workloads
+        with explicit input values have a golden model; others pass.
+        Injection is the only corruption source in the simulation, so
+        the server evaluates this at corrupted dispatches — where a
+        mismatch is possible — rather than re-deriving every clean
+        response."""
+        banks = unit.banks
+        for slot, member in enumerate(unit.members):
+            expected = self._expected_values(member.request)
+            if expected is None:
+                continue
+            if banks > 1 and slot < len(grouped.outputs):
+                got = grouped.outputs[slot]
+            else:
+                got = grouped.values
+            if list(got) != list(expected):
+                return True
+        return False
+
+    @staticmethod
+    def _expected_values(request) -> Optional[List[int]]:
+        values = getattr(request, "values", None)
+        if values is None:
+            return None
+        if request.workload == "ntt":
+            spec = TransformSpec(kind="ntt", params=request.params,
+                                 inverse=request.inverse)
+        elif request.workload == "negacyclic":
+            spec = TransformSpec(kind="negacyclic", ring=request.ring,
+                                 inverse=request.inverse)
+        else:
+            return None
+        return spec.expected(list(values))

@@ -19,12 +19,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 __all__ = ["RequestRecord", "Telemetry", "percentile",
-           "STATUS_OK", "STATUS_REJECTED", "STATUS_EXPIRED"]
+           "STATUS_OK", "STATUS_REJECTED", "STATUS_EXPIRED",
+           "STATUS_FAILED", "STATUS_SHED"]
 
 #: Terminal states of a served request.
 STATUS_OK = "ok"
 STATUS_REJECTED = "rejected"   # admission control turned it away
 STATUS_EXPIRED = "expired"     # deadline passed while still queued
+STATUS_FAILED = "failed"       # dispatch failed past the retry policy
+STATUS_SHED = "shed"           # dropped by overload load shedding
 
 
 def percentile(values: List[float], p: float) -> float:
@@ -69,6 +72,13 @@ class RequestRecord:
     #: for grouped dispatches, so sums over records stay physical).
     cycles: int = 0
     energy_nj: float = 0.0
+    #: Dispatch attempts the request's unit took (1 = first try served;
+    #: retries in between show up here even on eventual success).
+    attempts: int = 1
+    #: Last failure the request's unit suffered (empty on clean serves;
+    #: the ShardFailure/FunctionalMismatch message for failed/retried
+    #: dispatches — the surfaced form of the error hierarchy).
+    error: str = ""
 
     @property
     def latency_us(self) -> float:
@@ -101,10 +111,60 @@ class Telemetry:
         #: ``{"program": {...}, "stream": {...}, "schedule": {...}}``
         #: hit/miss deltas over the session (set by the server).
         self.cache: Dict[str, Dict[str, int]] = {}
+        #: Resilience counters: injected faults per kind, retries,
+        #: timeouts, breaker trips, reroutes, detected mismatches,
+        #: shed arrivals, shrunk windows.  All zero on a fault-free,
+        #: policy-neutral session.
+        self.faults_injected: Dict[str, int] = {}
+        self.retries: int = 0
+        self.timeouts: int = 0
+        self.breaker_trips: int = 0
+        self.reroutes: int = 0
+        self.detected_mismatches: int = 0
+        self.shed: int = 0
+        self.shrunk_windows: int = 0
 
     def add(self, record: RequestRecord) -> None:
         with self._lock:
             self.records.append(record)
+
+    # -- resilience events -------------------------------------------------------
+    def note_fault(self, kind: str) -> None:
+        """Count one injected fault (``fail``/``stall``/``slowdown``/
+        ``corrupt``)."""
+        with self._lock:
+            self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
+
+    def note_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def note_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    def note_breaker_trip(self) -> None:
+        """One circuit breaker transitioned to open."""
+        with self._lock:
+            self.breaker_trips += 1
+
+    def note_reroute(self) -> None:
+        """One dispatch routed around an open-breaker shard."""
+        with self._lock:
+            self.reroutes += 1
+
+    def note_detected(self) -> None:
+        """Online golden-model check caught a corrupted response."""
+        with self._lock:
+            self.detected_mismatches += 1
+
+    def note_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def note_shrunk_window(self) -> None:
+        with self._lock:
+            self.shrunk_windows += 1
 
     def sample_depth(self, now_us: float, depth: int) -> None:
         with self._lock:
@@ -127,6 +187,14 @@ class Telemetry:
             self.occupancies.clear()
             self.bus_busy_us = 0.0
             self.cache = {}
+            self.faults_injected = {}
+            self.retries = 0
+            self.timeouts = 0
+            self.breaker_trips = 0
+            self.reroutes = 0
+            self.detected_mismatches = 0
+            self.shed = 0
+            self.shrunk_windows = 0
 
     # -- rollups -----------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
@@ -137,6 +205,16 @@ class Telemetry:
             occupancies = list(self.occupancies)
             bus_busy_us = self.bus_busy_us
             cache = {k: dict(v) for k, v in self.cache.items()}
+            resilience = {
+                "faults_injected": dict(self.faults_injected),
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "breaker_trips": self.breaker_trips,
+                "reroutes": self.reroutes,
+                "detected_mismatches": self.detected_mismatches,
+                "shed": self.shed,
+                "shrunk_windows": self.shrunk_windows,
+            }
         done = [r for r in records if r.status == STATUS_OK]
         latencies = [r.latency_us for r in done]
         waits = [r.queue_wait_us for r in done]
@@ -148,10 +226,19 @@ class Telemetry:
             "completed": len(done),
             "rejected": sum(r.status == STATUS_REJECTED for r in records),
             "expired": sum(r.status == STATUS_EXPIRED for r in records),
+            "failed": sum(r.status == STATUS_FAILED for r in records),
+            "shed": sum(r.status == STATUS_SHED for r in records),
             "deadline_missed": sum(r.deadline_missed for r in done),
             "makespan_us": makespan_us,
             "throughput_rps": (len(done) / (makespan_us * 1e-6)
                                if makespan_us > 0 else 0.0),
+            # Availability: the fraction of offered requests that got a
+            # successful response.  Goodput: *useful* completions per
+            # simulated second — completed AND inside their deadline.
+            "availability": (len(done) / len(records) if records else 1.0),
+            "goodput_rps": (sum(not r.deadline_missed for r in done)
+                            / (makespan_us * 1e-6)
+                            if makespan_us > 0 else 0.0),
             "latency_p50_us": percentile(latencies, 50.0),
             "latency_p99_us": percentile(latencies, 99.0),
             "latency_mean_us": (sum(latencies) / len(latencies)
@@ -168,6 +255,7 @@ class Telemetry:
             "bus_utilization": (bus_busy_us / makespan_us
                                 if makespan_us > 0 else 0.0),
             "bus_wait_p99_us": percentile(bus_waits, 99.0),
+            "resilience": resilience,
         }
         if cache:
             snapshot["cache"] = cache
@@ -183,7 +271,8 @@ class Telemetry:
         lines = [
             f"requests       : {s['requests']} "
             f"(completed={s['completed']} rejected={s['rejected']} "
-            f"expired={s['expired']} deadline_missed={s['deadline_missed']})",
+            f"expired={s['expired']} failed={s['failed']} "
+            f"shed={s['shed']} deadline_missed={s['deadline_missed']})",
             f"throughput     : {s['throughput_rps']:.1f} req/s over "
             f"{s['makespan_us'] / 1e3:.2f} ms simulated",
             f"latency        : p50={s['latency_p50_us']:.2f} us  "
@@ -201,6 +290,25 @@ class Telemetry:
             lines.append(f"shared bus     : "
                          f"{s['bus_utilization'] * 100:.1f}% utilized, "
                          f"wait p99={s['bus_wait_p99_us']:.2f} us")
+        res = s["resilience"]
+        if any(res["faults_injected"].values()) or any(
+                res[k] for k in ("retries", "timeouts", "breaker_trips",
+                                 "reroutes", "detected_mismatches", "shed",
+                                 "shrunk_windows")):
+            injected = sum(res["faults_injected"].values())
+            kinds = ", ".join(f"{k}={v}" for k, v in
+                              sorted(res["faults_injected"].items()))
+            lines.append(
+                f"resilience     : {injected} faults injected "
+                f"({kinds or 'none'}); retries={res['retries']} "
+                f"timeouts={res['timeouts']} "
+                f"detected={res['detected_mismatches']}")
+            lines.append(
+                f"                 breaker trips={res['breaker_trips']} "
+                f"reroutes={res['reroutes']} shed={res['shed']} "
+                f"shrunk windows={res['shrunk_windows']}; "
+                f"availability={s['availability'] * 100:.1f}% "
+                f"goodput={s['goodput_rps']:.0f} req/s")
         if "cache_hit_rate" in s:
             lines.append(f"compile caches : "
                          f"{s['cache_hit_rate'] * 100:.1f}% hit rate")

@@ -12,6 +12,7 @@ import pytest
 
 from repro.api import FheOpRequest, NegacyclicRequest, NttRequest, Simulator
 from repro.arith import NttParams, find_ntt_prime
+from repro.errors import ServeError
 from repro.ntt.negacyclic import NegacyclicParams
 from repro.serve import (
     BatchingScheduler,
@@ -511,8 +512,10 @@ class TestLiveSurface:
             return real_execute(self, unit)
 
         monkeypatch.setattr(SimServer, "_execute", flaky)
-        with pytest.raises(RuntimeError, match="transient"):
+        # Pool leaks surface as the serving hierarchy, original attached.
+        with pytest.raises(ServeError, match="transient") as excinfo:
             server.drain()
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
         # The session survived: the retry serves the re-queued unit.
         results = server.drain()
         assert len(results) == 1 and results[0].ok
