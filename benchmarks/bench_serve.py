@@ -11,8 +11,11 @@ counts under the shared-bus vs independent-channel contention models
 (bus utilization included — the README's shard-scaling table), and a
 ``resilience`` section sweeps injected fault rates x {policies off,
 policies on} and records the availability / true-goodput gap the
-recovery stack buys back.  Results land in ``BENCH_serve.json`` at the
-repo root.
+recovery stack buys back, and a ``cluster`` section sweeps the
+:mod:`repro.cluster` front-end across replica counts (1/2/4, both bus
+models) on an overloaded mixed mix — the replica-scaling goodput curve
+the trajectory gate floors.  Results land in ``BENCH_serve.json`` at
+the repo root.
 
 Non-gating when run directly —
 
@@ -64,6 +67,18 @@ SHARD_COUNTS = (1, 2, 4)
 SHARD_RATE = 3_000_000
 SHARD_SCENARIO = "uniform"
 
+#: Cluster sweep: replica counts x bus models through the
+#: repro.cluster front-end, on the mixed mix far past one replica's
+#: saturation with a tight deadline — goodput (deadline-met
+#: completions per simulated second) must climb as replicas are added,
+#: because consistent-hash routing spreads the four merge keys across
+#: replicas while keeping each shape coalescible.
+CLUSTER_REPLICAS = (1, 2, 4)
+CLUSTER_RATE = 3_000_000
+CLUSTER_SCENARIO = "mixed"
+CLUSTER_DEADLINE_US = 300.0
+CLUSTER_SHARDS = 2
+
 #: Resilience sweep: fault rate x {policies off, policies on} on the
 #: chaos mix.  "True goodput" only counts responses that completed,
 #: made their deadline AND bit-match a standalone solo run — so
@@ -93,6 +108,28 @@ def _serve(scheduler: str, rate: float, workers: str = "inline",
     results = server.serve(_load(rate, scenario).requests())
     wall_s = time.perf_counter() - start
     return server, results, wall_s
+
+
+def _cluster_run(replicas: int, bus: str) -> dict:
+    from repro.cluster import ClusterFrontend
+
+    load = LoadGenerator(make_scenario(CLUSTER_SCENARIO),
+                         rate_rps=CLUSTER_RATE, count=COUNT, seed=SEED,
+                         deadline_us=CLUSTER_DEADLINE_US)
+    frontend = ClusterFrontend(replicas, CONFIG, router="hash",
+                               window_us=WINDOW_US, max_banks=MAX_BANKS,
+                               num_shards=CLUSTER_SHARDS, bus=bus,
+                               max_depth=4096)
+    frontend.serve(load.requests())
+    snap = frontend.cluster_snapshot()
+    return {
+        "goodput_rps": snap["goodput_rps"],
+        "throughput_rps": snap["throughput_rps"],
+        "availability": snap["availability"],
+        "deadline_missed": snap["deadline_missed"],
+        "latency_p99_us": snap["latency_p99_us"],
+        "mean_batch_occupancy": snap["mean_batch_occupancy"],
+    }
 
 
 def _resilience_run(fault_rate: float, policy: str) -> dict:
@@ -192,6 +229,23 @@ def run(out_path: Path = DEFAULT_OUT) -> dict:
         shards_section[bus] = entry
     section["shards"] = shards_section
 
+    # Replica scaling through the cluster front-end: goodput per
+    # replica count under both bus models.  The merge keys spread, the
+    # batches survive, and goodput climbs — the cluster's reason to
+    # exist, gated by check_trajectory.
+    cluster_section: dict = {
+        "description": f"{CLUSTER_SCENARIO} mix at {CLUSTER_RATE} req/s "
+                       f"(overload), {COUNT} requests, deadline "
+                       f"{CLUSTER_DEADLINE_US:.0f}us, hash router, "
+                       f"{CLUSTER_SHARDS} shards per replica; goodput "
+                       f"per replica count and bus model",
+    }
+    for bus in ("independent", "shared"):
+        cluster_section[bus] = {
+            str(replicas): _cluster_run(replicas, bus)
+            for replicas in CLUSTER_REPLICAS}
+    section["cluster"] = cluster_section
+
     # Resilience: fault rate x policy.  The recovery stack (retries,
     # timeouts, breakers, detection) must buy goodput back — strictly —
     # at every nonzero fault rate; at rate 0 the two policies serve the
@@ -243,6 +297,18 @@ def _format(results: dict) -> str:
             f" | shared {sha['throughput_rps'] / 1e3:6.1f}k rps "
             f"bus={sha['bus_utilization'] * 100:4.1f}% "
             f"wait p99={sha['bus_wait_p99_us']:5.1f}us")
+    cluster = section["cluster"]
+    lines.append(f"cluster replica scaling ({CLUSTER_SCENARIO} mix, "
+                 f"overload, {CLUSTER_DEADLINE_US:.0f}us deadline):")
+    for count in CLUSTER_REPLICAS:
+        ind = cluster["independent"][str(count)]
+        sha = cluster["shared"][str(count)]
+        lines.append(
+            f"  replicas={count}:  "
+            f"ind {ind['goodput_rps'] / 1e3:6.1f}k goodput | "
+            f"shared {sha['goodput_rps'] / 1e3:6.1f}k goodput "
+            f"p99={sha['latency_p99_us']:5.1f}us "
+            f"occ={sha['mean_batch_occupancy']:.1f}")
     lines.append(f"resilience ({RES_SCENARIO} mix), true goodput "
                  f"policies off vs on:")
     for fault_rate in FAULT_RATES:
@@ -368,6 +434,28 @@ def test_resilience_policies_recover_goodput(show):
              f"{on['availability'] * 100:.1f}%")
 
 
+def test_cluster_replica_scaling(show):
+    """CI gate: adding replicas buys goodput on the overloaded mixed
+    mix — strictly monotonic across the sweep for both bus models —
+    and the shared bus (which arbitrates one channel across all shards
+    of every replica) never beats independent channels."""
+    runs = {bus: {replicas: _cluster_run(replicas, bus)
+                  for replicas in CLUSTER_REPLICAS}
+            for bus in ("independent", "shared")}
+    for bus, by_count in runs.items():
+        for lo, hi in zip(CLUSTER_REPLICAS, CLUSTER_REPLICAS[1:]):
+            assert by_count[hi]["goodput_rps"] > by_count[lo]["goodput_rps"], (
+                f"{bus} bus: {hi} replicas goodput "
+                f"{by_count[hi]['goodput_rps']:.0f} not above {lo} replicas "
+                f"{by_count[lo]['goodput_rps']:.0f}")
+        show(f"cluster scaling ({bus} bus): " + " -> ".join(
+            f"{r}x {by_count[r]['goodput_rps'] / 1e3:.1f}k rps"
+            for r in CLUSTER_REPLICAS))
+    for replicas in CLUSTER_REPLICAS:
+        assert (runs["shared"][replicas]["goodput_rps"]
+                <= runs["independent"][replicas]["goodput_rps"] + 1e-6)
+
+
 def test_bench_serve_writes_json(show, tmp_path):
     out = tmp_path / "BENCH_serve.json"
     results = run(out_path=out)
@@ -383,6 +471,11 @@ def test_bench_serve_writes_json(show, tmp_path):
         assert shards["shared"][str(count)]["bus_utilization"] > 0.0
         assert (shards["shared"][str(count)]["throughput_rps"]
                 <= shards["independent"][str(count)]["throughput_rps"] + 1e-6)
+    cluster = written["serve"]["cluster"]
+    for bus in ("independent", "shared"):
+        goodputs = [cluster[bus][str(count)]["goodput_rps"]
+                    for count in CLUSTER_REPLICAS]
+        assert goodputs == sorted(goodputs)
     resilience = written["serve"]["resilience"]
     for fault_rate in FAULT_RATES:
         entry = resilience[f"{fault_rate:g}"]

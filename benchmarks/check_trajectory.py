@@ -14,7 +14,10 @@ committed floor:
 * resilience: under injected faults the recovery policies must keep
   availability at least ``RESILIENCE_AVAILABILITY_FLOOR`` and hold
   true goodput strictly above the policies-off run at the same rates
-  (goodput-under-faults floor).
+  (goodput-under-faults floor);
+* cluster: each step up the replica sweep (1 -> 2 -> 4) must buy at
+  least ``CLUSTER_SCALING_FLOOR`` more goodput on both bus models, and
+  the shared bus must never beat independent channels.
 
 Run by the ``bench-trajectory`` CI job after executing both benches::
 
@@ -42,6 +45,10 @@ RESILIENCE_AVAILABILITY_FLOOR = 0.9
 #: And policies-on true goodput must exceed policies-off by at least
 #: this ratio at every nonzero fault rate (measured ~2.2x / ~1.1x).
 RESILIENCE_GOODPUT_RATIO_FLOOR = 1.0
+#: Each doubling of the replica count must buy at least this goodput
+#: ratio on both bus models (measured 1.08-1.19x per step; the floor
+#: gates "replicas stopped helping", not the exact scaling curve).
+CLUSTER_SCALING_FLOOR = 1.02
 
 
 def check(kernels_path: Path = REPO_ROOT / "BENCH_kernels.json",
@@ -72,6 +79,32 @@ def check(kernels_path: Path = REPO_ROOT / "BENCH_kernels.json",
         if entry["throughput_rps"] > independent["throughput_rps"] + 1e-6:
             failures.append(f"shards={count}: shared-bus throughput beats "
                             f"the independent upper bound")
+
+    cluster = serve.get("cluster", {})
+    for bus in ("independent", "shared"):
+        sweep = {int(count): entry
+                 for count, entry in cluster.get(bus, {}).items()}
+        counts = sorted(sweep)
+        for lo, hi in zip(counts, counts[1:]):
+            ratio = sweep[hi]["goodput_rps"] / sweep[lo]["goodput_rps"]
+            print(f"serve: cluster {bus} bus {lo}->{hi} replicas goodput "
+                  f"{sweep[lo]['goodput_rps']:.0f} -> "
+                  f"{sweep[hi]['goodput_rps']:.0f} rps ({ratio:.2f}x, "
+                  f"floor {CLUSTER_SCALING_FLOOR}x)")
+            if ratio < CLUSTER_SCALING_FLOOR:
+                failures.append(
+                    f"cluster ({bus} bus): {lo}->{hi} replicas goodput "
+                    f"ratio {ratio:.2f}x fell below the "
+                    f"{CLUSTER_SCALING_FLOOR}x scaling floor")
+        for count in counts:
+            if bus != "shared":
+                continue
+            independent = cluster["independent"][str(count)]
+            if (sweep[count]["goodput_rps"]
+                    > independent["goodput_rps"] + 1e-6):
+                failures.append(
+                    f"cluster: replicas={count} shared-bus goodput beats "
+                    f"the independent upper bound")
 
     resilience = serve.get("resilience", {})
     for rate_key, entry in resilience.items():

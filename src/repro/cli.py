@@ -8,7 +8,10 @@ Subcommands::
                      prints program/schedule cache statistics)
     serve            drive synthetic open-loop traffic through the
                      repro.serve layer (batching scheduler, shards,
-                     worker pool) and print the telemetry rollup
+                     worker pool) and print the telemetry rollup;
+                     --cluster N serves through the repro.cluster
+                     multi-replica front-end (routing, tenant quotas,
+                     --watch live operator console)
     trace            dump the DRAM command trace for one NTT
     fig6 / fig7 / fig8 / table2 / table3 / ablations / banks
                      regenerate one experiment
@@ -145,11 +148,16 @@ def _cmd_serve(args) -> int:
         peak, start_us, duration_us = args.burst
         rate_profile = LoadGenerator.burst_profile(
             args.rate, peak, start_us=start_us, duration_us=duration_us)
+    tenants = (LoadGenerator.noisy_neighbor() if args.tenants == "noisy"
+               else None)
     load = LoadGenerator(scenario, rate_rps=args.rate, count=args.requests,
                          seed=args.seed,
                          high_priority_fraction=args.high_priority,
                          deadline_us=args.deadline_us,
-                         rate_profile=rate_profile)
+                         rate_profile=rate_profile,
+                         tenants=tenants)
+    if args.cluster:
+        return _serve_cluster(args, scenario, config, load)
     try:
         server = SimServer(config, scheduler=args.scheduler,
                            window_us=args.window_us,
@@ -198,6 +206,63 @@ def _cmd_serve(args) -> int:
         print(f"live client    : {polled} results observed via poll() "
               f"mid-stream, {len(results) - polled} at drain()")
     print(server.telemetry.summary())
+    print(f"host wall time : {wall_s * 1e3:.1f} ms "
+          f"({len(results) / wall_s:.0f} req/s functional simulation)")
+    return 0
+
+
+def _serve_cluster(args, scenario, config, load) -> int:
+    """The ``--cluster N`` branch of ``repro serve``: the same offered
+    stream through a ClusterFrontend (optionally under the live
+    operator console)."""
+    from .cluster import ClusterFrontend, TenantQuota, have_textual, watch
+    from .errors import ReproError
+
+    try:
+        quotas = None
+        if args.quota_rps is not None:
+            quotas = {"*": TenantQuota(rate_rps=args.quota_rps,
+                                       burst=args.quota_burst)}
+        frontend = ClusterFrontend(
+            args.cluster, config, router=args.router, quotas=quotas,
+            scheduler=args.scheduler, window_us=args.window_us,
+            max_banks=args.max_banks, num_shards=args.shards,
+            max_depth=args.depth, workers=args.workers,
+            pipeline=not args.no_pipeline, bus=args.bus,
+            faults=args.faults, fault_seed=args.fault_seed,
+            policy=args.policy)
+    except (ValueError, ReproError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    import time as _time
+    start = _time.perf_counter()
+    if args.watch:
+        mode = args.watch_mode
+        if mode == "auto":
+            mode = "textual" if have_textual() else "plain"
+        results = watch(frontend, load.requests(),
+                        every_us=args.watch_every_us,
+                        mode=mode, max_frames=args.watch_frames)
+    else:
+        results = frontend.serve(load.requests())
+    wall_s = _time.perf_counter() - start
+    print(f"scenario       : {scenario.name} ({scenario.description})")
+    print(f"offered load   : {args.rate:.0f} req/s, "
+          f"{args.requests} requests, seed {args.seed}"
+          f"{', tenants=' + args.tenants if args.tenants != 'none' else ''}")
+    print(f"cluster        : {args.cluster} replicas, router={args.router}, "
+          f"{args.shards} shards each, bus={args.bus}, "
+          f"window={args.window_us:.0f}us"
+          f"{' [watch]' if args.watch else ''}")
+    if args.faults is not None or args.policy != "none":
+        print(f"resilience     : faults={args.faults or 'none'} "
+              f"policy={args.policy} (per-replica derived fault seeds)")
+    stats = frontend.quota_stats()
+    if stats:
+        print("tenants        : " + "  ".join(
+            f"{t or '(none)'}={int(s['admitted'])}ok"
+            f"/{int(s['throttled'])}thr" for t, s in stats.items()))
+    print(frontend.cluster_telemetry().summary())
     print(f"host wall time : {wall_s * 1e3:.1f} ms "
           f"({len(results) / wall_s:.0f} req/s functional simulation)")
     return 0
@@ -312,6 +377,41 @@ def main(argv=None) -> int:
                          metavar=("PEAK_RPS", "START_US", "DURATION_US"),
                          help="step the offered rate to PEAK_RPS from "
                               "START_US for DURATION_US (overload drill)")
+    serve_p.add_argument("--cluster", type=int, default=0, metavar="N",
+                         help="serve through a repro.cluster front-end "
+                              "over N replicas (each with --shards "
+                              "shards; default 0: single server)")
+    serve_p.add_argument("--router", choices=("hash", "least-loaded"),
+                         default="hash",
+                         help="cluster routing policy (default hash: "
+                              "consistent hashing by batching merge key)")
+    serve_p.add_argument("--tenants", choices=("none", "noisy"),
+                         default="none",
+                         help="tenant arrival mix: 'noisy' = one hog "
+                              "tenant at 80%% of traffic plus 3 "
+                              "well-behaved neighbors (default none)")
+    serve_p.add_argument("--quota-rps", type=float, default=None,
+                         help="per-tenant admission quota in requests "
+                              "per simulated second (cluster only; "
+                              "default: unmetered)")
+    serve_p.add_argument("--quota-burst", type=float, default=8.0,
+                         help="per-tenant token-bucket burst ceiling "
+                              "(default 8)")
+    serve_p.add_argument("--watch", action="store_true",
+                         help="drive the cluster through the live "
+                              "operator console (virtual-time frames)")
+    serve_p.add_argument("--watch-mode",
+                         choices=("auto", "plain", "textual"),
+                         default="auto",
+                         help="console renderer: auto = Textual "
+                              "DataTable when installed, else plain "
+                              "fixed-width frames (default auto)")
+    serve_p.add_argument("--watch-every-us", type=float, default=200.0,
+                         help="virtual time between console frames "
+                              "(default 200us)")
+    serve_p.add_argument("--watch-frames", type=int, default=3,
+                         help="cap on plain frames printed (default 3; "
+                              "the loop always runs to completion)")
 
     trace_p = subs.add_parser("trace", help="dump a command trace")
     _add_run_args(trace_p)

@@ -1,0 +1,182 @@
+"""Live operator console over a :class:`ClusterFrontend`.
+
+The console is a *driver* of the deterministic virtual clock, not an
+observer of wall time: each frame submits every arrival whose virtual
+time has come and then idle-ticks the cluster
+(:meth:`ClusterFrontend.advance`), so windows close and results settle
+exactly as they would under an offline :meth:`ClusterFrontend.serve`
+of the same stream — watching a run does not change it.  The
+submit-before-advance order inside a frame is what preserves that
+bit-identity: advancing first would clamp same-frame arrivals forward.
+
+Two render paths share the frame loop: :func:`render_plain` formats a
+fixed-width table any terminal (and the CI log) can show, and — when
+the optional `textual <https://textual.textualize.io>`_ package is
+installed — :func:`watch` upgrades to a Textual ``DataTable`` app that
+repaints in place.  Textual is strictly optional: nothing here imports
+it at module scope, and ``plain`` mode is always available.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Callable, Iterable, List, Optional
+
+from ..serve.queueing import ServeRequest
+from ..serve.server import ServeResult
+from .frontend import ClusterFrontend
+
+__all__ = ["render_plain", "watch", "have_textual"]
+
+#: Columns of the per-replica table, with formatting widths.
+_COLUMNS = (("replica", 7), ("state", 5), ("queue", 5), ("live", 5),
+            ("backlog", 7), ("brk", 4), ("done", 6), ("thr", 5),
+            ("p50_us", 9), ("p99_us", 9), ("goodput", 8))
+
+
+def have_textual() -> bool:
+    """Whether the optional Textual console can run here."""
+    return importlib.util.find_spec("textual") is not None
+
+
+def _rows(frontend: ClusterFrontend) -> List[List[str]]:
+    rows = []
+    for hb in frontend.heartbeats(want_snapshot=True):
+        snap = hb.snapshot or {}
+        rows.append([
+            f"r{hb.replica}",
+            "up" if hb.up else "DOWN",
+            str(hb.queue_depth),
+            str(hb.outstanding),
+            str(hb.backlog),
+            str(sum(1 for state, _ in hb.breakers.values()
+                    if state == "open")),
+            str(snap.get("completed", 0)),
+            str(snap.get("failed", 0) + snap.get("expired", 0)
+                + snap.get("shed", 0)),
+            f"{snap.get('latency_p50_us', 0.0):.1f}",
+            f"{snap.get('latency_p99_us', 0.0):.1f}",
+            f"{snap.get('goodput_rps', 0.0):.0f}",
+        ])
+    return rows
+
+
+def render_plain(frontend: ClusterFrontend) -> str:
+    """One fixed-width console frame: the replica table, then tenant
+    quota counters (skipped while no tenant is metered)."""
+    header = " ".join(name.rjust(width) for name, width in _COLUMNS)
+    lines = [f"cluster @ {frontend.now_us:.1f}us "
+             f"({len(frontend.replicas)} replicas)",
+             header, "-" * len(header)]
+    for row in _rows(frontend):
+        lines.append(" ".join(cell.rjust(width) for cell, (_, width)
+                              in zip(row, _COLUMNS)))
+    stats = frontend.quota_stats()
+    if stats:
+        lines.append("tenants: " + "  ".join(
+            f"{tenant or '(none)'}: {int(s['admitted'])} ok"
+            f"/{int(s['throttled'])} throttled"
+            for tenant, s in stats.items()))
+    return "\n".join(lines)
+
+
+def _frames(frontend: ClusterFrontend,
+            requests: Iterable[ServeRequest], *,
+            every_us: float):
+    """The shared frame loop: yield after each virtual-time tick, then
+    drain.  Arrivals are session-relative, like ``submit()``."""
+    pending = sorted((s for s in requests),
+                     key=lambda s: (s.arrival_us, s.request_id))
+    cursor = 0
+    tick = 0
+    while True:
+        tick += 1
+        now = tick * every_us
+        while (cursor < len(pending)
+               and pending[cursor].arrival_us <= now):
+            frontend.submit(pending[cursor])
+            cursor += 1
+        frontend.advance(now)
+        done = cursor >= len(pending)
+        yield now, done
+        if done:
+            break
+
+
+def watch(frontend: ClusterFrontend,
+          requests: Iterable[ServeRequest], *,
+          every_us: float = 200.0,
+          mode: str = "plain",
+          emit: Optional[Callable[[str], None]] = print,
+          max_frames: Optional[int] = None) -> List[ServeResult]:
+    """Run the watch loop: feed ``requests`` into ``frontend`` on the
+    virtual-time cadence ``every_us``, rendering one frame per tick,
+    and return the drained results (cluster submission order).
+
+    ``mode`` is ``"plain"`` (fixed-width frames through ``emit``) or
+    ``"textual"`` (requires the optional package; falls back to plain
+    with a notice when it is missing).  ``max_frames`` caps emitted
+    frames so long runs don't flood a log — the loop itself always
+    runs to completion.
+    """
+    if mode == "textual" and not have_textual():
+        if emit is not None:
+            emit("textual is not installed; falling back to plain "
+                 "(pip install textual enables the DataTable console)")
+        mode = "plain"
+    if mode == "textual":
+        return _watch_textual(frontend, requests, every_us=every_us)
+    if mode != "plain":
+        raise ValueError(f"unknown console mode {mode!r}; "
+                         "choose 'plain' or 'textual'")
+    emitted = 0
+    for _now, _done in _frames(frontend, requests, every_us=every_us):
+        if emit is not None and (max_frames is None
+                                 or emitted < max_frames):
+            emit(render_plain(frontend))
+            emitted += 1
+    results = frontend.drain()
+    if emit is not None:
+        emit(render_plain(frontend))
+    return results
+
+
+def _watch_textual(frontend: ClusterFrontend,
+                   requests: Iterable[ServeRequest], *,
+                   every_us: float) -> List[ServeResult]:
+    """The Textual ``DataTable`` console (import guarded by
+    :func:`have_textual`): same frame loop, repainted in place."""
+    from textual.app import App, ComposeResult
+    from textual.widgets import DataTable, Footer, Header
+
+    results: List[ServeResult] = []
+
+    class _Console(App):
+        TITLE = "repro cluster"
+        BINDINGS = [("q", "quit", "Quit")]
+
+        def compose(self) -> ComposeResult:
+            yield Header()
+            yield DataTable()
+            yield Footer()
+
+        def on_mount(self) -> None:
+            table = self.query_one(DataTable)
+            table.add_columns(*(name for name, _ in _COLUMNS))
+            self._loop = _frames(frontend, requests, every_us=every_us)
+            self.set_interval(0.1, self._tick)
+
+        def _tick(self) -> None:
+            try:
+                _now, _done = next(self._loop)
+            except StopIteration:
+                results.extend(frontend.drain())
+                self.exit()
+                return
+            table = self.query_one(DataTable)
+            table.clear()
+            for row in _rows(frontend):
+                table.add_row(*row)
+
+    _Console().run()
+    return results

@@ -1,0 +1,347 @@
+"""The cluster supervisor: one front door over N serving replicas.
+
+:class:`ClusterFrontend` mirrors the :class:`~repro.serve.SimServer`
+surface — ``serve()``, ``submit()/poll()/advance()/drain()`` — but owns
+no shards itself.  Each call runs the front-end pipeline:
+
+1. **Admission** — the tenant's token bucket
+   (:class:`~repro.cluster.quotas.QuotaManager`) spends or throttles.
+   Throttled requests drop at the front door with a ``throttled``
+   record and a virtual-time retry-after hint; they never reach a
+   replica.
+2. **Health** — replicas answer :class:`~repro.cluster.messages.BreakerQuery`;
+   a replica whose every shard breaker is open (cooldowns pending) is
+   routed around until a cooldown expires.
+3. **Routing** — the :mod:`~repro.cluster.router` policy places the
+   request by its batching merge key among the healthy replicas, so
+   coalescible traffic stays coalescible.
+4. **Dispatch** — a typed :class:`~repro.cluster.messages.Submit` to
+   the owning replica, recorded in the owner map for ``poll()``.
+
+Time is one cluster-wide virtual clock; replicas translate into their
+session coordinates.  Determinism is end-to-end: routing hashes are
+process-independent, quotas refill as a pure function of virtual time,
+and each replica's fault plan derives from the cluster seed — so a
+chaos run replays bit-for-bit, and a **one-replica cluster is
+bit-identical to a bare server** (same ids, same records, same
+telemetry): the front-end assigns ids with the server's own algorithm,
+admission is pass-through without quotas, and routing is trivial.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..api import merge_key
+from ..api.requests import SimRequest
+from ..errors import ClusterError
+from ..serve.faults import FaultPlan, ResiliencePolicy, make_fault_plan
+from ..serve.queueing import ServeRequest
+from ..serve.server import ServeResult
+from ..serve.telemetry import (
+    STATUS_THROTTLED,
+    RequestRecord,
+    Telemetry,
+    merge_snapshots,
+)
+from ..sim.driver import SimConfig
+from .messages import (
+    Advance,
+    BreakerQuery,
+    Drain,
+    Heartbeat,
+    HeartbeatReply,
+    Poll,
+    Submit,
+)
+from .quotas import QuotaManager, TenantQuota
+from .replica import Replica
+from .router import make_router
+
+__all__ = ["ClusterFrontend", "derive_fault_plans"]
+
+#: Per-replica fault-seed stride: replica ``i`` draws from ``seed +
+#: 7919 * i``.  A prime far from any sweep step keeps the per-replica
+#: streams decorrelated; replica 0 keeps the base seed itself, so a
+#: one-replica cluster injects *exactly* the faults a bare server
+#: with the same plan would.
+FAULT_SEED_STRIDE = 7919
+
+
+def derive_fault_plans(base: Optional[FaultPlan], replicas: int
+                       ) -> List[Optional[FaultPlan]]:
+    """Independent per-replica plans off one base plan (see
+    :data:`FAULT_SEED_STRIDE`)."""
+    if base is None:
+        return [None] * replicas
+    return [FaultPlan(base.profile, base.seed + FAULT_SEED_STRIDE * i)
+            for i in range(replicas)]
+
+
+class _ClusterSession:
+    """Front-end state of one open serving session (the cluster analog
+    of the server-side ``_Session``): id bookkeeping, the owner map,
+    and the front-door drop results."""
+
+    def __init__(self, offset_us: float):
+        self.offset = offset_us
+        self.order: List[int] = []
+        self.seen: set = set()
+        #: request id -> owning replica id (throttled drops never own).
+        self.owner: Dict[int, int] = {}
+        #: Front-door results (throttled drops settle immediately).
+        self.results: Dict[int, ServeResult] = {}
+        self.max_arrival_us = offset_us
+        #: Latest absolute event time — the cluster's ``planner.now_us``.
+        self.now_us = offset_us
+
+
+class ClusterFrontend:
+    """Supervise ``replicas`` :class:`SimServer` replicas behind one
+    SimServer-shaped front door.
+
+    ``router`` is ``"hash"``, ``"least-loaded"`` or a router instance;
+    ``quotas`` maps tenant names to :class:`TenantQuota` (``"*"`` =
+    default; ``None`` = unmetered).  ``faults``/``fault_seed`` build
+    one base plan and derive an independent per-replica plan from it
+    (:func:`derive_fault_plans`); ``fault_plans`` instead pins an
+    explicit per-replica list (e.g. to poison one replica in a test).
+    Remaining ``server_kwargs`` go verbatim to every replica's
+    :class:`SimServer`.
+    """
+
+    def __init__(self, replicas: int = 1,
+                 config: Optional[SimConfig] = None, *,
+                 router="hash",
+                 quotas: Optional[Dict[str, TenantQuota]] = None,
+                 faults=None, fault_seed: int = 0,
+                 fault_plans: Optional[Sequence[Optional[FaultPlan]]] = None,
+                 policy: Union[str, ResiliencePolicy] = "none",
+                 **server_kwargs):
+        if replicas < 1:
+            raise ClusterError("a cluster needs at least 1 replica")
+        if fault_plans is not None:
+            if len(fault_plans) != replicas:
+                raise ClusterError(
+                    f"fault_plans has {len(fault_plans)} entries for "
+                    f"{replicas} replicas")
+            plans = list(fault_plans)
+        else:
+            plans = derive_fault_plans(make_fault_plan(faults, fault_seed),
+                                       replicas)
+        self.replicas = [Replica(i, config, fault_plan=plans[i],
+                                 policy=policy, **server_kwargs)
+                         for i in range(replicas)]
+        self.router = make_router(router, replicas)
+        self.quotas = QuotaManager(quotas)
+        #: Front-door telemetry: only records the cluster itself drops
+        #: (throttled).  ``replica = -1`` marks "never reached one".
+        self.telemetry = Telemetry()
+        self.telemetry.replica = -1
+        self._ids = itertools.count(1)
+        self._clock_us = 0.0
+        self._live: Optional[_ClusterSession] = None
+
+    # -- id assignment (the server's own rule, lifted cluster-wide) --------------
+    def _assign_id(self, session: _ClusterSession, request_id: int) -> int:
+        if request_id == 0 or request_id in session.seen:
+            request_id = next(self._ids)
+            while request_id in session.seen:
+                request_id = next(self._ids)
+        session.seen.add(request_id)
+        return request_id
+
+    # -- offline entry point ------------------------------------------------------
+    def serve(self, requests: Iterable[Union[ServeRequest, SimRequest]]
+              ) -> List[ServeResult]:
+        """Serve a whole arrival stream through the cluster; results in
+        *input* order, one per request (throttled/rejected included),
+        exactly like :meth:`SimServer.serve`."""
+        if self._live is not None:
+            raise RuntimeError("an open submit() session is active; "
+                               "drain() it before calling serve()")
+        session = _ClusterSession(self._clock_us)
+        self._live = session
+        offset = session.offset
+        sreqs: List[ServeRequest] = []
+        for item in requests:
+            if not isinstance(item, ServeRequest):
+                item = ServeRequest(request=item)
+            item.request.validate()
+            changes = {}
+            if offset:
+                changes["arrival_us"] = item.arrival_us + offset
+                if item.deadline_us is not None:
+                    changes["deadline_us"] = item.deadline_us + offset
+            request_id = self._assign_id(session, item.request_id)
+            if request_id != item.request_id:
+                changes["request_id"] = request_id
+            sreqs.append(dataclasses.replace(item, **changes)
+                         if changes else item)
+        for sreq in sorted(sreqs, key=lambda s: (s.arrival_us,
+                                                 s.request_id)):
+            self._admit(session, sreq)
+        results = self._close(session)
+        return [results[s.request_id] for s in sreqs]
+
+    # -- live entry points --------------------------------------------------------
+    def submit(self, request: Union[ServeRequest, SimRequest], *,
+               arrival_us: Optional[float] = None,
+               priority: int = 0,
+               deadline_us: Optional[float] = None,
+               config: Optional[SimConfig] = None,
+               request_id: int = 0,
+               tenant: str = "") -> int:
+        """Admit, route and submit one request; returns its id (also
+        for throttled drops, whose result is immediately pollable)."""
+        if isinstance(request, ServeRequest):
+            if (priority, deadline_us, config, request_id,
+                    tenant) != (0, None, None, 0, ""):
+                raise ValueError(
+                    "pass scheduling fields on the ServeRequest itself, "
+                    "not as submit() keywords")
+            if arrival_us is None and request.arrival_us:
+                arrival_us = request.arrival_us
+            priority = request.priority
+            deadline_us = request.deadline_us
+            config = request.config
+            request_id = request.request_id
+            tenant = request.tenant
+            request = request.request
+        request.validate()
+        if self._live is None:
+            self._live = _ClusterSession(self._clock_us)
+        session = self._live
+        arrival = (session.offset + arrival_us if arrival_us is not None
+                   else session.now_us)
+        arrival = max(arrival, session.now_us, session.offset)
+        deadline = (session.offset + deadline_us
+                    if deadline_us is not None else None)
+        request_id = self._assign_id(session, request_id)
+        self._admit(session, ServeRequest(
+            request=request, arrival_us=arrival, priority=priority,
+            deadline_us=deadline, request_id=request_id, config=config,
+            tenant=tenant))
+        return request_id
+
+    def advance(self, now_us: float) -> None:
+        """Idle-tick every replica to session-relative ``now_us`` —
+        the cluster form of :meth:`SimServer.advance` (the operator
+        console's clock source)."""
+        if self._live is None:
+            self._live = _ClusterSession(self._clock_us)
+        session = self._live
+        session.now_us = max(session.now_us, session.offset + now_us)
+        for replica in self.replicas:
+            replica.send(Advance(now_us=session.now_us))
+
+    def poll(self, request_id: int) -> Optional[ServeResult]:
+        """The live session's result for ``request_id`` (front-door
+        drops included), or ``None`` while pending/unknown."""
+        session = self._live
+        if session is None:
+            return None
+        if request_id in session.results:
+            return session.results[request_id]
+        owner = session.owner.get(request_id)
+        if owner is None:
+            return None
+        return self.replicas[owner].send(Poll(request_id)).result
+
+    def drain(self) -> List[ServeResult]:
+        """Close the session on every replica and return every
+        submission's result in cluster submission order."""
+        session = self._live
+        if session is None:
+            return []
+        results = self._close(session)
+        return [results[rid] for rid in session.order]
+
+    # -- the front-end pipeline ---------------------------------------------------
+    def _admit(self, session: _ClusterSession, sreq: ServeRequest) -> None:
+        """Quota -> health -> route -> dispatch for one absolute-time
+        request (id already assigned)."""
+        session.order.append(sreq.request_id)
+        session.max_arrival_us = max(session.max_arrival_us, sreq.arrival_us)
+        session.now_us = max(session.now_us, sreq.arrival_us)
+        ok, retry_after = self.quotas.admit(sreq.tenant, sreq.arrival_us,
+                                            priority=sreq.priority)
+        if not ok:
+            record = RequestRecord(
+                request_id=sreq.request_id,
+                workload=sreq.request.workload,
+                status=STATUS_THROTTLED,
+                priority=sreq.priority,
+                arrival_us=sreq.arrival_us,
+                deadline_us=sreq.deadline_us,
+                tenant=sreq.tenant,
+                error=(f"tenant {sreq.tenant!r} over quota; retry in "
+                       f"{retry_after:.1f}us"))
+            self.telemetry.add(record)
+            session.results[sreq.request_id] = ServeResult(record=record)
+            return
+        up = [r.replica_id for r in self.replicas
+              if r.send(BreakerQuery(now_us=session.now_us)).up]
+        # All dark: route over everyone rather than fail the front door
+        # (the soonest-cooling-down replica recovers it on dispatch).
+        candidates = up or [r.replica_id for r in self.replicas]
+        loads = {reply.replica: reply.outstanding + reply.backlog
+                 for reply in (r.send(Heartbeat(now_us=session.now_us))
+                               for r in self.replicas)}
+        chosen = self.router.route(
+            merge_key(sreq.request), sreq.request_id,
+            now_us=session.now_us, candidates=candidates, loads=loads)
+        reply = self.replicas[chosen].send(Submit(sreq=sreq))
+        session.owner[sreq.request_id] = reply.replica
+
+    def _close(self, session: _ClusterSession) -> Dict[int, ServeResult]:
+        """Drain every replica, fold the cluster clock forward (the
+        server's own rule: past every arrival and completion), and
+        return the merged result map."""
+        merged = dict(session.results)
+        for replica in self.replicas:
+            for result in replica.send(Drain()).results:
+                merged[result.record.request_id] = result
+        clock = session.max_arrival_us
+        clock = max([clock] + [r.record.completion_us
+                               for r in merged.values()
+                               if r.record.completion_us > 0])
+        self._clock_us = max(self._clock_us, clock)
+        self._live = None
+        return merged
+
+    # -- observability ------------------------------------------------------------
+    @property
+    def now_us(self) -> float:
+        """The cluster's current absolute virtual time."""
+        return (self._live.now_us if self._live is not None
+                else self._clock_us)
+
+    def heartbeats(self, *, want_snapshot: bool = False
+                   ) -> List[HeartbeatReply]:
+        """One probe per replica at the cluster's current time — the
+        operator console's data source."""
+        now = self.now_us
+        return [replica.send(Heartbeat(now_us=now,
+                                       want_snapshot=want_snapshot))
+                for replica in self.replicas]
+
+    def cluster_telemetry(self) -> Telemetry:
+        """Exact pooled telemetry: front-door drops plus every
+        replica's records (:meth:`Telemetry.merge`)."""
+        return Telemetry.merge(
+            [self.telemetry] + [r.server.telemetry for r in self.replicas])
+
+    def cluster_snapshot(self) -> Dict[str, object]:
+        """The cluster rollup a dashboard plots: per-replica snapshots
+        combined by :func:`repro.serve.telemetry.merge_snapshots`,
+        front-door throttles included."""
+        parts = [self.telemetry.snapshot()]
+        parts += [r.server.telemetry.snapshot() for r in self.replicas]
+        return merge_snapshots(parts)
+
+    def quota_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant admitted/throttled/tokens counters."""
+        return self.quotas.stats()

@@ -1,0 +1,153 @@
+"""Request -> replica routing policies of the cluster front-end.
+
+Both policies route by the request's *merge key*
+(:func:`repro.api.merge_key` — the transform-shape coalescing key of
+the batching scheduler), because placement and batching are the same
+decision at cluster scale: two requests can only coalesce into one
+multi-bank dispatch if they land on the same replica, so the router's
+job is to keep same-shape traffic together (batching affinity) while
+spreading distinct shapes for parallelism.
+
+* :class:`ConsistentHashRouter` — a classic hash ring (SHA-1 points,
+  ``vnodes`` virtual nodes per replica).  Same key -> same replica,
+  always; adding or removing a replica only remaps the keys whose ring
+  arc it owns (~1/N of them), so a resize never reshuffles the whole
+  key space.  Down replicas are skipped by walking the ring, which
+  lands their keys on the next arc owner — and hands them *back* the
+  moment they recover.
+* :class:`LeastLoadedRouter` — joint-shortest-queue with deterministic
+  tie-breaking (lowest replica id) over the supervisor's heartbeat
+  loads, plus a batching-affinity lease: the first request of a shape
+  picks the least-loaded replica and *pins* the shape there for
+  ``epoch_us`` of virtual time, so a window's worth of same-shape
+  traffic coalesces instead of scattering; when the lease expires the
+  next request re-evaluates loads.
+
+Hashing uses SHA-1 over the key's ``repr`` — never the builtin
+``hash`` — so placement is stable across processes and
+``PYTHONHASHSEED`` (the determinism every replay test relies on).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ClusterError
+
+__all__ = ["ConsistentHashRouter", "LeastLoadedRouter", "ROUTERS",
+           "make_router"]
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring coordinate for ``label``."""
+    return int.from_bytes(hashlib.sha1(label.encode()).digest()[:8], "big")
+
+
+class ConsistentHashRouter:
+    """Hash-ring placement: stable, process-independent, minimally
+    disturbed by replica add/remove."""
+
+    name = "hash"
+
+    def __init__(self, replicas: int, *, vnodes: int = 64):
+        if replicas < 1:
+            raise ClusterError("a cluster needs at least 1 replica")
+        if vnodes < 1:
+            raise ClusterError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._ring: List[Tuple[int, int]] = []
+        self._points: List[int] = []
+        for replica in range(replicas):
+            self.add_replica(replica)
+
+    # -- membership --------------------------------------------------------------
+    def add_replica(self, replica: int) -> None:
+        for vnode in range(self.vnodes):
+            entry = (_point(f"replica:{replica}:vnode:{vnode}"), replica)
+            index = bisect.bisect(self._points, entry[0])
+            self._points.insert(index, entry[0])
+            self._ring.insert(index, entry)
+
+    def remove_replica(self, replica: int) -> None:
+        keep = [(point, owner) for point, owner in self._ring
+                if owner != replica]
+        self._ring = keep
+        self._points = [point for point, _ in keep]
+
+    # -- routing -----------------------------------------------------------------
+    def route(self, key: Optional[tuple], request_id: int, *,
+              now_us: float, candidates: Sequence[int],
+              loads: Dict[int, int]) -> int:
+        """The ring owner of ``key`` (unbatchable requests — ``key``
+        ``None`` — spread by request id), skipping replicas not in
+        ``candidates`` by walking to the next arc."""
+        if not candidates:
+            raise ClusterError("no replica is up to route to")
+        up = set(candidates)
+        start = bisect.bisect(
+            self._points,
+            _point(repr(key) if key is not None else f"solo:{request_id}"))
+        for step in range(len(self._ring)):
+            _, owner = self._ring[(start + step) % len(self._ring)]
+            if owner in up:
+                return owner
+        raise ClusterError("hash ring has no routable replica "
+                           f"(candidates {sorted(up)})")
+
+
+@dataclass
+class _Lease:
+    replica: int
+    expires_us: float
+
+
+class LeastLoadedRouter:
+    """Joint-shortest-queue with a per-shape batching-affinity lease."""
+
+    name = "least-loaded"
+
+    def __init__(self, replicas: int = 0, *, epoch_us: float = 1000.0):
+        if epoch_us < 0:
+            raise ClusterError("epoch_us must be >= 0")
+        self.epoch_us = epoch_us
+        self._leases: Dict[tuple, _Lease] = {}
+
+    def route(self, key: Optional[tuple], request_id: int, *,
+              now_us: float, candidates: Sequence[int],
+              loads: Dict[int, int]) -> int:
+        """The leased replica of ``key`` while the lease holds (and the
+        replica is routable); otherwise the least-loaded candidate,
+        ties to the lowest replica id, renewing the lease."""
+        if not candidates:
+            raise ClusterError("no replica is up to route to")
+        if key is not None:
+            lease = self._leases.get(key)
+            if (lease is not None and lease.replica in candidates
+                    and now_us < lease.expires_us):
+                return lease.replica
+        chosen = min(candidates,
+                     key=lambda replica: (loads.get(replica, 0), replica))
+        if key is not None:
+            self._leases[key] = _Lease(replica=chosen,
+                                       expires_us=now_us + self.epoch_us)
+        return chosen
+
+
+#: Named routing policies of the ``repro serve --router`` CLI.
+ROUTERS = ("hash", "least-loaded")
+
+
+def make_router(spec: Union[str, ConsistentHashRouter, LeastLoadedRouter],
+                replicas: int):
+    """Resolve a router name (or pass an instance through)."""
+    if not isinstance(spec, str):
+        return spec
+    if spec == "hash":
+        return ConsistentHashRouter(replicas)
+    if spec == "least-loaded":
+        return LeastLoadedRouter(replicas)
+    raise ClusterError(f"unknown router {spec!r}; "
+                       f"choose from {', '.join(ROUTERS)}")

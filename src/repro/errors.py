@@ -4,7 +4,8 @@ import warnings
 
 __all__ = ["ReproError", "MappingError", "TimingViolation",
            "FunctionalMismatch", "RequestValidationError",
-           "ServeError", "ShardFailure", "warn_deprecated"]
+           "ServeError", "ShardFailure", "ClusterError",
+           "warn_deprecated"]
 
 
 class ReproError(Exception):
@@ -54,6 +55,13 @@ class ShardFailure(ServeError):
         #: ``"transient"`` (dispatch failed outright) or ``"timeout"``
         #: (service exceeded the policy's per-dispatch timeout).
         self.kind = kind
+
+
+class ClusterError(ServeError):
+    """The cluster tier (:mod:`repro.cluster`) failed an operation — a
+    typed message no replica handler accepts, a poll for a request no
+    replica owns, a misconfigured router/quota, or inconsistent
+    supervisor bookkeeping."""
 
 
 def warn_deprecated(old: str, new: str) -> None:

@@ -65,8 +65,10 @@ from .telemetry import (
     STATUS_OK,
     STATUS_REJECTED,
     STATUS_SHED,
+    STATUS_THROTTLED,
     RequestRecord,
     Telemetry,
+    merge_snapshots,
     percentile,
 )
 from .workers import (
@@ -93,12 +95,14 @@ __all__ = [
     "make_pool",
     "RequestRecord",
     "Telemetry",
+    "merge_snapshots",
     "percentile",
     "STATUS_OK",
     "STATUS_REJECTED",
     "STATUS_EXPIRED",
     "STATUS_FAILED",
     "STATUS_SHED",
+    "STATUS_THROTTLED",
     "FaultProfile",
     "FaultDecision",
     "FaultPlan",

@@ -164,6 +164,13 @@ class LoadGenerator:
     ``(start_us, rate_rps)`` pairs, each taking effect at its start
     time (``rate_rps`` applies before the first step).  A burst or
     ramp overload is just a profile — see :meth:`burst_profile`.
+
+    ``tenants`` turns the stream multi-tenant: ``(name, weight)`` pairs
+    draw each request's ``tenant`` field (the arrival *mix* of tenants
+    — :meth:`noisy_neighbor` is the skewed preset the quota
+    experiments run).  The draw uses its own RNG stream, so a seeded
+    stream yields bit-identical arrivals, shapes and values with or
+    without tenancy — tenancy only labels them.
     """
 
     def __init__(self, scenario: Scenario, *, rate_rps: float,
@@ -171,7 +178,8 @@ class LoadGenerator:
                  high_priority_fraction: float = 0.0,
                  deadline_us: Optional[float] = None,
                  rate_profile: Optional[Tuple[Tuple[float, float], ...]]
-                 = None):
+                 = None,
+                 tenants: Optional[Tuple[Tuple[str, float], ...]] = None):
         if rate_rps <= 0:
             raise ValueError("rate_rps must be > 0")
         if count < 1:
@@ -187,6 +195,13 @@ class LoadGenerator:
             if any(rate <= 0 for _, rate in steps):
                 raise ValueError("rate_profile rates must be > 0")
             rate_profile = steps
+        if tenants is not None:
+            tenants = tuple(tenants)
+            if not tenants:
+                raise ValueError("tenants must be non-empty when given")
+            if any(weight <= 0 for _, weight in tenants):
+                raise ValueError("tenant weights must be > 0")
+        self.tenants = tenants
         self.scenario = scenario
         self.rate_rps = rate_rps
         self.count = count
@@ -194,6 +209,23 @@ class LoadGenerator:
         self.high_priority_fraction = high_priority_fraction
         self.deadline_us = deadline_us
         self.rate_profile = rate_profile
+
+    @staticmethod
+    def noisy_neighbor(hog: str = "hog", neighbors: int = 3,
+                       hog_share: float = 0.8
+                       ) -> Tuple[Tuple[str, float], ...]:
+        """The skewed tenant mix of the quota experiments: one ``hog``
+        tenant offering ``hog_share`` of the traffic, the rest split
+        evenly across ``neighbors`` well-behaved tenants — the classic
+        noisy-neighbor shape per-tenant quotas exist to contain."""
+        if not 0.0 < hog_share < 1.0:
+            raise ValueError("hog_share must be in (0, 1)")
+        if neighbors < 1:
+            raise ValueError("neighbors must be >= 1")
+        share = (1.0 - hog_share) / neighbors
+        return ((hog, hog_share),) + tuple(
+            (f"tenant-{chr(ord('a') + i)}", share)
+            for i in range(neighbors))
 
     @staticmethod
     def burst_profile(base_rps: float, peak_rps: float, *,
@@ -225,6 +257,13 @@ class LoadGenerator:
         rng = random.Random(self.seed)
         weights = [w for w, _ in self.scenario.mix]
         makers = [m for _, m in self.scenario.mix]
+        # Tenancy draws from a sibling stream so labelling requests
+        # never perturbs their arrivals, shapes or values.
+        trng = random.Random(f"tenants:{self.seed}")
+        tenant_names = ([name for name, _ in self.tenants]
+                        if self.tenants else None)
+        tenant_weights = ([weight for _, weight in self.tenants]
+                          if self.tenants else None)
         now_us = 0.0
         for request_id in range(1, self.count + 1):
             now_us += rng.expovariate(1.0) * (1e6 / self.rate_at(now_us))
@@ -232,9 +271,11 @@ class LoadGenerator:
             priority = int(rng.random() < self.high_priority_fraction)
             deadline = (now_us + self.deadline_us
                         if self.deadline_us is not None else None)
+            tenant = (trng.choices(tenant_names, weights=tenant_weights,
+                                   k=1)[0] if tenant_names else "")
             yield ServeRequest(request=maker(rng), arrival_us=now_us,
                                priority=priority, deadline_us=deadline,
-                               request_id=request_id)
+                               request_id=request_id, tenant=tenant)
 
     def requests(self) -> List[ServeRequest]:
         """The full arrival list, sorted by arrival time, ids 1..count."""

@@ -49,6 +49,10 @@ class ServeRequest:
     deadline_us: Optional[float] = None
     request_id: int = 0
     config: Optional[SimConfig] = None
+    #: Tenant the request arrives under ("" = untenanted).  The cluster
+    #: tier's per-tenant quotas (:mod:`repro.cluster.quotas`) meter on
+    #: it; a bare server carries it through to telemetry untouched.
+    tenant: str = ""
 
     def effective_config(self, default: SimConfig) -> SimConfig:
         """This request's config override, or the server's default —

@@ -146,7 +146,7 @@ class PlanSession:
                     status=STATUS_EXPIRED, priority=member.priority,
                     arrival_us=member.arrival_us,
                     deadline_us=member.deadline_us,
-                    deadline_missed=True))
+                    deadline_missed=True, tenant=member.tenant))
             else:
                 live.append(member)
         if self.telemetry is not None:
@@ -193,7 +193,8 @@ class PlanSession:
                 request_id=sreq.request_id,
                 workload=sreq.request.workload,
                 status=STATUS_SHED, priority=sreq.priority,
-                arrival_us=now_us, deadline_us=sreq.deadline_us))
+                arrival_us=now_us, deadline_us=sreq.deadline_us,
+                tenant=sreq.tenant))
             if self.telemetry is not None:
                 self.telemetry.note_shed()
             return
@@ -202,7 +203,8 @@ class PlanSession:
                 request_id=sreq.request_id,
                 workload=sreq.request.workload,
                 status=STATUS_REJECTED, priority=sreq.priority,
-                arrival_us=now_us, deadline_us=sreq.deadline_us))
+                arrival_us=now_us, deadline_us=sreq.deadline_us,
+                tenant=sreq.tenant))
             return
         if self.telemetry is not None:
             self.telemetry.sample_depth(now_us, self.queue.depth())

@@ -323,7 +323,8 @@ class SimServer:
                priority: int = 0,
                deadline_us: Optional[float] = None,
                config: Optional[SimConfig] = None,
-               request_id: int = 0) -> int:
+               request_id: int = 0,
+               tenant: str = "") -> int:
         """Submit one request to the live session and return its id.
 
         This is the incremental form of :meth:`serve`: each submission
@@ -342,8 +343,8 @@ class SimServer:
         so combining it with those keywords raises.
         """
         if isinstance(request, ServeRequest):
-            if (priority, deadline_us, config, request_id) != (0, None,
-                                                               None, 0):
+            if (priority, deadline_us, config, request_id,
+                    tenant) != (0, None, None, 0, ""):
                 raise ValueError(
                     "pass scheduling fields on the ServeRequest itself, "
                     "not as submit() keywords")
@@ -353,6 +354,7 @@ class SimServer:
             deadline_us = request.deadline_us
             config = request.config
             request_id = request.request_id
+            tenant = request.tenant
             request = request.request
         request.validate()
         if self._live is None:
@@ -367,8 +369,66 @@ class SimServer:
         request_id = session.assign_id(request_id)
         self._ingest(session, ServeRequest(
             request=request, arrival_us=arrival, priority=priority,
-            deadline_us=deadline, request_id=request_id, config=config))
+            deadline_us=deadline, request_id=request_id, config=config,
+            tenant=tenant))
         return request_id
+
+    def advance(self, now_us: float) -> None:
+        """Idle tick: move the live session's virtual clock to
+        ``now_us`` (session-relative, like :meth:`submit`'s
+        ``arrival_us``) with *no* new traffic.
+
+        Batching windows that age out on the way close exactly as they
+        would have under a later submission, and execution settles up
+        to the new clock — so a console (or any caller that stops
+        submitting) sees results become pollable as virtual time
+        passes instead of waiting for the next arrival or a full
+        :meth:`drain`.  Opens the live session if none is active;
+        ticking backwards is a no-op (the clock is monotonic).
+        """
+        if self._live is None:
+            self._live = _Session(self)
+        session = self._live
+        session.planner.advance(max(session.offset + now_us,
+                                    session.planner.now_us))
+        self._absorb(session)
+        with make_pool("inline") as pool:
+            self._settle(session, pool, horizon_us=session.planner.now_us)
+
+    def session_offset_us(self) -> float:
+        """Virtual-time offset of the live session — or of the session
+        the next :meth:`submit`/:meth:`advance` would open.  Session-
+        relative times (``arrival_us``, ``advance``'s ``now_us``) plus
+        this offset are absolute times on the server's monotonic clock;
+        a cluster front-end uses it to translate cluster time into
+        each replica's session coordinates."""
+        return (self._live.offset if self._live is not None
+                else self._clock_us)
+
+    def live_stats(self) -> Dict[str, object]:
+        """Lightweight live-session gauges for supervisors and
+        consoles (no percentile math — see
+        :meth:`Telemetry.snapshot` for the full rollup): queue depth,
+        submissions vs settled results, per-shard backlog, and each
+        tripped circuit breaker's ``(state, open_until_us)``."""
+        session = self._live
+        stats: Dict[str, object] = {
+            "queue_depth": self.queue.depth(),
+            "num_shards": self.scheduler.num_shards,
+            "submitted": 0, "settled": 0, "backlog": 0,
+            "now_us": self._clock_us, "breakers": {},
+        }
+        if session is None:
+            return stats
+        stats["submitted"] = len(session.order)
+        stats["settled"] = len(session.results)
+        stats["backlog"] = sum(len(state.backlog)
+                               for state in session.shards.values())
+        stats["now_us"] = session.planner.now_us
+        stats["breakers"] = {
+            shard: (breaker.state, breaker.open_until_us)
+            for shard, breaker in session.breakers.items()}
+        return stats
 
     def poll(self, request_id: int) -> Optional[ServeResult]:
         """The live session's result for ``request_id``, or ``None``
@@ -653,6 +713,7 @@ class SimServer:
                                  and completion_us > member.deadline_us),
                 group_banks=banks,
                 shard=shard_id,
+                tenant=member.tenant,
                 bus_wait_us=bus_wait_us,
                 cycles=grouped.cycles // banks,
                 energy_nj=grouped.energy_nj / banks,
@@ -698,6 +759,7 @@ class SimServer:
                                  and fail_us > member.deadline_us),
                 group_banks=unit.banks,
                 shard=shard_id,
+                tenant=member.tenant,
                 attempts=attempt.attempt,
                 error=str(error))
             self.telemetry.add(record)

@@ -16,11 +16,11 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
-__all__ = ["RequestRecord", "Telemetry", "percentile",
+__all__ = ["RequestRecord", "Telemetry", "percentile", "merge_snapshots",
            "STATUS_OK", "STATUS_REJECTED", "STATUS_EXPIRED",
-           "STATUS_FAILED", "STATUS_SHED"]
+           "STATUS_FAILED", "STATUS_SHED", "STATUS_THROTTLED"]
 
 #: Terminal states of a served request.
 STATUS_OK = "ok"
@@ -28,6 +28,7 @@ STATUS_REJECTED = "rejected"   # admission control turned it away
 STATUS_EXPIRED = "expired"     # deadline passed while still queued
 STATUS_FAILED = "failed"       # dispatch failed past the retry policy
 STATUS_SHED = "shed"           # dropped by overload load shedding
+STATUS_THROTTLED = "throttled"  # per-tenant quota turned it away
 
 
 def percentile(values: List[float], p: float) -> float:
@@ -65,6 +66,11 @@ class RequestRecord:
     #: Members in the request's dispatch group (1 = unbatched).
     group_banks: int = 1
     shard: int = 0
+    #: Replica that served the request (0 outside a cluster: a bare
+    #: ``SimServer`` is replica 0 of a one-replica cluster).
+    replica: int = 0
+    #: Tenant the request arrived under ("" = untenanted traffic).
+    tenant: str = ""
     #: Time the dispatch stalled waiting for the shared command bus
     #: (0 under the independent-channel model).
     bus_wait_us: float = 0.0
@@ -100,6 +106,10 @@ class Telemetry:
 
     def __init__(self):
         self._lock = threading.Lock()
+        #: Replica label stamped onto every record added here (0 for a
+        #: bare server; the cluster tier sets it per replica so merged
+        #: rollups keep per-replica attribution).
+        self.replica = 0
         self.records: List[RequestRecord] = []
         #: ``(virtual_time_us, queue_depth)`` at every queue event.
         self.depth_samples: List[tuple] = []
@@ -126,6 +136,7 @@ class Telemetry:
 
     def add(self, record: RequestRecord) -> None:
         with self._lock:
+            record.replica = self.replica
             self.records.append(record)
 
     # -- resilience events -------------------------------------------------------
@@ -196,6 +207,51 @@ class Telemetry:
             self.shed = 0
             self.shrunk_windows = 0
 
+    # -- merging -----------------------------------------------------------------
+    @classmethod
+    def merge(cls, parts: Iterable["Telemetry"]) -> "Telemetry":
+        """One telemetry holding every part's records and counters —
+        the *exact* cluster rollup (percentiles come out of the pooled
+        records, not a weighted approximation; contrast
+        :func:`merge_snapshots`).
+
+        Records keep their ``replica`` stamps, so per-replica
+        attribution survives the merge; event streams are re-sorted by
+        virtual time so depth samples read as one session.  Cache
+        hit/miss deltas are summed (replica sessions share the
+        process-wide compile caches, so overlapping sessions may double
+        count a shared warm-up — the per-cache ``entries`` gauge takes
+        the max instead).
+        """
+        merged = cls()
+        for part in parts:
+            with part._lock:
+                merged.records.extend(part.records)
+                merged.depth_samples.extend(part.depth_samples)
+                merged.occupancies.extend(part.occupancies)
+                merged.bus_busy_us += part.bus_busy_us
+                for kind, count in part.faults_injected.items():
+                    merged.faults_injected[kind] = \
+                        merged.faults_injected.get(kind, 0) + count
+                merged.retries += part.retries
+                merged.timeouts += part.timeouts
+                merged.breaker_trips += part.breaker_trips
+                merged.reroutes += part.reroutes
+                merged.detected_mismatches += part.detected_mismatches
+                merged.shed += part.shed
+                merged.shrunk_windows += part.shrunk_windows
+                for name, stats in part.cache.items():
+                    entry = merged.cache.setdefault(
+                        name, {"hits": 0, "misses": 0, "entries": 0})
+                    entry["hits"] += stats.get("hits", 0)
+                    entry["misses"] += stats.get("misses", 0)
+                    entry["entries"] = max(entry["entries"],
+                                           stats.get("entries", 0))
+        # Records stay in part order (a single part merges to itself,
+        # bit-for-bit); only the event stream re-sorts by virtual time.
+        merged.depth_samples.sort(key=lambda s: s[0])
+        return merged
+
     # -- rollups -----------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """The session rollup (all times in simulated microseconds)."""
@@ -228,6 +284,7 @@ class Telemetry:
             "expired": sum(r.status == STATUS_EXPIRED for r in records),
             "failed": sum(r.status == STATUS_FAILED for r in records),
             "shed": sum(r.status == STATUS_SHED for r in records),
+            "throttled": sum(r.status == STATUS_THROTTLED for r in records),
             "deadline_missed": sum(r.deadline_missed for r in done),
             "makespan_us": makespan_us,
             "throughput_rps": (len(done) / (makespan_us * 1e-6)
@@ -272,7 +329,8 @@ class Telemetry:
             f"requests       : {s['requests']} "
             f"(completed={s['completed']} rejected={s['rejected']} "
             f"expired={s['expired']} failed={s['failed']} "
-            f"shed={s['shed']} deadline_missed={s['deadline_missed']})",
+            f"shed={s['shed']} throttled={s['throttled']} "
+            f"deadline_missed={s['deadline_missed']})",
             f"throughput     : {s['throughput_rps']:.1f} req/s over "
             f"{s['makespan_us'] / 1e3:.2f} ms simulated",
             f"latency        : p50={s['latency_p50_us']:.2f} us  "
@@ -313,3 +371,79 @@ class Telemetry:
             lines.append(f"compile caches : "
                          f"{s['cache_hit_rate'] * 100:.1f}% hit rate")
         return "\n".join(lines)
+
+
+#: Snapshot keys that add across replicas.
+_ADDITIVE_KEYS = ("requests", "completed", "rejected", "expired", "failed",
+                  "shed", "throttled", "deadline_missed", "dispatches",
+                  "total_cycles", "total_energy_nj", "bus_busy_us")
+#: Snapshot keys combined as completion-weighted means.
+_WEIGHTED_KEYS = ("latency_p50_us", "latency_p99_us", "latency_mean_us",
+                  "queue_wait_p50_us", "queue_wait_p99_us",
+                  "bus_wait_p99_us")
+
+
+def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
+    """Cluster rollup over per-replica :meth:`Telemetry.snapshot` dicts.
+
+    This is the combiner for when only snapshots cross a boundary (e.g.
+    replica heartbeats): counters add, latency/wait percentiles combine
+    as completed-count-weighted means (an approximation — exact pooled
+    percentiles need the records; use :meth:`Telemetry.merge` when they
+    are available), availability and goodput are recomputed over the
+    cluster totals, and rates are re-derived against the widest
+    replica makespan (replicas serve concurrently in the same virtual
+    time, so the cluster makespan is the max, not the sum).
+    """
+    merged: Dict[str, object] = {key: 0 for key in _ADDITIVE_KEYS}
+    if not snapshots:
+        merged.update({"availability": 1.0, "throughput_rps": 0.0,
+                       "goodput_rps": 0.0, "makespan_us": 0.0,
+                       "max_queue_depth": 0, "mean_batch_occupancy": 0.0,
+                       "bus_utilization": 0.0, "replicas": 0})
+        for key in _WEIGHTED_KEYS:
+            merged[key] = 0.0
+        merged["resilience"] = {"faults_injected": {}}
+        return merged
+    for snap in snapshots:
+        for key in _ADDITIVE_KEYS:
+            merged[key] += snap.get(key, 0)
+    makespan_us = max(float(snap["makespan_us"]) for snap in snapshots)
+    merged["makespan_us"] = makespan_us
+    completed = [int(snap["completed"]) for snap in snapshots]
+    total_done = sum(completed)
+    for key in _WEIGHTED_KEYS:
+        merged[key] = (sum(float(snap[key]) * done
+                           for snap, done in zip(snapshots, completed))
+                       / total_done if total_done else 0.0)
+    # good_i = goodput_i * makespan_i: recover each replica's useful
+    # completion count, then re-rate the total over the cluster makespan.
+    good = sum(float(snap["goodput_rps"]) * float(snap["makespan_us"]) * 1e-6
+               for snap in snapshots)
+    merged["throughput_rps"] = (total_done / (makespan_us * 1e-6)
+                                if makespan_us > 0 else 0.0)
+    merged["goodput_rps"] = (good / (makespan_us * 1e-6)
+                             if makespan_us > 0 else 0.0)
+    merged["availability"] = (total_done / merged["requests"]
+                              if merged["requests"] else 1.0)
+    dispatches = [int(snap["dispatches"]) for snap in snapshots]
+    merged["mean_batch_occupancy"] = (
+        sum(float(snap["mean_batch_occupancy"]) * d
+            for snap, d in zip(snapshots, dispatches)) / sum(dispatches)
+        if sum(dispatches) else 0.0)
+    merged["max_queue_depth"] = max(int(snap["max_queue_depth"])
+                                    for snap in snapshots)
+    merged["bus_utilization"] = (merged["bus_busy_us"] / makespan_us
+                                 if makespan_us > 0 else 0.0)
+    resilience: Dict[str, object] = {"faults_injected": {}}
+    for snap in snapshots:
+        res = snap.get("resilience", {})
+        for kind, count in res.get("faults_injected", {}).items():
+            resilience["faults_injected"][kind] = \
+                resilience["faults_injected"].get(kind, 0) + count
+        for key in ("retries", "timeouts", "breaker_trips", "reroutes",
+                    "detected_mismatches", "shed", "shrunk_windows"):
+            resilience[key] = resilience.get(key, 0) + res.get(key, 0)
+    merged["resilience"] = resilience
+    merged["replicas"] = len(snapshots)
+    return merged

@@ -83,3 +83,46 @@ class TestCliFacade:
         assert main(["run", "not-a-workload", "-n", "256"]) == 2
         err = capsys.readouterr().err
         assert "unknown workload" in err and "ntt" in err
+
+
+class TestCliServe:
+    def test_serve_single_server(self, capsys):
+        assert main(["serve", "--requests", "15", "--rate", "30000",
+                     "--no-verify", "--scenario", "mixed"]) == 0
+        out = capsys.readouterr().out
+        assert "requests       : 15" in out
+        assert "latency" in out
+
+    def test_serve_cluster(self, capsys):
+        assert main(["serve", "--cluster", "2", "--requests", "15",
+                     "--rate", "30000", "--no-verify",
+                     "--scenario", "mixed", "--shards", "2",
+                     "--router", "least-loaded"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster        : 2 replicas, router=least-loaded" in out
+        assert "requests       : 15" in out
+
+    def test_serve_cluster_watch_plain(self, capsys):
+        assert main(["serve", "--cluster", "2", "--requests", "12",
+                     "--rate", "30000", "--no-verify", "--watch",
+                     "--watch-mode", "plain", "--watch-every-us", "300",
+                     "--watch-frames", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[watch]" in out
+        assert "replica state queue" in out.replace("  ", " ") or \
+            "replica" in out  # frame header rendered
+        assert "r0" in out and "r1" in out
+
+    def test_serve_cluster_noisy_tenants_quota(self, capsys):
+        assert main(["serve", "--cluster", "2", "--requests", "30",
+                     "--rate", "50000", "--no-verify",
+                     "--tenants", "noisy", "--quota-rps", "8000",
+                     "--quota-burst", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tenants        : " in out and "hog=" in out
+        assert "thr" in out
+
+    def test_serve_cluster_rejects_bad_config(self, capsys):
+        assert main(["serve", "--cluster", "2", "--requests", "5",
+                     "--quota-rps", "-1"]) == 2
+        assert "quota" in capsys.readouterr().err

@@ -1,0 +1,441 @@
+"""Tests for the repro.cluster subsystem: typed replica supervision,
+routing, tenant quotas, failure handling and the operator console.
+
+The two load-bearing properties: a one-replica cluster is bit-identical
+to a bare ``SimServer`` (ids, records, telemetry — the front-end adds
+nothing to the serving model), and every multi-replica run — chaos
+included — replays bit-for-bit from its seeds.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import (
+    ClusterFrontend,
+    ConsistentHashRouter,
+    LeastLoadedRouter,
+    QuotaManager,
+    Replica,
+    TenantQuota,
+    derive_fault_plans,
+    make_router,
+    render_plain,
+    watch,
+)
+from repro.cluster.messages import BreakerQuery, Heartbeat, Submit
+from repro.errors import ClusterError
+from repro.serve import LoadGenerator, SimServer, make_scenario
+from repro.serve.faults import make_fault_plan
+from repro.serve.queueing import ServeRequest
+from repro.serve.telemetry import STATUS_OK, STATUS_THROTTLED
+from repro.sim.driver import SimConfig
+
+NOVERIFY = SimConfig(verify=False)
+
+
+def _records(results):
+    return [dataclasses.asdict(r.record) for r in results]
+
+
+def _snap(telemetry):
+    """Snapshot minus compile-cache keys: the process-wide caches warm
+    up across comparison runs, everything else must match exactly."""
+    return {k: v for k, v in telemetry.snapshot().items()
+            if "cache" not in k}
+
+
+def _stream(count=40, seed=7, scenario="mixed", rate=30000,
+            deadline_us=5000.0, tenants=None):
+    gen = LoadGenerator(make_scenario(scenario), rate_rps=rate,
+                        count=count, seed=seed, deadline_us=deadline_us,
+                        tenants=tenants)
+    return gen.requests()
+
+
+class TestBitIdentity:
+    """A one-replica cluster == a bare server, bit for bit."""
+
+    def test_offline_serve_matches_bare_server(self):
+        reqs = _stream()
+        bare = SimServer(NOVERIFY, num_shards=2)
+        cluster = ClusterFrontend(1, NOVERIFY, num_shards=2)
+        a = bare.serve(list(reqs))
+        b = cluster.serve(list(reqs))
+        assert _records(a) == _records(b)
+        assert all((x.response.values if x.ok else None)
+                   == (y.response.values if y.ok else None)
+                   for x, y in zip(a, b))
+        assert _snap(bare.telemetry) == _snap(cluster.cluster_telemetry())
+
+    def test_offline_serve_matches_under_chaos(self):
+        reqs = _stream(count=50, scenario="chaos")
+        bare = SimServer(NOVERIFY, num_shards=2, faults="chaos",
+                         fault_seed=5, policy="standard")
+        cluster = ClusterFrontend(1, NOVERIFY, num_shards=2,
+                                  faults="chaos", fault_seed=5,
+                                  policy="standard")
+        assert _records(bare.serve(list(reqs))) == \
+            _records(cluster.serve(list(reqs)))
+        assert _snap(bare.telemetry) == _snap(cluster.cluster_telemetry())
+
+    def test_live_submit_poll_drain_matches_offline(self):
+        reqs = _stream()
+        offline = ClusterFrontend(1, NOVERIFY, num_shards=2) \
+            .serve(list(reqs))
+        live = ClusterFrontend(1, NOVERIFY, num_shards=2)
+        ids = [live.submit(sreq) for sreq in reqs]
+        assert ids == [sreq.request_id for sreq in reqs]
+        assert _records(live.drain()) == _records(offline)
+
+    def test_second_session_continues_the_clock(self):
+        # The cluster folds its virtual clock forward across sessions
+        # exactly like a bare server's monotonic _clock_us.
+        reqs = _stream(count=12)
+        bare = SimServer(NOVERIFY)
+        cluster = ClusterFrontend(1, NOVERIFY)
+        first = (_records(bare.serve(list(reqs))),
+                 _records(cluster.serve(list(reqs))))
+        assert first[0] == first[1]
+        again = (_records(bare.serve(list(reqs))),
+                 _records(cluster.serve(list(reqs))))
+        assert again[0] == again[1]
+        # Arrivals really were offset, not restarted.
+        assert again[0][0]["arrival_us"] > first[0][0]["arrival_us"]
+
+
+class TestChaosReplay:
+    def test_four_replica_chaos_replays_bit_identical(self):
+        reqs = _stream(count=50, scenario="chaos", deadline_us=8000.0)
+
+        def run():
+            fe = ClusterFrontend(4, NOVERIFY, num_shards=2,
+                                 faults="chaos", fault_seed=5,
+                                 policy="standard")
+            return _records(fe.serve(list(reqs)))
+
+        first, second = run(), run()
+        assert first == second
+        assert len({r["replica"] for r in first}) > 1
+
+    def test_fault_plans_derive_per_replica(self):
+        base = make_fault_plan("chaos", 11)
+        plans = derive_fault_plans(base, 3)
+        assert plans[0].seed == 11  # replica 0 keeps the base seed
+        assert len({p.seed for p in plans}) == 3
+        assert all(p.profile is base.profile for p in plans)
+        assert derive_fault_plans(None, 3) == [None, None, None]
+
+    def test_explicit_fault_plans_length_checked(self):
+        with pytest.raises(ClusterError):
+            ClusterFrontend(2, NOVERIFY, fault_plans=[None])
+
+
+class TestRouting:
+    def test_hash_same_key_same_replica(self):
+        router = ConsistentHashRouter(4)
+        candidates = [0, 1, 2, 3]
+        key = ("ntt", 256, 12289, 3, False)
+        picks = {router.route(key, i, now_us=0.0, candidates=candidates,
+                              loads={}) for i in range(20)}
+        assert len(picks) == 1
+
+    def test_hash_stability_under_membership_change(self):
+        router = ConsistentHashRouter(4)
+        keys = [("k", i) for i in range(200)]
+        before = {k: router.route(k, 0, now_us=0.0,
+                                  candidates=[0, 1, 2, 3], loads={})
+                  for k in keys}
+        router.remove_replica(3)
+        after = {k: router.route(k, 0, now_us=0.0,
+                                 candidates=[0, 1, 2], loads={})
+                 for k in keys}
+        # Only keys replica 3 owned may move; everyone else stays put.
+        assert all(after[k] == owner for k, owner in before.items()
+                   if owner != 3)
+        router.add_replica(3)
+        restored = {k: router.route(k, 0, now_us=0.0,
+                                    candidates=[0, 1, 2, 3], loads={})
+                    for k in keys}
+        assert restored == before
+
+    def test_hash_routes_around_down_replicas(self):
+        router = ConsistentHashRouter(2)
+        key = ("ntt", 512, 12289, 3, False)
+        home = router.route(key, 0, now_us=0.0, candidates=[0, 1],
+                            loads={})
+        other = 1 - home
+        assert router.route(key, 0, now_us=0.0, candidates=[other],
+                            loads={}) == other
+
+    def test_least_loaded_deterministic_tie_break(self):
+        router = LeastLoadedRouter()
+        # Equal loads: lowest replica id wins, every time.
+        assert router.route(None, 1, now_us=0.0, candidates=[2, 0, 1],
+                            loads={0: 3, 1: 3, 2: 3}) == 0
+        assert router.route(None, 2, now_us=0.0, candidates=[2, 1],
+                            loads={1: 5, 2: 5}) == 1
+
+    def test_least_loaded_affinity_epoch(self):
+        router = LeastLoadedRouter(epoch_us=1000.0)
+        key = ("ntt", 256, 12289, 3, False)
+        first = router.route(key, 1, now_us=0.0, candidates=[0, 1],
+                             loads={0: 0, 1: 5})
+        assert first == 0
+        # Load flips, but the lease pins the shape until the epoch ends.
+        assert router.route(key, 2, now_us=500.0, candidates=[0, 1],
+                            loads={0: 50, 1: 0}) == 0
+        # Epoch over: re-evaluate.
+        assert router.route(key, 3, now_us=1500.0, candidates=[0, 1],
+                            loads={0: 50, 1: 0}) == 1
+
+    def test_least_loaded_lease_skips_down_replica(self):
+        router = LeastLoadedRouter(epoch_us=1000.0)
+        key = ("k",)
+        assert router.route(key, 1, now_us=0.0, candidates=[0, 1],
+                            loads={0: 0, 1: 1}) == 0
+        assert router.route(key, 2, now_us=10.0, candidates=[1],
+                            loads={0: 0, 1: 1}) == 1
+
+    def test_batching_affinity_preserved_across_replicas(self):
+        # One hot shape through 4 replicas must coalesce exactly as it
+        # does through 1: routing by merge key keeps the whole shape on
+        # one replica, so batch occupancy survives the scale-out.
+        reqs = _stream(count=30, scenario="skewed", rate=100000,
+                       deadline_us=None)
+        solo = ClusterFrontend(1, NOVERIFY, max_banks=8)
+        solo.serve(list(reqs))
+        spread = ClusterFrontend(4, NOVERIFY, max_banks=8)
+        spread.serve(list(reqs))
+        assert (spread.cluster_snapshot()["mean_batch_occupancy"]
+                >= solo.cluster_snapshot()["mean_batch_occupancy"] - 1e-9)
+
+    def test_make_router(self):
+        assert isinstance(make_router("hash", 2), ConsistentHashRouter)
+        assert isinstance(make_router("least-loaded", 2),
+                          LeastLoadedRouter)
+        router = LeastLoadedRouter()
+        assert make_router(router, 2) is router
+        with pytest.raises(ClusterError):
+            make_router("random", 2)
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ClusterError):
+            ConsistentHashRouter(2).route(("k",), 1, now_us=0.0,
+                                          candidates=[], loads={})
+        with pytest.raises(ClusterError):
+            LeastLoadedRouter().route(("k",), 1, now_us=0.0,
+                                      candidates=[], loads={})
+
+
+class TestQuotas:
+    def test_token_bucket_throttles_and_refills(self):
+        quotas = QuotaManager({"t": TenantQuota(rate_rps=1000.0,
+                                                burst=2.0)})
+        assert quotas.admit("t", 0.0) == (True, None)
+        assert quotas.admit("t", 0.0) == (True, None)
+        ok, retry = quotas.admit("t", 0.0)
+        assert not ok
+        assert retry == pytest.approx(1000.0)  # one token @ 1000 rps
+        # One virtual millisecond later, exactly one token refilled.
+        assert quotas.admit("t", 1000.0) == (True, None)
+        assert quotas.admit("t", 1000.0)[0] is False
+
+    def test_priority_overdraft(self):
+        quotas = QuotaManager({"t": TenantQuota(
+            rate_rps=1000.0, burst=1.0, overdraft=2.0, min_priority=1)})
+        assert quotas.admit("t", 0.0, priority=0) == (True, None)
+        assert quotas.admit("t", 0.0, priority=0)[0] is False
+        # Urgent traffic may overdraw by two tokens...
+        assert quotas.admit("t", 0.0, priority=1) == (True, None)
+        assert quotas.admit("t", 0.0, priority=1) == (True, None)
+        # ...then it too sheds.
+        assert quotas.admit("t", 0.0, priority=1)[0] is False
+
+    def test_unmetered_without_quota(self):
+        quotas = QuotaManager()
+        assert all(quotas.admit("anyone", 0.0) == (True, None)
+                   for _ in range(100))
+
+    def test_default_quota_applies_to_unnamed_tenants(self):
+        quotas = QuotaManager({"*": TenantQuota(rate_rps=1000.0,
+                                                burst=1.0)})
+        assert quotas.admit("a", 0.0) == (True, None)
+        assert quotas.admit("a", 0.0)[0] is False
+        assert quotas.admit("b", 0.0) == (True, None)  # own bucket
+
+    def test_invalid_quota_raises(self):
+        with pytest.raises(ClusterError):
+            TenantQuota(rate_rps=0.0, burst=2.0)
+        with pytest.raises(ClusterError):
+            TenantQuota(rate_rps=100.0, burst=0.5)
+        with pytest.raises(ClusterError):
+            TenantQuota(rate_rps=100.0, burst=2.0, overdraft=-1.0)
+
+    def test_noisy_neighbor_shed_at_the_front_door(self):
+        reqs = _stream(count=120, scenario="skewed", rate=50000,
+                       deadline_us=None,
+                       tenants=LoadGenerator.noisy_neighbor())
+        fe = ClusterFrontend(2, NOVERIFY, router="least-loaded",
+                             quotas={"hog": TenantQuota(rate_rps=5000.0,
+                                                        burst=5.0)})
+        results = fe.serve(list(reqs))
+        assert len(results) == len(reqs)
+        throttled = [r for r in results
+                     if r.record.status == STATUS_THROTTLED]
+        assert throttled and all(r.record.tenant == "hog"
+                                 for r in throttled)
+        assert all(not r.ok for r in throttled)
+        # The neighbors ride through untouched.
+        stats = fe.quota_stats()
+        assert stats["hog"]["throttled"] == len(throttled)
+        for tenant, s in stats.items():
+            if tenant != "hog":
+                assert s["throttled"] == 0
+        # Front-door drops are attributed to no replica (-1).
+        assert all(r.record.replica == -1 for r in throttled)
+        snap = fe.cluster_snapshot()
+        assert snap["throttled"] == len(throttled)
+
+    def test_throttled_result_pollable_before_drain(self):
+        fe = ClusterFrontend(1, NOVERIFY,
+                             quotas={"*": TenantQuota(rate_rps=100.0,
+                                                      burst=1.0)})
+        reqs = _stream(count=3, rate=1000000, deadline_us=None)
+        ids = [fe.submit(sreq) for sreq in reqs]
+        polled = [fe.poll(i) for i in ids]
+        assert polled[1] is not None
+        assert polled[1].record.status == STATUS_THROTTLED
+        drained = fe.drain()
+        assert [r.record.request_id for r in drained] == ids
+
+
+class TestFailureHandling:
+    def test_route_around_poisoned_replica(self):
+        reqs = _stream(count=30, scenario="skewed", rate=20000,
+                       deadline_us=None)
+        # Find where the ring sends the hot shape, and poison exactly
+        # that replica so traffic *must* route around it.
+        from repro.api import merge_key
+        probe = ConsistentHashRouter(2)
+        home = probe.route(merge_key(reqs[0].request), 0, now_us=0.0,
+                           candidates=[0, 1], loads={})
+        plans = [None, None]
+        plans[home] = make_fault_plan("rate:1.0", 3)
+        fe = ClusterFrontend(2, NOVERIFY, router="hash",
+                             fault_plans=plans, policy="standard")
+        saw_down = False
+        for sreq in reqs:
+            fe.submit(sreq)
+            fe.advance(sreq.arrival_us + 3000.0)
+            saw_down = saw_down or not \
+                fe.replicas[home].send(BreakerQuery(fe.now_us)).up
+        results = fe.drain()
+        assert saw_down  # the breaker lift took the replica dark
+        done = [r for r in results if r.record.status == STATUS_OK]
+        assert done  # the cluster stayed available throughout
+        # Nothing the poisoned replica touched ever completed; route-
+        # around delivered every completion from the healthy one.
+        assert {r.record.replica for r in done} == {1 - home}
+        assert any(r.record.replica == home for r in results
+                   if r.record.status != STATUS_OK)
+
+    def test_unknown_message_raises(self):
+        replica = Replica(0, NOVERIFY)
+        with pytest.raises(ClusterError):
+            replica.send(object())
+
+    def test_replica_translates_cluster_time(self):
+        replica = Replica(0, NOVERIFY)
+        reply = replica.send(Submit(sreq=ServeRequest(
+            request=_stream(count=1)[0].request, arrival_us=123.0,
+            request_id=9)))
+        assert reply.request_id == 9
+        hb = replica.send(Heartbeat(now_us=123.0))
+        assert hb.replica == 0 and hb.outstanding == 1
+
+    def test_poll_unknown_id_returns_none(self):
+        fe = ClusterFrontend(2, NOVERIFY)
+        assert fe.poll(999) is None
+        fe.submit(_stream(count=1)[0])
+        assert fe.poll(999) is None
+
+    def test_replica_count_validated(self):
+        with pytest.raises(ClusterError):
+            ClusterFrontend(0, NOVERIFY)
+
+
+class TestConsole:
+    def test_render_plain_one_row_per_replica(self):
+        fe = ClusterFrontend(3, NOVERIFY)
+        fe.serve(_stream(count=10))
+        frame = render_plain(fe)
+        lines = frame.splitlines()
+        assert "replica" in lines[1]
+        assert [ln.split()[0] for ln in lines[3:6]] == ["r0", "r1", "r2"]
+        assert all("up" in ln for ln in lines[3:6])
+
+    def test_render_plain_shows_tenant_counters(self):
+        fe = ClusterFrontend(1, NOVERIFY,
+                             quotas={"*": TenantQuota(rate_rps=100.0,
+                                                      burst=1.0)})
+        for sreq in _stream(count=4, rate=1000000, deadline_us=None,
+                            tenants=(("solo", 1.0),)):
+            fe.submit(sreq)
+        assert "tenants: solo:" in render_plain(fe)
+
+    def test_watch_emits_frames_and_matches_offline(self):
+        reqs = _stream()
+        offline = ClusterFrontend(2, NOVERIFY, num_shards=2) \
+            .serve(list(reqs))
+        frames = []
+        fe = ClusterFrontend(2, NOVERIFY, num_shards=2)
+        results = watch(fe, list(reqs), every_us=400.0,
+                        emit=frames.append, max_frames=2)
+        # Watching the run does not change it.
+        assert _records(results) == _records(offline)
+        # max_frames caps the stream (plus the one post-drain frame).
+        assert len(frames) == 3
+        assert all("replica" in f for f in frames)
+
+    def test_watch_textual_falls_back_when_missing(self, monkeypatch):
+        import repro.cluster.console as console
+        monkeypatch.setattr(console, "have_textual", lambda: False)
+        notices = []
+        fe = ClusterFrontend(1, NOVERIFY)
+        results = watch(fe, _stream(count=5), every_us=500.0,
+                        mode="textual", emit=notices.append,
+                        max_frames=0)
+        assert len(results) == 5
+        assert "textual is not installed" in notices[0]
+
+    def test_watch_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            watch(ClusterFrontend(1, NOVERIFY), [], mode="curses")
+
+
+class TestClusterTelemetry:
+    def test_merged_records_keep_replica_attribution(self):
+        fe = ClusterFrontend(3, NOVERIFY, num_shards=2)
+        fe.serve(_stream(count=30))
+        merged = fe.cluster_telemetry()
+        by_replica = {r.replica for r in merged.records}
+        assert by_replica <= {0, 1, 2}
+        assert len(by_replica) > 1
+        assert len(merged.records) == 30
+
+    def test_snapshot_counts_replicas(self):
+        fe = ClusterFrontend(2, NOVERIFY)
+        fe.serve(_stream(count=10))
+        snap = fe.cluster_snapshot()
+        # Front-door telemetry + two replicas contribute parts.
+        assert snap["replicas"] == 3
+        assert snap["requests"] == 10
+
+    def test_heartbeats_cover_every_replica(self):
+        fe = ClusterFrontend(3, NOVERIFY)
+        fe.serve(_stream(count=6))
+        replies = fe.heartbeats(want_snapshot=True)
+        assert [hb.replica for hb in replies] == [0, 1, 2]
+        assert all(hb.snapshot is not None for hb in replies)
+        assert sum(hb.snapshot["completed"] for hb in replies) <= 6

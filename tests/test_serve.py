@@ -22,10 +22,12 @@ from repro.serve import (
     SimServer,
     Telemetry,
     make_scenario,
+    merge_snapshots,
     percentile,
     sequential_policy,
     shape_key,
 )
+from repro.serve.telemetry import RequestRecord
 from repro.sim.driver import SimConfig
 
 N = 256
@@ -530,6 +532,48 @@ class TestLiveSurface:
         server.drain()
         assert server.serve([ServeRequest(request=ntt_request(1))])[0].ok
 
+    def test_advance_settles_without_new_traffic(self):
+        """The idle tick: virtual time passes, the window closes, and
+        the result becomes pollable with no further arrivals — what a
+        console loop (or any quiet client) relies on."""
+        server = SimServer(NOVERIFY, window_us=10.0)
+        request_id = server.submit(ntt_request(0), arrival_us=0.0)
+        assert server.poll(request_id) is None      # window still open
+        server.advance(5.0)
+        assert server.poll(request_id) is None      # still open (5 < 10)
+        server.advance(5_000.0)
+        result = server.poll(request_id)            # closed by the tick
+        assert result is not None and result.ok
+        # The tick changed *when* the answer appeared, never *what* the
+        # session computes: the drain matches an untouched twin.
+        twin = SimServer(NOVERIFY, window_us=10.0)
+        twin.submit(ntt_request(0), arrival_us=0.0)
+        a, b = server.drain(), twin.drain()
+        assert a[0].response.values == b[0].response.values
+        assert a[0].record.completion_us == b[0].record.completion_us
+
+    def test_advance_is_monotonic_and_opens_a_session(self):
+        server = SimServer(NOVERIFY, window_us=10.0)
+        server.advance(100.0)                       # opens an empty live session
+        assert server.session_offset_us() == 0.0
+        request_id = server.submit(ntt_request(0))  # arrives at "now" = 100
+        server.advance(50.0)                        # backwards: no-op
+        server.advance(5_000.0)
+        record = server.poll(request_id).record
+        assert record.arrival_us >= 100.0
+        server.drain()
+
+    def test_live_stats_gauges(self):
+        server = SimServer(NOVERIFY, window_us=50.0, num_shards=2)
+        empty = server.live_stats()
+        assert empty["submitted"] == 0 and empty["breakers"] == {}
+        server.submit(ntt_request(0), arrival_us=0.0)
+        stats = server.live_stats()
+        assert stats["submitted"] == 1
+        assert stats["settled"] == 0
+        assert stats["num_shards"] == 2
+        server.drain()
+
     def test_clock_monotonic_across_live_and_offline_sessions(self):
         server = SimServer(NOVERIFY)
         server.call(ntt_request(0))
@@ -673,6 +717,46 @@ class TestLoadGenerator:
         with pytest.raises(ValueError, match="unknown scenario"):
             make_scenario("nope")
 
+    def test_tenancy_labels_without_perturbing_the_stream(self):
+        """The tenant draw uses a sibling RNG stream: a seeded stream
+        yields bit-identical arrivals, shapes and values with or
+        without tenancy."""
+        plain = LoadGenerator(make_scenario("mixed"), rate_rps=10_000,
+                              count=30, seed=5).requests()
+        tagged = LoadGenerator(make_scenario("mixed"), rate_rps=10_000,
+                               count=30, seed=5,
+                               tenants=(("a", 1.0), ("b", 1.0))
+                               ).requests()
+        assert [s.arrival_us for s in plain] == \
+            [s.arrival_us for s in tagged]
+        assert [s.request for s in plain] == [s.request for s in tagged]
+        assert all(s.tenant == "" for s in plain)
+        assert set(s.tenant for s in tagged) == {"a", "b"}
+        again = LoadGenerator(make_scenario("mixed"), rate_rps=10_000,
+                              count=30, seed=5,
+                              tenants=(("a", 1.0), ("b", 1.0))).requests()
+        assert [s.tenant for s in tagged] == [s.tenant for s in again]
+
+    def test_noisy_neighbor_preset(self):
+        mix = LoadGenerator.noisy_neighbor(hog_share=0.8, neighbors=3)
+        assert mix[0] == ("hog", 0.8)
+        assert len(mix) == 4
+        assert sum(w for _, w in mix) == pytest.approx(1.0)
+        sreqs = LoadGenerator(make_scenario("skewed"), rate_rps=10_000,
+                              count=200, seed=2, tenants=mix).requests()
+        share = sum(s.tenant == "hog" for s in sreqs) / len(sreqs)
+        assert share == pytest.approx(0.8, abs=0.1)
+        with pytest.raises(ValueError, match="hog_share"):
+            LoadGenerator.noisy_neighbor(hog_share=1.5)
+
+    def test_tenant_weights_validated(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            LoadGenerator(make_scenario("uniform"), rate_rps=1000,
+                          count=5, tenants=())
+        with pytest.raises(ValueError, match="weights"):
+            LoadGenerator(make_scenario("uniform"), rate_rps=1000,
+                          count=5, tenants=(("a", 0.0),))
+
 
 class TestTelemetry:
     def test_percentile_interpolates(self):
@@ -686,3 +770,66 @@ class TestTelemetry:
         snapshot = Telemetry().snapshot()
         assert snapshot["requests"] == 0
         assert snapshot["throughput_rps"] == 0.0
+
+    @staticmethod
+    def _part(replica, latencies, start_us=0.0):
+        telemetry = Telemetry()
+        telemetry.replica = replica
+        for i, latency in enumerate(latencies):
+            telemetry.add(RequestRecord(
+                request_id=i + 1, arrival_us=start_us,
+                start_us=start_us, completion_us=start_us + latency))
+        telemetry.retries = 1
+        telemetry.faults_injected = {"fail": 2}
+        return telemetry
+
+    def test_merge_single_part_is_identity(self):
+        part = self._part(0, [10.0, 20.0])
+        merged = Telemetry.merge([part])
+        assert merged.records == part.records
+        assert merged.retries == part.retries
+        assert merged.faults_injected == part.faults_injected
+        assert {k: v for k, v in merged.snapshot().items()} == \
+            {k: v for k, v in part.snapshot().items()}
+
+    def test_merge_pools_records_and_sums_counters(self):
+        a = self._part(0, [10.0, 20.0])
+        b = self._part(1, [30.0, 40.0])
+        merged = Telemetry.merge([a, b])
+        assert len(merged.records) == 4
+        # Per-replica attribution survives the pooling.
+        assert [r.replica for r in merged.records] == [0, 0, 1, 1]
+        assert merged.retries == 2
+        assert merged.faults_injected == {"fail": 4}
+        # Exact pooled percentile over all four latencies.
+        assert merged.snapshot()["latency_p50_us"] == pytest.approx(25.0)
+
+    def test_merge_snapshots_weighted_combining(self):
+        # Two replicas, equal completed counts: percentile means are
+        # completed-weighted, counters add, and rates re-derive over
+        # the *max* makespan (replicas serve concurrently).
+        a = self._part(0, [10.0, 20.0]).snapshot()    # makespan 20us
+        b = self._part(1, [30.0, 40.0]).snapshot()    # makespan 40us
+        merged = merge_snapshots([a, b])
+        assert merged["requests"] == 4
+        assert merged["completed"] == 4
+        assert merged["replicas"] == 2
+        assert merged["availability"] == pytest.approx(1.0)
+        assert merged["latency_p50_us"] == pytest.approx(
+            (a["latency_p50_us"] + b["latency_p50_us"]) / 2.0)
+        assert merged["makespan_us"] == pytest.approx(40.0)
+        # 4 in-deadline completions re-rated over the widest makespan.
+        assert merged["goodput_rps"] == pytest.approx(4 / 40e-6)
+        assert merged["throughput_rps"] == pytest.approx(4 / 40e-6)
+        assert merged["resilience"]["retries"] == 2
+        assert merged["resilience"]["faults_injected"] == {"fail": 4}
+
+    def test_merge_snapshots_unequal_weights_and_empty(self):
+        empty = merge_snapshots([])
+        assert empty["requests"] == 0 and empty["replicas"] == 0
+        heavy = self._part(0, [10.0] * 9).snapshot()
+        light = self._part(1, [100.0]).snapshot()
+        merged = merge_snapshots([heavy, light])
+        # 9:1 completed weighting pulls the mean toward the busy part.
+        assert merged["latency_mean_us"] == pytest.approx(
+            0.9 * heavy["latency_mean_us"] + 0.1 * light["latency_mean_us"])
