@@ -14,8 +14,11 @@ policies on} and records the availability / true-goodput gap the
 recovery stack buys back, and a ``cluster`` section sweeps the
 :mod:`repro.cluster` front-end across replica counts (1/2/4, both bus
 models) on an overloaded mixed mix — the replica-scaling goodput curve
-the trajectory gate floors.  Results land in ``BENCH_serve.json`` at
-the repo root.
+the trajectory gate floors — and a ``replica_faults`` section sweeps
+replica-scoped crash/hang/partition chaos through the self-healing
+watchdog, static fleet vs heartbeat-driven autoscale (availability and
+goodput-ratio floors).  Results land in ``BENCH_serve.json`` at the
+repo root.
 
 Non-gating when run directly —
 
@@ -91,6 +94,49 @@ RES_COUNT = 50
 RES_SEED = 3
 RES_DEADLINE_US = 4000.0
 
+#: Replica-fault sweep: replica-scoped crash/hang/partition chaos
+#: through the self-healing cluster tier, static 2-replica fleet vs a
+#: 2:4 autoscale fleet under sustained overload (~1.4x the static
+#: fleet's capacity).  Availability must hold (the watchdog's failover
+#: + orphan recovery serves every admitted request exactly once) and
+#: the autoscale fleet must buy goodput back at every profile.  The
+#: bench profiles compress the stock 800us fault intervals to 60us so
+#: chaos lands inside the overload window.
+RF_RATE = 1_500_000
+RF_COUNT = 500
+RF_DEADLINE_US = 500.0
+RF_SEED = 5
+RF_STATIC_REPLICAS = 2
+
+
+def _rf_profiles():
+    from repro.serve.faults import ReplicaFaultProfile
+
+    return {
+        "none": None,
+        "crashy": ReplicaFaultProfile(name="bench-crashy", crash_rate=0.3,
+                                      interval_us=60.0),
+        # Hang/partition windows shorter than the watchdog's down
+        # detection (2 x 25us), so some dark links heal on their own —
+        # the SUSPECT -> UP path — instead of always being restarted.
+        "chaos": ReplicaFaultProfile(name="bench-chaos", crash_rate=0.15,
+                                     hang_rate=0.2, partition_rate=0.1,
+                                     interval_us=60.0, hang_us=40.0,
+                                     partition_us=30.0),
+    }
+
+
+def _rf_policies():
+    from repro.cluster import AutoscalePolicy, WatchdogPolicy
+
+    watchdog = WatchdogPolicy(heartbeat_us=25.0, suspect_after=1,
+                              down_after=2, restart_delay_us=60.0)
+    autoscale = AutoscalePolicy(min_replicas=RF_STATIC_REPLICAS,
+                                max_replicas=4, scale_out_load=6.0,
+                                scale_in_load=0.0, sustain_ticks=2,
+                                cooldown_us=50.0)
+    return watchdog, autoscale
+
 
 def _load(rate: float, scenario: str = SCENARIO,
           count: int = COUNT) -> LoadGenerator:
@@ -164,6 +210,36 @@ def _resilience_run(fault_rate: float, policy: str) -> dict:
         "timeouts": res["timeouts"],
         "detected_mismatches": res["detected_mismatches"],
         "breaker_trips": res["breaker_trips"],
+    }
+
+
+def _replica_fault_run(profile, autoscale: bool) -> dict:
+    from repro.cluster import ClusterFrontend
+
+    watchdog, autoscale_policy = _rf_policies()
+    load = LoadGenerator(make_scenario(CLUSTER_SCENARIO), rate_rps=RF_RATE,
+                         count=RF_COUNT, seed=SEED,
+                         deadline_us=RF_DEADLINE_US)
+    frontend = ClusterFrontend(
+        RF_STATIC_REPLICAS, CONFIG, router="hash", window_us=WINDOW_US,
+        max_banks=MAX_BANKS, num_shards=CLUSTER_SHARDS, max_depth=4096,
+        replica_faults=profile, replica_fault_seed=RF_SEED,
+        watchdog=watchdog,
+        autoscale=autoscale_policy if autoscale else None)
+    frontend.serve(load.requests())
+    snap = frontend.cluster_snapshot()
+    health = frontend.health.snapshot()
+    return {
+        "goodput_rps": snap["goodput_rps"],
+        "availability": snap["availability"],
+        "deadline_missed": snap["deadline_missed"],
+        "mttr_us": health["mttr_us"],
+        "restarts": health["restarts"],
+        "failovers": health["failovers"],
+        "orphans_recovered": health["orphans_recovered"],
+        "duplicates_dropped": health["duplicates_dropped"],
+        "scale_out": health["scale_out"],
+        "scale_in": health["scale_in"],
     }
 
 
@@ -263,6 +339,28 @@ def run(out_path: Path = DEFAULT_OUT) -> dict:
             for policy in ("none", "standard")}
     section["resilience"] = resilience_section
 
+    # Replica faults: self-healing under crash/hang/partition chaos,
+    # static fleet vs autoscale.  Availability is the exactly-once
+    # claim; the goodput ratio is what heartbeat-driven scale-out buys.
+    replica_fault_section: dict = {
+        "description": f"{CLUSTER_SCENARIO} mix at {RF_RATE} req/s "
+                       f"(sustained overload), {RF_COUNT} requests, "
+                       f"deadline {RF_DEADLINE_US:.0f}us, replica-fault "
+                       f"seed {RF_SEED}; static {RF_STATIC_REPLICAS}-"
+                       f"replica fleet vs {RF_STATIC_REPLICAS}:4 "
+                       f"autoscale under the supervising watchdog",
+    }
+    for name, profile in _rf_profiles().items():
+        static = _replica_fault_run(profile, autoscale=False)
+        auto = _replica_fault_run(profile, autoscale=True)
+        replica_fault_section[name] = {
+            "static": static,
+            "autoscale": auto,
+            "goodput_ratio": (auto["goodput_rps"]
+                              / max(static["goodput_rps"], 1e-9)),
+        }
+    section["replica_faults"] = replica_fault_section
+
     out_path.write_text(json.dumps({"serve": section}, indent=2) + "\n")
     return {"serve": section}
 
@@ -322,6 +420,21 @@ def _format(results: dict) -> str:
             f"avail={on['availability'] * 100:5.1f}% "
             f"(retries={on['retries']} timeouts={on['timeouts']} "
             f"detected={on['detected_mismatches']})")
+    replica_faults = section.get("replica_faults", {})
+    if replica_faults:
+        lines.append(f"replica faults ({CLUSTER_SCENARIO} mix, overload), "
+                     f"static {RF_STATIC_REPLICAS} replicas vs autoscale:")
+        for name in _rf_profiles():
+            entry = replica_faults[name]
+            static, auto = entry["static"], entry["autoscale"]
+            lines.append(
+                f"  {name:6s}:  static {static['goodput_rps'] / 1e3:6.1f}k "
+                f"avail={static['availability'] * 100:5.1f}% | "
+                f"auto {auto['goodput_rps'] / 1e3:6.1f}k "
+                f"avail={auto['availability'] * 100:5.1f}% "
+                f"x{entry['goodput_ratio']:.2f} "
+                f"(failovers={auto['failovers']} restarts={auto['restarts']} "
+                f"scale=+{auto['scale_out']} mttr={auto['mttr_us']:.0f}us)")
     return "\n".join(lines)
 
 
@@ -456,6 +569,35 @@ def test_cluster_replica_scaling(show):
                 <= runs["independent"][replicas]["goodput_rps"] + 1e-6)
 
 
+def test_replica_fault_self_healing(show):
+    """CI gate (the cluster-chaos claim): under replica-scoped
+    crash/hang/partition chaos the supervised cluster keeps availability
+    at 1.0 — every admitted request served exactly once, through
+    failover and restart — and the heartbeat-driven autoscale fleet
+    beats the static fleet's goodput at every fault profile."""
+    for name, profile in _rf_profiles().items():
+        static = _replica_fault_run(profile, autoscale=False)
+        auto = _replica_fault_run(profile, autoscale=True)
+        assert static["availability"] == 1.0, (
+            f"{name}: static fleet lost requests "
+            f"(availability {static['availability']:.3f})")
+        assert auto["availability"] == 1.0, (
+            f"{name}: autoscale fleet lost requests "
+            f"(availability {auto['availability']:.3f})")
+        assert auto["scale_out"] > 0  # the overload really tripped it
+        if profile is not None:
+            assert auto["failovers"] > 0  # chaos really bit
+            assert auto["goodput_rps"] > static["goodput_rps"], (
+                f"{name}: autoscale goodput {auto['goodput_rps']:.0f} "
+                f"not above static {static['goodput_rps']:.0f}")
+        show(f"replica faults ({name}): static "
+             f"{static['goodput_rps'] / 1e3:.0f}k rps -> autoscale "
+             f"{auto['goodput_rps'] / 1e3:.0f}k rps, "
+             f"failovers={auto['failovers']} restarts={auto['restarts']} "
+             f"orphans={auto['orphans_recovered']} "
+             f"mttr={auto['mttr_us']:.0f}us")
+
+
 def test_bench_serve_writes_json(show, tmp_path):
     out = tmp_path / "BENCH_serve.json"
     results = run(out_path=out)
@@ -484,6 +626,13 @@ def test_bench_serve_writes_json(show, tmp_path):
                     > entry["none"]["true_goodput_rps"])
         else:
             assert entry["standard"] == entry["none"]
+    replica_faults = written["serve"]["replica_faults"]
+    for name in _rf_profiles():
+        entry = replica_faults[name]
+        assert entry["static"]["availability"] == 1.0
+        assert entry["autoscale"]["availability"] == 1.0
+        if name != "none":
+            assert entry["goodput_ratio"] > 1.0
 
 
 if __name__ == "__main__":

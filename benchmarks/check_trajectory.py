@@ -17,7 +17,13 @@ committed floor:
   (goodput-under-faults floor);
 * cluster: each step up the replica sweep (1 -> 2 -> 4) must buy at
   least ``CLUSTER_SCALING_FLOOR`` more goodput on both bus models, and
-  the shared bus must never beat independent channels.
+  the shared bus must never beat independent channels;
+* replica faults: under replica-scoped crash/hang/partition chaos the
+  self-healing cluster must keep availability at/above
+  ``REPLICA_FAULT_AVAILABILITY_FLOOR`` on both fleets, and the
+  autoscale fleet's goodput must hold
+  ``AUTOSCALE_GOODPUT_RATIO_FLOOR`` over the static fleet at every
+  profile.
 
 Run by the ``bench-trajectory`` CI job after executing both benches::
 
@@ -49,6 +55,14 @@ RESILIENCE_GOODPUT_RATIO_FLOOR = 1.0
 #: ratio on both bus models (measured 1.08-1.19x per step; the floor
 #: gates "replicas stopped helping", not the exact scaling curve).
 CLUSTER_SCALING_FLOOR = 1.02
+#: Under replica-scoped crash/hang/partition chaos the self-healing
+#: cluster must keep availability at/above this on both fleets
+#: (measured 1.0 — exactly-once through failover and restart).
+REPLICA_FAULT_AVAILABILITY_FLOOR = 0.9
+#: And the heartbeat-driven autoscale fleet must hold at least this
+#: goodput ratio over the static fleet at every fault profile
+#: (measured ~1.2x fault-free and ~2x under chaos).
+AUTOSCALE_GOODPUT_RATIO_FLOOR = 1.0
 
 
 def check(kernels_path: Path = REPO_ROOT / "BENCH_kernels.json",
@@ -129,6 +143,30 @@ def check(kernels_path: Path = REPO_ROOT / "BENCH_kernels.json",
                 f"faults={rate_key}: policies-on true goodput "
                 f"{on['true_goodput_rps']:.0f} rps does not clear the "
                 f"policies-off run ({off['true_goodput_rps']:.0f} rps)")
+
+    replica_faults = serve.get("replica_faults", {})
+    for name, entry in replica_faults.items():
+        if not isinstance(entry, dict) or "static" not in entry:
+            continue
+        static, auto = entry["static"], entry["autoscale"]
+        print(f"serve: replica-faults={name} static "
+              f"{static['goodput_rps']:.0f} rps "
+              f"(avail {static['availability'] * 100:.1f}%) vs autoscale "
+              f"{auto['goodput_rps']:.0f} rps "
+              f"(avail {auto['availability'] * 100:.1f}%, "
+              f"x{entry['goodput_ratio']:.2f}, floor "
+              f"{AUTOSCALE_GOODPUT_RATIO_FLOOR}x)")
+        for fleet, stats in (("static", static), ("autoscale", auto)):
+            if stats["availability"] < REPLICA_FAULT_AVAILABILITY_FLOOR:
+                failures.append(
+                    f"replica-faults={name}: {fleet} availability "
+                    f"{stats['availability']:.3f} fell below the "
+                    f"{REPLICA_FAULT_AVAILABILITY_FLOOR} floor")
+        if entry["goodput_ratio"] < AUTOSCALE_GOODPUT_RATIO_FLOOR:
+            failures.append(
+                f"replica-faults={name}: autoscale goodput ratio "
+                f"{entry['goodput_ratio']:.2f}x fell below the "
+                f"{AUTOSCALE_GOODPUT_RATIO_FLOOR}x static-fleet floor")
 
     engine = json.loads(kernels_path.read_text())["timing_engine"]
     for n, entry in engine.items():

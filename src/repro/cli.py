@@ -158,6 +158,11 @@ def _cmd_serve(args) -> int:
                          tenants=tenants)
     if args.cluster:
         return _serve_cluster(args, scenario, config, load)
+    if args.replica_faults is not None or args.autoscale is not None:
+        print("--replica-faults/--autoscale need --cluster N (replica "
+              "fault domains and auto-scaling are cluster-tier concerns)",
+              file=sys.stderr)
+        return 2
     try:
         server = SimServer(config, scheduler=args.scheduler,
                            window_us=args.window_us,
@@ -230,7 +235,10 @@ def _serve_cluster(args, scenario, config, load) -> int:
             max_depth=args.depth, workers=args.workers,
             pipeline=not args.no_pipeline, bus=args.bus,
             faults=args.faults, fault_seed=args.fault_seed,
-            policy=args.policy)
+            policy=args.policy,
+            replica_faults=args.replica_faults,
+            replica_fault_seed=args.fault_seed,
+            autoscale=args.autoscale)
     except (ValueError, ReproError) as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -257,6 +265,17 @@ def _serve_cluster(args, scenario, config, load) -> int:
     if args.faults is not None or args.policy != "none":
         print(f"resilience     : faults={args.faults or 'none'} "
               f"policy={args.policy} (per-replica derived fault seeds)")
+    if frontend.supervised:
+        health = frontend.health.snapshot()
+        print(f"self-healing   : replica-faults="
+              f"{args.replica_faults or 'none'}"
+              f"{', autoscale=' + args.autoscale if args.autoscale else ''}"
+              f" | failovers={health['failovers']} "
+              f"restarts={health['restarts']} "
+              f"orphans={health['orphans_recovered']} "
+              f"dups={health['duplicates_dropped']} "
+              f"scale=+{health['scale_out']}/-{health['scale_in']} "
+              f"mttr={health['mttr_us']:.0f}us")
     stats = frontend.quota_stats()
     if stats:
         print("tenants        : " + "  ".join(
@@ -381,6 +400,19 @@ def main(argv=None) -> int:
                          help="serve through a repro.cluster front-end "
                               "over N replicas (each with --shards "
                               "shards; default 0: single server)")
+    serve_p.add_argument("--replica-faults", default=None,
+                         metavar="PROFILE",
+                         help="replica-scoped chaos (cluster only): a "
+                              "profile name (crashy, flaky, chaos) or "
+                              "'rate:<r>' -- whole replicas crash, hang "
+                              "or partition on a deterministic timeline; "
+                              "the watchdog fails over, restarts and "
+                              "recovers orphans (seeded by --fault-seed)")
+    serve_p.add_argument("--autoscale", default=None, metavar="MIN:MAX",
+                         help="heartbeat-driven auto-scaling (cluster "
+                              "only): keep between MIN and MAX replicas, "
+                              "scaling out on sustained load and in on "
+                              "idleness")
     serve_p.add_argument("--router", choices=("hash", "least-loaded"),
                          default="hash",
                          help="cluster routing policy (default hash: "

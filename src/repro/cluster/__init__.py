@@ -18,13 +18,19 @@ server exposes, adding the cluster concerns on top:
 * **failure handling** — per-shard circuit breakers lifted to replica
   health; dark replicas are routed around and catch up on the idle
   tick (:mod:`repro.cluster.replica`);
+* **self-healing** — replica-scoped crash/hang/partition fault domains
+  (:class:`repro.serve.faults.ReplicaFaultPlan`), a virtual-time
+  watchdog turning missed heartbeats into the UP/SUSPECT/DOWN
+  lifecycle with supervised restarts, failover with in-flight orphan
+  recovery, and heartbeat-driven auto-scaling
+  (:mod:`repro.cluster.watchdog`);
 * **observability** — per-replica telemetry merged into exact cluster
   rollups, and a live operator console driven by the virtual clock
   (:mod:`repro.cluster.console`).
 
 Everything stays deterministic: a one-replica cluster is bit-identical
-to a bare server, and seeded chaos runs replay bit-for-bit at any
-replica count.
+to a bare server, and seeded chaos runs — failovers, restarts and
+scale events included — replay bit-for-bit at any replica count.
 """
 
 from .console import have_textual, render_plain, watch
@@ -37,6 +43,17 @@ from .router import (
     ConsistentHashRouter,
     LeastLoadedRouter,
     make_router,
+)
+from .watchdog import (
+    DOWN,
+    LIFECYCLE_STATES,
+    RETIRED,
+    SUSPECT,
+    UP,
+    AutoscalePolicy,
+    ClusterHealth,
+    ReplicaSupervisor,
+    WatchdogPolicy,
 )
 
 __all__ = [
@@ -53,4 +70,13 @@ __all__ = [
     "watch",
     "have_textual",
     "MESSAGE_TYPES",
+    "WatchdogPolicy",
+    "AutoscalePolicy",
+    "ClusterHealth",
+    "ReplicaSupervisor",
+    "LIFECYCLE_STATES",
+    "UP",
+    "SUSPECT",
+    "DOWN",
+    "RETIRED",
 ]

@@ -29,7 +29,7 @@ from .frontend import ClusterFrontend
 __all__ = ["render_plain", "watch", "have_textual"]
 
 #: Columns of the per-replica table, with formatting widths.
-_COLUMNS = (("replica", 7), ("state", 5), ("queue", 5), ("live", 5),
+_COLUMNS = (("replica", 7), ("state", 7), ("queue", 5), ("live", 5),
             ("backlog", 7), ("brk", 4), ("done", 6), ("thr", 5),
             ("p50_us", 9), ("p99_us", 9), ("goodput", 8))
 
@@ -39,13 +39,22 @@ def have_textual() -> bool:
     return importlib.util.find_spec("textual") is not None
 
 
+def _state_cell(hb) -> str:
+    """The watchdog's lifecycle verdict when it has one; the breaker
+    view otherwise.  Dark states render uppercase so they jump out."""
+    if hb.lifecycle != "up":
+        return (hb.lifecycle.upper()
+                if hb.lifecycle in ("down", "suspect") else hb.lifecycle)
+    return "up" if hb.up else "DOWN"
+
+
 def _rows(frontend: ClusterFrontend) -> List[List[str]]:
     rows = []
     for hb in frontend.heartbeats(want_snapshot=True):
         snap = hb.snapshot or {}
         rows.append([
             f"r{hb.replica}",
-            "up" if hb.up else "DOWN",
+            _state_cell(hb),
             str(hb.queue_depth),
             str(hb.outstanding),
             str(hb.backlog),
@@ -77,6 +86,15 @@ def render_plain(frontend: ClusterFrontend) -> str:
             f"{tenant or '(none)'}: {int(s['admitted'])} ok"
             f"/{int(s['throttled'])} throttled"
             for tenant, s in stats.items()))
+    if frontend.supervised:
+        health = frontend.health.snapshot()
+        lines.append(
+            f"health: failovers={health['failovers']} "
+            f"restarts={health['restarts']} "
+            f"orphans={health['orphans_recovered']} "
+            f"dups={health['duplicates_dropped']} "
+            f"scale=+{health['scale_out']}/-{health['scale_in']} "
+            f"mttr={health['mttr_us']:.0f}us")
     return "\n".join(lines)
 
 

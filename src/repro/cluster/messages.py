@@ -22,10 +22,19 @@ The verbs:
   optionally a full telemetry snapshot for consoles.
 * :class:`BreakerQuery` -> :class:`BreakerStates` — just the breaker
   map, for supervisors that only health-check.
+* :class:`Quiesce` -> :class:`Quiesced` — the scale-in handshake: ask
+  a replica whether it is idle enough to retire (no outstanding work,
+  empty queue); the autoscaler only removes replicas that confirm.
 
 All times are *absolute* cluster virtual time; the replica translates
 into its own session-relative coordinates
 (:meth:`repro.serve.SimServer.session_offset_us`).
+
+Any of these messages can be **dropped by the link** when a replica
+fault (:class:`repro.serve.faults.ReplicaFaultPlan`) has the replica
+crashed, hung or partitioned — the supervisor sees ``None`` instead of
+the typed reply and reacts through the watchdog, never through an
+exception.
 """
 
 from __future__ import annotations
@@ -38,7 +47,8 @@ from ..serve.server import ServeResult
 
 __all__ = ["Submit", "Submitted", "Poll", "PollReply", "Advance",
            "Advanced", "Drain", "Drained", "Heartbeat", "HeartbeatReply",
-           "BreakerQuery", "BreakerStates", "MESSAGE_TYPES"]
+           "BreakerQuery", "BreakerStates", "Quiesce", "Quiesced",
+           "MESSAGE_TYPES"]
 
 
 @dataclass(frozen=True)
@@ -117,6 +127,10 @@ class HeartbeatReply:
     up: bool = True
     #: ``Telemetry.snapshot()`` when the probe asked for one.
     snapshot: Optional[Dict[str, object]] = None
+    #: Supervisor-side lifecycle (``up``/``suspect``/``down``/
+    #: ``restarting``); a replica always reports ``up`` for itself —
+    #: only the watchdog can stamp anything else.
+    lifecycle: str = "up"
 
 
 @dataclass(frozen=True)
@@ -132,5 +146,24 @@ class BreakerStates:
     up: bool = True
 
 
+@dataclass(frozen=True)
+class Quiesce:
+    """Scale-in probe at absolute time ``now_us``: is the replica idle
+    enough to retire?"""
+
+    now_us: float
+
+
+@dataclass(frozen=True)
+class Quiesced:
+    replica: int
+    #: Requests submitted to the live session but not yet settled.
+    outstanding: int
+    queue_depth: int
+    #: The replica confirms it can retire (nothing queued or in flight).
+    idle: bool = False
+
+
 #: Every message a :class:`~repro.cluster.replica.Replica` accepts.
-MESSAGE_TYPES = (Submit, Poll, Advance, Drain, Heartbeat, BreakerQuery)
+MESSAGE_TYPES = (Submit, Poll, Advance, Drain, Heartbeat, BreakerQuery,
+                 Quiesce)

@@ -18,6 +18,15 @@ a queue overflows.
 Everything runs on the deterministic virtual clock (token refill is a
 pure function of elapsed virtual time), so admission decisions replay
 bit-for-bit with the rest of the simulation.
+
+Quotas are **membership-independent** by construction: buckets are
+keyed by tenant, never by replica, and refill depends only on virtual
+time — so failovers, supervised restarts and autoscale events
+(:mod:`repro.cluster.watchdog`) never reset a tenant's budget, and a
+throttle decision is identical no matter how many replicas are up.
+Failover *re-submits* bypass admission entirely (the request already
+spent its token when it was first admitted), so a crash can never
+double-charge a tenant.
 """
 
 from __future__ import annotations

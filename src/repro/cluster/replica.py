@@ -44,6 +44,8 @@ from .messages import (
     HeartbeatReply,
     Poll,
     PollReply,
+    Quiesce,
+    Quiesced,
     Submit,
     Submitted,
 )
@@ -78,6 +80,7 @@ class Replica:
             Drain: self._drain,
             Heartbeat: self._heartbeat,
             BreakerQuery: self._breakers,
+            Quiesce: self._quiesce,
         }
 
     # -- the protocol ------------------------------------------------------------
@@ -88,7 +91,8 @@ class Replica:
             raise ClusterError(
                 f"replica {self.replica_id} has no handler for "
                 f"{type(message).__name__!r}; the protocol accepts "
-                f"Submit, Poll, Advance, Drain, Heartbeat, BreakerQuery")
+                f"Submit, Poll, Advance, Drain, Heartbeat, BreakerQuery, "
+                f"Quiesce", replica=self.replica_id)
         return handler(message)
 
     # -- handlers ----------------------------------------------------------------
@@ -148,3 +152,11 @@ class Replica:
                                     self.server.live_stats())
         return BreakerStates(replica=self.replica_id, breakers=breakers,
                              up=up)
+
+    def _quiesce(self, message: Quiesce) -> Quiesced:
+        stats = self.server.live_stats()
+        outstanding = int(stats["submitted"]) - int(stats["settled"])
+        queue_depth = int(stats["queue_depth"])
+        return Quiesced(replica=self.replica_id, outstanding=outstanding,
+                        queue_depth=queue_depth,
+                        idle=(outstanding == 0 and queue_depth == 0))

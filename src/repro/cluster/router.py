@@ -115,6 +115,18 @@ class LeastLoadedRouter:
         self.epoch_us = epoch_us
         self._leases: Dict[tuple, _Lease] = {}
 
+    # -- membership --------------------------------------------------------------
+    def add_replica(self, replica: int) -> None:
+        """Load-based placement has no ring state; a new replica simply
+        becomes eligible through ``candidates``/``loads``."""
+
+    def remove_replica(self, replica: int) -> None:
+        """Drop every lease pinned to the departing replica so its
+        shapes re-evaluate immediately instead of waiting out the
+        epoch."""
+        self._leases = {key: lease for key, lease in self._leases.items()
+                        if lease.replica != replica}
+
     def route(self, key: Optional[tuple], request_id: int, *,
               now_us: float, candidates: Sequence[int],
               loads: Dict[int, int]) -> int:

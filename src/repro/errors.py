@@ -61,7 +61,24 @@ class ClusterError(ServeError):
     """The cluster tier (:mod:`repro.cluster`) failed an operation — a
     typed message no replica handler accepts, a poll for a request no
     replica owns, a misconfigured router/quota, or inconsistent
-    supervisor bookkeeping."""
+    supervisor bookkeeping.
+
+    Carries the failing replica's id and lifecycle state when the
+    supervisor knows them (``None``/``""`` otherwise), so operators see
+    *which* replica in *what* state failed.  Watchdog-path wrappers
+    keep the original exception as ``__cause__`` — like the worker
+    pool's :class:`ServeError` wrap — so retryable failures (e.g. a
+    recoverable drain) stay recognizable under the wrap.
+    """
+
+    def __init__(self, message: str, *, replica=None, state: str = ""):
+        super().__init__(message)
+        #: Replica the failure is attributed to (``None`` = cluster-wide).
+        self.replica = replica
+        #: The replica's lifecycle state at failure time (``up`` /
+        #: ``suspect`` / ``down`` / ``restarting`` / ``retired``; ``""``
+        #: when unsupervised or not replica-scoped).
+        self.state = state
 
 
 def warn_deprecated(old: str, new: str) -> None:

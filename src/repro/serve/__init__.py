@@ -29,7 +29,9 @@ Pieces (each its own module):
 * :mod:`~repro.serve.faults` — seeded virtual-time fault injection
   (:class:`FaultPlan`) and the :class:`ResiliencePolicy` recovery
   knobs: retries with backoff, timeouts, circuit breakers, online
-  detection, load shedding.
+  detection, load shedding; plus the replica-scoped
+  crash/hang/partition timelines (:class:`ReplicaFaultPlan`) the
+  cluster watchdog heals around.
 * :mod:`~repro.serve.server` — :class:`SimServer`, the loop tying them
   together.
 
@@ -42,12 +44,18 @@ whole stack bit-identical to one without them.
 from .faults import (
     FAULT_PROFILES,
     POLICIES,
+    REPLICA_FAULT_KINDS,
+    REPLICA_FAULT_PROFILES,
     FaultDecision,
     FaultPlan,
     FaultProfile,
+    ReplicaFaultEvent,
+    ReplicaFaultPlan,
+    ReplicaFaultProfile,
     ResiliencePolicy,
     make_fault_plan,
     make_policy,
+    make_replica_fault_plan,
 )
 from .loadgen import SCENARIOS, LoadGenerator, Scenario, make_scenario
 from .queueing import RequestQueue, ServeRequest
@@ -63,6 +71,7 @@ from .telemetry import (
     STATUS_EXPIRED,
     STATUS_FAILED,
     STATUS_OK,
+    STATUS_ORPHANED,
     STATUS_REJECTED,
     STATUS_SHED,
     STATUS_THROTTLED,
@@ -103,6 +112,7 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_SHED",
     "STATUS_THROTTLED",
+    "STATUS_ORPHANED",
     "FaultProfile",
     "FaultDecision",
     "FaultPlan",
@@ -111,6 +121,12 @@ __all__ = [
     "POLICIES",
     "make_fault_plan",
     "make_policy",
+    "ReplicaFaultProfile",
+    "ReplicaFaultEvent",
+    "ReplicaFaultPlan",
+    "REPLICA_FAULT_PROFILES",
+    "REPLICA_FAULT_KINDS",
+    "make_replica_fault_plan",
     "Scenario",
     "LoadGenerator",
     "SCENARIOS",

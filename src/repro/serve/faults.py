@@ -29,6 +29,13 @@ recovery machinery is measured against:
   graceful degradation under overload (priority-aware load shedding
   and window shrinking at queue-depth thresholds).
 
+* :class:`ReplicaFaultPlan` — the fault domain one level up: whole
+  replicas **crash** (state lost), **hang** (dark link, state held) or
+  **partition** (typed messages dropped) on a timeline that is a pure
+  function of ``(seed, replica, virtual_time)``.  The cluster watchdog
+  (:mod:`repro.cluster.watchdog`) observes these only through missed
+  heartbeats and recovers with supervised restarts and failover.
+
 Faults and policies are orthogonal: ``benchmarks/bench_serve.py``
 sweeps fault rate x {policies off, policies on} and records the
 goodput gap in ``BENCH_serve.json``.
@@ -42,7 +49,10 @@ from typing import Dict, Optional, Tuple, Union
 
 __all__ = ["FaultProfile", "FaultDecision", "FaultPlan", "NO_FAULT",
            "ResiliencePolicy", "FAULT_PROFILES", "POLICIES",
-           "make_fault_plan", "make_policy"]
+           "make_fault_plan", "make_policy",
+           "CRASH", "HANG", "PARTITION", "REPLICA_FAULT_KINDS",
+           "ReplicaFaultProfile", "ReplicaFaultEvent", "ReplicaFaultPlan",
+           "REPLICA_FAULT_PROFILES", "make_replica_fault_plan"]
 
 
 @dataclass(frozen=True)
@@ -306,3 +316,214 @@ def _named_profile(name: str) -> FaultProfile:
         known = ", ".join(sorted(FAULT_PROFILES))
         raise ValueError(f"unknown fault profile {name!r}; known: {known}"
                          ) from None
+
+
+# ---------------------------------------------------------------------------
+# Replica-scoped faults: the failure domain *above* the dispatch level.
+# A dispatch fault breaks one unit of work on one shard; a replica fault
+# takes a whole SimServer replica off the cluster's message link.  The
+# cluster watchdog (repro.cluster.watchdog) observes these only through
+# missed heartbeats, exactly like a real supervisor.
+# ---------------------------------------------------------------------------
+
+#: Replica dies: every in-flight submission and unfetched result on it
+#: is lost; only a supervised restart brings the slot back.
+CRASH = "crash"
+#: Replica stops answering the message link for a window but holds its
+#: state; a slow-then-recovered replica can re-answer old requests.
+HANG = "hang"
+#: The message link drops typed messages for a window; the replica
+#: itself is healthy and keeps its state.
+PARTITION = "partition"
+
+REPLICA_FAULT_KINDS = (CRASH, HANG, PARTITION)
+
+
+@dataclass(frozen=True)
+class ReplicaFaultProfile:
+    """Rates (per decision interval, per replica) and window lengths of
+    replica-scoped faults.
+
+    Virtual time is cut into ``interval_us`` decision intervals; each
+    interval draws at most one fault event per replica (precedence
+    ``crash > hang > partition``) with a deterministic onset inside the
+    interval.  All times are simulated microseconds.
+    """
+
+    name: str = "custom"
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    partition_rate: float = 0.0
+    #: Width of one fault-decision interval.
+    interval_us: float = 1000.0
+    #: How long a hang window keeps the replica dark.
+    hang_us: float = 1200.0
+    #: How long a partition window drops the replica's messages.
+    partition_us: float = 600.0
+
+    def __post_init__(self):
+        for rate_name in ("crash_rate", "hang_rate", "partition_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{rate_name} must be in [0, 1], "
+                                 f"got {rate}")
+        if self.interval_us <= 0:
+            raise ValueError("interval_us must be > 0")
+        if self.hang_us < 0 or self.partition_us < 0:
+            raise ValueError("fault window lengths must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """Whether any replica fault can ever fire (zero-rate profiles
+        never draw — provably identical to no plan at all)."""
+        return (self.crash_rate > 0 or self.hang_rate > 0
+                or self.partition_rate > 0)
+
+    @classmethod
+    def scaled(cls, rate: float) -> "ReplicaFaultProfile":
+        """A uniform profile for sweeps: ``rate`` crashes per interval,
+        half that rate of hangs and partitions."""
+        return cls(name=f"rate:{rate:g}", crash_rate=rate,
+                   hang_rate=rate / 2, partition_rate=rate / 2)
+
+
+#: Named replica-fault profiles of the ``--replica-faults`` CLI.
+REPLICA_FAULT_PROFILES: Dict[str, ReplicaFaultProfile] = {
+    "none": ReplicaFaultProfile(name="none"),
+    "crashy": ReplicaFaultProfile(name="crashy", crash_rate=0.25,
+                                  interval_us=800.0),
+    "flaky": ReplicaFaultProfile(name="flaky", hang_rate=0.3,
+                                 partition_rate=0.2, interval_us=800.0,
+                                 hang_us=900.0, partition_us=500.0),
+    "chaos": ReplicaFaultProfile(name="chaos", crash_rate=0.12,
+                                 hang_rate=0.15, partition_rate=0.1,
+                                 interval_us=800.0, hang_us=900.0,
+                                 partition_us=500.0),
+}
+
+
+@dataclass(frozen=True)
+class ReplicaFaultEvent:
+    """One replica fault: ``kind`` strikes at ``onset_us`` and (for
+    hang/partition) heals at ``end_us``; a crash never heals on its own
+    (``end_us`` is ``inf`` — only a supervised restart ends it)."""
+
+    kind: str
+    onset_us: float
+    end_us: float
+    #: Decision interval the event was drawn in (its identity — one
+    #: event per ``(replica, interval)``).
+    interval: int
+
+
+class ReplicaFaultPlan:
+    """Seeded replica-fault timeline over virtual time.
+
+    ``event(replica, interval)`` is a pure function of ``(seed,
+    replica, interval)`` — it draws from a throwaway RNG keyed on the
+    whole tuple — so the fault timeline is independent of traffic,
+    probe cadence and host timing, and identical across runs with the
+    same seed: chaos runs replay bit-for-bit.  ``outage`` evaluates the
+    timeline at a point in virtual time for one replica incarnation
+    (events that predate ``alive_since_us`` died with the previous
+    incarnation and never re-fire).
+    """
+
+    def __init__(self, profile: Union[ReplicaFaultProfile, str] = "chaos",
+                 seed: int = 0):
+        if isinstance(profile, str):
+            profile = _named_replica_profile(profile)
+        self.profile = profile
+        self.seed = seed
+        self._events: Dict[Tuple[int, int], Optional[ReplicaFaultEvent]] = {}
+
+    @property
+    def active(self) -> bool:
+        return self.profile.active
+
+    def event(self, replica: int, interval: int
+              ) -> Optional[ReplicaFaultEvent]:
+        """The fault event (if any) drawn for ``replica`` in decision
+        interval ``interval`` (memoized; the draw itself is pure)."""
+        if not self.active or interval < 0:
+            return None
+        key = (replica, interval)
+        if key in self._events:
+            return self._events[key]
+        profile = self.profile
+        rng = random.Random(
+            f"replica-fault:{self.seed}:{replica}:{interval}")
+        # One draw per kind, always, so the timeline never depends on
+        # which other rates are zero (stable under profile tweaks).
+        crash = rng.random() < profile.crash_rate
+        hang = rng.random() < profile.hang_rate
+        partition = rng.random() < profile.partition_rate
+        onset = (interval + rng.random()) * profile.interval_us
+        if crash:
+            event = ReplicaFaultEvent(CRASH, onset, float("inf"), interval)
+        elif hang:
+            event = ReplicaFaultEvent(HANG, onset, onset + profile.hang_us,
+                                      interval)
+        elif partition:
+            event = ReplicaFaultEvent(PARTITION, onset,
+                                      onset + profile.partition_us, interval)
+        else:
+            event = None
+        self._events[key] = event
+        return event
+
+    def outage(self, replica: int, now_us: float,
+               alive_since_us: float = 0.0) -> Optional[ReplicaFaultEvent]:
+        """The event keeping ``replica``'s link dark at ``now_us``, or
+        ``None`` while the link is clean.  A crash whose onset falls in
+        ``(alive_since_us, now_us]`` is permanent; hang/partition
+        windows cover ``[onset, end)``."""
+        if not self.active:
+            return None
+        interval_us = self.profile.interval_us
+        first = max(int(alive_since_us // interval_us), 0)
+        last = int(now_us // interval_us)
+        for interval in range(first, last + 1):
+            event = self.event(replica, interval)
+            if event is None or event.onset_us <= alive_since_us:
+                continue
+            if event.kind == CRASH:
+                if event.onset_us <= now_us:
+                    return event
+            elif event.onset_us <= now_us < event.end_us:
+                return event
+        return None
+
+    def describe(self) -> str:
+        return f"{self.profile.name} (seed {self.seed})"
+
+
+def make_replica_fault_plan(
+        spec: Union[None, str, ReplicaFaultProfile, ReplicaFaultPlan],
+        seed: int = 0) -> Optional[ReplicaFaultPlan]:
+    """Normalize the cluster/CLI replica-fault spec exactly like
+    :func:`make_fault_plan`: ``None``/``"none"``/zero-rate -> no plan
+    (the fault path is literally plan-less), a profile name or
+    ``"rate:<r>"`` -> a seeded plan, instances pass through."""
+    if spec is None:
+        return None
+    if isinstance(spec, ReplicaFaultPlan):
+        return spec if spec.active else None
+    if isinstance(spec, ReplicaFaultProfile):
+        return ReplicaFaultPlan(spec, seed) if spec.active else None
+    if spec == "none":
+        return None
+    if spec.startswith("rate:"):
+        profile = ReplicaFaultProfile.scaled(float(spec[5:]))
+        return ReplicaFaultPlan(profile, seed) if profile.active else None
+    profile = _named_replica_profile(spec)
+    return ReplicaFaultPlan(profile, seed) if profile.active else None
+
+
+def _named_replica_profile(name: str) -> ReplicaFaultProfile:
+    try:
+        return REPLICA_FAULT_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(REPLICA_FAULT_PROFILES))
+        raise ValueError(f"unknown replica-fault profile {name!r}; "
+                         f"known: {known}") from None

@@ -20,7 +20,8 @@ from typing import Dict, Iterable, List, Optional
 
 __all__ = ["RequestRecord", "Telemetry", "percentile", "merge_snapshots",
            "STATUS_OK", "STATUS_REJECTED", "STATUS_EXPIRED",
-           "STATUS_FAILED", "STATUS_SHED", "STATUS_THROTTLED"]
+           "STATUS_FAILED", "STATUS_SHED", "STATUS_THROTTLED",
+           "STATUS_ORPHANED"]
 
 #: Terminal states of a served request.
 STATUS_OK = "ok"
@@ -29,6 +30,11 @@ STATUS_EXPIRED = "expired"     # deadline passed while still queued
 STATUS_FAILED = "failed"       # dispatch failed past the retry policy
 STATUS_SHED = "shed"           # dropped by overload load shedding
 STATUS_THROTTLED = "throttled"  # per-tenant quota turned it away
+#: Duplicate attempt of a failed-over request: another replica's result
+#: was accepted, so this record is an orphan — kept for attribution but
+#: excluded from request counts and completion-weighted percentiles
+#: (the cluster must never double-count a recovered request).
+STATUS_ORPHANED = "orphaned"
 
 
 def percentile(values: List[float], p: float) -> float:
@@ -272,14 +278,19 @@ class Telemetry:
                 "shrunk_windows": self.shrunk_windows,
             }
         done = [r for r in records if r.status == STATUS_OK]
+        orphaned = sum(r.status == STATUS_ORPHANED for r in records)
         latencies = [r.latency_us for r in done]
         waits = [r.queue_wait_us for r in done]
         bus_waits = [r.bus_wait_us for r in done]
         makespan_us = (max(r.completion_us for r in done) -
                        min(r.arrival_us for r in done)) if done else 0.0
         snapshot: Dict[str, object] = {
-            "requests": len(records),
+            # Orphaned records are duplicate attempts of requests served
+            # elsewhere — they are not offered load, so they never
+            # inflate the request count (or deflate availability).
+            "requests": len(records) - orphaned,
             "completed": len(done),
+            "orphaned": orphaned,
             "rejected": sum(r.status == STATUS_REJECTED for r in records),
             "expired": sum(r.status == STATUS_EXPIRED for r in records),
             "failed": sum(r.status == STATUS_FAILED for r in records),
@@ -292,7 +303,8 @@ class Telemetry:
             # Availability: the fraction of offered requests that got a
             # successful response.  Goodput: *useful* completions per
             # simulated second — completed AND inside their deadline.
-            "availability": (len(done) / len(records) if records else 1.0),
+            "availability": (len(done) / (len(records) - orphaned)
+                             if len(records) - orphaned else 1.0),
             "goodput_rps": (sum(not r.deadline_missed for r in done)
                             / (makespan_us * 1e-6)
                             if makespan_us > 0 else 0.0),
@@ -330,7 +342,9 @@ class Telemetry:
             f"(completed={s['completed']} rejected={s['rejected']} "
             f"expired={s['expired']} failed={s['failed']} "
             f"shed={s['shed']} throttled={s['throttled']} "
-            f"deadline_missed={s['deadline_missed']})",
+            f"deadline_missed={s['deadline_missed']}"
+            + (f" orphaned={s['orphaned']}" if s.get("orphaned") else "")
+            + ")",
             f"throughput     : {s['throughput_rps']:.1f} req/s over "
             f"{s['makespan_us'] / 1e3:.2f} ms simulated",
             f"latency        : p50={s['latency_p50_us']:.2f} us  "
@@ -373,10 +387,13 @@ class Telemetry:
         return "\n".join(lines)
 
 
-#: Snapshot keys that add across replicas.
+#: Snapshot keys that add across replicas.  ``orphaned`` attempts add
+#: too, but are already excluded from each part's ``requests`` count,
+#: so a failed-over request is counted exactly once cluster-wide.
 _ADDITIVE_KEYS = ("requests", "completed", "rejected", "expired", "failed",
-                  "shed", "throttled", "deadline_missed", "dispatches",
-                  "total_cycles", "total_energy_nj", "bus_busy_us")
+                  "shed", "throttled", "orphaned", "deadline_missed",
+                  "dispatches", "total_cycles", "total_energy_nj",
+                  "bus_busy_us")
 #: Snapshot keys combined as completion-weighted means.
 _WEIGHTED_KEYS = ("latency_p50_us", "latency_p99_us", "latency_mean_us",
                   "queue_wait_p50_us", "queue_wait_p99_us",

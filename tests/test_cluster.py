@@ -18,6 +18,7 @@ from repro.cluster import (
     QuotaManager,
     Replica,
     TenantQuota,
+    WatchdogPolicy,
     derive_fault_plans,
     make_router,
     render_plain,
@@ -226,6 +227,83 @@ class TestRouting:
         with pytest.raises(ClusterError):
             LeastLoadedRouter().route(("k",), 1, now_us=0.0,
                                       candidates=[], loads={})
+
+    # -- membership churn battery (autoscale / failover remaps) --------
+
+    def test_scale_out_moves_only_new_owner_keys(self):
+        router = ConsistentHashRouter(4)
+        keys = [("k", i) for i in range(300)]
+        before = {k: router.route(k, 0, now_us=0.0,
+                                  candidates=[0, 1, 2, 3], loads={})
+                  for k in keys}
+        router.add_replica(4)
+        after = {k: router.route(k, 0, now_us=0.0,
+                                 candidates=[0, 1, 2, 3, 4], loads={})
+                 for k in keys}
+        moved = {k for k in keys if after[k] != before[k]}
+        # Minimal remap: every moved key landed on the new replica, and
+        # the new replica picked up a non-trivial share.
+        assert moved and all(after[k] == 4 for k in moved)
+        assert len(moved) < len(keys)
+
+    def test_churn_sequence_keeps_unaffected_keys_pinned(self):
+        router = ConsistentHashRouter(4)
+        keys = [("shape", i, 12289) for i in range(200)]
+        members = [0, 1, 2, 3]
+
+        def table():
+            return {k: router.route(k, 0, now_us=0.0,
+                                    candidates=list(members), loads={})
+                    for k in keys}
+
+        snapshot = table()
+        for step, (op, replica) in enumerate(
+                [("rm", 1), ("add", 4), ("rm", 0), ("add", 1)]):
+            if op == "rm":
+                router.remove_replica(replica)
+                members.remove(replica)
+                gone, came = replica, None
+            else:
+                router.add_replica(replica)
+                members.append(replica)
+                gone, came = None, replica
+            fresh = table()
+            for k in keys:
+                if fresh[k] == snapshot[k]:
+                    continue
+                # A key may move only off the removed replica or onto
+                # the added one — never between two surviving replicas.
+                assert snapshot[k] == gone or fresh[k] == came, (
+                    step, k, snapshot[k], fresh[k])
+            snapshot = fresh
+
+    def test_least_loaded_remove_purges_leases(self):
+        router = LeastLoadedRouter(epoch_us=1e6)
+        key = ("hot",)
+        assert router.route(key, 1, now_us=0.0, candidates=[0, 1],
+                            loads={0: 5, 1: 0}) == 1
+        router.remove_replica(1)
+        router.add_replica(1)
+        # The lease died with the membership change: the reborn replica
+        # must win on load, not on a stale pin.
+        assert router.route(key, 2, now_us=10.0, candidates=[0, 1],
+                            loads={0: 0, 1: 50}) == 0
+
+    def test_supervised_least_loaded_skips_dark_replicas(self):
+        # Under crash chaos the frontend only offers UP replicas with a
+        # clean link as candidates; leases onto dark replicas are
+        # re-evaluated, so every request still lands exactly once.
+        fe = ClusterFrontend(
+            3, NOVERIFY, router="least-loaded",
+            replica_faults="crashy", replica_fault_seed=7,
+            watchdog=WatchdogPolicy(heartbeat_us=100.0, suspect_after=1,
+                                    down_after=2, restart_delay_us=300.0))
+        results = fe.serve(_stream(count=120, scenario="skewed",
+                                   rate=20000, deadline_us=None))
+        ids = [r.record.request_id for r in results]
+        assert len(ids) == len(set(ids)) == 120
+        assert all(r.ok for r in results)
+        assert fe.health.failovers > 0
 
 
 class TestQuotas:
