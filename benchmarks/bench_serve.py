@@ -11,7 +11,10 @@ counts under the shared-bus vs independent-channel contention models
 (bus utilization included — the README's shard-scaling table), and a
 ``resilience`` section sweeps injected fault rates x {policies off,
 policies on} and records the availability / true-goodput gap the
-recovery stack buys back, and a ``cluster`` section sweeps the
+recovery stack buys back, and a ``dag`` section sweeps dependent
+op-graph chains (depth x arrival rate) and records served makespan
+against the dependency critical path — the stretch the dependency-
+aware scheduler is judged on, and a ``cluster`` section sweeps the
 :mod:`repro.cluster` front-end across replica counts (1/2/4, both bus
 models) on an overloaded mixed mix — the replica-scaling goodput curve
 the trajectory gate floors — and a ``replica_faults`` section sweeps
@@ -42,7 +45,8 @@ import time
 from pathlib import Path
 
 from repro.api import Simulator
-from repro.serve import LoadGenerator, SimServer, make_scenario
+from repro.dag import ntt_pipeline
+from repro.serve import LoadGenerator, Scenario, SimServer, make_scenario
 from repro.sim.driver import SimConfig
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -93,6 +97,17 @@ RES_RATE = 150_000
 RES_COUNT = 50
 RES_SEED = 3
 RES_DEADLINE_US = 4000.0
+
+#: DAG sweep: chain depth x arrival rate, pure linear NTT pipelines
+#: over the hot N=512 ring.  Makespan can only approach the dependency
+#: critical path from above (stretch >= 1.0); the gap is queueing,
+#: windowing and bus time the dependency-aware scheduler could not
+#: hide.  Deeper chains serialize more of each graph, so their stretch
+#: under load is the headline the README's critical-path table quotes.
+DAG_DEPTHS = (2, 4)
+DAG_RATES = (30_000, 120_000)
+DAG_COUNT = 16
+DAG_N = 512
 
 #: Replica-fault sweep: replica-scoped crash/hang/partition chaos
 #: through the self-healing cluster tier, static 2-replica fleet vs a
@@ -210,6 +225,31 @@ def _resilience_run(fault_rate: float, policy: str) -> dict:
         "timeouts": res["timeouts"],
         "detected_mismatches": res["detected_mismatches"],
         "breaker_trips": res["breaker_trips"],
+    }
+
+
+def _dag_scenario(depth: int) -> Scenario:
+    def make(rng):
+        return ntt_pipeline(DAG_N, stages=depth, seed=rng.randrange(2 ** 31))
+    return Scenario(name=f"dag-depth-{depth}",
+                    description=f"{depth}-stage N={DAG_N} NTT pipelines",
+                    mix=((1.0, make),))
+
+
+def _dag_run(depth: int, rate: float) -> dict:
+    load = LoadGenerator(_dag_scenario(depth), rate_rps=rate,
+                         count=DAG_COUNT, seed=SEED)
+    server = SimServer(CONFIG, window_us=WINDOW_US, max_banks=MAX_BANKS,
+                       max_depth=4096)
+    server.serve(load.requests())
+    dag = server.telemetry.snapshot()["dag"]
+    return {
+        "makespan_mean_us": dag["makespan_mean_us"],
+        "critical_path_mean_us": dag["critical_path_mean_us"],
+        "stretch": dag["critical_path_stretch"],
+        "stage_latency_p99_us": dag["stage_latency_p99_us"],
+        "dags": dag["dags"],
+        "completed": dag["completed"],
     }
 
 
@@ -339,6 +379,21 @@ def run(out_path: Path = DEFAULT_OUT) -> dict:
             for policy in ("none", "standard")}
     section["resilience"] = resilience_section
 
+    # DAG serving: chain depth x arrival rate.  The committed floors
+    # (check_trajectory) are structural — stretch >= 1.0 and every
+    # offered graph completes — while the measured stretch values are
+    # the README's critical-path table.
+    dag_section: dict = {
+        "description": f"linear N={DAG_N} NTT pipelines, depth x arrival "
+                       f"rate, {DAG_COUNT} graphs per cell, seed {SEED}; "
+                       f"makespan vs dependency critical path "
+                       f"(stretch >= 1.0 by construction)",
+    }
+    for depth in DAG_DEPTHS:
+        dag_section[str(depth)] = {
+            str(rate): _dag_run(depth, rate) for rate in DAG_RATES}
+    section["dag"] = dag_section
+
     # Replica faults: self-healing under crash/hang/partition chaos,
     # static fleet vs autoscale.  Availability is the exactly-once
     # claim; the goodput ratio is what heartbeat-driven scale-out buys.
@@ -407,6 +462,20 @@ def _format(results: dict) -> str:
             f"shared {sha['goodput_rps'] / 1e3:6.1f}k goodput "
             f"p99={sha['latency_p99_us']:5.1f}us "
             f"occ={sha['mean_batch_occupancy']:.1f}")
+    dag_sweep = section.get("dag", {})
+    if dag_sweep:
+        lines.append(f"dag serving (N={DAG_N} pipelines), makespan vs "
+                     f"critical path:")
+        for depth in DAG_DEPTHS:
+            for rate in DAG_RATES:
+                entry = dag_sweep[str(depth)][str(rate)]
+                lines.append(
+                    f"  depth={depth} rate={rate:>7d}/s:  "
+                    f"critical {entry['critical_path_mean_us']:6.1f}us -> "
+                    f"makespan {entry['makespan_mean_us']:6.1f}us "
+                    f"(stretch x{entry['stretch']:.2f}) "
+                    f"stage p99={entry['stage_latency_p99_us']:6.1f}us "
+                    f"{entry['completed']}/{entry['dags']} done")
     lines.append(f"resilience ({RES_SCENARIO} mix), true goodput "
                  f"policies off vs on:")
     for fault_rate in FAULT_RATES:
@@ -569,6 +638,56 @@ def test_cluster_replica_scaling(show):
                 <= runs["independent"][replicas]["goodput_rps"] + 1e-6)
 
 
+def test_dag_serving_bit_identical(show):
+    """CI gate (the dag-smoke claim): serving the mixed ``dag``
+    scenario — CKKS multiply chains, Kyber KEM batches and plain NTTs
+    interleaved — produces whole-graph results bit-identical to the
+    golden ``"dag"`` workload's standalone run, stage by stage."""
+    load_requests = _load(RATES[0], scenario="dag", count=30).requests()
+    server = SimServer(CONFIG, window_us=WINDOW_US, max_banks=MAX_BANKS,
+                       max_depth=4096)
+    results = server.serve(load_requests)
+    solo = Simulator(CONFIG)
+    graphs = stages = 0
+    for sreq, result in zip(load_requests, results):
+        assert result.ok
+        golden = solo.run(sreq.request)
+        assert result.response.values == golden.values, (
+            f"request {sreq.request_id} ({sreq.request.workload}): served "
+            f"response diverges from standalone Simulator.run")
+        if sreq.request.workload != "dag":
+            continue
+        graphs += 1
+        for name, stage_result in result.stages.items():
+            stages += 1
+            assert (stage_result.response.values
+                    == golden.raw["responses"][name].values), (
+                f"request {sreq.request_id} stage {name!r}: served stage "
+                f"diverges from the golden model's stage response")
+    assert graphs > 0 and stages > graphs
+    show(f"dag serving: {graphs} graphs ({stages} stages) bit-identical "
+         f"to the golden dag workload, stage by stage")
+
+
+def test_dag_sweep_floors(show):
+    """CI gate: across the depth x rate sweep every offered graph
+    completes and the served makespan never beats the dependency
+    critical path (stretch >= 1.0 — the scheduler can hide queueing,
+    not dependencies)."""
+    for depth in DAG_DEPTHS:
+        for rate in DAG_RATES:
+            entry = _dag_run(depth, rate)
+            assert entry["dags"] == entry["completed"] == DAG_COUNT
+            assert entry["critical_path_mean_us"] > 0.0
+            assert entry["stretch"] >= 1.0 - 1e-9, (
+                f"depth={depth} rate={rate}: served makespan beat the "
+                f"dependency critical path (stretch {entry['stretch']:.3f})")
+            show(f"dag sweep depth={depth} rate={rate}: critical "
+                 f"{entry['critical_path_mean_us']:.1f}us -> makespan "
+                 f"{entry['makespan_mean_us']:.1f}us "
+                 f"(x{entry['stretch']:.2f})")
+
+
 def test_replica_fault_self_healing(show):
     """CI gate (the cluster-chaos claim): under replica-scoped
     crash/hang/partition chaos the supervised cluster keeps availability
@@ -626,6 +745,12 @@ def test_bench_serve_writes_json(show, tmp_path):
                     > entry["none"]["true_goodput_rps"])
         else:
             assert entry["standard"] == entry["none"]
+    dag_sweep = written["serve"]["dag"]
+    for depth in DAG_DEPTHS:
+        for rate in DAG_RATES:
+            entry = dag_sweep[str(depth)][str(rate)]
+            assert entry["completed"] == entry["dags"] == DAG_COUNT
+            assert entry["stretch"] >= 1.0 - 1e-9
     replica_faults = written["serve"]["replica_faults"]
     for name in _rf_profiles():
         entry = replica_faults[name]

@@ -15,6 +15,10 @@ committed floor:
   availability at least ``RESILIENCE_AVAILABILITY_FLOOR`` and hold
   true goodput strictly above the policies-off run at the same rates
   (goodput-under-faults floor);
+* dag: across the chain-depth x arrival-rate sweep every offered graph
+  must complete and the served makespan must never beat the dependency
+  critical path (``stretch >= DAG_STRETCH_FLOOR`` — the scheduler can
+  hide queueing, never dependencies);
 * cluster: each step up the replica sweep (1 -> 2 -> 4) must buy at
   least ``CLUSTER_SCALING_FLOOR`` more goodput on both bus models, and
   the shared bus must never beat independent channels;
@@ -55,6 +59,11 @@ RESILIENCE_GOODPUT_RATIO_FLOOR = 1.0
 #: ratio on both bus models (measured 1.08-1.19x per step; the floor
 #: gates "replicas stopped helping", not the exact scaling curve).
 CLUSTER_SCALING_FLOOR = 1.02
+#: A served DAG's makespan can approach its dependency critical path
+#: only from above: stretch below this (minus float slack) means the
+#: telemetry is lying about one of the two.  Completeness is exact —
+#: the dependency-aware scheduler must finish every offered graph.
+DAG_STRETCH_FLOOR = 1.0
 #: Under replica-scoped crash/hang/partition chaos the self-healing
 #: cluster must keep availability at/above this on both fleets
 #: (measured 1.0 — exactly-once through failover and restart).
@@ -119,6 +128,33 @@ def check(kernels_path: Path = REPO_ROOT / "BENCH_kernels.json",
                 failures.append(
                     f"cluster: replicas={count} shared-bus goodput beats "
                     f"the independent upper bound")
+
+    dag_sweep = serve.get("dag", {})
+    for depth, by_rate in sorted(dag_sweep.items()):
+        if not isinstance(by_rate, dict):
+            continue
+        for rate, entry in sorted(by_rate.items(), key=lambda kv: int(kv[0])):
+            print(f"serve: dag depth={depth} rate={rate} critical "
+                  f"{entry['critical_path_mean_us']:.1f}us -> makespan "
+                  f"{entry['makespan_mean_us']:.1f}us "
+                  f"(stretch {entry['stretch']:.2f}x, floor "
+                  f"{DAG_STRETCH_FLOOR}x), "
+                  f"{entry['completed']}/{entry['dags']} graphs done")
+            if entry["completed"] != entry["dags"]:
+                failures.append(
+                    f"dag depth={depth} rate={rate}: only "
+                    f"{entry['completed']} of {entry['dags']} offered "
+                    f"graphs completed")
+            if entry["critical_path_mean_us"] <= 0.0:
+                failures.append(
+                    f"dag depth={depth} rate={rate}: no critical path "
+                    f"recorded for completed graphs")
+            if entry["stretch"] < DAG_STRETCH_FLOOR - 1e-9:
+                failures.append(
+                    f"dag depth={depth} rate={rate}: stretch "
+                    f"{entry['stretch']:.3f}x fell below the "
+                    f"{DAG_STRETCH_FLOOR}x dependency floor (makespan "
+                    f"beat the critical path)")
 
     resilience = serve.get("resilience", {})
     for rate_key, entry in resilience.items():

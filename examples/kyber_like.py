@@ -41,6 +41,21 @@ def main() -> None:
     assert product == naive_negacyclic_convolution(a, b, q)
     print("ring product via incomplete NTT + basemul: verified ok")
 
+    # The same computation is a registered facade workload: one
+    # KyberKemRequest runs the full incomplete-NTT ring product on the
+    # simulated PIM, with timing/energy from the truncated transform's
+    # actual sub-NTT schedule.
+    from repro.api import KyberKemRequest, Simulator
+    from repro.sim.driver import SimConfig
+
+    response = Simulator(SimConfig()).run(
+        KyberKemRequest(a=tuple(a), b=tuple(b), n=n, q=q, depth=depth))
+    assert list(response.values) == product
+    print(f"facade workload 'kyber_kem': {response.latency_us:.2f} us, "
+          f"{response.metrics['sub_transforms']:.0f} sub-NTTs of "
+          f"N={response.metrics['sub_n']:.0f} "
+          f"(verified={'yes' if response.verified else 'no'})")
+
     # The truncated stages are exactly the smallest-stride (intra-atom)
     # work, so on the PIM an incomplete transform simply ends before the
     # final C1N level — same mapping, fewer commands.

@@ -34,6 +34,7 @@ from .registry import (
 from .requests import (
     BatchRequest,
     FheOpRequest,
+    KyberKemRequest,
     MultiBankRequest,
     NegacyclicRequest,
     NttRequest,
@@ -45,6 +46,7 @@ from .simulator import Simulator, merge_key
 
 # Importing the handlers registers the built-in workloads.
 from . import workloads as _workloads  # noqa: F401  (registration side effect)
+from .dag import DagEdge, DagRequest  # noqa: E402  (also registers "dag")
 
 __all__ = [
     "UnknownWorkloadError",
@@ -59,6 +61,9 @@ __all__ = [
     "MultiBankRequest",
     "FheOpRequest",
     "ProgramRequest",
+    "KyberKemRequest",
+    "DagEdge",
+    "DagRequest",
     "SimResponse",
     "Simulator",
     "merge_key",

@@ -40,7 +40,8 @@ from ..errors import RequestValidationError
 from ..ntt.negacyclic import NegacyclicParams
 
 __all__ = ["SimRequest", "NttRequest", "NegacyclicRequest", "BatchRequest",
-           "MultiBankRequest", "FheOpRequest", "ProgramRequest"]
+           "MultiBankRequest", "FheOpRequest", "ProgramRequest",
+           "KyberKemRequest"]
 
 
 def _freeze(values) -> Optional[Tuple[int, ...]]:
@@ -226,6 +227,47 @@ class FheOpRequest(SimRequest):
                     "multiply needs a second operand b of length n")
         elif self.b is not None:
             raise RequestValidationError(f"op {self.op!r} takes one operand")
+
+
+@dataclass(frozen=True)
+class KyberKemRequest(SimRequest):
+    """Kyber-style KEM ring product via the *incomplete* (truncated)
+    NTT — the lattice-crypto workload ``examples/kyber_like.py``
+    sketches, promoted to a registered facade request.
+
+    Kyber's modulus (q=3329, n=256) admits no 512th root of unity, so
+    the transform stops ``log2(depth)`` butterfly levels early and the
+    pointwise stage becomes a base multiplication of degree-``depth``
+    slot polynomials.  The handler computes the exact host math and
+    prices PIM timing as the equivalent sub-transform runs (the
+    truncated transform executes exactly the butterflies of ``depth``
+    independent cyclic NTTs of size ``n/depth`` per operand).
+    """
+
+    workload: ClassVar[str] = "kyber_kem"
+
+    a: Tuple[int, ...] = ()
+    b: Tuple[int, ...] = ()
+    n: int = 256
+    q: int = 3329
+    depth: int = 2
+
+    def __post_init__(self):
+        object.__setattr__(self, "a", tuple(self.a))
+        object.__setattr__(self, "b", tuple(self.b))
+
+    def validate(self) -> None:
+        # Lazy: repro.ntt sits above this module's import layer.
+        from ..ntt.incomplete import IncompleteNttParams
+        try:
+            IncompleteNttParams(self.n, self.q, self.depth)
+        except ValueError as exc:
+            raise RequestValidationError(str(exc)) from None
+        for label, operand in (("a", self.a), ("b", self.b)):
+            if len(operand) != self.n:
+                raise RequestValidationError(
+                    f"operand {label}: expected {self.n} values, "
+                    f"got {len(operand)}")
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ from .registry import register_workload
 from .requests import (
     BatchRequest,
     FheOpRequest,
+    KyberKemRequest,
     MultiBankRequest,
     NegacyclicRequest,
     NttRequest,
@@ -270,6 +271,75 @@ def run_fhe_workload(config: SimConfig, request: FheOpRequest) -> SimResponse:
                  "per_transform_us": (stats.total_latency_us
                                       / max(stats.transforms, 1))},
         raw=stats,
+    )
+
+
+@register_workload("kyber_kem")
+def run_kyber_kem_workload(config: SimConfig,
+                           request: KyberKemRequest) -> SimResponse:
+    """Kyber-style ring product via the incomplete NTT (the
+    ``examples/kyber_like.py`` pipeline as a served workload).
+
+    Function is exact host math: truncated forward transforms of both
+    operands, slot-wise base multiplication, truncated inverse.  PIM
+    timing prices the equivalent transform work — at (n, depth) the
+    truncated transform executes exactly the butterflies of ``depth``
+    cyclic NTTs of size ``n/depth``, so the forward side runs one
+    multi-bank dispatch of the ``2*depth`` operand sub-rows and the
+    inverse side one of the ``depth`` product sub-rows.
+    """
+    # Lazy imports, same one-way layering reason as the FHE handler.
+    from ..arith.roots import NttParams
+    from ..ntt.incomplete import (
+        IncompleteNttParams,
+        incomplete_basemul,
+        incomplete_intt,
+        incomplete_ntt,
+    )
+    from .simulator import Simulator
+
+    params = IncompleteNttParams(request.n, request.q, request.depth)
+    a, b = list(request.a), list(request.b)
+    a_hat = incomplete_ntt(a, params)
+    b_hat = incomplete_ntt(b, params)
+    prod_hat = incomplete_basemul(a_hat, b_hat, params)
+    product = incomplete_intt(prod_hat, params)
+    verified = False
+    if config.functional and config.verify:
+        from ..errors import FunctionalMismatch
+        from ..ntt import naive_negacyclic_convolution
+        if product != naive_negacyclic_convolution(a, b, request.q):
+            raise FunctionalMismatch(
+                f"incomplete-NTT ring product wrong for N={request.n}, "
+                f"q={request.q}, depth={request.depth}")
+        verified = True
+    m = request.n // request.depth
+    sub = NttParams(m, request.q)
+
+    def rows(vec):
+        return tuple(tuple(vec[i * m:(i + 1) * m])
+                     for i in range(request.depth))
+
+    sim = Simulator(config)
+    forward = sim.run(MultiBankRequest(params=sub, inputs=rows(a) + rows(b)))
+    inverse = sim.run(MultiBankRequest(params=sub, inputs=rows(prod_hat),
+                                       inverse=True))
+    counters = dict(forward.counters)
+    for key, value in inverse.counters.items():
+        counters[key] = counters.get(key, 0) + value
+    return SimResponse(
+        workload="kyber_kem",
+        values=product,
+        cycles=forward.cycles + inverse.cycles,
+        latency_us=forward.latency_us + inverse.latency_us,
+        energy_nj=forward.energy_nj + inverse.energy_nj,
+        verified=verified,
+        command_count=forward.command_count + inverse.command_count,
+        counters=counters,
+        metrics={"slots": request.n // request.depth,
+                 "sub_transforms": 3 * request.depth,
+                 "sub_n": m},
+        raw={"forward": forward, "inverse": inverse},
     )
 
 

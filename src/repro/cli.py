@@ -137,9 +137,11 @@ def _cmd_serve(args) -> int:
     # this subcommand needs it.
     from .serve import LoadGenerator, SimServer, make_scenario
 
+    from .errors import ServeError
+
     try:
         scenario = make_scenario(args.scenario)
-    except ValueError as exc:
+    except (ValueError, ServeError) as exc:
         print(exc, file=sys.stderr)
         return 2
     config = SimConfig(verify=not args.no_verify)
@@ -345,7 +347,8 @@ def main(argv=None) -> int:
         "serve", help="drive synthetic traffic through the serving layer")
     serve_p.add_argument("--scenario", default="skewed",
                          help="shape mix: uniform | skewed | fhe | mixed "
-                              "(default skewed)")
+                              "| chaos | dag | pipeline (default skewed; "
+                              "dag/pipeline offer dependent op-graphs)")
     serve_p.add_argument("--live", action="store_true",
                          help="drive the server through the online "
                               "submit()/poll()/drain() surface instead "

@@ -50,6 +50,7 @@ import itertools
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..api import merge_key
+from ..api.dag import DagRequest
 from ..api.requests import SimRequest
 from ..errors import ClusterError, ReproError
 from ..serve.faults import (
@@ -100,6 +101,21 @@ __all__ = ["ClusterFrontend", "derive_fault_plans"]
 #: one-replica cluster injects *exactly* the faults a bare server
 #: with the same plan would.
 FAULT_SEED_STRIDE = 7919
+
+
+def _route_key(request: SimRequest):
+    """Routing key of one request: its merge key — or, for a
+    :class:`~repro.api.DagRequest` (which executes whole on one replica
+    so its dependency edges never cross the cluster), the merge key of
+    its first batchable stage.  Graphs over a hot shape thereby keep
+    batching affinity with the plain traffic of the same shape."""
+    if isinstance(request, DagRequest):
+        for _, node in request.nodes:
+            key = merge_key(node)
+            if key is not None:
+                return key
+        return None
+    return merge_key(request)
 
 
 def derive_fault_plans(base: Optional[FaultPlan], replicas: int
@@ -410,7 +426,7 @@ class ClusterFrontend:
                  for reply in (r.send(Heartbeat(now_us=session.now_us))
                                for r in self.replicas)}
         chosen = self.router.route(
-            merge_key(sreq.request), sreq.request_id,
+            _route_key(sreq.request), sreq.request_id,
             now_us=session.now_us, candidates=candidates, loads=loads)
         reply = self.replicas[chosen].send(Submit(sreq=sreq))
         session.owner[sreq.request_id] = reply.replica
@@ -438,7 +454,7 @@ class ClusterFrontend:
             loads[sup.slot] = hb.outstanding + hb.backlog
         candidates = up or [sup.slot for sup in routable]
         chosen = self.router.route(
-            merge_key(sreq.request), sreq.request_id,
+            _route_key(sreq.request), sreq.request_id,
             now_us=now, candidates=candidates, loads=loads)
         pivot = candidates.index(chosen)
         for slot in candidates[pivot:] + candidates[:pivot]:
@@ -587,7 +603,7 @@ class ClusterFrontend:
             if rid not in session.parked:
                 session.parked.append(rid)
             return False
-        chosen = self.router.route(merge_key(sreq.request), rid,
+        chosen = self.router.route(_route_key(sreq.request), rid,
                                    now_us=t, candidates=candidates,
                                    loads={})
         arrival = max(sreq.arrival_us, t)

@@ -25,7 +25,8 @@ Pieces (each its own module):
   rollups (throughput, p50/p99 latency, occupancy, energy).
 * :mod:`~repro.serve.loadgen` — deterministic Poisson load over named
   scenario mixes (``uniform`` / ``skewed`` / ``fhe`` / ``mixed`` /
-  ``chaos``), with step arrival-rate profiles for burst overloads.
+  ``chaos`` / ``dag`` / ``pipeline``), with step arrival-rate profiles
+  for burst overloads.
 * :mod:`~repro.serve.faults` — seeded virtual-time fault injection
   (:class:`FaultPlan`) and the :class:`ResiliencePolicy` recovery
   knobs: retries with backoff, timeouts, circuit breakers, online
@@ -33,12 +34,17 @@ Pieces (each its own module):
   crash/hang/partition timelines (:class:`ReplicaFaultPlan`) the
   cluster watchdog heals around.
 * :mod:`~repro.serve.server` — :class:`SimServer`, the loop tying them
-  together.
+  together — including dependency-aware serving of
+  :class:`~repro.api.DagRequest` op-graphs: a stage enters a batching
+  window only once every parent has settled, ready stages from
+  concurrent graphs coalesce by shape, and ``drain()`` returns whole
+  graphs in submission order.
 
 Scheduling changes *when* work runs, never *what it computes*: every
 response is bit-identical to a standalone ``Simulator.run`` of the same
-request — and a zero-rate fault plan plus the neutral policy leave the
-whole stack bit-identical to one without them.
+request (for a DAG, stage-by-stage against the golden ``"dag"``
+workload) — and a zero-rate fault plan plus the neutral policy leave
+the whole stack bit-identical to one without them.
 """
 
 from .faults import (

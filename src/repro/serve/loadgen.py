@@ -20,6 +20,13 @@ of request shapes:
 * ``chaos``    — the resilience drill: every transform kind plus
   unbatchable FHE ring multiplies, the traffic the fault-injection
   experiments (:mod:`repro.serve.faults`) run against.
+* ``dag``      — dependent op-graphs (:class:`repro.api.DagRequest`):
+  CKKS-style multiply chains and Kyber KEM batches from
+  :mod:`repro.dag`, mixed with plain hot-shape NTTs — the traffic the
+  dependency-aware scheduler exists for.
+* ``pipeline`` — linear NTT pipelines over one hot ring mixed with
+  single transforms of the same shape: every stage batchable, so
+  concurrent graphs coalesce stage-by-stage.
 
 Arrival rates can *step* over virtual time (``rate_profile``): a burst
 or ramp overload — e.g. :meth:`LoadGenerator.burst_profile` — drives
@@ -42,6 +49,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from ..api.requests import FheOpRequest, NegacyclicRequest, NttRequest, SimRequest
 from ..arith.primes import find_ntt_prime
 from ..arith.roots import NttParams
+from ..errors import ServeError
 from ..ntt.negacyclic import NegacyclicParams
 from .queueing import ServeRequest
 
@@ -92,6 +100,31 @@ def _fhe_maker(n: int) -> Callable[[random.Random], SimRequest]:
     return make
 
 
+def _ckks_chain_maker(n: int, limbs: int,
+                      depth: int) -> Callable[[random.Random], SimRequest]:
+    def make(rng: random.Random) -> SimRequest:
+        from ..dag import ckks_mul_chain
+        return ckks_mul_chain(n, limbs=limbs, depth=depth,
+                              seed=rng.randrange(2 ** 31))
+    return make
+
+
+def _kem_batch_maker(count: int,
+                     n: int) -> Callable[[random.Random], SimRequest]:
+    def make(rng: random.Random) -> SimRequest:
+        from ..dag import kem_batch
+        return kem_batch(count, n=n, seed=rng.randrange(2 ** 31))
+    return make
+
+
+def _pipeline_maker(n: int,
+                    stages: int) -> Callable[[random.Random], SimRequest]:
+    def make(rng: random.Random) -> SimRequest:
+        from ..dag import ntt_pipeline
+        return ntt_pipeline(n, stages=stages, seed=rng.randrange(2 ** 31))
+    return make
+
+
 @dataclass(frozen=True)
 class Scenario:
     """A weighted mix of request factories."""
@@ -139,17 +172,33 @@ SCENARIOS: Dict[str, Scenario] = {
              (1.5, _negacyclic_maker(256)),
              (1.0, _negacyclic_maker(256, inverse=True)),
              (1.5, _fhe_maker(256)))),
+    "dag": Scenario(
+        name="dag",
+        description="dependent op-graphs: 40% CKKS multiply chains "
+                    "(N=256, 2 limbs x 2 levels), 20% Kyber KEM batches "
+                    "of 3, 40% plain N=512 forward NTTs",
+        mix=((4.0, _ckks_chain_maker(256, limbs=2, depth=2)),
+             (2.0, _kem_batch_maker(3, 256)),
+             (4.0, _ntt_maker(512)))),
+    "pipeline": Scenario(
+        name="pipeline",
+        description="linear NTT pipelines over the hot N=512 ring: 50% "
+                    "3-stage chains, 50% single forward NTTs of the "
+                    "same shape (stage-by-stage cross-graph batching)",
+        mix=((5.0, _pipeline_maker(512, stages=3)),
+             (5.0, _ntt_maker(512)))),
 }
 
 
 def make_scenario(name: str) -> Scenario:
-    """The named scenario, with the known names in the error message."""
+    """The named scenario; an unknown name raises a contextful
+    :class:`~repro.errors.ServeError` listing every available one."""
     try:
         return SCENARIOS[name]
     except KeyError:
         known = ", ".join(sorted(SCENARIOS))
-        raise ValueError(f"unknown scenario {name!r}; known: {known}") \
-            from None
+        raise ServeError(f"unknown scenario {name!r}; "
+                         f"available scenarios: {known}") from None
 
 
 class LoadGenerator:

@@ -61,9 +61,11 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from ..api.dag import DagRequest
 from ..api.requests import SimRequest
+from ..api.response import SimResponse
 from ..api.simulator import Simulator
 from ..api.workloads import precompile_request
 from ..errors import FunctionalMismatch, ReproError, ServeError, ShardFailure
@@ -80,7 +82,7 @@ from .faults import (
 from .queueing import RequestQueue, ServeRequest
 from .scheduler import BatchingScheduler, DispatchUnit, PlanSession, \
     sequential_policy
-from .telemetry import STATUS_FAILED, RequestRecord, Telemetry
+from .telemetry import STATUS_FAILED, STATUS_OK, RequestRecord, Telemetry
 from .workers import make_pool
 
 __all__ = ["ServeResult", "SimServer", "BUS_MODELS"]
@@ -96,6 +98,11 @@ class ServeResult:
 
     record: RequestRecord
     response: Optional[object] = None
+    #: For a served :class:`~repro.api.DagRequest`: every stage's own
+    #: :class:`ServeResult` by node name, in node order (``None`` for
+    #: ordinary requests) — the per-stage records and responses the
+    #: bit-identity gates compare against the standalone golden run.
+    stages: Optional[Dict[str, "ServeResult"]] = None
 
     @property
     def ok(self) -> bool:
@@ -149,6 +156,26 @@ class _ShardState:
     backlog: List[_Attempt] = field(default_factory=list)
 
 
+@dataclass
+class _DagState:
+    """Server-side execution state of one in-flight
+    :class:`~repro.api.DagRequest`.
+
+    Stages become ordinary planner arrivals *lazily*: roots at the
+    graph's arrival, every other node only once all of its parents have
+    settled (the dependency-aware release in
+    :meth:`SimServer._release_ready`).
+    """
+
+    sreq: ServeRequest
+    request: DagRequest
+    #: Node name -> stage request id (allocated at release time).
+    stage_ids: Dict[str, int] = field(default_factory=dict)
+    #: Node names already released into the planner (or cascade-failed).
+    released: set = field(default_factory=set)
+    done: bool = False
+
+
 class _Session:
     """One serving session: a planning walk plus its execution state.
 
@@ -178,6 +205,12 @@ class _Session:
         self.breakers: Dict[int, _Breaker] = {}
         #: Remaining session-wide retry budget (``None`` = unlimited).
         self.retry_budget: Optional[int] = server.policy.retry_budget
+        #: In-flight DAGs by their (whole-graph) request id.
+        self.dags: Dict[int, _DagState] = {}
+        #: Stage request id -> (owning dag id, node name).  Stage ids
+        #: never enter ``order``: drain()/serve() return whole graphs.
+        self.stages: Dict[int, Tuple[int, str]] = {}
+        self._next_stage_id = 0
         self._unit_cursor = 0
         self._drop_cursor = 0
         self._queue = server.queue
@@ -193,6 +226,16 @@ class _Session:
                 request_id = self._queue.next_id()
         self.seen_ids.add(request_id)
         return request_id
+
+    def stage_id(self) -> int:
+        """A fresh id for one DAG *stage* — negative, its own
+        namespace: stage ids are internal to the session, so they must
+        never collide with (or consume) the client-visible id sequence
+        a cluster front-end relies on the server preserving."""
+        self._next_stage_id += 1
+        sid = -self._next_stage_id
+        self.seen_ids.add(sid)
+        return sid
 
 
 class SimServer:
@@ -393,7 +436,8 @@ class SimServer:
                                     session.planner.now_us))
         self._absorb(session)
         with make_pool("inline") as pool:
-            self._settle(session, pool, horizon_us=session.planner.now_us)
+            self._settle_loop(session, pool,
+                              horizon_us=session.planner.now_us)
 
     def session_offset_us(self) -> float:
         """Virtual-time offset of the live session — or of the session
@@ -440,7 +484,8 @@ class SimServer:
         if session is None:
             return None
         with make_pool("inline") as pool:
-            self._settle(session, pool, horizon_us=session.planner.now_us)
+            self._settle_loop(session, pool,
+                              horizon_us=session.planner.now_us)
         return session.results.get(request_id)
 
     def drain(self) -> List[ServeResult]:
@@ -463,16 +508,263 @@ class SimServer:
 
     # -- session machinery -------------------------------------------------------
     def _ingest(self, session: _Session, sreq: ServeRequest) -> None:
+        if isinstance(sreq.request, DagRequest):
+            self._ingest_dag(session, sreq)
+            return
         session.order.append(sreq.request_id)
         session.max_arrival_us = max(session.max_arrival_us, sreq.arrival_us)
         session.planner.offer(sreq)
         self._absorb(session)
+
+    # -- DAG machinery -----------------------------------------------------------
+    def _ingest_dag(self, session: _Session, sreq: ServeRequest) -> None:
+        """Admit one :class:`~repro.api.DagRequest`: the graph itself
+        never enters the planner — its *root* stages do, as ordinary
+        arrivals at the graph's arrival time; every other stage is
+        released lazily by :meth:`_release_ready` once its parents
+        settle.  Stages from different graphs are just shaped arrivals
+        to the planner, so ready stages coalesce into shared multi-bank
+        dispatches exactly like independent requests."""
+        session.order.append(sreq.request_id)
+        session.max_arrival_us = max(session.max_arrival_us, sreq.arrival_us)
+        state = _DagState(sreq=sreq, request=sreq.request)
+        session.dags[sreq.request_id] = state
+        for name in state.request.topological_order():
+            if state.request.parents(name):
+                continue
+            try:
+                stage = self._stage_request(session, state, name,
+                                            sreq.arrival_us, {})
+            except ReproError as exc:
+                self._fail_stage(session, state, name, sreq.arrival_us,
+                                 f"stage {name!r} failed to bind: {exc}")
+                continue
+            session.planner.offer(stage)
+        self._absorb(session)
+
+    def _stage_request(self, session: _Session, state: _DagState,
+                       name: str, release_us: float,
+                       parent_values: Dict[str, tuple]) -> ServeRequest:
+        """Materialize one stage as a planner arrival: bind the parents'
+        settled outputs into the node's request, allocate its stage id,
+        and inherit the graph's priority/config/tenant.  Stages carry no
+        deadline of their own — the graph's deadline is judged against
+        the assembled completion in :meth:`_assemble_dag`."""
+        bound = state.request.bound_request(name, parent_values)
+        sid = session.stage_id()
+        state.stage_ids[name] = sid
+        state.released.add(name)
+        session.stages[sid] = (state.sreq.request_id, name)
+        return ServeRequest(request=bound, arrival_us=release_us,
+                            priority=state.sreq.priority, request_id=sid,
+                            config=state.sreq.config,
+                            tenant=state.sreq.tenant)
+
+    def _release_ready(self, session: _Session) -> bool:
+        """Dependency-aware release: hand the planner every stage whose
+        parents have all settled, at the virtual time the last parent
+        completed (never before the graph's own arrival).  A stage with
+        a failed/dropped parent cascade-fails immediately — it can never
+        run.  Returns whether anything new entered the planner (the
+        :meth:`_settle_loop` fixpoint condition); finished graphs
+        assemble their whole-DAG results on the way out."""
+        if not session.dags:
+            return False
+        released = False
+        progress = True
+        while progress:
+            progress = False
+            for dag_id in session.order:
+                state = session.dags.get(dag_id)
+                if state is None or state.done:
+                    continue
+                for name in state.request.topological_order():
+                    if name in state.released:
+                        continue
+                    parents = state.request.parents(name)
+                    parent_results = {}
+                    for parent in parents:
+                        pid = state.stage_ids.get(parent)
+                        res = (session.results.get(pid)
+                               if pid is not None else None)
+                        if res is None:
+                            break
+                        parent_results[parent] = res
+                    if len(parent_results) != len(parents):
+                        continue  # a parent has not settled yet
+                    release_us = max(
+                        [state.sreq.arrival_us]
+                        + [r.record.completion_us
+                           for r in parent_results.values()])
+                    failed = next((p for p in parents
+                                   if not parent_results[p].ok), None)
+                    if failed is not None:
+                        self._fail_stage(
+                            session, state, name, release_us,
+                            f"upstream stage {failed!r} did not complete")
+                        progress = True
+                        continue
+                    values = {p: tuple(parent_results[p].response.values)
+                              for p in parents}
+                    try:
+                        stage = self._stage_request(session, state, name,
+                                                    release_us, values)
+                    except ReproError as exc:
+                        self._fail_stage(
+                            session, state, name, release_us,
+                            f"stage {name!r} failed to bind: {exc}")
+                        progress = True
+                        continue
+                    session.planner.release(stage)
+                    released = True
+                    progress = True
+        for dag_id in session.order:
+            state = session.dags.get(dag_id)
+            if state is not None and not state.done:
+                self._maybe_assemble(session, state)
+        return released
+
+    def _fail_stage(self, session: _Session, state: _DagState, name: str,
+                    fail_us: float, error: str) -> None:
+        """Record one stage as failed without it ever reaching the
+        planner (cascade from a failed parent, or a binding error).
+        ``start_us`` equals the failure time so the stage contributes
+        zero service time to the graph's critical-path math."""
+        sid = session.stage_id()
+        state.stage_ids[name] = sid
+        state.released.add(name)
+        session.stages[sid] = (state.sreq.request_id, name)
+        record = RequestRecord(
+            request_id=sid,
+            workload=state.request.node(name).workload,
+            status=STATUS_FAILED,
+            priority=state.sreq.priority,
+            arrival_us=fail_us,
+            start_us=fail_us,
+            completion_us=fail_us,
+            tenant=state.sreq.tenant,
+            dag_id=state.sreq.request_id,
+            stage=name,
+            error=error)
+        self.telemetry.add(record)
+        session.results[sid] = ServeResult(record=record)
+
+    def _maybe_assemble(self, session: _Session, state: _DagState) -> None:
+        if state.done or len(state.stage_ids) < len(state.request.nodes):
+            return
+        if any(session.results.get(sid) is None
+               for sid in state.stage_ids.values()):
+            return
+        state.done = True
+        self._assemble_dag(session, state)
+
+    def _assemble_dag(self, session: _Session, state: _DagState) -> None:
+        """Fold the settled stage results into the graph's own
+        :class:`ServeResult`: the record spans arrival to the last stage
+        completion (the served makespan) and carries the dependency
+        critical path; the response exposes the sink's values plus every
+        node's output in node order — the same envelope the standalone
+        golden ``"dag"`` workload returns."""
+        request, sreq = state.request, state.sreq
+        stage_results = {name: session.results[state.stage_ids[name]]
+                         for name, _ in request.nodes}
+        records = {name: res.record for name, res in stage_results.items()}
+        ok = all(res.ok for res in stage_results.values())
+        completion_us = max(r.completion_us for r in records.values())
+        critical_path = request.critical_path_us(
+            {name: rec.service_us for name, rec in records.items()
+             if rec.status == STATUS_OK})
+        ok_records = [r for r in records.values() if r.status == STATUS_OK]
+        error = ""
+        if not ok:
+            for name in request.topological_order():
+                if records[name].status != STATUS_OK:
+                    error = (f"stage {name!r}: "
+                             f"{records[name].error or records[name].status}")
+                    break
+        record = RequestRecord(
+            request_id=sreq.request_id,
+            workload="dag",
+            status=STATUS_OK if ok else STATUS_FAILED,
+            priority=sreq.priority,
+            arrival_us=sreq.arrival_us,
+            dispatch_us=min((r.dispatch_us for r in ok_records),
+                            default=sreq.arrival_us),
+            start_us=min((r.start_us for r in ok_records),
+                         default=sreq.arrival_us),
+            completion_us=completion_us,
+            deadline_us=sreq.deadline_us,
+            deadline_missed=(sreq.deadline_us is not None
+                             and completion_us > sreq.deadline_us),
+            group_banks=1,
+            shard=records[request.sink_name].shard,
+            tenant=sreq.tenant,
+            bus_wait_us=sum(r.bus_wait_us for r in records.values()),
+            cycles=sum(r.cycles for r in records.values()),
+            energy_nj=sum(r.energy_nj for r in records.values()),
+            attempts=max(r.attempts for r in records.values()),
+            critical_path_us=critical_path,
+            error=error)
+        response = None
+        if ok:
+            responses = {name: res.response
+                         for name, res in stage_results.items()}
+            counters: Dict[str, int] = {}
+            for resp in responses.values():
+                for key, val in resp.counters.items():
+                    counters[key] = counters.get(key, 0) + val
+            makespan = record.latency_us
+            metrics = {"stages": float(len(request.nodes)),
+                       "critical_path_us": critical_path,
+                       "makespan_us": makespan,
+                       "critical_path_stretch": (makespan / critical_path
+                                                 if critical_path else 0.0)}
+            if request.label:
+                metrics["label"] = request.label
+            response = SimResponse(
+                workload="dag",
+                values=list(responses[request.sink_name].values),
+                outputs=[list(responses[name].values)
+                         for name, _ in request.nodes],
+                cycles=record.cycles,
+                latency_us=makespan,
+                energy_nj=record.energy_nj,
+                verified=all(resp.verified for resp in responses.values()),
+                command_count=sum(resp.command_count
+                                  for resp in responses.values()),
+                counters=counters,
+                metrics=metrics,
+                request=request)
+        self.telemetry.add(record)
+        session.results[sreq.request_id] = ServeResult(
+            record=record, response=response, stages=stage_results)
+
+    def _settle_loop(self, session: _Session, pool,
+                     horizon_us: Optional[float]) -> None:
+        """Settle-then-release fixpoint: each settle pass can finalize
+        parent stages, each release pass can hand the planner newly
+        unblocked stages (possibly at past virtual times — the planner's
+        :meth:`~repro.serve.scheduler.PlanSession.release` path), which
+        the next settle pass executes.  Terminates because every
+        iteration strictly shrinks the set of unreleased stages."""
+        while True:
+            self._settle(session, pool, horizon_us=horizon_us)
+            if not self._release_ready(session):
+                return
+            if horizon_us is None:
+                session.planner.flush()
+            else:
+                session.planner.advance(session.planner.now_us)
+            self._absorb(session)
 
     def _absorb(self, session: _Session) -> None:
         """Move newly planned units onto their shards' backlogs and
         newly dropped requests into results/telemetry."""
         planner = session.planner
         for record in planner.dropped[session._drop_cursor:]:
+            stage = session.stages.get(record.request_id)
+            if stage is not None:
+                record.dag_id, record.stage = stage
             self.telemetry.add(record)
             session.results[record.request_id] = ServeResult(record=record)
         session._drop_cursor = len(planner.dropped)
@@ -488,7 +780,7 @@ class SimServer:
         session.planner.flush()
         self._absorb(session)
         with make_pool(self.workers, self.worker_threads) as pool:
-            self._settle(session, pool, horizon_us=None)
+            self._settle_loop(session, pool, horizon_us=None)
 
         # Advance the session clock past everything this session touched.
         clock = session.max_arrival_us
@@ -718,6 +1010,9 @@ class SimServer:
                 cycles=grouped.cycles // banks,
                 energy_nj=grouped.energy_nj / banks,
                 attempts=attempt.attempt)
+            stage = session.stages.get(member.request_id)
+            if stage is not None:
+                record.dag_id, record.stage = stage
             self.telemetry.add(record)
             session.results[member.request_id] = ServeResult(
                 record=record, response=response)
@@ -762,6 +1057,9 @@ class SimServer:
                 tenant=member.tenant,
                 attempts=attempt.attempt,
                 error=str(error))
+            stage = session.stages.get(member.request_id)
+            if stage is not None:
+                record.dag_id, record.stage = stage
             self.telemetry.add(record)
             session.results[member.request_id] = ServeResult(record=record)
 

@@ -91,6 +91,17 @@ class RequestRecord:
     #: the ShardFailure/FunctionalMismatch message for failed/retried
     #: dispatches — the surfaced form of the error hierarchy).
     error: str = ""
+    #: Owning DAG's request id when this record is one *stage* of a
+    #: :class:`~repro.api.DagRequest` (0 = a top-level request).  Stage
+    #: records roll into the ``dag`` sub-rollup instead of the headline
+    #: counts — the client-visible unit of DAG traffic is the graph.
+    dag_id: int = 0
+    #: Node name within the owning DAG ("" = not a stage).
+    stage: str = ""
+    #: Whole-DAG records only: the dependency critical-path length (the
+    #: longest chain of stage service times) — the makespan lower bound
+    #: the dependency-aware scheduler is judged against.
+    critical_path_us: float = 0.0
 
     @property
     def latency_us(self) -> float:
@@ -105,6 +116,40 @@ class RequestRecord:
     @property
     def service_us(self) -> float:
         return self.completion_us - self.start_us
+
+
+def _dag_rollup(records: List["RequestRecord"],
+                stage_records: List["RequestRecord"]) -> Dict[str, object]:
+    """The ``dag`` snapshot sub-section: whole-graph records (workload
+    ``"dag"`` among the top-level ``records``) vs their stage records.
+
+    ``critical_path_stretch`` is the aggregate ratio of actual served
+    makespans to dependency critical paths over completed graphs —
+    >= 1.0 by construction (a served graph can queue, batch and contend
+    for the bus, but can never beat its own dependency chain).
+    """
+    dags = [r for r in records if r.workload == "dag"]
+    done = [r for r in dags if r.status == STATUS_OK]
+    stage_done = [r for r in stage_records if r.status == STATUS_OK]
+    stage_latencies = [r.latency_us for r in stage_done]
+    stage_waits = [r.queue_wait_us for r in stage_done]
+    critical_paths = [r.critical_path_us for r in done]
+    makespans = [r.latency_us for r in done]
+    return {
+        "dags": len(dags),
+        "completed": len(done),
+        "stages": len(stage_records),
+        "stage_latency_p50_us": percentile(stage_latencies, 50.0),
+        "stage_latency_p99_us": percentile(stage_latencies, 99.0),
+        "stage_queue_wait_p50_us": percentile(stage_waits, 50.0),
+        "stage_queue_wait_p99_us": percentile(stage_waits, 99.0),
+        "critical_path_mean_us": (sum(critical_paths) / len(critical_paths)
+                                  if critical_paths else 0.0),
+        "makespan_mean_us": (sum(makespans) / len(makespans)
+                             if makespans else 0.0),
+        "critical_path_stretch": (sum(makespans) / sum(critical_paths)
+                                  if sum(critical_paths) > 0 else 0.0),
+    }
 
 
 class Telemetry:
@@ -277,6 +322,12 @@ class Telemetry:
                 "shed": self.shed,
                 "shrunk_windows": self.shrunk_windows,
             }
+        # DAG stage records are internal work units of a graph request:
+        # the headline counts/latencies cover the *graph* (whose record
+        # carries the summed cycles/energy), while the stages feed the
+        # "dag" sub-rollup below.
+        stage_records = [r for r in records if r.dag_id]
+        records = [r for r in records if not r.dag_id]
         done = [r for r in records if r.status == STATUS_OK]
         orphaned = sum(r.status == STATUS_ORPHANED for r in records)
         latencies = [r.latency_us for r in done]
@@ -325,6 +376,7 @@ class Telemetry:
                                 if makespan_us > 0 else 0.0),
             "bus_wait_p99_us": percentile(bus_waits, 99.0),
             "resilience": resilience,
+            "dag": _dag_rollup(records, stage_records),
         }
         if cache:
             snapshot["cache"] = cache
@@ -358,6 +410,15 @@ class Telemetry:
             f"device totals  : {s['total_cycles']} cycles, "
             f"{s['total_energy_nj']:.1f} nJ",
         ]
+        dag = s.get("dag") or {}
+        if dag.get("dags"):
+            lines.append(
+                f"dag workloads  : {dag['dags']} graphs "
+                f"({dag['stages']} stages), critical path "
+                f"mean={dag['critical_path_mean_us']:.2f} us, makespan "
+                f"mean={dag['makespan_mean_us']:.2f} us "
+                f"(stretch x{dag['critical_path_stretch']:.2f}); stage "
+                f"latency p99={dag['stage_latency_p99_us']:.2f} us")
         if s["bus_busy_us"] > 0:
             lines.append(f"shared bus     : "
                          f"{s['bus_utilization'] * 100:.1f}% utilized, "
@@ -421,6 +482,7 @@ def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
         for key in _WEIGHTED_KEYS:
             merged[key] = 0.0
         merged["resilience"] = {"faults_injected": {}}
+        merged["dag"] = _dag_rollup([], [])
         return merged
     for snap in snapshots:
         for key in _ADDITIVE_KEYS:
@@ -462,5 +524,33 @@ def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
                     "detected_mismatches", "shed", "shrunk_windows"):
             resilience[key] = resilience.get(key, 0) + res.get(key, 0)
     merged["resilience"] = resilience
+    # DAG sub-rollup: counts add; stage percentiles combine weighted by
+    # stage counts, critical-path/makespan means weighted by completed
+    # graphs; the stretch re-derives from the combined means so it stays
+    # the aggregate makespan/critical-path ratio.
+    dag_parts = [snap.get("dag") for snap in snapshots if snap.get("dag")]
+    dag = _dag_rollup([], [])
+    for key in ("dags", "completed", "stages"):
+        dag[key] = sum(int(part.get(key, 0)) for part in dag_parts)
+    stage_weights = [int(part.get("stages", 0)) for part in dag_parts]
+    done_weights = [int(part.get("completed", 0)) for part in dag_parts]
+    for key, weights in (
+            ("stage_latency_p50_us", stage_weights),
+            ("stage_latency_p99_us", stage_weights),
+            ("stage_queue_wait_p50_us", stage_weights),
+            ("stage_queue_wait_p99_us", stage_weights),
+            ("critical_path_mean_us", done_weights),
+            ("makespan_mean_us", done_weights)):
+        total = sum(weights)
+        dag[key] = (sum(float(part.get(key, 0.0)) * w
+                        for part, w in zip(dag_parts, weights)) / total
+                    if total else 0.0)
+    total_critical = sum(float(part.get("critical_path_mean_us", 0.0)) * w
+                         for part, w in zip(dag_parts, done_weights))
+    total_makespan = sum(float(part.get("makespan_mean_us", 0.0)) * w
+                         for part, w in zip(dag_parts, done_weights))
+    dag["critical_path_stretch"] = (total_makespan / total_critical
+                                    if total_critical > 0 else 0.0)
+    merged["dag"] = dag
     merged["replicas"] = len(snapshots)
     return merged

@@ -714,8 +714,13 @@ class TestLoadGenerator:
                          ("negacyclic", False), ("negacyclic", True)}
 
     def test_unknown_scenario_raises(self):
-        with pytest.raises(ValueError, match="unknown scenario"):
+        from repro.errors import ServeError
+        with pytest.raises(ServeError, match="unknown scenario") as info:
             make_scenario("nope")
+        # The error is contextful: every available scenario is listed.
+        for name in ("uniform", "skewed", "fhe", "mixed", "chaos", "dag",
+                     "pipeline"):
+            assert name in str(info.value)
 
     def test_tenancy_labels_without_perturbing_the_stream(self):
         """The tenant draw uses a sibling RNG stream: a seeded stream
