@@ -31,10 +31,13 @@ from repro.dram import (
     HBM2E_ARCH,
     HBM2E_TIMING,
     TimingEngine,
+    cached_stream,
+    clear_stream_cache,
     compile_stream,
 )
 from repro.pim.bank_pim import PimBank
-from repro.sim.driver import NttPimDriver
+from repro.pim.params import PimParams
+from repro.sim.driver import NttPimDriver, SimConfig
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_kernels.json"
@@ -43,6 +46,7 @@ DEFAULT_OUT = REPO_ROOT / "BENCH_kernels.json"
 def run(ns=(1024, 4096), repeats: int = 5,
         out_path: Path = DEFAULT_OUT) -> dict:
     section = {}
+    compiler = {}
     for n in ns:
         q = find_ntt_prime(n, 32)
         params = NttParams(n, q)
@@ -51,9 +55,21 @@ def run(ns=(1024, 4096), repeats: int = 5,
         engine = TimingEngine(HBM2E_TIMING, HBM2E_ARCH,
                               compute=driver.config.pim.compute_timing())
 
-        compile_start = time.perf_counter()
+        # Cold compile = full IR pipeline every call (compile_stream
+        # never caches); warm = structural stream-cache hit.
+        compile_s = _best_of(lambda: compile_stream(commands, HBM2E_ARCH),
+                             repeats)
         stream = compile_stream(commands, HBM2E_ARCH)
-        compile_s = time.perf_counter() - compile_start
+        clear_stream_cache()
+        warm_s = _best_of(
+            lambda: cached_stream(commands, HBM2E_ARCH, key=("bench", n)),
+            repeats)
+        compiler[str(n)] = {
+            "commands": len(commands),
+            "cold_compile_s": compile_s,
+            "cold_us_per_cmd": compile_s / len(commands) * 1e6,
+            "warm_hit_s": warm_s,
+        }
 
         legacy_s = _best_of(lambda: engine.simulate(commands), repeats)
         stream_s = _best_of(lambda: engine.simulate_stream(stream), repeats)
@@ -87,8 +103,42 @@ def run(ns=(1024, 4096), repeats: int = 5,
             "bank_stream_s": bank_stream_s,
             "bank_speedup": bank_legacy_s / bank_stream_s,
         }
-    merge_sections(out_path, {"timing_engine": section})
-    return {"timing_engine": section}
+    compiler["nb1"] = _bench_nb1(repeats)
+    results = {"timing_engine": section, "compiler": compiler}
+    merge_sections(out_path, results)
+    return results
+
+
+def _bench_nb1(repeats: int, n: int = 256) -> dict:
+    """Nb=1 µ-op programs: the lane-renaming pass must fuse them, and
+    the fused run must beat the per-command fallback (the pre-compiler
+    behavior, reproduced by toggling the ``lane_fuse`` pass off)."""
+    q = find_ntt_prime(n, 32)
+    config = SimConfig(pim=PimParams(nb_buffers=1))
+    commands = NttPimDriver(config).map_commands(NttParams(n, q))
+    fused = compile_stream(commands, HBM2E_ARCH)
+    fallback = compile_stream(commands, HBM2E_ARCH,
+                              passes={"rename", "group", "pool"})
+    assert fused.plan is not None and fused.plan.mode == "lane"
+    assert fallback.plan is None
+    rng = random.Random(n)
+    data = bit_reverse_permute([rng.randrange(q) for _ in range(n)])
+
+    def run_bank(stream):
+        bank = PimBank(config.arch, config.pim)
+        bank.set_parameters(q)
+        bank.load_polynomial(0, list(data))
+        bank.run_stream(stream)
+
+    fused_s = _best_of(lambda: run_bank(fused), repeats)
+    fallback_s = _best_of(lambda: run_bank(fallback), repeats)
+    return {
+        "n": n,
+        "commands": len(commands),
+        "fused_s": fused_s,
+        "fallback_s": fallback_s,
+        "fused_speedup": fallback_s / fused_s,
+    }
 
 
 def _format(results: dict) -> str:
@@ -103,6 +153,19 @@ def _format(results: dict) -> str:
             f"{entry['bank_stream_s'] * 1e3:6.2f} ms "
             f"({entry['bank_speedup']:4.1f}x)  "
             f"compile {entry['compile_s'] * 1e3:6.1f} ms")
+    lines.append("compiler: cold IR pipeline vs warm cache hit:")
+    for n, entry in results["compiler"].items():
+        if n == "nb1":
+            continue
+        lines.append(
+            f"  N={n:>5s}  cold {entry['cold_compile_s'] * 1e3:6.2f} ms "
+            f"({entry['cold_us_per_cmd']:.2f} us/cmd)  "
+            f"warm {entry['warm_hit_s'] * 1e6:6.1f} us")
+    nb1 = results["compiler"]["nb1"]
+    lines.append(
+        f"  Nb=1 N={nb1['n']} ({nb1['commands']} u-op cmds): lane-fused "
+        f"{nb1['fused_s'] * 1e3:.2f} ms vs per-command "
+        f"{nb1['fallback_s'] * 1e3:.2f} ms ({nb1['fused_speedup']:.1f}x)")
     return "\n".join(lines)
 
 
@@ -134,6 +197,8 @@ def test_stream_engine_smoke(show, tmp_path):
     results = run(ns=(256,), repeats=2,
                   out_path=tmp_path / "BENCH_kernels.json")
     assert results["timing_engine"]["256"]["engine_speedup"] > 0
+    assert results["compiler"]["256"]["cold_us_per_cmd"] > 0
+    assert results["compiler"]["nb1"]["fused_speedup"] > 0
 
 
 def main(argv=None) -> int:

@@ -9,6 +9,9 @@ committed floor:
 * stream engine: the compiled-stream timing loop and the fused
   functional bank must not be slower than the legacy per-command loops
   (measured ~4x / ~7x; the floor is 1.0 with headroom for CI noise);
+* compiler: the pass-based IR pipeline's cold compile must stay below
+  the retired monolith's ~2.3 us/command rate, and the Nb=1 lane-fused
+  run must not be slower than the per-command fallback it replaced;
 * shared bus: the contention model must report real utilization and
   never beat the independent-channel upper bound;
 * resilience: under injected faults the recovery policies must keep
@@ -49,6 +52,15 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SERVE_SPEEDUP_FLOOR = 2.0
 ENGINE_SPEEDUP_FLOOR = 1.0
 BANK_SPEEDUP_FLOOR = 1.0
+#: The retired monolithic ``compile_stream`` measured ~2.3 us/command
+#: cold (39.8 ms on the 17k-command N=4096 program); the pass-based IR
+#: pipeline measures ~1.2 us/command and must never creep back above
+#: the monolith's rate.
+COMPILE_US_PER_CMD_CEILING = 2.3
+#: Nb=1 µ-op programs fuse through the lane-renaming pass; the fused
+#: run must not be slower than the per-command fallback it replaced
+#: (measured ~4x faster).
+NB1_FUSED_SPEEDUP_FLOOR = 1.0
 #: With the standard policy on, availability under every swept fault
 #: rate must stay at/above this (measured 1.0 at rates 0.1 and 0.25).
 RESILIENCE_AVAILABILITY_FLOOR = 0.9
@@ -204,7 +216,31 @@ def check(kernels_path: Path = REPO_ROOT / "BENCH_kernels.json",
                 f"{entry['goodput_ratio']:.2f}x fell below the "
                 f"{AUTOSCALE_GOODPUT_RATIO_FLOOR}x static-fleet floor")
 
-    engine = json.loads(kernels_path.read_text())["timing_engine"]
+    kernels = json.loads(kernels_path.read_text())
+    compiler = kernels.get("compiler", {})
+    for n, entry in compiler.items():
+        if n == "nb1":
+            continue
+        print(f"compiler: N={n} cold {entry['cold_compile_s'] * 1e3:.2f} ms "
+              f"({entry['cold_us_per_cmd']:.2f} us/cmd, ceiling "
+              f"{COMPILE_US_PER_CMD_CEILING}), warm "
+              f"{entry['warm_hit_s'] * 1e6:.1f} us")
+        if entry["cold_us_per_cmd"] > COMPILE_US_PER_CMD_CEILING:
+            failures.append(
+                f"compiler N={n}: cold compile {entry['cold_us_per_cmd']:.2f} "
+                f"us/cmd exceeds the {COMPILE_US_PER_CMD_CEILING} us/cmd "
+                f"monolith-rate ceiling")
+    if "nb1" in compiler:
+        nb1 = compiler["nb1"]
+        print(f"compiler: Nb=1 N={nb1['n']} lane-fused speedup "
+              f"{nb1['fused_speedup']:.2f}x over per-command "
+              f"(floor {NB1_FUSED_SPEEDUP_FLOOR}x)")
+        if nb1["fused_speedup"] < NB1_FUSED_SPEEDUP_FLOOR:
+            failures.append(
+                f"compiler Nb=1: lane-fused run slower than the "
+                f"per-command fallback ({nb1['fused_speedup']:.2f}x)")
+
+    engine = kernels["timing_engine"]
     for n, entry in engine.items():
         print(f"engine: N={n} stream {entry['engine_speedup']:.2f}x, "
               f"fused bank {entry['bank_speedup']:.2f}x (floors "

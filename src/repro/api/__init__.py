@@ -17,12 +17,14 @@ One entry point for every run shape of the paper's evaluation::
 * a string-keyed workload registry (:mod:`repro.api.registry`) lets
   third-party scenarios plug in without touching core code;
 * :meth:`Simulator.run_many` dispatches bulk request streams across
-  banks automatically.
-
-The pre-facade entry points (``NttPimDriver.run_ntt*``,
-``repro.sim.batch.run_batch``, ``repro.sim.multibank.run_multibank``)
-remain as deprecation shims producing identical results.
+  banks automatically;
+* :func:`repro.compile.compile_request` (re-exported here) runs just
+  the deterministic compile side of a request — mapping, IR passes,
+  stream lowering — returning a
+  :class:`~repro.compile.api.CompiledProgram`.
 """
+
+from ..compile.api import CompiledProgram, compile_request
 
 from .registry import (
     UnknownWorkloadError,
@@ -32,6 +34,7 @@ from .registry import (
     workload_names,
 )
 from .requests import (
+    BankSpec,
     BatchRequest,
     FheOpRequest,
     KyberKemRequest,
@@ -58,6 +61,7 @@ __all__ = [
     "NttRequest",
     "NegacyclicRequest",
     "BatchRequest",
+    "BankSpec",
     "MultiBankRequest",
     "FheOpRequest",
     "ProgramRequest",
@@ -67,4 +71,6 @@ __all__ = [
     "SimResponse",
     "Simulator",
     "merge_key",
+    "CompiledProgram",
+    "compile_request",
 ]

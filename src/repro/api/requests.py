@@ -40,7 +40,7 @@ from ..errors import RequestValidationError
 from ..ntt.negacyclic import NegacyclicParams
 
 __all__ = ["SimRequest", "NttRequest", "NegacyclicRequest", "BatchRequest",
-           "MultiBankRequest", "FheOpRequest", "ProgramRequest",
+           "BankSpec", "MultiBankRequest", "FheOpRequest", "ProgramRequest",
            "KyberKemRequest"]
 
 
@@ -143,14 +143,49 @@ class BatchRequest(SimRequest):
 
 
 @dataclass(frozen=True)
+class BankSpec:
+    """One bank's transform kind in a mixed-kind
+    :class:`MultiBankRequest`: a cyclic NTT (``params``) or a merged
+    negacyclic transform (``ring``) — exactly one of the two — with
+    ``inverse`` selecting the inverse transform (host-side 1/N scale
+    applied, exactly as the standalone request runs it)."""
+
+    params: Optional[NttParams] = None
+    ring: Optional[NegacyclicParams] = None
+    inverse: bool = False
+
+    @property
+    def n(self) -> int:
+        """Polynomial length of whichever kind is set."""
+        return self.ring.n if self.ring is not None else self.params.n
+
+    def validate(self, label: str = "bank spec") -> None:
+        if (self.params is None) == (self.ring is None):
+            raise RequestValidationError(
+                f"{label}: set exactly one of params (cyclic) or "
+                "ring (negacyclic)")
+        if self.ring is not None and not isinstance(self.ring,
+                                                    NegacyclicParams):
+            raise RequestValidationError(
+                f"{label}: ring must be a NegacyclicParams")
+        if self.params is not None and not isinstance(self.params, NttParams):
+            raise RequestValidationError(
+                f"{label}: params must be an NttParams")
+
+
+@dataclass(frozen=True)
 class MultiBankRequest(SimRequest):
     """One independent transform per bank on the shared command bus
     (Sec. VI.A / Conclusion — the RNS-limb-per-bank deployment).
 
-    The per-bank transform is a cyclic NTT (``params``) or a merged
-    negacyclic transform (``ring``) — exactly one of the two — and
-    ``inverse=True`` runs the inverse transform including the host-side
-    1/N scale, so every bank's output is bit-identical to the matching
+    The homogeneous convenience form sets ``params`` (cyclic NTT) or
+    ``ring`` (merged negacyclic) — exactly one of the two — and every
+    bank runs that transform, with ``inverse=True`` selecting the
+    inverse (host-side 1/N scale applied).  The general form sets
+    ``specs`` instead: one :class:`BankSpec` per input row, so a single
+    bus dispatch can mix kinds and directions across banks (e.g.
+    forward and inverse limbs of one shape interleaved together).
+    Either way, every bank's output is bit-identical to the matching
     single-request :class:`NttRequest` / :class:`NegacyclicRequest`
     run.  This is the dispatch shape the serving layer's batching
     scheduler coalesces all three transform kinds into.
@@ -162,16 +197,51 @@ class MultiBankRequest(SimRequest):
     inputs: Tuple[Tuple[int, ...], ...] = ()
     inverse: bool = False
     ring: Optional[NegacyclicParams] = None
+    specs: Optional[Tuple["BankSpec", ...]] = None
 
     def __post_init__(self):
         object.__setattr__(self, "inputs", _freeze_nested(self.inputs))
+        if self.specs is not None:
+            object.__setattr__(self, "specs", tuple(self.specs))
 
     @property
     def n(self) -> int:
-        """Per-bank polynomial length of whichever kind is set."""
+        """Per-bank polynomial length (homogeneous form only)."""
         return self.ring.n if self.ring is not None else self.params.n
 
+    def bank_specs(self) -> Tuple["BankSpec", ...]:
+        """One :class:`BankSpec` per bank, whichever form was used."""
+        if self.specs is not None:
+            return self.specs
+        return tuple(BankSpec(params=self.params, ring=self.ring,
+                              inverse=self.inverse)
+                     for _ in self.inputs)
+
     def validate(self) -> None:
+        if len(self.inputs) < 1:
+            raise RequestValidationError("need at least one bank's input")
+        if self.specs is not None:
+            if self.params is not None or self.ring is not None:
+                raise RequestValidationError(
+                    "set either specs or the homogeneous params/ring "
+                    "fields, not both")
+            if self.inverse:
+                raise RequestValidationError(
+                    "with specs, put inverse on each BankSpec")
+            if len(self.specs) != len(self.inputs):
+                raise RequestValidationError(
+                    f"got {len(self.specs)} specs for "
+                    f"{len(self.inputs)} input rows")
+            for i, (spec, row) in enumerate(zip(self.specs, self.inputs)):
+                if not isinstance(spec, BankSpec):
+                    raise RequestValidationError(
+                        f"bank {i}: specs entries must be BankSpec")
+                spec.validate(label=f"bank {i}")
+                if len(row) != spec.n:
+                    raise RequestValidationError(
+                        f"bank {i}: expected {spec.n} values, "
+                        f"got {len(row)}")
+            return
         if (self.params is None) == (self.ring is None):
             raise RequestValidationError(
                 "set exactly one of params (cyclic) or ring (negacyclic)")
@@ -180,8 +250,6 @@ class MultiBankRequest(SimRequest):
             raise RequestValidationError("ring must be a NegacyclicParams")
         if self.params is not None and not isinstance(self.params, NttParams):
             raise RequestValidationError("params must be an NttParams")
-        if len(self.inputs) < 1:
-            raise RequestValidationError("need at least one bank's input")
         for i, row in enumerate(self.inputs):
             if len(row) != self.n:
                 raise RequestValidationError(

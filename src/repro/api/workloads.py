@@ -39,17 +39,18 @@ from .requests import (
 from .response import SimResponse
 
 __all__ = ["response_from_run", "response_from_schedule",
-           "precompile_request", "multibank_spec"]
+           "precompile_request", "multibank_specs"]
 
 
-def multibank_spec(request: "MultiBankRequest") -> TransformSpec:
-    """The per-bank :class:`TransformSpec` of a multi-bank request —
-    the one place the request's kind fields lower into the engine room."""
-    return TransformSpec(
-        kind="negacyclic" if request.ring is not None else "ntt",
-        inverse=request.inverse,
-        params=request.params,
-        ring=request.ring)
+def multibank_specs(request: "MultiBankRequest") -> List[TransformSpec]:
+    """The per-bank :class:`TransformSpec` list of a multi-bank request
+    — the one place the request's kind fields lower into the engine
+    room.  Mixed-kind requests (``specs``) map one entry per bank."""
+    return [TransformSpec(
+        kind="negacyclic" if spec.ring is not None else "ntt",
+        inverse=spec.inverse,
+        params=spec.params,
+        ring=spec.ring) for spec in request.bank_specs()]
 
 
 def precompile_request(config: SimConfig, request) -> bool:
@@ -93,7 +94,7 @@ def precompile_request(config: SimConfig, request) -> bool:
             return True
         if type(request) is MultiBankRequest:
             programs, stream, key = compile_multibank(
-                multibank_spec(request), len(request.inputs), config)
+                multibank_specs(request), len(request.inputs), config)
             warm(stream, key)
             warm(programs[0].commands, programs[0].key)
             # Functional execution replays every bank's own stream.
@@ -207,7 +208,7 @@ def run_multibank_workload(config: SimConfig,
     """One transform per bank on the shared bus (Sec. VI.A /
     Conclusion); cyclic forward/inverse or merged negacyclic."""
     result: MultiBankResult = _run_multibank(
-        [list(row) for row in request.inputs], multibank_spec(request),
+        [list(row) for row in request.inputs], multibank_specs(request),
         config)
     response = response_from_schedule("multibank", result.schedule, raw=result)
     if result.bu_ops:

@@ -6,6 +6,9 @@ Subcommands::
                      (ntt | negacyclic | batch | multibank | fhe;
                      --backend picks the compute backend, --cache-info
                      prints program/schedule cache statistics)
+    compile          compile one workload through the repro.compile
+                     pass pipeline without running it (--dump-ir
+                     prints the SoA IR, --passes selects passes)
     serve            drive synthetic open-loop traffic through the
                      repro.serve layer (batching scheduler, shards,
                      worker pool) and print the telemetry rollup;
@@ -129,6 +132,41 @@ def _cmd_run(args) -> int:
                   f"schedule {response.cache['schedule']}")
             print(f"wall time      : {response.wall_time_s * 1e3:.2f} ms")
             _print_cache_info(simulator)
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    if args.workload not in ("ntt", "negacyclic", "batch", "multibank"):
+        print(f"unknown compile workload {args.workload!r}; choose from "
+              "ntt, negacyclic, batch, multibank", file=sys.stderr)
+        return 2
+    from .api import compile_request
+    from .compile.passes import PASS_NAMES
+
+    passes = None
+    if args.passes is not None:
+        passes = frozenset(p for p in args.passes.split(",") if p)
+        unknown = passes - set(PASS_NAMES)
+        if unknown:
+            print(f"unknown passes: {', '.join(sorted(unknown))} "
+                  f"(available: {', '.join(PASS_NAMES)})", file=sys.stderr)
+            return 2
+    compiled = compile_request(_build_request(args), _make_config(args),
+                               passes=passes)
+    if args.dump_ir:
+        print(compiled.ir.describe())
+        print(f"passes: {', '.join(compiled.passes) or '(none)'}")
+        if compiled.fused:
+            stats = compiled.pass_stats
+            print(f"plan: mode={stats.get('mode')} "
+                  f"ops={len(compiled.stream.plan.ops)} "
+                  f"groups={stats.get('groups')} "
+                  f"depth={stats.get('depth')} "
+                  f"virtual={stats.get('n_virtual')}")
+        else:
+            print(f"fallback: {compiled.stream.fallback_reason}")
+    else:
+        print(compiled.describe())
     return 0
 
 
@@ -343,6 +381,22 @@ def main(argv=None) -> int:
     run_p.add_argument("--native", action="store_true",
                        help="fhe: use the native merged negacyclic mapping")
 
+    compile_p = subs.add_parser(
+        "compile", help="compile one workload's command stream "
+                        "through the IR pass pipeline (no execution)")
+    compile_p.add_argument("workload", nargs="?", default="ntt",
+                           help="ntt | negacyclic | batch | multibank "
+                                "(default ntt)")
+    _add_run_args(compile_p)
+    compile_p.add_argument("--count", type=int, default=4,
+                           help="polynomials for batch/multibank "
+                                "(default 4)")
+    compile_p.add_argument("--dump-ir", action="store_true",
+                           help="print the SoA IR column summary")
+    compile_p.add_argument("--passes", default=None,
+                           help="comma-separated pass subset (default: "
+                                "all; empty string = none)")
+
     serve_p = subs.add_parser(
         "serve", help="drive synthetic traffic through the serving layer")
     serve_p.add_argument("--scenario", default="skewed",
@@ -462,6 +516,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "compile":
+        return _cmd_compile(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "trace":

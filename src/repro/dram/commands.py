@@ -140,6 +140,23 @@ class Command:
                   CommandType.STORE_SCALAR}
         if self.ctype in scalar and (self.buf is None or self.lane is None):
             raise ValueError(f"{self.ctype.value} requires a buffer and a lane")
+        # Precomputed integer row for the compiler's SoA IR (``-1`` =
+        # field unused).  Commands are built once at map time and the
+        # program cache shares them, so paying the tuple here keeps
+        # StreamIR.from_commands — the cold-compile hot path — a single
+        # C-level np.array over these rows.
+        object.__setattr__(self, "ir_row", (
+            CTYPE_CODES[self.ctype],
+            self.bank,
+            -1 if self.row is None else self.row,
+            -1 if self.col is None else self.col,
+            -1 if self.buf is None else self.buf,
+            -1 if self.buf2 is None else self.buf2,
+            -1 if self.lane is None else self.lane,
+            self.gs,
+            self.omega0 is not None,
+            self.r_omega is not None,
+            len(self.zetas)))
 
     def describe(self) -> str:
         """Short human-readable form for traces and timing diagrams."""

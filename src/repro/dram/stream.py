@@ -1,6 +1,9 @@
-"""Compiled command streams: SoA programs + fused functional macro-ops.
+"""Compiled command streams: the executable output of the compiler tier.
 
-A command program is compiled **once** into a :class:`CommandStream`:
+A command program is compiled **once** into a :class:`CommandStream` by
+the pass-based IR compiler in :mod:`repro.compile` (program ->
+:class:`~repro.compile.ir.StreamIR` -> {renaming, depth-grouping,
+lane-fusion, pooling, interleave} passes -> this class):
 
 * **SoA columns** — NumPy int64 arrays for ctype code, bank, row, col,
   buf/buf2/lane, flat dependency ranges, plus side tables for the
@@ -8,43 +11,38 @@ A command program is compiled **once** into a :class:`CommandStream`:
   (:meth:`repro.dram.engine.TimingEngine.simulate_stream`) walks
   pre-decoded Python-list mirrors of these columns — no enum dispatch,
   no attribute lookups, no per-command object construction.
-* **A functional execution plan** — the compiler renames atom buffers
-  (every buffer write creates a fresh virtual version, like register
-  renaming in an OoO core) and groups same-type commands by dependency
-  depth.  All C1 commands of one butterfly-stage pass land in a single
-  group and execute as **one** stacked :mod:`repro.arith.vector` call
-  on a ``(k, Na)`` array; likewise C2/C1N stages and CU_READ/CU_WRITE
-  bursts (fancy-indexed gathers/scatters straight against the cell
-  array).  ACT/PRE pairs are validated symbolically at compile time and
-  disappear from the plan entirely: within a validated visit, row
-  buffer and row are exact mirrors, so column ops go directly to the
-  cells.
+* **A functional execution plan** — the renaming pass gives every
+  buffer write a fresh virtual version (like register renaming in an
+  OoO core), the grouping pass levels the hazard graph by longest-path
+  depth, and the pooling pass lowers each level to macro-ops over one
+  shared value pool.  All C1 commands of one butterfly-stage pass land
+  in a single group and execute as **one** stacked
+  :mod:`repro.arith.vector` call on a ``(k, Na)`` array; likewise
+  C2/C1N stages and CU_READ/CU_WRITE bursts (fancy-indexed
+  gathers/scatters straight against the cell array).  ACT/PRE pairs are
+  validated symbolically at compile time and disappear from the plan
+  entirely.  Nb=1 scalar-µ-op programs fuse too, through the
+  lane-granular renaming pass.
 
-Renaming is what makes the grouping wide: with ``Nb = 2`` buffers the
-mapper reuses b0/b1 every iteration, so *consecutive*-run fusion would
-batch at most two commands — versioned buffers erase those WAR/WAW
-hazards and let a whole stage's worth of independent chains collapse
-into one macro-op per command type.
-
-Programs the plan cannot prove safe (scalar µ-op mappings, WR with host
-data, protocol violations, rows left open at program end, missing
-twiddle payloads) compile with ``plan = None`` and execute through the
-legacy per-command loop — the ground-truth path — raising the same
-errors at the same commands.
+Programs the passes cannot prove safe (WR with host data, protocol
+violations, rows left open at program end, missing twiddle payloads)
+compile with ``plan = None`` and execute through the legacy per-command
+loop — the ground-truth path — raising the same errors at the same
+commands.
 
 Streams are cached under the same structural keys as the PR 2 schedule
-cache (program-cache keys or merge recipes over them), so merged
-batch/multibank programs compile once per shape.
+cache (program-cache keys or merge recipes over them) plus the active
+pass set, so merged batch/multibank programs compile once per shape.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._cache import ArtifactCache
+from ..compile.plan import FunctionalPlan
 from .commands import CODE_CTYPES, CTYPE_CODES, Command, CommandType
 from .timing import ArchParams
 
@@ -62,374 +60,140 @@ CTYPE_CODE: Dict[CommandType, int] = CTYPE_CODES
 # frequency in real programs: 2 = column, 3 = compute/PARAM, 0 = ACT,
 # 1 = PRE.
 CAT_ACT, CAT_PRE, CAT_COLUMN, CAT_COMPUTE = 0, 1, 2, 3
-_CAT_BY_CODE = tuple(
-    CAT_ACT if ct is CommandType.ACT else
-    CAT_PRE if ct is CommandType.PRE else
-    CAT_COLUMN if ct.is_column else
-    CAT_COMPUTE
-    for ct in CTYPES)
-_WRITE_LIKE_BY_CODE = tuple(ct.is_write_like for ct in CTYPES)
-
-_CODE_ACT = CTYPE_CODE[CommandType.ACT]
-_CODE_PRE = CTYPE_CODE[CommandType.PRE]
-_CODE_RD = CTYPE_CODE[CommandType.RD]
-_CODE_WR = CTYPE_CODE[CommandType.WR]
-_CODE_CU_READ = CTYPE_CODE[CommandType.CU_READ]
-_CODE_CU_WRITE = CTYPE_CODE[CommandType.CU_WRITE]
-_CODE_C1 = CTYPE_CODE[CommandType.C1]
-_CODE_C2 = CTYPE_CODE[CommandType.C2]
-_CODE_C1N = CTYPE_CODE[CommandType.C1N]
-_CODE_PARAM = CTYPE_CODE[CommandType.PARAM_WRITE]
 
 
-@dataclass
-class FunctionalPlan:
-    """Depth-grouped macro-ops for :meth:`repro.pim.bank_pim.PimBank.run_stream`.
-
-    ``ops`` entries (executed in order):
-
-    * ``("param", cmd_index)`` — latch the staged modulus.
-    * ``("read", rows, cols, vouts)`` — gather ``k`` atoms from the
-      cell array into fresh virtual-buffer versions.
-    * ``("write", rows, cols, vins)`` — scatter ``k`` versions back.
-    * ``("c1", vins, vouts, omegas)`` — one stacked intra-atom NTT.
-    * ``("c2", pins, sins, pouts, souts, omega0s, r_omegas, gs)``.
-    * ``("c1n", vins, vouts, zetas_rows, gs)``.
-
-    Virtual buffer ids are dense ints; ``init_versions`` seeds them from
-    the physical buffers at run start and ``final_versions`` restores
-    the physical buffer file afterwards.  ``max_buffer`` is the largest
-    physical buffer index the program touches: the executor refuses to
-    fuse when it exceeds the bank's buffer file (the legacy loop then
-    raises the range error at the offending command, before any side
-    effect).
-    """
-
-    ops: List[tuple]
-    n_virtual: int
-    init_versions: List[Tuple[int, int]]
-    final_versions: List[Tuple[int, int]]
-    has_param: bool
-    max_buffer: int
-
-
-@dataclass
 class CommandStream:
-    """One compiled program: SoA columns + optional functional plan."""
+    """One compiled program: SoA columns + optional functional plan.
 
-    commands: Tuple[Command, ...]
-    n: int
-    # SoA columns (int64; -1 encodes "field unused by this command").
-    codes: np.ndarray
-    banks: np.ndarray
-    rows: np.ndarray
-    cols: np.ndarray
-    bufs: np.ndarray
-    buf2s: np.ndarray
-    lanes: np.ndarray
-    gs: np.ndarray
-    dep_start: np.ndarray
-    dep_end: np.ndarray
-    dep_flat: np.ndarray
-    # Payload side tables (Python ints can exceed int64).
-    omega0s: Tuple[Optional[int], ...]
-    r_omegas: Tuple[Optional[int], ...]
-    zetas: Tuple[Tuple[int, ...], ...]
-    # Hot-loop mirrors: plain Python lists index faster than ndarrays.
-    codes_l: List[int]
-    cats_l: List[int]
-    banks_l: List[int]          # compact 0..nbanks-1 indices
-    rows_l: List[int]
-    write_like_l: List[bool]
-    deps_l: List[Tuple[int, ...]]
-    bank_ids: Tuple[int, ...]
-    nbanks: int
-    # Functional plan (None: execute via the legacy per-command loop).
-    plan: Optional[FunctionalPlan]
-    fallback_reason: Optional[str]
-    # Per-(op, modulus) twiddle-pack cache filled in by the executor.
-    fuse_cache: dict = field(default_factory=dict, repr=False)
-
-
-def _build_plan(commands: Sequence[Command],
-                arch: ArchParams) -> Tuple[Optional[FunctionalPlan],
-                                           Optional[str]]:
-    """Symbolically validate the program and lower it to macro-ops.
-
-    Returns ``(plan, None)`` on success, ``(None, reason)`` when the
-    program must run through the legacy per-command loop instead.
+    ``commands`` is lazy: streams built by the vectorized merge passes
+    (interleave/concat) carry a provenance recipe in their ``ir`` and
+    only materialize :class:`Command` objects if a legacy fallback path
+    asks for them.
     """
-    rows_per_bank = arch.rows_per_bank
-    cols_per_row = arch.columns_per_row
-    zetas_per_atom = arch.words_per_atom - 1
 
-    # The functional bank executes every command against one storage and
-    # ignores the bank field (multi-bank merges are split per bank by the
-    # driver), so the open-row protocol is tracked globally — exactly
-    # what BankStorage would enforce at run time.
-    open_row: Optional[int] = None
-
-    next_vid = 0
-    cur_ver: Dict[int, int] = {}
-    ver_depth: Dict[int, int] = {}
-    init_versions: List[Tuple[int, int]] = []
-    atom_writer: Dict[Tuple[int, int], int] = {}   # atom -> writer depth
-    atom_reader: Dict[Tuple[int, int], int] = {}   # atom -> max reader depth
-    q_write_depth = -1
-    q_read_depth = -1
-    has_param = False
-    groups: Dict[tuple, list] = {}
-    group_first: Dict[tuple, int] = {}
-
-    def read_version(buf: int) -> int:
-        nonlocal next_vid
-        vid = cur_ver.get(buf)
-        if vid is None:
-            vid = next_vid
-            next_vid += 1
-            cur_ver[buf] = vid
-            ver_depth[vid] = -1
-            init_versions.append((buf, vid))
-        return vid
-
-    def new_version(buf: int, depth: int) -> int:
-        nonlocal next_vid
-        vid = next_vid
-        next_vid += 1
-        cur_ver[buf] = vid
-        ver_depth[vid] = depth
-        return vid
-
-    def group(depth: int, kind: str, index: int, extra=None) -> list:
-        key = (depth, kind, extra)
-        got = groups.get(key)
-        if got is None:
-            got = groups[key] = []
-            group_first[key] = index
-        return got
-
-    for i, cmd in enumerate(commands):
-        ctype = cmd.ctype
-
-        if ctype is CommandType.ACT:
-            if open_row is not None:
-                return None, f"cmd {i}: ACT while row {open_row} is open"
-            if not 0 <= cmd.row < rows_per_bank:
-                return None, f"cmd {i}: ACT row {cmd.row} outside bank"
-            open_row = cmd.row
-
-        elif ctype is CommandType.PRE:
-            if open_row is None:
-                return None, f"cmd {i}: PRE with no open row"
-            open_row = None
-
-        elif ctype.is_column:
-            if open_row is None or open_row != cmd.row:
-                return None, (f"cmd {i}: {ctype.value} r{cmd.row} with row "
-                              f"{open_row} open")
-            if not 0 <= cmd.col < cols_per_row:
-                return None, f"cmd {i}: column {cmd.col} outside row"
-            if ctype is CommandType.RD:
-                continue  # validated; no data effect bank-side
-            if ctype is CommandType.WR:
-                return None, f"cmd {i}: WR with host data is unmapped"
-            atom = (cmd.row, cmd.col)
-            if ctype is CommandType.CU_READ:
-                depth = atom_writer.get(atom, -1) + 1
-                vid = new_version(cmd.buf, depth)
-                if depth > atom_reader.get(atom, -1):
-                    atom_reader[atom] = depth
-                got = group(depth, "read", i)
-                got.append((cmd.row, cmd.col, vid))
-            else:  # CU_WRITE
-                vin = read_version(cmd.buf)
-                depth = 1 + max(ver_depth[vin], atom_writer.get(atom, -1),
-                                atom_reader.get(atom, -1))
-                atom_writer[atom] = depth
-                atom_reader[atom] = -1
-                got = group(depth, "write", i)
-                got.append((cmd.row, cmd.col, vin))
-
-        elif ctype is CommandType.C1:
-            if cmd.omega0 is None:
-                return None, f"cmd {i}: C1 without omega0"
-            vin = read_version(cmd.buf)
-            depth = 1 + max(ver_depth[vin], q_write_depth)
-            vout = new_version(cmd.buf, depth)
-            if depth > q_read_depth:
-                q_read_depth = depth
-            group(depth, "c1", i).append((vin, vout, cmd.omega0))
-
-        elif ctype is CommandType.C2:
-            if cmd.omega0 is None or cmd.r_omega is None:
-                return None, f"cmd {i}: C2 without its twiddle pair"
-            pin = read_version(cmd.buf)
-            sin = read_version(cmd.buf2)
-            depth = 1 + max(ver_depth[pin], ver_depth[sin], q_write_depth)
-            pout = new_version(cmd.buf, depth)
-            sout = new_version(cmd.buf2, depth)
-            if depth > q_read_depth:
-                q_read_depth = depth
-            group(depth, "c2", i, cmd.gs).append(
-                (pin, sin, pout, sout, cmd.omega0, cmd.r_omega))
-
-        elif ctype is CommandType.C1N:
-            if len(cmd.zetas) != zetas_per_atom:
-                # The CU rejects a wrong-size payload per command; keep
-                # that MappingError on the legacy path.
-                return None, (f"cmd {i}: C1N carries {len(cmd.zetas)} zetas, "
-                              f"needs {zetas_per_atom}")
-            vin = read_version(cmd.buf)
-            depth = 1 + max(ver_depth[vin], q_write_depth)
-            vout = new_version(cmd.buf, depth)
-            if depth > q_read_depth:
-                q_read_depth = depth
-            group(depth, "c1n", i, cmd.gs).append((vin, vout, cmd.zetas))
-
-        elif ctype is CommandType.PARAM_WRITE:
-            depth = 1 + max(q_read_depth, q_write_depth)
-            q_write_depth = depth
-            q_read_depth = -1
-            has_param = True
-            group(depth, "param", i).append(i)
-
-        else:  # scalar µ-ops: lane-granular renaming isn't worth it
-            return None, f"cmd {i}: {ctype.value} runs per-command"
-
-    if open_row is not None:
-        return None, f"program ends with row {open_row} open"
-    if cur_ver and min(cur_ver) < 0:
-        return None, "negative buffer index"
-
-    ops: List[tuple] = []
-    for key in sorted(groups, key=lambda k: (k[0], group_first[k])):
-        _, kind, extra = key
-        members = groups[key]
-        if kind == "read" or kind == "write":
-            rows_a = np.array([m[0] for m in members], dtype=np.intp)
-            cols_a = np.array([m[1] for m in members], dtype=np.intp)
-            vids = [m[2] for m in members]
-            ops.append((kind, rows_a, cols_a, vids))
-        elif kind == "c1":
-            ops.append(("c1", [m[0] for m in members],
-                        [m[1] for m in members],
-                        tuple(m[2] for m in members)))
-        elif kind == "c2":
-            ops.append(("c2", [m[0] for m in members],
-                        [m[1] for m in members],
-                        [m[2] for m in members],
-                        [m[3] for m in members],
-                        tuple(m[4] for m in members),
-                        tuple(m[5] for m in members), extra))
-        elif kind == "c1n":
-            ops.append(("c1n", [m[0] for m in members],
-                        [m[1] for m in members],
-                        tuple(m[2] for m in members), extra))
-        else:  # param
-            ops.append(("param", members[0]))
-
-    plan = FunctionalPlan(ops=ops, n_virtual=next_vid,
-                          init_versions=init_versions,
-                          final_versions=sorted(cur_ver.items()),
-                          has_param=has_param,
-                          max_buffer=max(cur_ver, default=-1))
-    return plan, None
-
-
-def compile_stream(commands: Sequence[Command],
-                   arch: ArchParams) -> CommandStream:
-    """One-time pass: command list -> SoA columns + functional plan."""
-    commands = tuple(commands)
-    n = len(commands)
-
-    codes_l = [CTYPE_CODE[c.ctype] for c in commands]
-    cats_l = [_CAT_BY_CODE[code] for code in codes_l]
-    write_like_l = [_WRITE_LIKE_BY_CODE[code] for code in codes_l]
-    deps_l = [c.deps for c in commands]
-
-    def column(get, default=-1):
-        return np.array([default if get(c) is None else get(c)
-                         for c in commands], dtype=np.int64)
-
-    codes = np.array(codes_l, dtype=np.int64)
-    banks_raw = [c.bank for c in commands]
-    bank_ids = tuple(sorted(set(banks_raw))) or (0,)
-    bank_index = {bank: i for i, bank in enumerate(bank_ids)}
-    banks_l = [bank_index[b] for b in banks_raw]
-    rows = column(lambda c: c.row)
-    rows_l = rows.tolist()
-
-    dep_lengths = [len(d) for d in deps_l]
-    dep_end = np.cumsum(dep_lengths, dtype=np.int64) if n else \
-        np.zeros(0, dtype=np.int64)
-    dep_start = dep_end - np.array(dep_lengths, dtype=np.int64) if n else \
-        np.zeros(0, dtype=np.int64)
-    dep_flat = np.array([d for deps in deps_l for d in deps], dtype=np.int64)
-
-    plan, reason = _build_plan(commands, arch)
-
-    return CommandStream(
-        commands=commands,
-        n=n,
-        codes=codes,
-        banks=np.array(banks_raw, dtype=np.int64),
-        rows=rows,
-        cols=column(lambda c: c.col),
-        bufs=column(lambda c: c.buf),
-        buf2s=column(lambda c: c.buf2),
-        lanes=column(lambda c: c.lane),
-        gs=np.array([c.gs for c in commands], dtype=np.bool_),
-        dep_start=dep_start,
-        dep_end=dep_end,
-        dep_flat=dep_flat,
-        omega0s=tuple(c.omega0 for c in commands),
-        r_omegas=tuple(c.r_omega for c in commands),
-        zetas=tuple(c.zetas for c in commands),
-        codes_l=codes_l,
-        cats_l=cats_l,
-        banks_l=banks_l,
-        rows_l=rows_l,
-        write_like_l=write_like_l,
-        deps_l=deps_l,
-        bank_ids=bank_ids,
-        nbanks=len(bank_ids),
-        plan=plan,
-        fallback_reason=reason,
+    __slots__ = (
+        "n", "codes", "banks", "rows", "cols", "bufs", "buf2s", "lanes",
+        "gs", "dep_start", "dep_end", "dep_flat", "omega0s", "r_omegas",
+        "zetas", "codes_l", "cats_l", "banks_l", "rows_l", "write_like_l",
+        "deps_l", "bank_ids", "nbanks", "plan", "fallback_reason", "ir",
+        "pass_stats", "fuse_cache",
     )
+
+    def __init__(self, *, n, codes, banks, rows, cols, bufs, buf2s, lanes,
+                 gs, dep_start, dep_end, dep_flat, omega0s, r_omegas,
+                 zetas, codes_l, cats_l, banks_l, rows_l, write_like_l,
+                 deps_l, bank_ids, nbanks, plan, fallback_reason, ir=None,
+                 pass_stats=None):
+        self.n = n
+        # SoA columns (int64; -1 encodes "field unused by this command").
+        self.codes = codes
+        self.banks = banks
+        self.rows = rows
+        self.cols = cols
+        self.bufs = bufs
+        self.buf2s = buf2s
+        self.lanes = lanes
+        self.gs = gs
+        self.dep_start = dep_start
+        self.dep_end = dep_end
+        self.dep_flat = dep_flat
+        # Payload side tables (Python ints can exceed int64).
+        self.omega0s = omega0s
+        self.r_omegas = r_omegas
+        self.zetas = zetas
+        # Hot-loop mirrors: plain Python lists index faster than ndarrays.
+        self.codes_l = codes_l
+        self.cats_l = cats_l
+        self.banks_l = banks_l          # compact 0..nbanks-1 indices
+        self.rows_l = rows_l
+        self.write_like_l = write_like_l
+        self.deps_l = deps_l
+        self.bank_ids = bank_ids
+        self.nbanks = nbanks
+        # Functional plan (None: execute via the legacy per-command loop).
+        self.plan: Optional[FunctionalPlan] = plan
+        self.fallback_reason: Optional[str] = fallback_reason
+        # The source IR and the pass pipeline's statistics.
+        self.ir = ir
+        self.pass_stats: dict = pass_stats or {}
+        # Per-(op, modulus) twiddle-pack cache filled in by the executor.
+        self.fuse_cache: dict = {}
+
+    @property
+    def commands(self) -> Tuple[Command, ...]:
+        """The program as :class:`Command` objects (materialized lazily
+        for merge-built streams)."""
+        return self.ir.materialize_commands()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (f"plan={len(self.plan.ops)} ops" if self.plan is not None
+                 else f"fallback={self.fallback_reason!r}")
+        return f"<CommandStream n={self.n} banks={self.nbanks} {state}>"
+
+
+def compile_stream(commands, arch: ArchParams,
+                   passes=None) -> CommandStream:
+    """Compile a command program (or a prebuilt
+    :class:`~repro.compile.ir.StreamIR`) into an executable stream.
+
+    ``passes`` selects the optimization passes to run (``None`` = all;
+    see :data:`repro.compile.PASS_NAMES`) — every subset produces a
+    bit-identical execution, only the fusion shape changes.
+    """
+    # Lazy import: repro.compile sits above this module (it imports
+    # CommandStream from here); the cycle resolves at call time.
+    from ..compile.ir import StreamIR
+    from ..compile.lower import compile_ir
+
+    ir = (commands if isinstance(commands, StreamIR)
+          else StreamIR.from_commands(commands))
+    return compile_ir(ir, arch, passes)
 
 
 # -- stream cache --------------------------------------------------------------
 # Keyed exactly like the driver's schedule cache: a compact structural
 # key (program-cache key or a merge recipe over such keys) when the
 # caller has one, else the command tuple itself — plus the geometry the
-# plan was validated against.  Thread-safe via the shared ArtifactCache
-# (locked lookup/stats/eviction, compilation outside the lock, one
-# canonical stream per key).
+# plan was validated against and the active pass set.  Thread-safe via
+# the shared ArtifactCache (locked lookup/stats/eviction, compilation
+# outside the lock, one canonical stream per key).
 
 _MAX_STREAMS = 128
 _stream_cache = ArtifactCache(_MAX_STREAMS)
 
 
-def cached_stream(commands, arch: ArchParams, key=None) -> CommandStream:
+def cached_stream(commands, arch: ArchParams, key=None,
+                  passes=None) -> CommandStream:
     """Memoized :func:`compile_stream`.
 
     ``key`` is an exact stand-in for the command content (see
     :func:`repro.sim.driver.cached_schedule`); merged batch/multibank
     programs hit the same entries via their merge-recipe keys.
 
-    ``commands`` may be a command sequence or a zero-argument callable
-    producing one.  With a callable *and* a ``key``, a cache hit never
-    materializes the commands at all — the batch/multi-bank mergers
-    pass their (pure-Python, thousands-of-commands) merge as the
-    callable, so warm shapes skip the merge work entirely.
+    ``commands`` may be a command sequence, a prebuilt
+    :class:`~repro.compile.ir.StreamIR`, or a zero-argument callable
+    producing either.  With a callable *and* a ``key``, a cache hit
+    never materializes the program at all — the batch/multi-bank
+    mergers pass their merge as the callable, so warm shapes skip the
+    merge work entirely.
     """
+    from ..compile.passes import normalize_passes
+
+    pass_tag = tuple(sorted(normalize_passes(passes)))
     if callable(commands) and key is None:
         commands = commands()
-    cache_key = ((key if key is not None else tuple(commands)), arch)
+    if key is not None:
+        content_key = key
+    else:
+        from ..compile.ir import StreamIR
+        content_key = (tuple(commands.materialize_commands())
+                       if isinstance(commands, StreamIR)
+                       else tuple(commands))
+    cache_key = (content_key, arch, pass_tag)
     return _stream_cache.get_or_create(
         cache_key,
         lambda: compile_stream(commands() if callable(commands)
-                               else commands, arch))
+                               else commands, arch, passes=pass_tag))
 
 
 def stream_cache_info() -> Dict[str, int]:

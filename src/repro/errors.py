@@ -1,11 +1,8 @@
-"""Library-wide exception types and deprecation helper."""
-
-import warnings
+"""Library-wide exception types."""
 
 __all__ = ["ReproError", "MappingError", "TimingViolation",
            "FunctionalMismatch", "RequestValidationError",
-           "ServeError", "ShardFailure", "ClusterError",
-           "warn_deprecated"]
+           "ServeError", "ShardFailure", "ClusterError"]
 
 
 class ReproError(Exception):
@@ -80,12 +77,3 @@ class ClusterError(ServeError):
         #: when unsupervised or not replica-scoped).
         self.state = state
 
-
-def warn_deprecated(old: str, new: str) -> None:
-    """Emit the library's standard :class:`DeprecationWarning`.
-
-    ``stacklevel=3`` attributes the warning to the caller of the
-    deprecated shim, not to the shim itself.
-    """
-    warnings.warn(f"{old} is deprecated; use {new} instead",
-                  DeprecationWarning, stacklevel=3)

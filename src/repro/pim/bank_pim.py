@@ -173,6 +173,11 @@ class PimBank:
             # Out-of-range buffer: the legacy loop raises at the
             # offending command, before any data effect.
             return False
+        if stream.plan.reg_init is not None and self.cu.reg_a >= 2 ** 64:
+            # Lane plans pool the scalar register as a uint64 version;
+            # an oversized pre-program register value (only reachable by
+            # hand-driving the CU) must keep the exact-int scalar path.
+            return False
         if stream.plan.has_param:
             # The loaded modulus may still cover compute groups scheduled
             # before the first PARAM_WRITE, so it must be lane-safe too.
@@ -189,15 +194,150 @@ class PimBank:
         every C1 of a butterfly-stage pass as a single stacked
         :class:`~repro.pim.cu.ComputeUnit` call, every CU_READ/CU_WRITE
         burst as one fancy-indexed gather/scatter against the cell
-        array.  Data results, CU µ-op counters and raised errors are
-        identical to :meth:`run` on ``stream.commands``; programs
-        without a plan (or moduli outside the lane kernels) fall back
-        to that loop.
+        array; Nb=1 scalar-µ-op programs run their LOAD/BU/STORE runs
+        as stacked lane butterflies.  Data results, CU µ-op counters
+        and raised errors are identical to :meth:`run` on
+        ``stream.commands``; programs without a plan (or moduli outside
+        the lane kernels) fall back to that loop.
         """
         plan = stream.plan
         if not self._stream_fusable(stream):
             self.run(stream.commands)
             return
+        if plan.mode == "lane":
+            self._run_lane_plan(stream)
+        elif plan.pooled:
+            self._run_pooled_plan(stream)
+        else:
+            self._run_unpooled_plan(stream)
+
+    def _run_pooled_plan(self, stream: CommandStream) -> None:
+        """Atom-mode plan with the pooling pass on: all virtual buffer
+        versions live in one ``(n_virtual, Na)`` array, so group results
+        scatter straight into the pool — no per-row ``np.stack``."""
+        plan = stream.plan
+        cells = self.storage.atoms_view()
+        buffers = self.buffers
+        cu = self.cu
+        fuse_cache = stream.fuse_cache
+        na = self.arch.words_per_atom
+        pool = np.empty((plan.n_virtual, na), dtype=np.uint64)
+        for buf, vid in plan.init_versions:
+            pool[vid] = buffers.peek_array(buf)
+
+        for index, op in enumerate(plan.ops):
+            kind = op[0]
+            if kind == "read":
+                _, rows_a, cols_a, vouts = op
+                pool[vouts] = cells[rows_a, cols_a]
+            elif kind == "write":
+                _, rows_a, cols_a, vins = op
+                cells[rows_a, cols_a] = pool[vins]
+            elif kind == "c2":
+                _, pins, sins, pouts, souts, omega0s, r_omegas, gs = op
+                cache_key = (index, cu._require_modulus())
+                w2d = fuse_cache.get(cache_key)
+                if w2d is None:
+                    w2d = fuse_cache[cache_key] = vector.c2_stack_wpack(
+                        cache_key[1], omega0s, r_omegas, na)
+                p_out, s_out = cu.execute_c2_stack(pool[pins], pool[sins],
+                                                   w2d, gs=gs)
+                pool[pouts] = p_out
+                pool[souts] = s_out
+            elif kind == "c1":
+                _, vins, vouts, omegas = op
+                cache_key = (index, cu._require_modulus())
+                wpack = fuse_cache.get(cache_key)
+                if wpack is None:
+                    wpack = fuse_cache[cache_key] = vector.c1_stack_wpack(
+                        cache_key[1], omegas, na)
+                pool[vouts] = cu.execute_c1_stack(pool[vins], wpack)
+            elif kind == "c1n":
+                _, vins, vouts, zetas_rows, gs = op
+                cache_key = (index, cu._require_modulus())
+                z2d = fuse_cache.get(cache_key)
+                if z2d is None:
+                    z2d = fuse_cache[cache_key] = vector.c1n_stack_zpack(
+                        cache_key[1], zetas_rows)
+                pool[vouts] = cu.execute_c1n_stack(pool[vins], z2d, gs=gs)
+            else:  # param
+                if self.pending_q is None:
+                    raise MappingError("PARAM_WRITE with no staged parameters")
+                cu.set_modulus(self.pending_q)
+
+        for buf, vid in plan.final_versions:
+            buffers.write_array(buf, pool[vid].copy())
+
+    def _run_lane_plan(self, stream: CommandStream) -> None:
+        """Lane-mode plan (Nb=1 scalar-µ-op programs): versions are
+        single lanes plus the CU register, pooled in one 1-D array;
+        LOAD/BU/STORE runs execute as stacked scalar ops with the exact
+        per-µ-op counter semantics of the dispatch loop."""
+        plan = stream.plan
+        cells = self.storage.atoms_view()
+        buffers = self.buffers
+        cu = self.cu
+        fuse_cache = stream.fuse_cache
+        na = self.arch.words_per_atom
+        pool = np.empty(plan.n_virtual, dtype=np.uint64)
+        for buf, first_vid in plan.lane_init:
+            pool[first_vid:first_vid + na] = buffers.peek_array(buf)
+        if plan.reg_init is not None:
+            pool[plan.reg_init] = cu.reg_a
+
+        for index, op in enumerate(plan.ops):
+            kind = op[0]
+            if kind == "bu":
+                _, reg_vins, lane_vins, reg_vouts, lane_vouts, omegas = op
+                cache_key = (index, cu._require_modulus())
+                warr = fuse_cache.get(cache_key)
+                if warr is None:
+                    q = cache_key[1]
+                    warr = fuse_cache[cache_key] = np.array(
+                        [w % q for w in omegas], dtype=np.uint64)
+                a_out, b_out = cu.execute_bu_stack(pool[reg_vins],
+                                                   pool[lane_vins], warr)
+                pool[reg_vouts] = a_out
+                pool[lane_vouts] = b_out
+            elif kind == "load":
+                _, lane_vins, reg_vouts = op
+                q = cu._require_modulus()
+                pool[reg_vouts] = pool[lane_vins] % np.uint64(q)
+                cu.load_uops += len(reg_vouts)
+            elif kind == "store":
+                _, reg_vins, lane_vouts = op
+                cu._require_modulus()
+                pool[lane_vouts] = pool[reg_vins]
+                cu.store_uops += len(reg_vins)
+            elif kind == "lread":
+                _, rows_a, cols_a, vouts2d = op
+                pool[vouts2d] = cells[rows_a, cols_a]
+            elif kind == "lwrite":
+                _, rows_a, cols_a, vins2d = op
+                cells[rows_a, cols_a] = pool[vins2d]
+            elif kind == "lc1":
+                _, vins2d, vouts2d, omegas = op
+                cache_key = (index, cu._require_modulus())
+                wpack = fuse_cache.get(cache_key)
+                if wpack is None:
+                    wpack = fuse_cache[cache_key] = vector.c1_stack_wpack(
+                        cache_key[1], omegas, na)
+                pool[vouts2d] = cu.execute_c1_stack(pool[vins2d], wpack)
+            else:  # param
+                if self.pending_q is None:
+                    raise MappingError("PARAM_WRITE with no staged parameters")
+                cu.set_modulus(self.pending_q)
+
+        for buf, vid_arr in plan.lane_final:
+            buffers.write_array(buf, pool[vid_arr])
+        if plan.reg_final is not None:
+            cu.reg_a = int(pool[plan.reg_final])
+
+    def _run_unpooled_plan(self, stream: CommandStream) -> None:
+        """Atom-mode plan with the pooling pass off: virtual versions
+        are separate arrays stacked per group (the pre-pooling executor,
+        kept as the toggled-off ground truth)."""
+        plan = stream.plan
         cells = self.storage.atoms_view()
         buffers = self.buffers
         cu = self.cu

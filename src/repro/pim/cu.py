@@ -257,6 +257,21 @@ class ComputeUnit:
         self.twiddles_generated += (self.atom_words - 1) * k
         return vector.c1n_stack_arr(x2d, q, z2d, gs=gs)
 
+    def execute_bu_stack(self, a_arr, b_arr, w2d):
+        """``k`` fused BU_SCALAR commands: lane-wise
+        ``(a', b') = BU(a, b)`` on 1-D operand arrays.
+
+        Counter semantics match ``k`` :meth:`bu_scalar` calls exactly
+        (each advances the BU, one load µ-op for the lane operand, one
+        store for the register update, one generated twiddle)."""
+        q = self._require_modulus()
+        k = len(a_arr)
+        self.bu_ops += k
+        self.load_uops += k
+        self.store_uops += k
+        self.twiddles_generated += k
+        return vector.c2_stack_arr(a_arr, b_arr, q, w2d)
+
     # -- scalar micro-ops (Nb=1 degenerate mapping) ---------------------------
     def load_scalar(self, value: int) -> None:
         """reg_a <- buffer lane (via the crossbar)."""

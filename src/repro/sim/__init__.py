@@ -1,7 +1,7 @@
 """Simulation front end: driver, results, host protocol, traces,
 bank-level parallelism."""
 
-from .batch import BatchResult, concat_programs, run_batch
+from .batch import BatchResult, compile_batch, concat_programs
 from .driver import (
     NttPimDriver,
     SimConfig,
@@ -10,14 +10,19 @@ from .driver import (
     schedule_cache_info,
 )
 from .host import MemoryRequest, MemoryResponse, PimMemoryController, RequestType
-from .multibank import MultiBankResult, interleave_programs, run_multibank
+from .multibank import (
+    MultiBankResult,
+    TransformSpec,
+    compile_multibank,
+    interleave_programs,
+)
 from .results import NttRunResult
 from .trace import format_trace, parse_trace_line, trace_summary
 
 __all__ = [
     "BatchResult",
+    "compile_batch",
     "concat_programs",
-    "run_batch",
     "NttPimDriver",
     "SimConfig",
     "cached_schedule",
@@ -28,8 +33,9 @@ __all__ = [
     "PimMemoryController",
     "RequestType",
     "MultiBankResult",
+    "TransformSpec",
+    "compile_multibank",
     "interleave_programs",
-    "run_multibank",
     "NttRunResult",
     "format_trace",
     "parse_trace_line",

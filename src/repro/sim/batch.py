@@ -20,13 +20,13 @@ from ..arith.roots import NttParams
 from ..dram.commands import Command, CommandType
 from ..dram.engine import ScheduleResult
 from ..dram.stream import cached_stream
-from ..errors import FunctionalMismatch, warn_deprecated
+from ..errors import FunctionalMismatch
 from ..mapping.program_cache import cyclic_program, programs_recipe_key
 from ..ntt.reference import ntt as reference_ntt
 from ..pim.bank_pim import PimBank
 from .driver import SimConfig, cached_schedule
 
-__all__ = ["BatchResult", "compile_batch", "concat_programs", "run_batch"]
+__all__ = ["BatchResult", "compile_batch", "concat_programs"]
 
 
 def concat_programs(programs: Sequence[List[Command]],
@@ -78,12 +78,16 @@ class BatchResult:
         return self.single_cycles / self.cycles_per_transform
 
 
-def compile_batch(params: NttParams, count: int, config: SimConfig):
+def compile_batch(params: NttParams, count: int, config: SimConfig,
+                  passes=None):
     """Compile the ``count``-deep back-to-back program for one shape.
 
     Returns ``(programs, merged_stream, merged_key, rows_each)``.
     Memoized end to end, so it doubles as the warm-up step pipelined
-    compile paths run ahead of execution.
+    compile paths run ahead of execution.  With the ``interleave``
+    (merge) pass enabled the concat runs vectorized over IR columns
+    (:func:`repro.compile.concat_irs`); toggled off, the legacy
+    per-command :func:`concat_programs` runs — both bit-identical.
     """
     if count < 1:
         raise ValueError("need at least one polynomial")
@@ -101,20 +105,19 @@ def compile_batch(params: NttParams, count: int, config: SimConfig):
     # cheap) cache key — and the concat runs lazily, only when the
     # stream cache misses: the batch compiles to a stream once per
     # shape and warm shapes skip the merge work entirely.
+    from ..compile.lower import concat_irs
+    from ..compile.passes import normalize_passes
+
     merged_key = programs_recipe_key("concat", programs, True)
-    merged_stream = cached_stream(
-        lambda: concat_programs([p.commands for p in programs]),
-        config.arch, key=merged_key)
+    if "interleave" in normalize_passes(passes):
+        def merge():
+            return concat_irs([p.commands for p in programs])
+    else:
+        def merge():
+            return concat_programs([p.commands for p in programs])
+    merged_stream = cached_stream(merge, config.arch, key=merged_key,
+                                  passes=passes)
     return programs, merged_stream, merged_key, rows_each
-
-
-def run_batch(inputs: Sequence[Sequence[int]], params: NttParams,
-              config: SimConfig | None = None) -> BatchResult:
-    """Deprecated shim — use
-    ``repro.api.Simulator(config).run(BatchRequest(...))``."""
-    warn_deprecated("repro.sim.batch.run_batch",
-                    "repro.api.Simulator.run(BatchRequest(...))")
-    return _run_batch(inputs, params, config)
 
 
 def _run_batch(inputs: Sequence[Sequence[int]], params: NttParams,

@@ -24,7 +24,7 @@ from ..dram.energy import EnergyParams, HBM2E_ENERGY
 from ..dram.engine import TimingEngine
 from ..dram.stream import CommandStream, cached_stream
 from ..dram.timing import HBM2E_ARCH, HBM2E_TIMING, ArchParams, TimingParams
-from ..errors import FunctionalMismatch, warn_deprecated
+from ..errors import FunctionalMismatch
 from ..mapping.mapper import MapperOptions, NttMapper
 from ..mapping.program_cache import cyclic_program, negacyclic_program
 from ..mapping.single_buffer import SingleBufferMapper
@@ -84,11 +84,14 @@ def cached_schedule(commands, timing, arch, compute, energy, key=None):
     lookup; when ``None``, the command tuple itself is the key.
     """
     if isinstance(commands, CommandStream):
-        stream, commands = commands, commands.commands
+        stream = commands
+        # Only materialize Command objects when no structural key exists
+        # (merge-built streams are lazy; the timing loop never needs them).
+        content_key = key if key is not None else tuple(commands.commands)
     else:
         stream = None
-    cache_key = (key if key is not None else tuple(commands),
-                 timing, arch, compute, energy)
+        content_key = key if key is not None else tuple(commands)
+    cache_key = (content_key, timing, arch, compute, energy)
 
     def simulate():
         compiled = (stream if stream is not None
@@ -141,8 +144,8 @@ class NttPimDriver:
 
     This is the engine room of the facade layer: :class:`repro.api.Simulator`
     is the supported public entry point, and dispatches into the private
-    ``_run_*`` implementations here.  The public ``run_*`` methods remain
-    as thin deprecation shims producing identical results.
+    ``_run_*`` implementations here (the PR 2 ``run_*`` deprecation
+    shims are gone).
     """
 
     def __init__(self, config: Optional[SimConfig] = None):
@@ -167,13 +170,6 @@ class NttPimDriver:
         """Lower one NTT invocation to a command program (cached — the
         program is a pure function of the parameters and configuration)."""
         return list(self._program(ntt, bank).commands)
-
-    def run_ntt(self, values: Sequence[int], ntt: NttParams) -> NttRunResult:
-        """Deprecated shim — use
-        ``repro.api.Simulator(config).run(NttRequest(...))``."""
-        warn_deprecated("NttPimDriver.run_ntt",
-                        "repro.api.Simulator.run(NttRequest(...))")
-        return self._run_ntt(values, ntt)
 
     def _run_ntt(self, values: Sequence[int], ntt: NttParams) -> NttRunResult:
         """Simulate one forward NTT of ``values`` (natural order).
@@ -216,15 +212,6 @@ class NttPimDriver:
             n=ntt.n, q=ntt.q, nb_buffers=cfg.pim.nb_buffers,
             output=output, schedule=schedule, verified=verified,
             command_count=len(commands), bu_ops=bu_ops)
-
-    def run_negacyclic_ntt(self, values: Sequence[int],
-                           ring: NegacyclicParams,
-                           inverse: bool = False) -> NttRunResult:
-        """Deprecated shim — use
-        ``repro.api.Simulator(config).run(NegacyclicRequest(...))``."""
-        warn_deprecated("NttPimDriver.run_negacyclic_ntt",
-                        "repro.api.Simulator.run(NegacyclicRequest(...))")
-        return self._run_negacyclic_ntt(values, ring, inverse=inverse)
 
     def _run_negacyclic_ntt(self, values: Sequence[int],
                             ring: NegacyclicParams,
@@ -271,14 +258,6 @@ class NttPimDriver:
             output=output, schedule=schedule, verified=verified,
             command_count=len(commands), bu_ops=bu_ops)
 
-    def run_negacyclic_intt(self, values: Sequence[int],
-                            ring: NegacyclicParams) -> NttRunResult:
-        """Deprecated shim — use ``repro.api.Simulator(config).run(
-        NegacyclicRequest(..., inverse=True))``."""
-        warn_deprecated("NttPimDriver.run_negacyclic_intt",
-                        "repro.api.Simulator.run(NegacyclicRequest(...))")
-        return self._run_negacyclic_intt(values, ring)
-
     def _run_negacyclic_intt(self, values: Sequence[int],
                              ring: NegacyclicParams) -> NttRunResult:
         """Inverse merged transform including the host-side 1/N scale."""
@@ -287,13 +266,6 @@ class NttPimDriver:
         n_inv = mod_inverse(ring.n, ring.q)
         result.output = mod_scale_vec(result.output, n_inv, ring.q)
         return result
-
-    def run_intt(self, values: Sequence[int], ntt: NttParams) -> NttRunResult:
-        """Deprecated shim — use ``repro.api.Simulator(config).run(
-        NttRequest(..., inverse=True))``."""
-        warn_deprecated("NttPimDriver.run_intt",
-                        "repro.api.Simulator.run(NttRequest(..., inverse=True))")
-        return self._run_intt(values, ntt)
 
     def _run_intt(self, values: Sequence[int], ntt: NttParams) -> NttRunResult:
         """Inverse transform: same machine, inverse twiddles; the final
@@ -304,19 +276,6 @@ class NttPimDriver:
                                            verify_against=None)
         result.output = mod_scale_vec(result.output, ntt.n_inv, ntt.q)
         return result
-
-    def run_ntt_with_params(
-            self, values: Sequence[int], ntt: NttParams,
-            verify_against: Optional[List[int]] | _VerifyDefault = VERIFY_DEFAULT,
-    ) -> NttRunResult:
-        """Deprecated shim — use ``repro.api.Simulator(config).run(
-        NttRequest(...))``.  Custom expected-output verification has no
-        facade equivalent: run with ``SimConfig(verify=False)`` and
-        compare ``response.values`` yourself."""
-        warn_deprecated("NttPimDriver.run_ntt_with_params",
-                        "repro.api.Simulator.run(NttRequest(...))")
-        return self._run_ntt_with_params(values, ntt,
-                                         verify_against=verify_against)
 
     def _run_ntt_with_params(
             self, values: Sequence[int], ntt: NttParams,

@@ -25,7 +25,7 @@ from ..arith.roots import NttParams
 from ..dram.commands import Command
 from ..dram.engine import ScheduleResult
 from ..dram.stream import cached_stream
-from ..errors import FunctionalMismatch, warn_deprecated
+from ..errors import FunctionalMismatch
 from ..mapping.program_cache import (
     CachedProgram,
     cyclic_program,
@@ -39,7 +39,7 @@ from ..pim.bank_pim import PimBank
 from .driver import SimConfig, cached_schedule
 
 __all__ = ["TransformSpec", "interleave_programs", "compile_multibank",
-           "MultiBankResult", "run_multibank"]
+           "MultiBankResult"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -183,49 +183,76 @@ class MultiBankResult:
         return self.speedup / self.banks
 
 
-def run_multibank(inputs: Sequence[Sequence[int]], ntt: NttParams,
-                  config: SimConfig | None = None) -> MultiBankResult:
-    """Deprecated shim — use
-    ``repro.api.Simulator(config).run(MultiBankRequest(...))``."""
-    warn_deprecated("repro.sim.multibank.run_multibank",
-                    "repro.api.Simulator.run(MultiBankRequest(...))")
-    return _run_multibank(inputs, ntt, config)
+def normalize_specs(spec, banks: int) -> List[TransformSpec]:
+    """Per-bank spec list from either calling convention.
+
+    ``spec`` is one :class:`TransformSpec` (or bare ``NttParams``) every
+    bank shares, or a sequence of per-bank specs — the mixed-kind
+    dispatch shape (e.g. forward and inverse limbs of one shape
+    interleaved in a single bus program).
+    """
+    if isinstance(spec, (list, tuple)):
+        specs = [TransformSpec.of(s) for s in spec]
+        if len(specs) != banks:
+            raise ValueError(
+                f"got {len(specs)} per-bank specs for {banks} banks")
+        return specs
+    return [TransformSpec.of(spec)] * banks
 
 
-def compile_multibank(spec, banks: int, config: SimConfig):
+def compile_multibank(spec, banks: int, config: SimConfig, passes=None):
     """Compile the ``banks``-way interleaved program for one shape.
 
     ``spec`` is a :class:`TransformSpec` (or bare ``NttParams``, the
-    legacy forward-cyclic spelling).  Returns ``(programs,
-    merged_stream, merged_key)``.  Everything is memoized (program /
-    stream caches), so this doubles as the *warm-up* step the streaming
-    ``run_many`` and the serving layer's worker pool run for group
-    *k+1* while group *k* executes.
+    legacy forward-cyclic spelling), or a per-bank spec sequence for
+    mixed-kind dispatches.  Returns ``(programs, merged_stream,
+    merged_key)``.  Everything is memoized (program / stream caches),
+    so this doubles as the *warm-up* step the streaming ``run_many``
+    and the serving layer's worker pool run for group *k+1* while group
+    *k* executes.
+
+    With the ``interleave`` pass enabled (the default) the merge runs
+    as a vectorized index permutation over the per-bank IR columns
+    (:func:`repro.compile.interleave_irs`); toggled off, the legacy
+    per-command :func:`interleave_programs` ground truth runs.  Both
+    produce bit-identical merged programs.
     """
     if banks < 1:
         raise ValueError("need at least one bank's worth of input")
-    spec = TransformSpec.of(spec)
+    specs = normalize_specs(spec, banks)
     # Programs are memoized per (spec, config, bank): repeated rounds
     # over the same shape (e.g. every RNS limb round) reuse the programs.
-    programs = [spec.program(config, k) for k in range(banks)]
+    programs = [s.program(config, k) for k, s in enumerate(specs)]
     # The merged list's content is a pure function of the component
     # programs, so the merge recipe over their keys is an exact (and
     # cheap) shared-cache key — and the merge itself runs lazily, only
     # when the stream cache misses on that key.
+    from ..compile.lower import interleave_irs
+    from ..compile.passes import normalize_passes
+
     merged_key = programs_recipe_key("interleave", programs)
-    merged_stream = cached_stream(
-        lambda: interleave_programs([p.commands for p in programs]),
-        config.arch, key=merged_key)
+    if "interleave" in normalize_passes(passes):
+        def merge():
+            return interleave_irs([p.commands for p in programs])
+    else:
+        def merge():
+            return interleave_programs([p.commands for p in programs])
+    merged_stream = cached_stream(merge, config.arch, key=merged_key,
+                                  passes=passes)
     return programs, merged_stream, merged_key
 
 
 def _run_multibank(inputs: Sequence[Sequence[int]], spec,
                    config: SimConfig | None = None) -> MultiBankResult:
-    """Run ``len(inputs)`` independent transforms, one per bank."""
+    """Run ``len(inputs)`` independent transforms, one per bank.
+
+    ``spec`` may be a per-bank sequence (mixed kinds/inverse per bank);
+    every bank's output stays bit-identical to its standalone run.
+    """
     config = config or SimConfig()
-    spec = TransformSpec.of(spec)
     banks = len(inputs)
-    programs, merged_stream, merged_key = compile_multibank(spec, banks,
+    specs = normalize_specs(spec, banks)
+    programs, merged_stream, merged_key = compile_multibank(specs, banks,
                                                             config)
     compute = config.pim.compute_timing()
     schedule = cached_schedule(merged_stream, config.timing, config.arch,
@@ -242,22 +269,22 @@ def _run_multibank(inputs: Sequence[Sequence[int]], spec,
         # — equivalent to replaying the round-robin merge command by
         # command, minus the interleaving overhead.
         bank_models = []
-        for values, program in zip(inputs, programs):
+        for values, program, bspec in zip(inputs, programs, specs):
             bank = PimBank(config.arch, config.pim)
-            bank.set_parameters(spec.q)
-            bank.load_polynomial(config.base_row, spec.load_layout(values))
+            bank.set_parameters(bspec.q)
+            bank.load_polynomial(config.base_row, bspec.load_layout(values))
             bank.run_stream(cached_stream(program.commands, config.arch,
                                           key=program.key))
             bank_models.append(bank)
         bu_ops = sum(bank.cu.bu_ops for bank in bank_models)
-        outputs = [spec.finalize(
-            bank.read_polynomial(program.result_base_row, spec.n))
-            for bank, program in zip(bank_models, programs)]
+        outputs = [bspec.finalize(
+            bank.read_polynomial(program.result_base_row, bspec.n))
+            for bank, program, bspec in zip(bank_models, programs, specs)]
         if config.verify:
-            for values, got in zip(inputs, outputs):
-                if got != spec.expected(values):
+            for values, got, bspec in zip(inputs, outputs, specs):
+                if got != bspec.expected(values):
                     raise FunctionalMismatch(
-                        f"multi-bank {spec.describe()} result wrong")
+                        f"multi-bank {bspec.describe()} result wrong")
             verified = True
 
     return MultiBankResult(banks=banks, schedule=schedule,

@@ -1,9 +1,8 @@
 """Tests for the repro.api facade: registry round-trip, request
-validation, response-envelope equality with the legacy entry points,
-shared schedule caching, run_many grouping and deprecation shims."""
+validation, response-envelope equality with the engine-room entry
+points, shared schedule caching and run_many grouping."""
 
 import random
-import warnings
 from dataclasses import dataclass
 from typing import ClassVar
 
@@ -30,8 +29,8 @@ from repro.errors import RequestValidationError
 from repro.ntt import NegacyclicParams
 from repro.pim import PimParams
 from repro.sim import NttPimDriver, SimConfig, schedule_cache_info
-from repro.sim.batch import run_batch
-from repro.sim.multibank import run_multibank
+from repro.sim.batch import _run_batch
+from repro.sim.multibank import _run_multibank
 
 N = 256
 Q = find_ntt_prime(N, 32)
@@ -46,10 +45,8 @@ def _data(seed=0, q=Q, n=N):
 
 
 def _legacy(call, *args, **kwargs):
-    """Run a deprecated entry point, swallowing its warning."""
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return call(*args, **kwargs)
+    """Run an engine-room entry point directly."""
+    return call(*args, **kwargs)
 
 
 class TestRegistry:
@@ -157,11 +154,11 @@ class TestValidation:
 
 
 class TestLegacyEquivalence:
-    """The facade and the deprecated entry points are bit-identical."""
+    """The facade and the engine-room entry points are bit-identical."""
 
     def test_ntt_matches_driver(self):
         x = _data(1)
-        legacy = _legacy(NttPimDriver().run_ntt, x, PARAMS)
+        legacy = _legacy(NttPimDriver()._run_ntt, x, PARAMS)
         response = Simulator().run(NttRequest(params=PARAMS, values=x))
         assert response.values == legacy.output
         assert response.cycles == legacy.cycles
@@ -173,7 +170,7 @@ class TestLegacyEquivalence:
 
     def test_intt_matches_driver(self):
         x = _data(2)
-        legacy = _legacy(NttPimDriver().run_intt, x, PARAMS)
+        legacy = _legacy(NttPimDriver()._run_intt, x, PARAMS)
         response = Simulator().run(NttRequest(params=PARAMS, values=x,
                                               inverse=True))
         assert response.values == legacy.output
@@ -181,7 +178,7 @@ class TestLegacyEquivalence:
 
     def test_negacyclic_matches_driver(self):
         x = _data(3, q=QN)
-        legacy = _legacy(NttPimDriver().run_negacyclic_ntt, x, RING)
+        legacy = _legacy(NttPimDriver()._run_negacyclic_ntt, x, RING)
         response = Simulator().run(NegacyclicRequest(ring=RING, values=x))
         assert response.values == legacy.output
         assert response.cycles == legacy.cycles
@@ -190,7 +187,7 @@ class TestLegacyEquivalence:
 
     def test_batch_matches_run_batch(self):
         inputs = [_data(4), _data(5)]
-        legacy = _legacy(run_batch, inputs, PARAMS)
+        legacy = _legacy(_run_batch, inputs, PARAMS)
         response = Simulator().run(BatchRequest(params=PARAMS, inputs=inputs))
         assert response.cycles == legacy.cycles
         assert response.metrics["amortization"] == legacy.amortization
@@ -199,7 +196,7 @@ class TestLegacyEquivalence:
 
     def test_multibank_matches_run_multibank(self):
         inputs = [_data(6), _data(7), _data(8)]
-        legacy = _legacy(run_multibank, inputs, PARAMS)
+        legacy = _legacy(_run_multibank, inputs, PARAMS)
         response = Simulator().run(MultiBankRequest(params=PARAMS,
                                                     inputs=inputs))
         assert response.cycles == legacy.cycles
@@ -208,7 +205,7 @@ class TestLegacyEquivalence:
         assert response.outputs == legacy.outputs
         # Per-bank outputs match individual driver runs.
         for values, out in zip(inputs, response.outputs):
-            single = _legacy(NttPimDriver().run_ntt, values, PARAMS)
+            single = _legacy(NttPimDriver()._run_ntt, values, PARAMS)
             assert out == single.output
 
 
@@ -392,33 +389,6 @@ class TestFheWorkload:
         native = Simulator().run(FheOpRequest(ring=RING, op="multiply",
                                               a=a, b=b, native=True))
         assert hosted.values == native.values
-
-
-class TestDeprecationShims:
-    def test_driver_run_ntt_warns(self):
-        with pytest.warns(DeprecationWarning, match="Simulator"):
-            NttPimDriver().run_ntt(_data(50), PARAMS)
-
-    def test_driver_run_intt_warns(self):
-        with pytest.warns(DeprecationWarning):
-            NttPimDriver().run_intt(_data(51), PARAMS)
-
-    def test_driver_negacyclic_warns(self):
-        with pytest.warns(DeprecationWarning):
-            NttPimDriver().run_negacyclic_ntt(_data(52, q=QN), RING)
-
-    def test_run_batch_warns(self):
-        with pytest.warns(DeprecationWarning, match="BatchRequest"):
-            run_batch([_data(53)], PARAMS)
-
-    def test_run_multibank_warns(self):
-        with pytest.warns(DeprecationWarning, match="MultiBankRequest"):
-            run_multibank([_data(54)], PARAMS)
-
-    def test_run_ntt_with_params_warns(self):
-        with pytest.warns(DeprecationWarning):
-            NttPimDriver().run_ntt_with_params(_data(55), PARAMS,
-                                               verify_against=None)
 
 
 class TestResponseEnvelope:

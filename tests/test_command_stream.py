@@ -65,14 +65,21 @@ class TestCompilation:
         # of stacked macro-ops (one per butterfly-stage pass per type).
         assert len(stream.plan.ops) < len(cmds) // 50
 
-    def test_scalar_programs_fall_back(self):
+    def test_scalar_programs_fuse_through_lane_renaming(self):
+        # Nb=1 µ-op programs fuse via the lane-granular renaming pass;
+        # with that pass toggled off they fall back per-command.
         n = 64
         q = find_ntt_prime(n, 32)
         config = SimConfig(pim=PimParams(nb_buffers=1))
         cmds = NttPimDriver(config).map_commands(NttParams(n, q))
         stream = compile_stream(cmds, HBM2E_ARCH)
-        assert stream.plan is None
-        assert "per-command" in stream.fallback_reason
+        assert stream.plan is not None, stream.fallback_reason
+        assert stream.plan.mode == "lane"
+        assert len(stream.plan.ops) < len(cmds) // 2
+        off = compile_stream(cmds, HBM2E_ARCH,
+                             passes={"rename", "group", "pool"})
+        assert off.plan is None
+        assert "per-command" in off.fallback_reason
 
     def test_protocol_violations_fall_back(self):
         bad = [Command(CommandType.ACT, row=3),
